@@ -1,0 +1,261 @@
+// Command progconv is the conversion framework's command line: schema
+// checking and diffing, program analysis, full conversions, and program
+// execution for the dbprog language.
+//
+//	progconv check <schema.ddl>
+//	progconv diff <source.ddl> <target.ddl>
+//	progconv analyze <schema.ddl> <program.prog>
+//	progconv convert [-accept-order] <source.ddl> <target.ddl> <program.prog>...
+//	progconv run [-init <program.prog>] [-input line]... <schema.ddl> <program.prog>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"progconv/internal/analyzer"
+	"progconv/internal/core"
+	"progconv/internal/dbprog"
+	"progconv/internal/hierstore"
+	"progconv/internal/netstore"
+	"progconv/internal/relstore"
+	"progconv/internal/schema"
+	"progconv/internal/schema/ddl"
+	"progconv/internal/xform"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "check":
+		err = cmdCheck(os.Args[2:])
+	case "diff":
+		err = cmdDiff(os.Args[2:])
+	case "analyze":
+		err = cmdAnalyze(os.Args[2:])
+	case "convert":
+		err = cmdConvert(os.Args[2:])
+	case "run":
+		err = cmdRun(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "progconv:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  progconv check <schema.ddl>
+  progconv diff <source.ddl> <target.ddl>
+  progconv analyze <schema.ddl> <program.prog>
+  progconv convert [-accept-order] <source.ddl> <target.ddl> <program.prog>...
+  progconv run [-init <program.prog>] [-input line]... <schema.ddl> <program.prog>`)
+	os.Exit(2)
+}
+
+func readFile(path string) (string, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func loadProgram(path string) (*dbprog.Program, error) {
+	src, err := readFile(path)
+	if err != nil {
+		return nil, err
+	}
+	p, err := dbprog.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return p, nil
+}
+
+func cmdCheck(args []string) error {
+	if len(args) != 1 {
+		usage()
+	}
+	src, err := readFile(args[0])
+	if err != nil {
+		return err
+	}
+	parsed, err := ddl.Parse(src)
+	if err != nil {
+		return err
+	}
+	switch parsed.Kind() {
+	case "network":
+		n := parsed.Network
+		fmt.Printf("network schema %s: %d record types, %d set types\n",
+			n.Name, len(n.Records), len(n.Sets))
+		fmt.Print(n.DDL())
+	case "relational":
+		r := parsed.Relational
+		fmt.Printf("relational schema %s: %d relations\n", r.Name, len(r.Relations))
+		fmt.Print(r.DDL())
+	case "hierarchical":
+		h := parsed.Hierarchy
+		fmt.Printf("hierarchical schema %s: %d segment types\n", h.Name, len(h.Preorder()))
+		fmt.Print(h.DDL())
+	}
+	return nil
+}
+
+func cmdDiff(args []string) error {
+	if len(args) != 2 {
+		usage()
+	}
+	plan, _, _, err := loadPlan(args[0], args[1])
+	if err != nil {
+		return err
+	}
+	fmt.Println("classified transformation plan:")
+	fmt.Print(plan.Describe())
+	fmt.Printf("invertible: %v\n", plan.Invertible())
+	return nil
+}
+
+func loadPlan(srcPath, dstPath string) (*xform.Plan, *schema.Network, *schema.Network, error) {
+	srcText, err := readFile(srcPath)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	dstText, err := readFile(dstPath)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	srcSchema, err := ddl.ParseNetwork(srcText)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("%s: %w", srcPath, err)
+	}
+	dstSchema, err := ddl.ParseNetwork(dstText)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("%s: %w", dstPath, err)
+	}
+	p, err := xform.Classify(srcSchema, dstSchema)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return p, srcSchema, dstSchema, nil
+}
+
+func cmdAnalyze(args []string) error {
+	if len(args) != 2 {
+		usage()
+	}
+	schText, err := readFile(args[0])
+	if err != nil {
+		return err
+	}
+	sch, err := ddl.ParseNetwork(schText)
+	if err != nil {
+		return err
+	}
+	p, err := loadProgram(args[1])
+	if err != nil {
+		return err
+	}
+	abs := analyzer.Analyze(p, sch)
+	fmt.Print(abs.Describe())
+	return nil
+}
+
+func cmdConvert(args []string) error {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	acceptOrder := fs.Bool("accept-order", false,
+		"analyst accepts conversions whose output order may change")
+	fs.Parse(args)
+	rest := fs.Args()
+	if len(rest) < 3 {
+		usage()
+	}
+	_, src, dst, err := loadPlan(rest[0], rest[1])
+	if err != nil {
+		return err
+	}
+	var progs []*dbprog.Program
+	for _, path := range rest[2:] {
+		p, err := loadProgram(path)
+		if err != nil {
+			return err
+		}
+		progs = append(progs, p)
+	}
+	sup := core.NewSupervisor()
+	sup.Analyst = core.Policy{AcceptOrderChanges: *acceptOrder}
+	sup.Verify = false
+	report, err := sup.Run(src, dst, nil, nil, progs)
+	if err != nil {
+		return err
+	}
+	fmt.Print(report)
+	for _, o := range report.Outcomes {
+		if o.Converted != nil {
+			fmt.Printf("\n--- converted %s ---\n%s", o.Name, dbprog.Format(o.Converted))
+		}
+	}
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	initPath := fs.String("init", "", "program run first to populate the database")
+	var inputs inputList
+	fs.Var(&inputs, "input", "terminal input line (repeatable)")
+	fs.Parse(args)
+	rest := fs.Args()
+	if len(rest) != 2 {
+		usage()
+	}
+	schText, err := readFile(rest[0])
+	if err != nil {
+		return err
+	}
+	parsed, err := ddl.Parse(schText)
+	if err != nil {
+		return err
+	}
+	p, err := loadProgram(rest[1])
+	if err != nil {
+		return err
+	}
+	cfg := dbprog.Config{TerminalInput: inputs}
+	switch parsed.Kind() {
+	case "network":
+		cfg.Net = netstore.NewDB(parsed.Network)
+	case "relational":
+		cfg.Rel = relstore.NewDB(parsed.Relational)
+	case "hierarchical":
+		cfg.Hier = hierstore.NewDB(parsed.Hierarchy)
+	}
+	if *initPath != "" {
+		ip, err := loadProgram(*initPath)
+		if err != nil {
+			return err
+		}
+		if _, err := dbprog.Run(ip, cfg); err != nil {
+			return fmt.Errorf("init program: %w", err)
+		}
+	}
+	trace, err := dbprog.Run(p, cfg)
+	fmt.Print(trace)
+	return err
+}
+
+type inputList []string
+
+func (l *inputList) String() string { return fmt.Sprint([]string(*l)) }
+
+func (l *inputList) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}

@@ -1,0 +1,17 @@
+// Package progconv reproduces "Database Program Conversion: A Framework
+// for Research" (Database Program Conversion Task Group of the CODASYL
+// Systems Committee; Taylor, Fry, Shneiderman, Smith, Su; VLDB/IEEE
+// 1979): the Figure 4.1 conversion pipeline — Conversion Analyzer,
+// Program Analyzer, Program Converter, Optimizer, Program Generator,
+// Conversion Supervisor — together with every substrate the paper
+// presupposes: relational, CODASYL network and hierarchical engines, the
+// SEQUEL subset, the Maryland FIND-path DML, DL/I, a database-program
+// host language with four embedded DML dialects, a transformation
+// catalogue with data restructuring, and the §2 baseline strategies (DML
+// emulation and bridge programs).
+//
+// See DESIGN.md for the system inventory, EXPERIMENTS.md for the
+// per-figure and per-claim reproduction record, cmd/exper for the
+// experiment harness, and bench_test.go (this directory) for the
+// testing.B benchmarks backing each experiment.
+package progconv

@@ -1,0 +1,80 @@
+// School: the paper's §3.1 integrity discussion on the Figure 3.1
+// database — what each 1979 model enforces, what only programs enforce,
+// and what a centralized constraint subsystem recovers.
+//
+//	go run ./examples/school
+package main
+
+import (
+	"fmt"
+
+	"progconv/internal/constraint"
+	"progconv/internal/netstore"
+	"progconv/internal/relstore"
+	"progconv/internal/schema"
+	"progconv/internal/value"
+)
+
+func main() {
+	fmt.Println("Figure 3.1a — relational school database")
+	fmt.Println("----------------------------------------")
+	rel := relstore.NewDB(schema.SchoolRelational())
+	rel.Insert("COURSE", value.FromPairs("CNO", "CS101", "CNAME", "Databases"))
+	rel.Insert("SEMESTER", value.FromPairs("S", "F78", "YEAR", 1978))
+	rel.Insert("SEMESTER", value.FromPairs("S", "W78", "YEAR", 1978))
+	rel.Insert("SEMESTER", value.FromPairs("S", "S78", "YEAR", 1978))
+
+	// "The only constraint maintained explicitly in the relational model
+	// is tuple uniqueness (by means of key declarations)."
+	err := rel.Insert("COURSE", value.FromPairs("CNO", "CS101", "CNAME", "Duplicate"))
+	fmt.Printf("duplicate key insert: %v\n", err)
+
+	// Existence is NOT maintained: the dangling offering is admitted.
+	err = rel.Insert("COURSE-OFFERING", value.FromPairs("CNO", "GHOST", "S", "F78", "INSTRUCTOR", "X"))
+	fmt.Printf("dangling offering (FKs off, the 1979 default): err=%v\n", err)
+
+	fmt.Println("\nFigure 3.1b — CODASYL school database")
+	fmt.Println("--------------------------------------")
+	net := netstore.NewDB(schema.SchoolNetwork())
+	ns := netstore.NewSession(net)
+	ns.Store("COURSE", value.FromPairs("CNO", "CS101", "CNAME", "Databases"))
+	ns.Store("SEMESTER", value.FromPairs("S", "F78", "YEAR", 1978))
+
+	// AUTOMATIC/MANDATORY membership captures the existence constraint:
+	// "if an attempt is made to insert a course offering for which there
+	// is either no corresponding course or semester, the insertion will
+	// fail."
+	fresh := netstore.NewSession(net)
+	_, st, _ := fresh.Store("COURSE-OFFERING",
+		value.FromPairs("CNO", "CS101", "S", "F78", "INSTRUCTOR", "Taylor"))
+	fmt.Printf("offering stored with no owner currency: DB-STATUS %v\n", st)
+
+	ns.FindAny("COURSE", value.FromPairs("CNO", "CS101"))
+	ns.FindAny("SEMESTER", value.FromPairs("S", "F78"))
+	_, st, _ = ns.Store("COURSE-OFFERING",
+		value.FromPairs("CNO", "CS101", "S", "F78", "INSTRUCTOR", "Taylor"))
+	fmt.Printf("offering stored with both owners current: DB-STATUS %v\n", st)
+
+	// "Database inconsistency may still occur due to the operation of the
+	// DELETE (ERASE) command": erasing the course cascades MANDATORY
+	// offerings away.
+	ns.FindAny("COURSE", value.FromPairs("CNO", "CS101"))
+	ns.Erase("COURSE")
+	fmt.Printf("after ERASE COURSE: offerings left = %d (cascaded)\n", net.Count("COURSE-OFFERING"))
+
+	fmt.Println("\nThe rule no 1979 model holds")
+	fmt.Println("-----------------------------")
+	// "A course may not be offered more than twice in a school year ...
+	// a constraint like this could only be maintained by user programs."
+	rel2 := relstore.NewDB(schema.SchoolRelational())
+	rel2.Insert("COURSE", value.FromPairs("CNO", "CS101", "CNAME", "Databases"))
+	for _, s := range []string{"F78", "W78", "S78"} {
+		rel2.Insert("SEMESTER", value.FromPairs("S", s, "YEAR", 1978))
+		rel2.Insert("COURSE-OFFERING", value.FromPairs("CNO", "CS101", "S", s, "INSTRUCTOR", "T"))
+	}
+	fmt.Println("three offerings of CS101 in 1978 admitted by the engine;")
+	fmt.Println("the centralized constraint subsystem (§3.1's proposal) reports:")
+	for _, v := range constraint.CheckAll(constraint.SchoolRules(), constraint.FromRelational(rel2)) {
+		fmt.Printf("  %s\n", v)
+	}
+}

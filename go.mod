@@ -1,0 +1,3 @@
+module progconv
+
+go 1.22

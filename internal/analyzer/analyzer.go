@@ -1,0 +1,511 @@
+// Package analyzer is the Program Analyzer of Figure 4.1: it "uses the
+// source database description and matches candidate language templates
+// against the source application program to produce a representation of
+// the database operations and data access patterns made by the program",
+// and it detects the §3.2 features that defeat automatic conversion —
+// run-time variability, order dependence, "process first" against
+// "process all", and status-code dependence.
+package analyzer
+
+import (
+	"fmt"
+	"strings"
+
+	"progconv/internal/dbprog"
+	"progconv/internal/schema"
+)
+
+// IssueKind classifies an analysis finding.
+type IssueKind uint8
+
+// The finding kinds; the first group are the §3.2 hazards.
+const (
+	// RunTimeVariability: terminal input steers which DML statements
+	// execute ("what appeared to be a read at compile time might become
+	// an update").
+	RunTimeVariability IssueKind = iota
+	// OrderDependence: a retrieval loop's body produces observable output
+	// per record, so its answer depends on member enumeration order.
+	OrderDependence
+	// ProcessFirst: a FIND FIRST with no enclosing sweep — the programmer
+	// may have intended "process all" (§3.2's example).
+	ProcessFirst
+	// StatusCodeDependence: the program branches on a specific non-OK
+	// DB-STATUS code, which restructurings can change.
+	StatusCodeDependence
+	// UnmatchedTemplate: DML that fits no lifting template; convertible
+	// only if the restructuring leaves it untouched.
+	UnmatchedTemplate
+)
+
+func (k IssueKind) String() string {
+	switch k {
+	case RunTimeVariability:
+		return "run-time-variability"
+	case OrderDependence:
+		return "order-dependence"
+	case ProcessFirst:
+		return "process-first"
+	case StatusCodeDependence:
+		return "status-code-dependence"
+	case UnmatchedTemplate:
+		return "unmatched-template"
+	}
+	return "?"
+}
+
+// Issue is one analysis finding.
+type Issue struct {
+	Kind IssueKind
+	Msg  string
+}
+
+func (i Issue) String() string { return i.Kind.String() + ": " + i.Msg }
+
+// Node is one element of the abstract program.
+type Node interface{ node() }
+
+// Host wraps a non-DML statement with no nested blocks.
+type Host struct{ Stmt dbprog.Stmt }
+
+// IfNode preserves a conditional's structure for nested analysis.
+type IfNode struct {
+	Cond       dbprog.Expr
+	Then, Else []Node
+}
+
+// LoopNode preserves an unrecognized PERFORM UNTIL.
+type LoopNode struct {
+	Cond dbprog.Expr
+	Body []Node
+}
+
+// RetrieveLoop is the lifted template T2 of the Nations & Su catalogue:
+// position on an owner, then sweep the members of one set, executing a
+// body per retrieved record.
+//
+//	FIND ANY <owner> USING <ownerUsing>.        (absent for SYSTEM sets)
+//	PERFORM UNTIL DB-STATUS <> 'OK'
+//	  FIND NEXT <member> WITHIN <set> [USING <using>].
+//	  IF DB-STATUS = 'OK'  GET <member>.  <body>  END-IF.
+//	END-PERFORM.
+type RetrieveLoop struct {
+	Owner      string // "" when the set is SYSTEM-owned
+	OwnerUsing []string
+	Set        string
+	Member     string
+	Using      []string
+	Body       []Node
+	// Observable reports whether the body emits per-record output, making
+	// the loop order-sensitive.
+	Observable bool
+}
+
+// RawDML wraps a DML statement that no template matched.
+type RawDML struct{ Stmt dbprog.Stmt }
+
+func (Host) node()         {}
+func (IfNode) node()       {}
+func (LoopNode) node()     {}
+func (RetrieveLoop) node() {}
+func (RawDML) node()       {}
+
+// Abstract is the analyzer's output: the program's control skeleton with
+// database operations lifted to access-pattern form where templates
+// matched, plus the findings.
+type Abstract struct {
+	Prog   *dbprog.Program
+	Nodes  []Node
+	Issues []Issue
+}
+
+// HasBlockingIssue reports whether any finding rules out fully automatic
+// conversion regardless of the transformation (run-time variability is
+// the only unconditional blocker; the others depend on what the plan
+// touches).
+func (a *Abstract) HasBlockingIssue() bool {
+	for _, i := range a.Issues {
+		if i.Kind == RunTimeVariability {
+			return true
+		}
+	}
+	return false
+}
+
+// Analyze lifts a program. The network schema is consulted to decide
+// whether a swept set is SYSTEM-owned; it may be nil for non-network
+// dialects.
+func Analyze(p *dbprog.Program, net *schema.Network) *Abstract {
+	a := &analysis{prog: p, net: net}
+	a.inputVars = collectInputVars(p.Stmts)
+	abs := &Abstract{Prog: p}
+	abs.Nodes = a.lift(p.Stmts)
+	a.detectHazards(p.Stmts, abs)
+	abs.Issues = a.issues
+	return abs
+}
+
+type analysis struct {
+	prog      *dbprog.Program
+	net       *schema.Network
+	inputVars map[string]bool
+	issues    []Issue
+}
+
+func (a *analysis) issue(k IssueKind, format string, args ...any) {
+	a.issues = append(a.issues, Issue{Kind: k, Msg: fmt.Sprintf(format, args...)})
+}
+
+// collectInputVars finds variables carrying terminal or file input,
+// transitively through LET.
+func collectInputVars(stmts []dbprog.Stmt) map[string]bool {
+	vars := map[string]bool{}
+	// Two passes propagate one level of LET chaining, enough for the
+	// corpus constructs.
+	for pass := 0; pass < 2; pass++ {
+		var walk func([]dbprog.Stmt)
+		walk = func(ss []dbprog.Stmt) {
+			for _, st := range ss {
+				switch s := st.(type) {
+				case dbprog.Accept:
+					vars[s.Var] = true
+				case dbprog.ReadFile:
+					vars[s.Var] = true
+				case dbprog.Let:
+					if exprUsesVars(s.E, vars) {
+						vars[s.Var] = true
+					}
+				case dbprog.If:
+					walk(s.Then)
+					walk(s.Else)
+				case dbprog.PerformUntil:
+					walk(s.Body)
+				case dbprog.ForEach:
+					walk(s.Body)
+				case dbprog.SqlForEach:
+					walk(s.Body)
+				}
+			}
+		}
+		walk(stmts)
+	}
+	return vars
+}
+
+func exprUsesVars(e dbprog.Expr, vars map[string]bool) bool {
+	switch x := e.(type) {
+	case dbprog.Var:
+		return vars[x.Name]
+	case dbprog.Bin:
+		return exprUsesVars(x.L, vars) || exprUsesVars(x.R, vars)
+	case dbprog.Un:
+		return exprUsesVars(x.E, vars)
+	}
+	return false
+}
+
+// lift walks a statement block, recognizing templates.
+func (a *analysis) lift(stmts []dbprog.Stmt) []Node {
+	var out []Node
+	for i := 0; i < len(stmts); i++ {
+		if nodes, consumed, ok := a.matchRetrieveLoop(stmts[i:]); ok {
+			out = append(out, nodes...)
+			i += consumed - 1
+			continue
+		}
+		switch s := stmts[i].(type) {
+		case dbprog.If:
+			out = append(out, IfNode{Cond: s.Cond, Then: a.lift(s.Then), Else: a.lift(s.Else)})
+		case dbprog.PerformUntil:
+			out = append(out, LoopNode{Cond: s.Cond, Body: a.lift(s.Body)})
+		default:
+			if isDML(stmts[i]) {
+				out = append(out, RawDML{Stmt: stmts[i]})
+			} else {
+				out = append(out, Host{Stmt: stmts[i]})
+			}
+		}
+	}
+	return out
+}
+
+// matchRetrieveLoop recognizes template T2: optionally
+// FIND ANY <owner> USING ..., then buffer-setup MOVEs, then the canonical
+// member sweep. The returned nodes carry any interleaved MOVEs as host
+// nodes ahead of the lifted loop.
+func (a *analysis) matchRetrieveLoop(stmts []dbprog.Stmt) ([]Node, int, bool) {
+	var rl RetrieveLoop
+	idx := 0
+	var prefix []Node
+	if fa, ok := stmts[0].(dbprog.FindAny); ok && len(stmts) > 1 {
+		rl.Owner = fa.Record
+		rl.OwnerUsing = fa.Using
+		idx = 1
+		// Buffer-setup MOVEs between the positioning FIND and the sweep.
+		for idx < len(stmts) {
+			mv, ok := stmts[idx].(dbprog.Move)
+			if !ok {
+				break
+			}
+			prefix = append(prefix, Host{Stmt: mv})
+			idx++
+		}
+	}
+	if idx >= len(stmts) {
+		return nil, 0, false
+	}
+	loop, ok := stmts[idx].(dbprog.PerformUntil)
+	if !ok || !isStatusNotOK(loop.Cond) || len(loop.Body) != 2 {
+		return nil, 0, false
+	}
+	fis, ok := loop.Body[0].(dbprog.FindInSet)
+	if !ok || fis.Dir != "NEXT" {
+		return nil, 0, false
+	}
+	guard, ok := loop.Body[1].(dbprog.If)
+	if !ok || !isStatusOK(guard.Cond) || len(guard.Else) != 0 || len(guard.Then) == 0 {
+		return nil, 0, false
+	}
+	get, ok := guard.Then[0].(dbprog.GetRec)
+	if !ok || get.Record != fis.Record {
+		return nil, 0, false
+	}
+	// The set's ownership decides whether the FIND ANY prefix belongs to
+	// this loop: a FIND ANY before a SYSTEM-set sweep is unrelated.
+	if a.net != nil {
+		if st := a.net.Set(fis.Set); st != nil && st.IsSystem() && idx > 0 {
+			return nil, 0, false
+		}
+	}
+	rl.Set = fis.Set
+	rl.Member = fis.Record
+	rl.Using = fis.Using
+	rl.Body = a.lift(guard.Then[1:])
+	rl.Observable = observable(guard.Then[1:])
+	return append(prefix, rl), idx + 1, true
+}
+
+// isStatusNotOK matches DB-STATUS <> 'OK'.
+func isStatusNotOK(e dbprog.Expr) bool {
+	b, ok := e.(dbprog.Bin)
+	if !ok || b.Op != "<>" {
+		return false
+	}
+	return isStatusRef(b.L) && isOKLit(b.R)
+}
+
+// isStatusOK matches DB-STATUS = 'OK'.
+func isStatusOK(e dbprog.Expr) bool {
+	b, ok := e.(dbprog.Bin)
+	if !ok || b.Op != "=" {
+		return false
+	}
+	return isStatusRef(b.L) && isOKLit(b.R)
+}
+
+func isStatusRef(e dbprog.Expr) bool {
+	_, ok := e.(dbprog.StatusRef)
+	return ok
+}
+
+func isOKLit(e dbprog.Expr) bool {
+	l, ok := e.(dbprog.Lit)
+	return ok && l.V.String() == "OK"
+}
+
+// observable reports whether a block writes to the terminal or a file.
+func observable(stmts []dbprog.Stmt) bool {
+	for _, st := range stmts {
+		switch s := st.(type) {
+		case dbprog.Print, dbprog.WriteFile:
+			return true
+		case dbprog.If:
+			if observable(s.Then) || observable(s.Else) {
+				return true
+			}
+		case dbprog.PerformUntil:
+			if observable(s.Body) {
+				return true
+			}
+		case dbprog.ForEach:
+			if observable(s.Body) {
+				return true
+			}
+		case dbprog.SqlForEach:
+			if observable(s.Body) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isDML reports whether the statement touches the database.
+func isDML(st dbprog.Stmt) bool {
+	switch st.(type) {
+	case dbprog.Move, dbprog.FindAny, dbprog.FindDup, dbprog.FindInSet,
+		dbprog.FindOwner, dbprog.GetRec, dbprog.StoreRec, dbprog.ModifyRec,
+		dbprog.EraseRec, dbprog.ConnectRec, dbprog.DisconnectRec,
+		dbprog.MFind, dbprog.ForEach, dbprog.MDelete, dbprog.MModify, dbprog.MStore,
+		dbprog.SqlForEach, dbprog.SqlExec,
+		dbprog.DLIGet, dbprog.DLIInsert, dbprog.DLIDelete, dbprog.DLIRepl:
+		return true
+	}
+	return false
+}
+
+// containsDML reports whether a block contains any DML statement.
+func containsDML(stmts []dbprog.Stmt) bool {
+	for _, st := range stmts {
+		if isDML(st) {
+			return true
+		}
+		switch s := st.(type) {
+		case dbprog.If:
+			if containsDML(s.Then) || containsDML(s.Else) {
+				return true
+			}
+		case dbprog.PerformUntil:
+			if containsDML(s.Body) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// detectHazards runs the §3.2 detectors over the raw statement tree.
+func (a *analysis) detectHazards(stmts []dbprog.Stmt, abs *Abstract) {
+	var walk func(ss []dbprog.Stmt, inSweep map[string]bool)
+	walk = func(ss []dbprog.Stmt, inSweep map[string]bool) {
+		for i, st := range ss {
+			switch s := st.(type) {
+			case dbprog.If:
+				// Run-time variability: input-steered choice between DML.
+				if exprUsesVars(s.Cond, a.inputVars) && (containsDML(s.Then) || containsDML(s.Else)) {
+					a.issue(RunTimeVariability,
+						"DML executed under a condition on terminal/file input (%s)", dbprog.FormatExpr(s.Cond))
+				}
+				// Status-code dependence: branching on a specific failure code.
+				if code, ok := specificStatusCode(s.Cond); ok {
+					a.issue(StatusCodeDependence, "branch on DB-STATUS code %q", code)
+				}
+				walk(s.Then, inSweep)
+				walk(s.Else, inSweep)
+			case dbprog.PerformUntil:
+				sweeps := map[string]bool{}
+				for k := range inSweep {
+					sweeps[k] = true
+				}
+				for _, inner := range s.Body {
+					if fis, ok := inner.(dbprog.FindInSet); ok && fis.Dir == "NEXT" {
+						sweeps[fis.Set] = true
+					}
+				}
+				walk(s.Body, sweeps)
+			case dbprog.FindInSet:
+				if s.Dir == "FIRST" && !inSweep[s.Set] && !followedByNext(ss[i+1:], s.Set) {
+					a.issue(ProcessFirst,
+						"FIND FIRST %s WITHIN %s with no subsequent sweep: \"process all\" may have been intended",
+						s.Record, s.Set)
+				}
+			case dbprog.ForEach:
+				walk(s.Body, inSweep)
+			case dbprog.SqlForEach:
+				walk(s.Body, inSweep)
+			}
+		}
+	}
+	walk(stmts, map[string]bool{})
+}
+
+// specificStatusCode matches comparisons of DB-STATUS against a literal
+// other than 'OK' — the program knows about particular failure codes.
+func specificStatusCode(e dbprog.Expr) (string, bool) {
+	b, ok := e.(dbprog.Bin)
+	if !ok {
+		return "", false
+	}
+	if b.Op != "=" && b.Op != "<>" {
+		return "", false
+	}
+	if !isStatusRef(b.L) {
+		return "", false
+	}
+	l, ok := b.R.(dbprog.Lit)
+	if !ok {
+		return "", false
+	}
+	if code := l.V.String(); code != "OK" {
+		return code, true
+	}
+	return "", false
+}
+
+func followedByNext(rest []dbprog.Stmt, set string) bool {
+	for _, st := range rest {
+		switch s := st.(type) {
+		case dbprog.FindInSet:
+			if s.Set == set && (s.Dir == "NEXT" || s.Dir == "PRIOR") {
+				return true
+			}
+		case dbprog.PerformUntil:
+			if followedByNext(s.Body, set) {
+				return true
+			}
+		case dbprog.If:
+			if followedByNext(s.Then, set) || followedByNext(s.Else, set) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Describe renders the abstract program for conversion reports: lifted
+// loops in access-path notation, everything else by statement class.
+func (a *Abstract) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "PROGRAM %s (%s)\n", a.Prog.Name, a.Prog.Dialect)
+	describeNodes(&b, a.Nodes, 1)
+	for _, i := range a.Issues {
+		fmt.Fprintf(&b, "! %s\n", i)
+	}
+	return b.String()
+}
+
+func describeNodes(b *strings.Builder, nodes []Node, depth int) {
+	pad := strings.Repeat("  ", depth)
+	for _, n := range nodes {
+		switch x := n.(type) {
+		case RetrieveLoop:
+			owner := x.Owner
+			if owner == "" {
+				owner = "(current)"
+			}
+			fmt.Fprintf(b, "%sSWEEP %s WITHIN %s FROM %s", pad, x.Member, x.Set, owner)
+			if len(x.Using) > 0 {
+				fmt.Fprintf(b, " USING %s", strings.Join(x.Using, ", "))
+			}
+			if x.Observable {
+				b.WriteString(" [observable]")
+			}
+			b.WriteString("\n")
+			describeNodes(b, x.Body, depth+1)
+		case IfNode:
+			fmt.Fprintf(b, "%sIF %s\n", pad, dbprog.FormatExpr(x.Cond))
+			describeNodes(b, x.Then, depth+1)
+			if len(x.Else) > 0 {
+				fmt.Fprintf(b, "%sELSE\n", pad)
+				describeNodes(b, x.Else, depth+1)
+			}
+		case LoopNode:
+			fmt.Fprintf(b, "%sLOOP UNTIL %s\n", pad, dbprog.FormatExpr(x.Cond))
+			describeNodes(b, x.Body, depth+1)
+		case RawDML:
+			fmt.Fprintf(b, "%sDML %T\n", pad, x.Stmt)
+		case Host:
+			fmt.Fprintf(b, "%shost %T\n", pad, x.Stmt)
+		}
+	}
+}

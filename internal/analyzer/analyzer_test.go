@@ -1,0 +1,354 @@
+package analyzer
+
+import (
+	"strings"
+	"testing"
+
+	"progconv/internal/dbprog"
+	"progconv/internal/schema"
+	"progconv/internal/semantic"
+	"progconv/internal/sequel"
+)
+
+func parse(t *testing.T, src string) *dbprog.Program {
+	t.Helper()
+	p, err := dbprog.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return p
+}
+
+func companyDB() *schema.Network { return schema.CompanyV1() }
+
+// sweepProgram is the canonical T2 shape.
+const sweepProgram = `
+PROGRAM SWEEP DIALECT NETWORK.
+  MOVE 'MACHINERY' TO DIV-NAME IN DIV.
+  FIND ANY DIV USING DIV-NAME.
+  PERFORM UNTIL DB-STATUS <> 'OK'
+    FIND NEXT EMP WITHIN DIV-EMP.
+    IF DB-STATUS = 'OK'
+      GET EMP.
+      PRINT EMP-NAME IN EMP.
+    END-IF.
+  END-PERFORM.
+END PROGRAM.
+`
+
+func TestLiftRetrieveLoop(t *testing.T) {
+	abs := Analyze(parse(t, sweepProgram), companyDB())
+	var rl *RetrieveLoop
+	for _, n := range abs.Nodes {
+		if x, ok := n.(RetrieveLoop); ok {
+			rl = &x
+		}
+	}
+	if rl == nil {
+		t.Fatalf("template not lifted:\n%s", abs.Describe())
+	}
+	if rl.Owner != "DIV" || rl.Set != "DIV-EMP" || rl.Member != "EMP" {
+		t.Errorf("lifted loop = %+v", rl)
+	}
+	if !rl.Observable {
+		t.Error("PRINT body should be observable")
+	}
+	if len(rl.Body) != 1 {
+		t.Errorf("body = %v", rl.Body)
+	}
+	if !strings.Contains(abs.Describe(), "SWEEP EMP WITHIN DIV-EMP FROM DIV") {
+		t.Errorf("describe:\n%s", abs.Describe())
+	}
+}
+
+func TestLiftWithUsingAndUnobservableBody(t *testing.T) {
+	src := `
+PROGRAM SUM DIALECT NETWORK.
+  LET TOTAL = 0.
+  MOVE 'MACHINERY' TO DIV-NAME IN DIV.
+  FIND ANY DIV USING DIV-NAME.
+  MOVE 'SALES' TO DEPT-NAME IN EMP.
+  PERFORM UNTIL DB-STATUS <> 'OK'
+    FIND NEXT EMP WITHIN DIV-EMP USING DEPT-NAME.
+    IF DB-STATUS = 'OK'
+      GET EMP.
+      LET TOTAL = TOTAL + AGE IN EMP.
+    END-IF.
+  END-PERFORM.
+  PRINT TOTAL.
+END PROGRAM.
+`
+	abs := Analyze(parse(t, src), companyDB())
+	found := false
+	for _, n := range abs.Nodes {
+		if rl, ok := n.(RetrieveLoop); ok {
+			found = true
+			if rl.Observable {
+				t.Error("accumulating body is not observable")
+			}
+			if len(rl.Using) != 1 || rl.Using[0] != "DEPT-NAME" {
+				t.Errorf("using = %v", rl.Using)
+			}
+			// FIND ANY was consumed into the loop, preceded by MOVEs as hosts.
+			if rl.Owner != "DIV" {
+				t.Errorf("owner = %q", rl.Owner)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("not lifted:\n%s", abs.Describe())
+	}
+}
+
+func TestSystemSetSweepLift(t *testing.T) {
+	src := `
+PROGRAM ALLDIVS DIALECT NETWORK.
+  PERFORM UNTIL DB-STATUS <> 'OK'
+    FIND NEXT DIV WITHIN ALL-DIV.
+    IF DB-STATUS = 'OK'
+      GET DIV.
+      PRINT DIV-NAME IN DIV.
+    END-IF.
+  END-PERFORM.
+END PROGRAM.
+`
+	abs := Analyze(parse(t, src), companyDB())
+	rl, ok := abs.Nodes[0].(RetrieveLoop)
+	if !ok {
+		t.Fatalf("not lifted:\n%s", abs.Describe())
+	}
+	if rl.Owner != "" || rl.Set != "ALL-DIV" {
+		t.Errorf("system sweep = %+v", rl)
+	}
+}
+
+func TestNonTemplateLoopStaysRaw(t *testing.T) {
+	src := `
+PROGRAM ODD DIALECT NETWORK.
+  PERFORM UNTIL DB-STATUS <> 'OK'
+    FIND NEXT EMP WITHIN DIV-EMP.
+    PRINT 'NO GUARD'.
+  END-PERFORM.
+END PROGRAM.
+`
+	abs := Analyze(parse(t, src), companyDB())
+	if _, ok := abs.Nodes[0].(LoopNode); !ok {
+		t.Fatalf("unguarded loop should stay a LoopNode:\n%s", abs.Describe())
+	}
+	// The DML inside is raw.
+	ln := abs.Nodes[0].(LoopNode)
+	if _, ok := ln.Body[0].(RawDML); !ok {
+		t.Error("FIND NEXT without guard should be RawDML")
+	}
+}
+
+func TestHazardRunTimeVariability(t *testing.T) {
+	src := `
+PROGRAM RTV DIALECT NETWORK.
+  ACCEPT MODE.
+  IF MODE = 'DELETE'
+    MOVE 'X' TO EMP-NAME IN EMP.
+    FIND ANY EMP USING EMP-NAME.
+    ERASE EMP.
+  ELSE
+    PRINT 'READ ONLY'.
+  END-IF.
+END PROGRAM.
+`
+	abs := Analyze(parse(t, src), companyDB())
+	if !hasIssue(abs, RunTimeVariability) {
+		t.Errorf("issues = %v", abs.Issues)
+	}
+	if !abs.HasBlockingIssue() {
+		t.Error("run-time variability blocks automation")
+	}
+}
+
+func TestHazardViaLetChaining(t *testing.T) {
+	src := `
+PROGRAM RTV2 DIALECT NETWORK.
+  ACCEPT RAW.
+  LET MODE = RAW + ''.
+  IF MODE = 'W'
+    STORE DIV.
+  END-IF.
+END PROGRAM.
+`
+	abs := Analyze(parse(t, src), companyDB())
+	if !hasIssue(abs, RunTimeVariability) {
+		t.Errorf("LET-chained input var not tracked: %v", abs.Issues)
+	}
+}
+
+func TestHazardProcessFirst(t *testing.T) {
+	src := `
+PROGRAM PF DIALECT NETWORK.
+  MOVE 'MACHINERY' TO DIV-NAME IN DIV.
+  FIND ANY DIV USING DIV-NAME.
+  FIND FIRST EMP WITHIN DIV-EMP.
+  GET EMP.
+  PRINT EMP-NAME IN EMP.
+END PROGRAM.
+`
+	abs := Analyze(parse(t, src), companyDB())
+	if !hasIssue(abs, ProcessFirst) {
+		t.Errorf("issues = %v", abs.Issues)
+	}
+	if abs.HasBlockingIssue() {
+		t.Error("process-first is a warning, not a blocker")
+	}
+}
+
+func TestNoProcessFirstWhenSweptAfter(t *testing.T) {
+	src := `
+PROGRAM OKFIRST DIALECT NETWORK.
+  FIND ANY DIV.
+  FIND FIRST EMP WITHIN DIV-EMP.
+  PERFORM UNTIL DB-STATUS <> 'OK'
+    FIND NEXT EMP WITHIN DIV-EMP.
+  END-PERFORM.
+END PROGRAM.
+`
+	abs := Analyze(parse(t, src), companyDB())
+	if hasIssue(abs, ProcessFirst) {
+		t.Errorf("FIRST followed by NEXT sweep is fine: %v", abs.Issues)
+	}
+}
+
+func TestHazardStatusCodeDependence(t *testing.T) {
+	src := `
+PROGRAM SCD DIALECT NETWORK.
+  FIND ANY EMP.
+  IF DB-STATUS = 'NOT-FOUND'
+    PRINT 'MISSING'.
+  END-IF.
+END PROGRAM.
+`
+	abs := Analyze(parse(t, src), companyDB())
+	if !hasIssue(abs, StatusCodeDependence) {
+		t.Errorf("issues = %v", abs.Issues)
+	}
+	// Generic OK tests are not flagged.
+	abs2 := Analyze(parse(t, sweepProgram), companyDB())
+	if hasIssue(abs2, StatusCodeDependence) {
+		t.Errorf("OK checks flagged: %v", abs2.Issues)
+	}
+}
+
+func hasIssue(a *Abstract, k IssueKind) bool {
+	for _, i := range a.Issues {
+		if i.Kind == k {
+			return true
+		}
+	}
+	return false
+}
+
+func TestIssueStrings(t *testing.T) {
+	for k, w := range map[IssueKind]string{
+		RunTimeVariability: "run-time-variability", OrderDependence: "order-dependence",
+		ProcessFirst: "process-first", StatusCodeDependence: "status-code-dependence",
+		UnmatchedTemplate: "unmatched-template", IssueKind(99): "?",
+	} {
+		if k.String() != w {
+			t.Errorf("%d = %q", k, k.String())
+		}
+	}
+	i := Issue{Kind: ProcessFirst, Msg: "m"}
+	if i.String() != "process-first: m" {
+		t.Error("Issue.String")
+	}
+}
+
+// TestDeriveSmithQuery reproduces EXP-S4.1a: the paper's access-pattern
+// sequence derived from the equivalent nested query.
+func TestDeriveSmithQuery(t *testing.T) {
+	q, err := sequel.ParseQuery(`
+SELECT ENAME FROM EMP WHERE E# IN
+  (SELECT E# FROM EMP-DEPT WHERE YEAR-OF-SERVICE > 10 AND D# IN
+    (SELECT D# FROM DEPT WHERE MGR = 'SMITH'))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := DeriveSequence(q, semantic.PersonnelSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := seq.String()
+	want := "ACCESS DEPT via DEPT [MGR]\n" +
+		"ACCESS EMP-DEPT via DEPT [YEAR-OF-SERVICE]\n" +
+		"ACCESS EMP via EMP-DEPT\n" +
+		"RETRIEVE\n"
+	if got != want {
+		t.Errorf("derived:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestDeriveSimpleEntityQuery(t *testing.T) {
+	q, _ := sequel.ParseQuery("SELECT ENAME FROM EMP WHERE AGE > 30")
+	seq, err := DeriveSequence(q, semantic.PersonnelSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Steps) != 1 || seq.Steps[0].Kind != semantic.ViaSelf {
+		t.Errorf("derived = %s", seq)
+	}
+	if len(seq.Steps[0].CondFields) != 1 || seq.Steps[0].CondFields[0] != "AGE" {
+		t.Errorf("cond fields = %v", seq.Steps[0].CondFields)
+	}
+}
+
+func TestDeriveErrors(t *testing.T) {
+	sem := semantic.PersonnelSchema()
+	cases := []string{
+		"SELECT X FROM NOWHERE",
+		"SELECT E# FROM EMP-DEPT WHERE D# = 'D1'", // enters via an association
+		"SELECT ENAME FROM EMP WHERE E# IN (SELECT E# FROM EMP-DEPT) AND E# IN (SELECT E# FROM EMP-DEPT)",
+	}
+	for _, src := range cases {
+		q, err := sequel.ParseQuery(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if _, err := DeriveSequence(q, sem); err == nil {
+			t.Errorf("%s should not derive", src)
+		}
+	}
+	// Entity reached via a non-association (nested entity query).
+	q, _ := sequel.ParseQuery("SELECT ENAME FROM EMP WHERE E# IN (SELECT D# FROM DEPT)")
+	if _, err := DeriveSequence(q, sem); err == nil {
+		t.Error("entity-via-entity should not derive")
+	}
+}
+
+func TestDeriveDisjunctionAsCondition(t *testing.T) {
+	q, _ := sequel.ParseQuery("SELECT ENAME FROM EMP WHERE AGE > 30 OR AGE < 20")
+	seq, err := DeriveSequence(q, semantic.PersonnelSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Steps[0].CondFields) != 2 {
+		t.Errorf("cond fields = %v", seq.Steps[0].CondFields)
+	}
+}
+
+func TestAnalyzeMarylandAndSequelPassThrough(t *testing.T) {
+	src := `
+PROGRAM MD DIALECT MARYLAND.
+  FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(AGE > 30)) INTO C.
+  FOR EACH E IN C
+    PRINT EMP-NAME IN E.
+  END-FOR.
+END PROGRAM.
+`
+	abs := Analyze(parse(t, src), companyDB())
+	raw := 0
+	for _, n := range abs.Nodes {
+		if _, ok := n.(RawDML); ok {
+			raw++
+		}
+	}
+	if raw != 2 {
+		t.Errorf("Maryland DML nodes = %d\n%s", raw, abs.Describe())
+	}
+}

@@ -1,0 +1,132 @@
+package analyzer
+
+import (
+	"fmt"
+
+	"progconv/internal/semantic"
+	"progconv/internal/sequel"
+)
+
+// DeriveSequence produces the §4.1 access-pattern sequence for a nested
+// SEQUEL query block against a semantic schema: the paper's worked
+// derivation turns
+//
+//	SELECT ENAME FROM EMP WHERE E# IN
+//	  (SELECT E# FROM EMP-DEPT WHERE YEAR-OF-SERVICE > 10 AND D# IN
+//	    (SELECT D# FROM DEPT WHERE MGR = 'SMITH'))
+//
+// into
+//
+//	ACCESS DEPT via DEPT
+//	ACCESS EMP-DEPT via DEPT
+//	ACCESS EMP via EMP-DEPT
+//	RETRIEVE
+//
+// Each nested block must range over an entity or association of the
+// schema; the chain of IN sub-selects is the traversal.
+func DeriveSequence(q *sequel.Select, sem *semantic.Schema) (*semantic.Sequence, error) {
+	steps, err := deriveSteps(q, sem)
+	if err != nil {
+		return nil, err
+	}
+	seq := &semantic.Sequence{Steps: steps, Op: semantic.Retrieve}
+	if err := seq.Validate(sem); err != nil {
+		return nil, fmt.Errorf("analyzer: derived sequence invalid: %w", err)
+	}
+	return seq, nil
+}
+
+func deriveSteps(q *sequel.Select, sem *semantic.Schema) ([]semantic.Step, error) {
+	sub, direct, err := splitWhere(q.Where)
+	if err != nil {
+		return nil, err
+	}
+	var steps []semantic.Step
+	var via string
+	if sub != nil {
+		inner, err := deriveSteps(sub.Sub, sem)
+		if err != nil {
+			return nil, err
+		}
+		steps = inner
+		via = sub.Sub.From
+	}
+
+	isEntity := sem.Entity(q.From) != nil
+	isAssoc := sem.Association(q.From) != nil
+	switch {
+	case !isEntity && !isAssoc:
+		return nil, fmt.Errorf("analyzer: %s is neither an entity nor an association of the semantic schema", q.From)
+	case via == "":
+		if !isEntity {
+			return nil, fmt.Errorf("analyzer: traversal must enter through an entity, not association %s", q.From)
+		}
+		steps = append(steps, semantic.Step{
+			Kind: semantic.ViaSelf, Target: q.From, Via: q.From, CondFields: direct,
+		})
+	case isAssoc:
+		steps = append(steps, semantic.Step{
+			Kind: semantic.AssocViaSide, Target: q.From, Via: via, CondFields: direct,
+		})
+	default:
+		if sem.Association(via) == nil {
+			return nil, fmt.Errorf("analyzer: entity %s reached via %s, which is not an association", q.From, via)
+		}
+		steps = append(steps, semantic.Step{
+			Kind: semantic.ViaAssoc, Target: q.From, Via: via, CondFields: direct,
+		})
+	}
+	return steps, nil
+}
+
+// splitWhere separates the single IN sub-select link from the direct
+// conditions of one block. More than one IN link is outside the
+// derivable subset.
+func splitWhere(c sequel.Cond) (*sequel.In, []string, error) {
+	if c == nil {
+		return nil, nil, nil
+	}
+	switch x := c.(type) {
+	case sequel.In:
+		return &x, nil, nil
+	case sequel.Cmp:
+		return nil, []string{x.Col}, nil
+	case sequel.And:
+		lIn, lFields, err := splitWhere(x.L)
+		if err != nil {
+			return nil, nil, err
+		}
+		rIn, rFields, err := splitWhere(x.R)
+		if err != nil {
+			return nil, nil, err
+		}
+		if lIn != nil && rIn != nil {
+			return nil, nil, fmt.Errorf("analyzer: more than one IN link in a block")
+		}
+		in := lIn
+		if rIn != nil {
+			in = rIn
+		}
+		return in, append(lFields, rFields...), nil
+	case sequel.Or:
+		// Disjunctions do not link blocks; their fields are conditions.
+		return nil, condFields(x), nil
+	case sequel.Not:
+		return nil, condFields(x), nil
+	}
+	return nil, nil, fmt.Errorf("analyzer: unsupported condition %T", c)
+}
+
+func condFields(c sequel.Cond) []string {
+	switch x := c.(type) {
+	case sequel.Cmp:
+		return []string{x.Col}
+	case sequel.And:
+		return append(condFields(x.L), condFields(x.R)...)
+	case sequel.Or:
+		return append(condFields(x.L), condFields(x.R)...)
+	case sequel.Not:
+		return condFields(x.C)
+	}
+	return nil
+}

@@ -1,0 +1,236 @@
+// Package convert is the Program Converter of Figure 4.1: it takes the
+// Program Analyzer's abstract representation and the Conversion
+// Analyzer's transformation plan and "selects the proper transformation
+// rules for use in mapping the source program representation to the
+// target program representation".
+//
+// Conversion is best-effort in exactly the paper's sense: programs whose
+// accesses fit the templates convert automatically; programs exhibiting
+// the §3.2 hazards against the parts of the schema the plan touches are
+// flagged for the Conversion Analyst, and the result records why.
+package convert
+
+import (
+	"fmt"
+
+	"progconv/internal/analyzer"
+	"progconv/internal/dbprog"
+	"progconv/internal/schema"
+	"progconv/internal/value"
+	"progconv/internal/xform"
+)
+
+func oneV() value.Value  { return value.Of(1) }
+func zeroV() value.Value { return value.Of(0) }
+func okV() value.Value   { return value.Str("OK") }
+
+// Result is a conversion outcome.
+type Result struct {
+	// Program is the converted program, non-nil even when Auto is false
+	// if a best-effort rewrite exists (nil when nothing could be done).
+	Program *dbprog.Program
+	// Auto reports a fully automatic, equivalence-preserving conversion.
+	Auto bool
+	// Issues are the findings that prevented (or qualified) automation.
+	Issues []analyzer.Issue
+	// Notes are behavioural observations carried from the plan.
+	Notes []string
+}
+
+// Convert rewrites a program for a transformation plan over its source
+// network schema.
+func Convert(p *dbprog.Program, src *schema.Network, plan *xform.Plan) (*Result, error) {
+	rewriters, err := plan.Rewriters(src)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Auto: true}
+	for _, r := range rewriters {
+		res.Notes = append(res.Notes, r.Notes...)
+	}
+
+	abs := analyzer.Analyze(p, src)
+	res.Issues = append(res.Issues, abs.Issues...)
+	if abs.HasBlockingIssue() {
+		res.Auto = false
+		return res, nil
+	}
+
+	c := &converter{src: src, rewriters: rewriters, res: res}
+	switch p.Dialect {
+	case dbprog.Maryland:
+		out := &dbprog.Program{Name: p.Name, Dialect: p.Dialect}
+		c.collTypes = map[string]string{}
+		out.Stmts = c.maryland(p.Stmts)
+		res.Program = out
+	case dbprog.Network:
+		out := &dbprog.Program{Name: p.Name, Dialect: p.Dialect}
+		out.Stmts = c.network(abs.Nodes)
+		res.Program = out
+	default:
+		// SEQUEL and DL/I programs are untouched by a network-model plan.
+		res.Program = p
+	}
+	if c.failed {
+		res.Auto = false
+	}
+	return res, nil
+}
+
+type converter struct {
+	src       *schema.Network
+	rewriters []*xform.Rewriter
+	res       *Result
+	failed    bool
+	collTypes map[string]string // Maryland collection → record type
+	varTypes  map[string]string // loop variable → record type
+	genCount  int
+}
+
+func (c *converter) flag(kind analyzer.IssueKind, format string, args ...any) {
+	c.failed = true
+	c.res.Issues = append(c.res.Issues, analyzer.Issue{Kind: kind, Msg: fmt.Sprintf(format, args...)})
+}
+
+// mapRecord chains record renames across the plan.
+func (c *converter) mapRecord(name string) string {
+	for _, r := range c.rewriters {
+		name = r.MapRecord(name)
+	}
+	return name
+}
+
+// mapField chains field relocations; the second result is false when the
+// field was dropped somewhere along the plan.
+func (c *converter) mapField(record, field string) (string, string, bool) {
+	for _, r := range c.rewriters {
+		if r.IsDropped(record, field) {
+			return record, field, false
+		}
+		record, field = r.MapField(record, field)
+	}
+	return record, field, true
+}
+
+// mapSet chains set renames; false when the set was split away.
+func (c *converter) mapSet(name string) (string, bool) {
+	for _, r := range c.rewriters {
+		n, ok := r.MapSet(name)
+		if !ok {
+			return name, false
+		}
+		name = n
+	}
+	return name, true
+}
+
+// splitFor returns the (single-plan-step) split affecting a set, if any.
+func (c *converter) splitFor(set string) (xform.PathSplit, *xform.Rewriter, bool) {
+	for _, r := range c.rewriters {
+		if sp, ok := r.Splits[set]; ok {
+			return sp, r, true
+		}
+	}
+	return xform.PathSplit{}, nil, false
+}
+
+// orderChangedKeys returns the old ordering keys if the plan changed the
+// set's enumeration order without splitting it.
+func (c *converter) orderChangedKeys(set string) ([]string, bool) {
+	for _, r := range c.rewriters {
+		if keys, ok := r.OrderChanged[set]; ok {
+			return keys, true
+		}
+	}
+	return nil, false
+}
+
+func (c *converter) gensym(prefix string) string {
+	c.genCount++
+	return fmt.Sprintf("%s-%d", prefix, c.genCount)
+}
+
+// recordTypeOfBuffer resolves a buffer name (record type or loop
+// variable) to the record type it holds, for field mapping.
+func (c *converter) recordTypeOfBuffer(name string) string {
+	if c.varTypes != nil {
+		if t, ok := c.varTypes[name]; ok {
+			return t
+		}
+	}
+	return name
+}
+
+// rewriteExpr applies field relocations to buffer references. Field
+// *reads* keep working after a split because the member retains the
+// moved field virtually, so only renames apply here; dropped fields are
+// fatal.
+func (c *converter) rewriteExpr(e dbprog.Expr) dbprog.Expr {
+	switch x := e.(type) {
+	case dbprog.Field:
+		recType := c.recordTypeOfBuffer(x.Record)
+		_, nf, ok := c.mapField(recType, x.Field)
+		if !ok {
+			c.flag(analyzer.UnmatchedTemplate,
+				"expression references dropped field %s.%s", recType, x.Field)
+			return e
+		}
+		// The buffer name follows the record rename only when the buffer
+		// is the record type itself (loop variables keep their names).
+		newRec := x.Record
+		if recType == x.Record {
+			newRec = c.mapRecord(x.Record)
+		}
+		return dbprog.Field{Record: newRec, Field: nf}
+	case dbprog.RecordRef:
+		recType := c.recordTypeOfBuffer(x.Record)
+		if recType == x.Record {
+			return dbprog.RecordRef{Record: c.mapRecord(x.Record)}
+		}
+		return x
+	case dbprog.Bin:
+		return dbprog.Bin{Op: x.Op, L: c.rewriteExpr(x.L), R: c.rewriteExpr(x.R)}
+	case dbprog.Un:
+		return dbprog.Un{Op: x.Op, E: c.rewriteExpr(x.E)}
+	}
+	return e
+}
+
+func (c *converter) rewriteExprs(es []dbprog.Expr) []dbprog.Expr {
+	out := make([]dbprog.Expr, len(es))
+	for i, e := range es {
+		out[i] = c.rewriteExpr(e)
+	}
+	return out
+}
+
+// rewriteHostStmt applies expression rewriting to a host statement.
+func (c *converter) rewriteHostStmt(st dbprog.Stmt) dbprog.Stmt {
+	switch s := st.(type) {
+	case dbprog.Let:
+		return dbprog.Let{Var: s.Var, E: c.rewriteExpr(s.E)}
+	case dbprog.Print:
+		return dbprog.Print{Args: c.rewriteExprs(s.Args)}
+	case dbprog.WriteFile:
+		return dbprog.WriteFile{File: s.File, Args: c.rewriteExprs(s.Args)}
+	case dbprog.Move:
+		// A MOVE writes a buffer field: the write target follows the field
+		// to its new home. A split's group field moves to the
+		// intermediate's buffer (reads keep working through the member's
+		// virtual, so only writes retarget).
+		for _, r := range c.rewriters {
+			for _, sp := range r.Splits {
+				if s.Record == sp.Member && s.Field == sp.GroupField {
+					return dbprog.Move{E: c.rewriteExpr(s.E), Field: sp.GroupField, Record: sp.Inter}
+				}
+			}
+		}
+		nr, nf, ok := c.mapField(s.Record, s.Field)
+		if !ok {
+			c.flag(analyzer.UnmatchedTemplate, "MOVE to dropped field %s.%s", s.Record, s.Field)
+			return st
+		}
+		return dbprog.Move{E: c.rewriteExpr(s.E), Field: nf, Record: nr}
+	}
+	return st
+}

@@ -1,0 +1,267 @@
+package convert
+
+import (
+	"progconv/internal/analyzer"
+	"progconv/internal/dbprog"
+	"progconv/internal/mdml"
+	"progconv/internal/xform"
+)
+
+// maryland rewrites a Maryland-dialect statement block. FIND paths are
+// rewritten step-by-step; a split inserts the intermediate chain, moves
+// equality conjuncts on the lifted field to the intermediate step, and
+// wraps the FIND in SORT on the old ordering keys when the rewrite
+// crosses group boundaries — exactly the paper's two §4.2 conversions.
+func (c *converter) maryland(stmts []dbprog.Stmt) []dbprog.Stmt {
+	var out []dbprog.Stmt
+	for _, st := range stmts {
+		switch s := st.(type) {
+		case dbprog.MFind:
+			out = append(out, c.rewriteMFind(s))
+		case dbprog.ForEach:
+			if c.varTypes == nil {
+				c.varTypes = map[string]string{}
+			}
+			c.varTypes[s.Var] = c.collTypes[s.Coll]
+			body := c.maryland(s.Body)
+			delete(c.varTypes, s.Var)
+			out = append(out, dbprog.ForEach{Var: s.Var, Coll: s.Coll, Body: body})
+		case dbprog.MDelete:
+			out = append(out, s)
+		case dbprog.MModify:
+			out = append(out, c.rewriteMModify(s))
+		case dbprog.MStore:
+			out = append(out, c.rewriteMStore(s))
+		case dbprog.If:
+			out = append(out, dbprog.If{
+				Cond: c.rewriteExpr(s.Cond),
+				Then: c.maryland(s.Then),
+				Else: c.maryland(s.Else),
+			})
+		case dbprog.PerformUntil:
+			out = append(out, dbprog.PerformUntil{
+				Cond: c.rewriteExpr(s.Cond),
+				Body: c.maryland(s.Body),
+			})
+		default:
+			out = append(out, c.rewriteHostStmt(st))
+		}
+	}
+	return out
+}
+
+func (c *converter) rewriteMFind(s dbprog.MFind) dbprog.Stmt {
+	var find *mdml.Find
+	var sortOn []string
+	if s.Sort != nil {
+		find = s.Sort.Inner
+		sortOn = s.Sort.On
+	} else {
+		find = s.Find
+	}
+	newFind, needSort := c.rewriteFindPath(find)
+	c.collTypes[s.Coll] = newFind.Target
+	out := dbprog.MFind{Coll: s.Coll}
+	switch {
+	case sortOn != nil:
+		// An explicit SORT dominates the final order; keep it (fields may
+		// have been renamed).
+		on := make([]string, len(sortOn))
+		for i, f := range sortOn {
+			_, nf, ok := c.mapField(find.Target, f)
+			if !ok {
+				c.flag(analyzer.UnmatchedTemplate, "SORT on dropped field %s.%s", find.Target, f)
+				nf = f
+			}
+			on[i] = nf
+		}
+		out.Sort = &mdml.Sort{Inner: newFind, On: on}
+	case needSort != nil:
+		out.Sort = &mdml.Sort{Inner: newFind, On: needSort}
+	default:
+		out.Find = newFind
+	}
+	return out
+}
+
+// rewriteFindPath maps a FIND's access path through the plan's
+// rewriters. The second result is non-nil when the converted path may
+// enumerate in a different order and must be SORT-wrapped with those
+// keys.
+func (c *converter) rewriteFindPath(f *mdml.Find) (*mdml.Find, []string) {
+	cur := &mdml.Find{Target: f.Target, Steps: append([]mdml.Step(nil), f.Steps...)}
+	var needSort []string
+	for _, r := range c.rewriters {
+		next := &mdml.Find{Target: r.MapRecord(cur.Target)}
+		steps := cur.Steps
+		for i := 0; i < len(steps); i++ {
+			st := steps[i]
+			switch st.Kind {
+			case mdml.SystemStep, mdml.CollectionStep:
+				next.Steps = append(next.Steps, st)
+			case mdml.SetStep:
+				if sp, ok := r.Splits[st.Name]; ok {
+					interStep := mdml.Step{Kind: mdml.RecordStep, Name: sp.Inter}
+					// Pull equality conjuncts on the lifted field out of the
+					// following member step into the intermediate step.
+					if i+1 < len(steps) && steps[i+1].Kind == mdml.RecordStep {
+						member := steps[i+1]
+						var moved, kept []mdml.Qual
+						for _, cj := range mdml.Conjuncts(member.Qual) {
+							fields := mdml.QualFields(cj)
+							if len(fields) == 1 && fields[0] == sp.GroupField {
+								if cmp, isCmp := cj.(mdml.Cmp); isCmp && cmp.Op == "=" {
+									moved = append(moved, cj)
+									continue
+								}
+							}
+							kept = append(kept, cj)
+						}
+						interStep.Qual = mdml.Conjoin(moved)
+						member.Qual = mdml.Conjoin(kept)
+						steps[i+1] = member
+					}
+					next.Steps = append(next.Steps,
+						mdml.Step{Kind: mdml.SetStep, Name: sp.Upper},
+						interStep,
+						mdml.Step{Kind: mdml.SetStep, Name: sp.Lower})
+					// Order is preserved only when the intermediate step pins
+					// one group; otherwise SORT on the old keys is required.
+					if !mdml.IsEqualityOn(interStep.Qual, sp.GroupField) && len(sp.OldKeys) > 0 {
+						needSort = append([]string(nil), sp.OldKeys...)
+					}
+					continue
+				}
+				merged := false
+				for _, m := range r.Merges {
+					if st.Name != m.Upper || i+2 >= len(steps) {
+						continue
+					}
+					interStep, lowerStep := steps[i+1], steps[i+2]
+					if interStep.Kind != mdml.RecordStep || interStep.Name != m.Inter ||
+						lowerStep.Kind != mdml.SetStep || lowerStep.Name != m.Lower {
+						continue
+					}
+					// The chain contracts to one set; the intermediate step's
+					// qualification transfers to the member step, whose field
+					// is stored again after the collapse.
+					next.Steps = append(next.Steps, mdml.Step{Kind: mdml.SetStep, Name: m.NewSet})
+					if interStep.Qual != nil && i+3 < len(steps) && steps[i+3].Kind == mdml.RecordStep {
+						member := steps[i+3]
+						member.Qual = mdml.Conjoin(append(mdml.Conjuncts(member.Qual),
+							mdml.Conjuncts(interStep.Qual)...))
+						steps[i+3] = member
+					}
+					i += 2
+					merged = true
+					break
+				}
+				if merged {
+					continue
+				}
+				name, ok := r.MapSet(st.Name)
+				if !ok {
+					name = st.Name
+				}
+				next.Steps = append(next.Steps, mdml.Step{Kind: mdml.SetStep, Name: name, Qual: st.Qual})
+			case mdml.RecordStep:
+				ns := mdml.Step{Kind: mdml.RecordStep, Name: r.MapRecord(st.Name)}
+				ns.Qual = c.rewriteQual(st.Qual, st.Name, r)
+				next.Steps = append(next.Steps, ns)
+			}
+		}
+		cur = next
+	}
+	return cur, needSort
+}
+
+// rewriteQual renames qualification fields through one rewriter. Moved
+// fields (splits) are left in place: the member still presents them
+// virtually, and the split logic lifts the movable conjuncts separately.
+func (c *converter) rewriteQual(q mdml.Qual, record string, r *xform.Rewriter) mdml.Qual {
+	switch x := q.(type) {
+	case nil:
+		return nil
+	case mdml.Cmp:
+		if r.IsDropped(record, x.Field) {
+			c.flag(analyzer.UnmatchedTemplate,
+				"qualification references dropped field %s.%s", record, x.Field)
+			return x
+		}
+		if nf, ok := r.Field[[2]string{record, x.Field}]; ok {
+			x.Field = nf[1]
+		}
+		return x
+	case mdml.And:
+		return mdml.And{L: c.rewriteQual(x.L, record, r), R: c.rewriteQual(x.R, record, r)}
+	case mdml.Or:
+		return mdml.Or{L: c.rewriteQual(x.L, record, r), R: c.rewriteQual(x.R, record, r)}
+	case mdml.Not:
+		return mdml.Not{Q: c.rewriteQual(x.Q, record, r)}
+	}
+	return q
+}
+
+// rewriteMModify converts collection modifications: assignments to a
+// split's lifted field would regroup records, which is the open update
+// problem (§4.3: "extend the approach to handle updates as well as
+// retrievals ... updates may be ambiguous"); those are flagged manual.
+func (c *converter) rewriteMModify(s dbprog.MModify) dbprog.Stmt {
+	target := c.collTypes[s.Coll]
+	assigns := make([]dbprog.FieldAssign, len(s.Assigns))
+	for i, a := range s.Assigns {
+		for _, r := range c.rewriters {
+			for _, sp := range r.Splits {
+				if target == sp.Member && a.Field == sp.GroupField {
+					c.flag(analyzer.UnmatchedTemplate,
+						"MODIFY of %s.%s regroups records across %s occurrences (view-update ambiguity)",
+						target, a.Field, sp.Inter)
+				}
+			}
+		}
+		nr, nf, ok := c.mapField(target, a.Field)
+		if !ok {
+			c.flag(analyzer.UnmatchedTemplate, "MODIFY of dropped field %s.%s", target, a.Field)
+			nf = a.Field
+		}
+		_ = nr
+		assigns[i] = dbprog.FieldAssign{Field: nf, E: c.rewriteExpr(a.E)}
+	}
+	return dbprog.MModify{Coll: s.Coll, Assigns: assigns}
+}
+
+// rewriteMStore converts stores. Storing the member of a split set needs
+// an intermediate occurrence that may not exist — the insert side of the
+// view-update problem — so it is flagged for the analyst.
+func (c *converter) rewriteMStore(s dbprog.MStore) dbprog.Stmt {
+	for _, r := range c.rewriters {
+		for _, sp := range r.Splits {
+			if s.Record == sp.Member {
+				c.flag(analyzer.UnmatchedTemplate,
+					"STORE %s through split set requires creating/locating a %s occurrence (view-update ambiguity)",
+					s.Record, sp.Inter)
+				return s
+			}
+		}
+	}
+	assigns := make([]dbprog.FieldAssign, len(s.Assigns))
+	for i, a := range s.Assigns {
+		_, nf, ok := c.mapField(s.Record, a.Field)
+		if !ok {
+			c.flag(analyzer.UnmatchedTemplate, "STORE of dropped field %s.%s", s.Record, a.Field)
+			nf = a.Field
+		}
+		assigns[i] = dbprog.FieldAssign{Field: nf, E: c.rewriteExpr(a.E)}
+	}
+	owners := make(map[string]*mdml.Find, len(s.Owners))
+	for set, path := range s.Owners {
+		newPath, _ := c.rewriteFindPath(path)
+		newSet, ok := c.mapSet(set)
+		if !ok {
+			c.flag(analyzer.UnmatchedTemplate, "STORE owner path names split set %s", set)
+			newSet = set
+		}
+		owners[newSet] = newPath
+	}
+	return dbprog.MStore{Record: c.mapRecord(s.Record), Assigns: assigns, Owners: owners}
+}

@@ -1,0 +1,272 @@
+package convert
+
+import (
+	"progconv/internal/analyzer"
+	"progconv/internal/dbprog"
+)
+
+// network rewrites the abstract nodes of a network-dialect program back
+// into statements for the target schema. Lifted retrieval loops over a
+// split set regenerate as nested loops (the paper: "the system will
+// insert statements to traverse this relationship"); everything else is
+// renamed in place. DML touching a split set outside a lifted template is
+// flagged for the analyst.
+func (c *converter) network(nodes []analyzer.Node) []dbprog.Stmt {
+	var out []dbprog.Stmt
+	for _, n := range nodes {
+		switch x := n.(type) {
+		case analyzer.Host:
+			out = append(out, c.rewriteHostStmt(x.Stmt))
+		case analyzer.IfNode:
+			out = append(out, dbprog.If{
+				Cond: c.rewriteExpr(x.Cond),
+				Then: c.network(x.Then),
+				Else: c.network(x.Else),
+			})
+		case analyzer.LoopNode:
+			out = append(out, dbprog.PerformUntil{
+				Cond: c.rewriteExpr(x.Cond),
+				Body: c.network(x.Body),
+			})
+		case analyzer.RetrieveLoop:
+			out = append(out, c.rewriteRetrieveLoop(x)...)
+		case analyzer.RawDML:
+			out = append(out, c.rewriteRawDML(x.Stmt))
+		}
+	}
+	return out
+}
+
+// rewriteRetrieveLoop regenerates a lifted sweep for the target schema.
+func (c *converter) rewriteRetrieveLoop(rl analyzer.RetrieveLoop) []dbprog.Stmt {
+	sp, _, split := c.splitFor(rl.Set)
+
+	// Order-change without structural change: observable loops become
+	// analyst work, silent loops convert with a note.
+	if oldKeys, changed := c.orderChangedKeys(rl.Set); changed && rl.Observable {
+		c.flag(analyzer.OrderDependence,
+			"loop over %s emits output per record and the set's ordering changed from %v",
+			rl.Set, oldKeys)
+	}
+
+	if !split {
+		return c.regenerateSweep(rl)
+	}
+
+	// Split: decide whether the old order survives the regrouping.
+	usingHasGroup := false
+	var memberUsing []string
+	for _, f := range rl.Using {
+		if f == sp.GroupField {
+			usingHasGroup = true
+		} else {
+			memberUsing = append(memberUsing, f)
+		}
+	}
+	if !usingHasGroup && rl.Observable {
+		orderPreserved := len(sp.OldKeys) > 0 && sp.OldKeys[0] == sp.GroupField
+		if !orderPreserved {
+			// Flag the order change but still emit the nested rewrite: it
+			// is the correct program for the new schema up to output order,
+			// and the Analyst may accept it (§5.2's qualified conversion).
+			c.flag(analyzer.OrderDependence,
+				"sweep of %s prints per record; after the split enumeration groups by %s and the network DML cannot re-sort a stream",
+				rl.Set, sp.GroupField)
+		}
+	}
+
+	// Nested regeneration. The generated flag variables keep the outer
+	// loop alive across the inner loop's END-OF-SET.
+	outerDone := c.gensym("CV-OUTER")
+	innerDone := c.gensym("CV-INNER")
+	member := c.mapRecord(rl.Member)
+	body := c.network(rl.Body)
+
+	innerFind := dbprog.FindInSet{Dir: "NEXT", Record: member, Set: sp.Lower, Using: memberUsing}
+	inner := dbprog.PerformUntil{
+		Cond: dbprog.Bin{Op: "=", L: dbprog.Var{Name: innerDone}, R: dbprog.Lit{V: oneV()}},
+		Body: []dbprog.Stmt{
+			innerFind,
+			dbprog.If{
+				Cond: statusNotOK(),
+				Then: []dbprog.Stmt{dbprog.Let{Var: innerDone, E: dbprog.Lit{V: oneV()}}},
+				Else: append([]dbprog.Stmt{dbprog.GetRec{Record: member}}, body...),
+			},
+		},
+	}
+
+	var interUsing []string
+	if usingHasGroup {
+		interUsing = []string{sp.GroupField}
+	}
+	outerFind := dbprog.FindInSet{Dir: "NEXT", Record: sp.Inter, Set: sp.Upper, Using: interUsing}
+	outer := dbprog.PerformUntil{
+		Cond: dbprog.Bin{Op: "=", L: dbprog.Var{Name: outerDone}, R: dbprog.Lit{V: oneV()}},
+		Body: []dbprog.Stmt{
+			outerFind,
+			dbprog.If{
+				Cond: statusNotOK(),
+				Then: []dbprog.Stmt{dbprog.Let{Var: outerDone, E: dbprog.Lit{V: oneV()}}},
+				Else: []dbprog.Stmt{
+					dbprog.Let{Var: innerDone, E: dbprog.Lit{V: zeroV()}},
+					inner,
+				},
+			},
+		},
+	}
+
+	var out []dbprog.Stmt
+	if rl.Owner != "" {
+		out = append(out, dbprog.FindAny{Record: c.mapRecord(rl.Owner), Using: c.mapUsing(rl.Owner, rl.OwnerUsing)})
+	}
+	out = append(out,
+		dbprog.Let{Var: outerDone, E: dbprog.Lit{V: zeroV()}},
+		outer,
+	)
+	return out
+}
+
+// regenerateSweep re-emits an unsplit lifted loop with names mapped.
+func (c *converter) regenerateSweep(rl analyzer.RetrieveLoop) []dbprog.Stmt {
+	set, ok := c.mapSet(rl.Set)
+	if !ok {
+		set = rl.Set
+	}
+	member := c.mapRecord(rl.Member)
+	var out []dbprog.Stmt
+	if rl.Owner != "" {
+		out = append(out, dbprog.FindAny{Record: c.mapRecord(rl.Owner), Using: c.mapUsing(rl.Owner, rl.OwnerUsing)})
+	}
+	out = append(out, dbprog.PerformUntil{
+		Cond: statusNotOK(),
+		Body: []dbprog.Stmt{
+			dbprog.FindInSet{Dir: "NEXT", Record: member, Set: set, Using: c.mapUsing(rl.Member, rl.Using)},
+			dbprog.If{
+				Cond: statusOK(),
+				Then: append([]dbprog.Stmt{dbprog.GetRec{Record: member}}, c.network(rl.Body)...),
+			},
+		},
+	})
+	return out
+}
+
+// mapUsing renames a USING field list for a record type.
+func (c *converter) mapUsing(record string, using []string) []string {
+	if len(using) == 0 {
+		return nil
+	}
+	out := make([]string, len(using))
+	for i, f := range using {
+		_, nf, ok := c.mapField(record, f)
+		if !ok {
+			c.flag(analyzer.UnmatchedTemplate, "USING references dropped field %s.%s", record, f)
+			nf = f
+		}
+		out[i] = nf
+	}
+	return out
+}
+
+// rewriteRawDML renames an unlifted DML statement; any reference to a
+// split set is beyond statement-level rules and goes to the analyst.
+func (c *converter) rewriteRawDML(st dbprog.Stmt) dbprog.Stmt {
+	splitTouched := func(set string) bool {
+		_, _, ok := c.splitFor(set)
+		return ok
+	}
+	switch s := st.(type) {
+	case dbprog.Move:
+		return c.rewriteHostStmt(s)
+	case dbprog.FindAny:
+		return dbprog.FindAny{Record: c.mapRecord(s.Record), Using: c.mapUsing(s.Record, s.Using)}
+	case dbprog.FindDup:
+		return dbprog.FindDup{Record: c.mapRecord(s.Record), Using: c.mapUsing(s.Record, s.Using)}
+	case dbprog.FindInSet:
+		if splitTouched(s.Set) {
+			c.flag(analyzer.UnmatchedTemplate,
+				"FIND %s WITHIN %s outside a lifted sweep cannot be rewritten across the split", s.Dir, s.Set)
+			return st
+		}
+		set, _ := c.mapSet(s.Set)
+		return dbprog.FindInSet{Dir: s.Dir, Record: c.mapRecord(s.Record), Set: set,
+			Using: c.mapUsing(s.Record, s.Using)}
+	case dbprog.FindOwner:
+		if sp, _, ok := c.splitFor(s.Set); ok {
+			// FIND OWNER across a split climbs both new sets: the one
+			// structural raw rewrite that is always safe.
+			return seqStmt(
+				dbprog.FindOwner{Set: sp.Lower},
+				dbprog.FindOwner{Set: sp.Upper},
+			)
+		}
+		set, _ := c.mapSet(s.Set)
+		return dbprog.FindOwner{Set: set}
+	case dbprog.GetRec:
+		return dbprog.GetRec{Record: c.mapRecord(s.Record)}
+	case dbprog.StoreRec:
+		for _, r := range c.rewriters {
+			for _, sp := range r.Splits {
+				if s.Record == sp.Member {
+					c.flag(analyzer.UnmatchedTemplate,
+						"STORE %s must select or create a %s occurrence (view-update ambiguity)", s.Record, sp.Inter)
+					return st
+				}
+			}
+		}
+		return dbprog.StoreRec{Record: c.mapRecord(s.Record)}
+	case dbprog.ModifyRec:
+		for _, r := range c.rewriters {
+			for _, sp := range r.Splits {
+				if s.Record == sp.Member {
+					for _, f := range s.Using {
+						if f == sp.GroupField {
+							c.flag(analyzer.UnmatchedTemplate,
+								"MODIFY %s USING %s regroups records across %s occurrences", s.Record, f, sp.Inter)
+							return st
+						}
+					}
+					if len(s.Using) == 0 {
+						c.flag(analyzer.UnmatchedTemplate,
+							"MODIFY %s without USING may touch the lifted field %s", s.Record, sp.GroupField)
+						return st
+					}
+				}
+			}
+		}
+		return dbprog.ModifyRec{Record: c.mapRecord(s.Record), Using: c.mapUsing(s.Record, s.Using)}
+	case dbprog.EraseRec:
+		return dbprog.EraseRec{Record: c.mapRecord(s.Record)}
+	case dbprog.ConnectRec:
+		if splitTouched(s.Set) {
+			c.flag(analyzer.UnmatchedTemplate, "CONNECT through split set %s", s.Set)
+			return st
+		}
+		set, _ := c.mapSet(s.Set)
+		return dbprog.ConnectRec{Record: c.mapRecord(s.Record), Set: set}
+	case dbprog.DisconnectRec:
+		if splitTouched(s.Set) {
+			c.flag(analyzer.UnmatchedTemplate, "DISCONNECT from split set %s", s.Set)
+			return st
+		}
+		set, _ := c.mapSet(s.Set)
+		return dbprog.DisconnectRec{Record: c.mapRecord(s.Record), Set: set}
+	}
+	return st
+}
+
+// seqStmt packs a two-statement rewrite into an always-true IF so that a
+// single statement slot can expand (the formatter renders it naturally).
+func seqStmt(a, b dbprog.Stmt) dbprog.Stmt {
+	return dbprog.If{
+		Cond: dbprog.Bin{Op: "=", L: dbprog.Lit{V: oneV()}, R: dbprog.Lit{V: oneV()}},
+		Then: []dbprog.Stmt{a, b},
+	}
+}
+
+func statusOK() dbprog.Expr {
+	return dbprog.Bin{Op: "=", L: dbprog.StatusRef{}, R: dbprog.Lit{V: okV()}}
+}
+
+func statusNotOK() dbprog.Expr {
+	return dbprog.Bin{Op: "<>", L: dbprog.StatusRef{}, R: dbprog.Lit{V: okV()}}
+}

@@ -1,0 +1,244 @@
+// Package core is the Conversion Supervisor of Figure 4.1: the monitor
+// that "oversees the operation of the other modules" — Conversion
+// Analyzer (xform.Classify), Program Analyzer, Program Converter,
+// Optimizer, and Program Generator — under the direction of a Conversion
+// Analyst. The paper expects "an interactive system would be most
+// successful"; the Analyst interface is that interaction point, and
+// Policy is the replayable non-interactive analyst.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"progconv/internal/analyzer"
+	"progconv/internal/convert"
+	"progconv/internal/dbprog"
+	"progconv/internal/equiv"
+	"progconv/internal/netstore"
+	"progconv/internal/optimizer"
+	"progconv/internal/schema"
+	"progconv/internal/xform"
+)
+
+// Analyst answers the questions automation cannot: whether a qualified
+// conversion (one that weakens strict I/O equivalence, like an accepted
+// order change) should proceed.
+type Analyst interface {
+	// Decide returns true to accept the qualified conversion of the named
+	// program despite the issue.
+	Decide(program string, issue analyzer.Issue) bool
+}
+
+// Policy is the non-interactive analyst: fixed, documented decisions.
+type Policy struct {
+	// AcceptOrderChanges accepts conversions whose output order may
+	// change (§5.2's "levels of successful conversion": the program is
+	// converted, with a warning, rather than strictly equivalent).
+	AcceptOrderChanges bool
+}
+
+// Decide implements Analyst.
+func (p Policy) Decide(program string, issue analyzer.Issue) bool {
+	if issue.Kind == analyzer.OrderDependence {
+		return p.AcceptOrderChanges
+	}
+	return false
+}
+
+// Disposition classifies a program's conversion outcome.
+type Disposition uint8
+
+// The dispositions.
+const (
+	// Auto: converted fully automatically, strict equivalence expected.
+	Auto Disposition = iota
+	// Qualified: converted after the Analyst accepted a weaker
+	// equivalence (order change).
+	Qualified
+	// Manual: routed to hand conversion.
+	Manual
+)
+
+func (d Disposition) String() string {
+	switch d {
+	case Auto:
+		return "auto"
+	case Qualified:
+		return "qualified"
+	case Manual:
+		return "manual"
+	}
+	return "?"
+}
+
+// Outcome is one program's conversion record.
+type Outcome struct {
+	Name          string
+	Disposition   Disposition
+	Issues        []analyzer.Issue
+	Notes         []string
+	Optimizations []optimizer.Optimization
+	Converted     *dbprog.Program
+	// Verified holds the equivalence check against the migrated data,
+	// when the supervisor was given a database to verify with.
+	Verified *equiv.Verdict
+}
+
+// Report is the supervisor's full record of one conversion run.
+type Report struct {
+	PlanDescription string
+	Invertible      bool
+	TargetSchema    *schema.Network
+	TargetDB        *netstore.DB
+	Outcomes        []Outcome
+}
+
+// Counts returns (auto, qualified, manual).
+func (r *Report) Counts() (auto, qualified, manual int) {
+	for _, o := range r.Outcomes {
+		switch o.Disposition {
+		case Auto:
+			auto++
+		case Qualified:
+			qualified++
+		case Manual:
+			manual++
+		}
+	}
+	return
+}
+
+// String renders the report for the terminal.
+func (r *Report) String() string {
+	var b strings.Builder
+	b.WriteString("CONVERSION PLAN\n")
+	b.WriteString(r.PlanDescription)
+	fmt.Fprintf(&b, "invertible: %v\n\n", r.Invertible)
+	for _, o := range r.Outcomes {
+		fmt.Fprintf(&b, "%-24s %s", o.Name, o.Disposition)
+		if o.Verified != nil {
+			if o.Verified.Equal {
+				b.WriteString("  [verified]")
+			} else {
+				fmt.Fprintf(&b, "  [DIVERGED: %s]", o.Verified.Diff())
+			}
+		}
+		b.WriteString("\n")
+		for _, i := range o.Issues {
+			fmt.Fprintf(&b, "    ! %s\n", i)
+		}
+		for _, n := range o.Notes {
+			fmt.Fprintf(&b, "    ~ %s\n", n)
+		}
+		for _, op := range o.Optimizations {
+			fmt.Fprintf(&b, "    * %s: %s\n", op.Rule, op.Note)
+		}
+	}
+	auto, qualified, manual := r.Counts()
+	fmt.Fprintf(&b, "\n%d auto, %d qualified, %d manual of %d programs\n",
+		auto, qualified, manual, len(r.Outcomes))
+	return b.String()
+}
+
+// Supervisor orchestrates a conversion.
+type Supervisor struct {
+	Analyst Analyst
+	// Verify runs each converted program against the migrated database
+	// and compares traces (skipped for programs with database-visible
+	// writes when the analyst accepted an order change, since their runs
+	// mutate state).
+	Verify bool
+}
+
+// NewSupervisor returns a supervisor with the default strict policy.
+func NewSupervisor() *Supervisor {
+	return &Supervisor{Analyst: Policy{}, Verify: true}
+}
+
+// Run converts a database application system: it classifies the schema
+// change (unless an explicit plan is given), restructures the data, and
+// converts every program — "a database application system is converted
+// when each program actually existing in the source system has been
+// converted" (§1.1).
+func (s *Supervisor) Run(src, dst *schema.Network, plan *xform.Plan,
+	db *netstore.DB, progs []*dbprog.Program) (*Report, error) {
+	if plan == nil {
+		var err error
+		plan, err = xform.Classify(src, dst)
+		if err != nil {
+			return nil, fmt.Errorf("core: conversion analyzer: %w", err)
+		}
+	}
+	target, err := plan.ApplySchema(src)
+	if err != nil {
+		return nil, err
+	}
+	report := &Report{
+		PlanDescription: plan.Describe(),
+		Invertible:      plan.Invertible(),
+		TargetSchema:    target,
+	}
+	if db != nil {
+		migrated, err := plan.MigrateData(db)
+		if err != nil {
+			return nil, fmt.Errorf("core: data translation: %w", err)
+		}
+		report.TargetDB = migrated
+	}
+
+	for _, p := range progs {
+		o := Outcome{Name: p.Name}
+		res, err := convert.Convert(p, src, plan)
+		if err != nil {
+			return nil, fmt.Errorf("core: converting %s: %w", p.Name, err)
+		}
+		o.Issues = res.Issues
+		o.Notes = res.Notes
+		switch {
+		case res.Auto:
+			o.Disposition = Auto
+			o.Converted = res.Program
+		case res.Program != nil && s.analystAccepts(p.Name, res.Issues):
+			o.Disposition = Qualified
+			o.Converted = res.Program
+		default:
+			o.Disposition = Manual
+		}
+		if o.Converted != nil {
+			opt, applied := optimizer.Optimize(o.Converted, target)
+			o.Converted = opt
+			o.Optimizations = applied
+		}
+		if s.Verify && db != nil && o.Disposition == Auto && o.Converted != nil {
+			v := equiv.Check(
+				p, dbprog.Config{Net: db.Clone()},
+				o.Converted, dbprog.Config{Net: report.TargetDB.Clone()})
+			o.Verified = &v
+		}
+		report.Outcomes = append(report.Outcomes, o)
+	}
+	return report, nil
+}
+
+// analystAccepts asks the analyst about every converter-raised issue; a
+// qualified conversion needs every one accepted, and only order
+// dependence is ever acceptable (anything else means the emitted text is
+// not a correct program for the new schema).
+func (s *Supervisor) analystAccepts(program string, issues []analyzer.Issue) bool {
+	any := false
+	for _, i := range issues {
+		switch i.Kind {
+		case analyzer.OrderDependence:
+			if !s.Analyst.Decide(program, i) {
+				return false
+			}
+			any = true
+		case analyzer.ProcessFirst, analyzer.StatusCodeDependence:
+			// Warnings; they do not gate the converted text.
+		default:
+			return false
+		}
+	}
+	return any
+}

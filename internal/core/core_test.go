@@ -1,0 +1,211 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"progconv/internal/analyzer"
+	"progconv/internal/dbprog"
+	"progconv/internal/netstore"
+	"progconv/internal/schema"
+	"progconv/internal/value"
+	"progconv/internal/xform"
+)
+
+func companyV1DB(t *testing.T) *netstore.DB {
+	t.Helper()
+	db := netstore.NewDB(schema.CompanyV1())
+	s := netstore.NewSession(db)
+	for _, d := range []struct{ n, l string }{{"MACHINERY", "DETROIT"}, {"TEXTILES", "ATLANTA"}} {
+		s.Store("DIV", value.FromPairs("DIV-NAME", d.n, "DIV-LOC", d.l))
+	}
+	for _, e := range []struct {
+		div, name, dept string
+		age             int
+	}{
+		{"MACHINERY", "ADAMS", "SALES", 45},
+		{"MACHINERY", "BAKER", "SALES", 28},
+		{"MACHINERY", "CLARK", "WELDING", 33},
+		{"TEXTILES", "DAVIS", "SALES", 51},
+	} {
+		s.FindAny("DIV", value.FromPairs("DIV-NAME", e.div))
+		s.Store("EMP", value.FromPairs("EMP-NAME", e.name, "DEPT-NAME", e.dept, "AGE", e.age))
+	}
+	return db
+}
+
+func parse(t *testing.T, src string) *dbprog.Program {
+	t.Helper()
+	p, err := dbprog.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// applicationSystem is a small mixed program inventory.
+func applicationSystem(t *testing.T) []*dbprog.Program {
+	return []*dbprog.Program{
+		parse(t, `
+PROGRAM LIST-OLD DIALECT MARYLAND.
+  FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(AGE > 30)) INTO OLD.
+  FOR EACH E IN OLD
+    PRINT EMP-NAME IN E, AGE IN E.
+  END-FOR.
+END PROGRAM.
+`),
+		parse(t, `
+PROGRAM COUNT-SALES DIALECT NETWORK.
+  LET N = 0.
+  MOVE 'MACHINERY' TO DIV-NAME IN DIV.
+  FIND ANY DIV USING DIV-NAME.
+  MOVE 'SALES' TO DEPT-NAME IN EMP.
+  PERFORM UNTIL DB-STATUS <> 'OK'
+    FIND NEXT EMP WITHIN DIV-EMP USING DEPT-NAME.
+    IF DB-STATUS = 'OK'
+      GET EMP.
+      LET N = N + 1.
+    END-IF.
+  END-PERFORM.
+  PRINT 'SALES EMPLOYEES', N.
+END PROGRAM.
+`),
+		parse(t, `
+PROGRAM PRINT-ALL DIALECT NETWORK.
+  MOVE 'MACHINERY' TO DIV-NAME IN DIV.
+  FIND ANY DIV USING DIV-NAME.
+  PERFORM UNTIL DB-STATUS <> 'OK'
+    FIND NEXT EMP WITHIN DIV-EMP.
+    IF DB-STATUS = 'OK'
+      GET EMP.
+      PRINT EMP-NAME IN EMP.
+    END-IF.
+  END-PERFORM.
+END PROGRAM.
+`),
+		parse(t, `
+PROGRAM INPUT-DRIVEN DIALECT NETWORK.
+  ACCEPT MODE.
+  IF MODE = 'W'
+    STORE DIV.
+  END-IF.
+END PROGRAM.
+`),
+	}
+}
+
+func TestSupervisorEndToEnd(t *testing.T) {
+	sup := NewSupervisor()
+	db := companyV1DB(t)
+	report, err := sup.Run(schema.CompanyV1(), schema.CompanyV2(), nil, db, applicationSystem(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, qualified, manual := report.Counts()
+	// LIST-OLD and COUNT-SALES convert automatically; PRINT-ALL is
+	// order-dependent (strict policy: manual); INPUT-DRIVEN is blocked.
+	if auto != 2 || qualified != 0 || manual != 2 {
+		t.Fatalf("counts = %d/%d/%d\n%s", auto, qualified, manual, report)
+	}
+	// Auto conversions verified equivalent against the migrated data.
+	for _, o := range report.Outcomes {
+		if o.Disposition == Auto {
+			if o.Verified == nil || !o.Verified.Equal {
+				t.Errorf("%s not verified: %+v", o.Name, o.Verified)
+			}
+		}
+	}
+	if report.TargetDB == nil || report.TargetDB.Count("DEPT") != 3 {
+		t.Error("data not migrated")
+	}
+	text := report.String()
+	for _, want := range []string{"introduce-intermediate", "auto", "manual", "[verified]"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("report missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestSupervisorAcceptingAnalyst(t *testing.T) {
+	sup := &Supervisor{Analyst: Policy{AcceptOrderChanges: true}, Verify: true}
+	db := companyV1DB(t)
+	report, err := sup.Run(schema.CompanyV1(), schema.CompanyV2(), nil, db, applicationSystem(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, qualified, manual := report.Counts()
+	if auto != 2 || qualified != 1 || manual != 1 {
+		t.Fatalf("counts = %d/%d/%d\n%s", auto, qualified, manual, report)
+	}
+	// The qualified program produced real output against the new database
+	// (same records, possibly different order).
+	for _, o := range report.Outcomes {
+		if o.Disposition != Qualified {
+			continue
+		}
+		tr, err := dbprog.Run(o.Converted, dbprog.Config{Net: report.TargetDB.Clone()})
+		if err != nil {
+			t.Fatalf("qualified program run: %v", err)
+		}
+		if len(tr.Events) != 3 {
+			t.Errorf("qualified output = %v", tr.Events)
+		}
+	}
+}
+
+func TestSupervisorExplicitPlanAndNoDB(t *testing.T) {
+	sup := NewSupervisor()
+	report, err := sup.Run(schema.CompanyV1(), nil, planFigure(), nil, applicationSystem(t)[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.TargetDB != nil {
+		t.Error("no database given, none expected back")
+	}
+	if report.Outcomes[0].Verified != nil {
+		t.Error("verification needs a database")
+	}
+	if !report.Invertible {
+		t.Error("figure plan is invertible")
+	}
+}
+
+func TestSupervisorClassifyErrorSurfaces(t *testing.T) {
+	weird := schema.CompanyV1()
+	weird.Records = append(weird.Records, &schema.RecordType{Name: "ALIEN",
+		Fields: []schema.Field{{Name: "X", Kind: value.Int}}})
+	weird.Sets = append(weird.Sets, &schema.SetType{Name: "ALL-ALIEN",
+		Owner: schema.SystemOwner, Member: "ALIEN"})
+	sup := NewSupervisor()
+	if _, err := sup.Run(schema.CompanyV1(), weird, nil, nil, nil); err == nil {
+		t.Error("unclassifiable change should error")
+	}
+}
+
+func TestDispositionString(t *testing.T) {
+	for d, w := range map[Disposition]string{Auto: "auto", Qualified: "qualified",
+		Manual: "manual", Disposition(9): "?"} {
+		if d.String() != w {
+			t.Errorf("%d = %q", d, d.String())
+		}
+	}
+}
+
+func TestPolicyDecide(t *testing.T) {
+	p := Policy{AcceptOrderChanges: true}
+	if !p.Decide("X", analyzer.Issue{Kind: analyzer.OrderDependence}) {
+		t.Error("order change should be accepted")
+	}
+	if p.Decide("X", analyzer.Issue{Kind: analyzer.RunTimeVariability}) {
+		t.Error("run-time variability never accepted")
+	}
+}
+
+func planFigure() *xform.Plan {
+	return &xform.Plan{Steps: []xform.Transformation{
+		xform.IntroduceIntermediate{
+			Set: "DIV-EMP", Inter: "DEPT", GroupField: "DEPT-NAME",
+			Upper: "DIV-DEPT", Lower: "DEPT-EMP",
+		},
+	}}
+}

@@ -1,0 +1,290 @@
+// Package corpus generates seeded program inventories and database
+// populations for the experiments. The paper's quantitative claims are
+// about program inventories nobody can reproduce (1977 installations), so
+// the generator makes the decisive variable — the fraction of programs
+// exhibiting each §3.2 automation-defeating feature — an explicit,
+// sweepable parameter (DESIGN.md substitution 3).
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"progconv/internal/dbprog"
+	"progconv/internal/netstore"
+	"progconv/internal/schema"
+	"progconv/internal/value"
+)
+
+// Profile controls generation. Rates are fractions of the program count;
+// whatever remains after the hazard classes becomes clean, convertible
+// programs.
+type Profile struct {
+	Seed int64
+
+	// Database scale.
+	Divisions   int
+	DeptsPerDiv int
+	EmpsPerDept int
+
+	// Program inventory.
+	Programs int
+	// Hazard rates (fractions in [0,1]; their sum must be ≤ 1).
+	RateRunTimeVariability float64 // §3.2 run-time variability (blocking)
+	RateOrderDependence    float64 // observable unpinned sweeps
+	RateViewUpdate         float64 // stores through the split member
+	RateStatusCode         float64 // status-code dependence (warning only)
+	RateProcessFirst       float64 // FIND FIRST without sweep (warning only)
+}
+
+// PeriodProfile is the default mix calibrated so that the strict-policy
+// automatic conversion rate lands in the paper's reported 65–70% band
+// (§2.1.1: "a 65-70 percent success rate (sometimes higher)").
+func PeriodProfile(seed int64) Profile {
+	return Profile{
+		Seed:      seed,
+		Divisions: 4, DeptsPerDiv: 3, EmpsPerDept: 5,
+		Programs:               100,
+		RateRunTimeVariability: 0.08,
+		RateOrderDependence:    0.13,
+		RateViewUpdate:         0.07,
+		RateStatusCode:         0.10,
+		RateProcessFirst:       0.05,
+	}
+}
+
+// Database builds a CompanyV1-shaped population at the profile's scale.
+// Division names are DIV-00..; departments D-00..; employees E-00000...
+func Database(p Profile) *netstore.DB {
+	rng := rand.New(rand.NewSource(p.Seed))
+	db := netstore.NewDB(schema.CompanyV1())
+	s := netstore.NewSession(db)
+	emp := 0
+	for d := 0; d < p.Divisions; d++ {
+		divName := fmt.Sprintf("DIV-%02d", d)
+		s.Store("DIV", value.FromPairs(
+			"DIV-NAME", divName,
+			"DIV-LOC", fmt.Sprintf("CITY-%02d", rng.Intn(10)),
+		))
+		for dep := 0; dep < p.DeptsPerDiv; dep++ {
+			deptName := fmt.Sprintf("D-%02d", dep)
+			for e := 0; e < p.EmpsPerDept; e++ {
+				s.FindAny("DIV", value.FromPairs("DIV-NAME", divName))
+				s.Store("EMP", value.FromPairs(
+					"EMP-NAME", fmt.Sprintf("E-%05d", emp),
+					"DEPT-NAME", deptName,
+					"AGE", 20+rng.Intn(45),
+				))
+				emp++
+			}
+		}
+	}
+	return db
+}
+
+// Kind labels the generated program classes.
+type Kind string
+
+// The generated program classes.
+const (
+	CleanSweepPinned Kind = "clean-sweep-pinned" // USING the group field
+	CleanAggregate   Kind = "clean-aggregate"    // silent accumulation
+	CleanLocate      Kind = "clean-locate"       // FIND ANY + GET + PRINT
+	CleanMaryland    Kind = "clean-maryland"     // sorted path query
+	HazardOrder      Kind = "hazard-order"       // observable unpinned sweep
+	HazardRTV        Kind = "hazard-rtv"         // input-steered DML
+	HazardViewUpdate Kind = "hazard-view-update" // STORE through split member
+	WarnStatusCode   Kind = "warn-status-code"   // specific DB-STATUS branch
+	WarnProcessFirst Kind = "warn-process-first" // FIND FIRST, no sweep
+)
+
+// Member is one generated program with its provenance.
+type Member struct {
+	Kind    Kind
+	Source  string
+	Program *dbprog.Program
+}
+
+// Programs generates the inventory. Generation is deterministic in the
+// seed; the hazard classes appear at exactly the profile's rates
+// (rounded down), the remainder cycling through the clean classes.
+func Programs(p Profile) ([]Member, error) {
+	rng := rand.New(rand.NewSource(p.Seed + 1))
+	n := p.Programs
+	counts := map[Kind]int{
+		HazardRTV:        int(p.RateRunTimeVariability * float64(n)),
+		HazardOrder:      int(p.RateOrderDependence * float64(n)),
+		HazardViewUpdate: int(p.RateViewUpdate * float64(n)),
+		WarnStatusCode:   int(p.RateStatusCode * float64(n)),
+		WarnProcessFirst: int(p.RateProcessFirst * float64(n)),
+	}
+	var kinds []Kind
+	for _, k := range []Kind{HazardRTV, HazardOrder, HazardViewUpdate, WarnStatusCode, WarnProcessFirst} {
+		for i := 0; i < counts[k]; i++ {
+			kinds = append(kinds, k)
+		}
+	}
+	clean := []Kind{CleanSweepPinned, CleanAggregate, CleanLocate, CleanMaryland}
+	for i := 0; len(kinds) < n; i++ {
+		kinds = append(kinds, clean[i%len(clean)])
+	}
+	rng.Shuffle(len(kinds), func(i, j int) { kinds[i], kinds[j] = kinds[j], kinds[i] })
+
+	var out []Member
+	for i, k := range kinds {
+		src := generate(k, i, p, rng)
+		prog, err := dbprog.Parse(src)
+		if err != nil {
+			return nil, fmt.Errorf("corpus: generated program %d (%s) does not parse: %w\n%s", i, k, err, src)
+		}
+		out = append(out, Member{Kind: k, Source: src, Program: prog})
+	}
+	return out, nil
+}
+
+func generate(k Kind, i int, p Profile, rng *rand.Rand) string {
+	div := fmt.Sprintf("DIV-%02d", rng.Intn(max(1, p.Divisions)))
+	dept := fmt.Sprintf("D-%02d", rng.Intn(max(1, p.DeptsPerDiv)))
+	age := 25 + rng.Intn(35)
+	name := fmt.Sprintf("P-%03d", i)
+	switch k {
+	case CleanSweepPinned:
+		return fmt.Sprintf(`
+PROGRAM %s DIALECT NETWORK.
+  MOVE '%s' TO DIV-NAME IN DIV.
+  FIND ANY DIV USING DIV-NAME.
+  MOVE '%s' TO DEPT-NAME IN EMP.
+  PERFORM UNTIL DB-STATUS <> 'OK'
+    FIND NEXT EMP WITHIN DIV-EMP USING DEPT-NAME.
+    IF DB-STATUS = 'OK'
+      GET EMP.
+      PRINT EMP-NAME IN EMP, AGE IN EMP.
+    END-IF.
+  END-PERFORM.
+END PROGRAM.
+`, name, div, dept)
+	case CleanAggregate:
+		return fmt.Sprintf(`
+PROGRAM %s DIALECT NETWORK.
+  LET TOTAL = 0.
+  LET N = 0.
+  MOVE '%s' TO DIV-NAME IN DIV.
+  FIND ANY DIV USING DIV-NAME.
+  PERFORM UNTIL DB-STATUS <> 'OK'
+    FIND NEXT EMP WITHIN DIV-EMP.
+    IF DB-STATUS = 'OK'
+      GET EMP.
+      LET TOTAL = TOTAL + AGE IN EMP.
+      LET N = N + 1.
+    END-IF.
+  END-PERFORM.
+  IF N > 0
+    PRINT 'MEAN-AGE', TOTAL / N.
+  ELSE
+    PRINT 'EMPTY'.
+  END-IF.
+END PROGRAM.
+`, name, div)
+	case CleanLocate:
+		return fmt.Sprintf(`
+PROGRAM %s DIALECT NETWORK.
+  MOVE 'E-%05d' TO EMP-NAME IN EMP.
+  FIND ANY EMP USING EMP-NAME.
+  IF DB-STATUS = 'OK'
+    GET EMP.
+    PRINT EMP-NAME IN EMP, DEPT-NAME IN EMP, DIV-NAME IN EMP.
+  ELSE
+    PRINT 'NO SUCH EMPLOYEE'.
+  END-IF.
+END PROGRAM.
+`, name, rng.Intn(max(1, p.Divisions*p.DeptsPerDiv*p.EmpsPerDept)))
+	case CleanMaryland:
+		return fmt.Sprintf(`
+PROGRAM %s DIALECT MARYLAND.
+  SORT(FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(AGE > %d))) ON (EMP-NAME) INTO OLDER.
+  FOR EACH E IN OLDER
+    PRINT EMP-NAME IN E, AGE IN E.
+  END-FOR.
+END PROGRAM.
+`, name, age)
+	case HazardOrder:
+		return fmt.Sprintf(`
+PROGRAM %s DIALECT NETWORK.
+  MOVE '%s' TO DIV-NAME IN DIV.
+  FIND ANY DIV USING DIV-NAME.
+  PERFORM UNTIL DB-STATUS <> 'OK'
+    FIND NEXT EMP WITHIN DIV-EMP.
+    IF DB-STATUS = 'OK'
+      GET EMP.
+      WRITE 'ROSTER' EMP-NAME IN EMP.
+    END-IF.
+  END-PERFORM.
+END PROGRAM.
+`, name, div)
+	case HazardRTV:
+		return fmt.Sprintf(`
+PROGRAM %s DIALECT NETWORK.
+  ACCEPT MODE.
+  MOVE '%s' TO DIV-NAME IN DIV.
+  FIND ANY DIV USING DIV-NAME.
+  IF MODE = 'PURGE'
+    ERASE DIV.
+    PRINT 'PURGED'.
+  ELSE
+    GET DIV.
+    PRINT DIV-LOC IN DIV.
+  END-IF.
+END PROGRAM.
+`, name, div)
+	case HazardViewUpdate:
+		return fmt.Sprintf(`
+PROGRAM %s DIALECT MARYLAND.
+  STORE EMP (EMP-NAME = 'NEW-%03d', DEPT-NAME = '%s', AGE = %d)
+    VIA DIV-EMP = FIND(DIV: SYSTEM, ALL-DIV, DIV(DIV-NAME = '%s')).
+  PRINT 'STORED'.
+END PROGRAM.
+`, name, i, dept, age, div)
+	case WarnStatusCode:
+		return fmt.Sprintf(`
+PROGRAM %s DIALECT NETWORK.
+  MOVE 'E-99999' TO EMP-NAME IN EMP.
+  FIND ANY EMP USING EMP-NAME.
+  IF DB-STATUS = 'NOT-FOUND'
+    PRINT 'ABSENT'.
+  ELSE
+    PRINT 'PRESENT'.
+  END-IF.
+END PROGRAM.
+`, name)
+	case WarnProcessFirst:
+		return fmt.Sprintf(`
+PROGRAM %s DIALECT NETWORK.
+  MOVE '%s' TO DIV-NAME IN DIV.
+  FIND ANY DIV USING DIV-NAME.
+  FIND FIRST EMP WITHIN DIV-EMP.
+  IF DB-STATUS = 'OK'
+    GET EMP.
+    PRINT 'REPRESENTATIVE', EMP-NAME IN EMP.
+  END-IF.
+END PROGRAM.
+`, name, div)
+	}
+	return ""
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// MixDescription renders a profile's hazard mix for reports.
+func MixDescription(p Profile) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "programs=%d rtv=%.0f%% order=%.0f%% view-update=%.0f%% status=%.0f%% first=%.0f%%",
+		p.Programs, p.RateRunTimeVariability*100, p.RateOrderDependence*100,
+		p.RateViewUpdate*100, p.RateStatusCode*100, p.RateProcessFirst*100)
+	return b.String()
+}

@@ -1,0 +1,221 @@
+package dbprog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Format renders a program back to source text. The Program Generator of
+// Figure 4.1 is a printer over the converted AST; Parse(Format(p)) yields
+// a program that formats identically, which the tests rely on.
+func Format(p *Program) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "PROGRAM %s DIALECT %s.\n", p.Name, p.Dialect)
+	formatBlock(&b, p.Stmts, 1)
+	b.WriteString("END PROGRAM.\n")
+	return b.String()
+}
+
+func indent(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+}
+
+func formatBlock(b *strings.Builder, stmts []Stmt, depth int) {
+	for _, s := range stmts {
+		formatStmt(b, s, depth)
+	}
+}
+
+func formatStmt(b *strings.Builder, st Stmt, depth int) {
+	indent(b, depth)
+	switch s := st.(type) {
+	case Let:
+		fmt.Fprintf(b, "LET %s = %s.\n", s.Var, FormatExpr(s.E))
+	case Print:
+		fmt.Fprintf(b, "PRINT %s.\n", formatExprList(s.Args))
+	case Accept:
+		fmt.Fprintf(b, "ACCEPT %s.\n", s.Var)
+	case ReadFile:
+		fmt.Fprintf(b, "READ '%s' INTO %s.\n", s.File, s.Var)
+	case WriteFile:
+		fmt.Fprintf(b, "WRITE '%s' %s.\n", s.File, formatExprList(s.Args))
+	case If:
+		fmt.Fprintf(b, "IF %s\n", FormatExpr(s.Cond))
+		formatBlock(b, s.Then, depth+1)
+		if len(s.Else) > 0 {
+			indent(b, depth)
+			b.WriteString("ELSE\n")
+			formatBlock(b, s.Else, depth+1)
+		}
+		indent(b, depth)
+		b.WriteString("END-IF.\n")
+	case PerformUntil:
+		fmt.Fprintf(b, "PERFORM UNTIL %s\n", FormatExpr(s.Cond))
+		formatBlock(b, s.Body, depth+1)
+		indent(b, depth)
+		b.WriteString("END-PERFORM.\n")
+	case Stop:
+		b.WriteString("STOP.\n")
+	case Move:
+		fmt.Fprintf(b, "MOVE %s TO %s IN %s.\n", FormatExpr(s.E), s.Field, s.Record)
+	case FindAny:
+		fmt.Fprintf(b, "FIND ANY %s%s.\n", s.Record, usingSuffix(s.Using))
+	case FindDup:
+		fmt.Fprintf(b, "FIND DUPLICATE %s%s.\n", s.Record, usingSuffix(s.Using))
+	case FindInSet:
+		fmt.Fprintf(b, "FIND %s %s WITHIN %s%s.\n", s.Dir, s.Record, s.Set, usingSuffix(s.Using))
+	case FindOwner:
+		fmt.Fprintf(b, "FIND OWNER WITHIN %s.\n", s.Set)
+	case GetRec:
+		fmt.Fprintf(b, "GET %s.\n", s.Record)
+	case StoreRec:
+		fmt.Fprintf(b, "STORE %s.\n", s.Record)
+	case ModifyRec:
+		fmt.Fprintf(b, "MODIFY %s%s.\n", s.Record, usingSuffix(s.Using))
+	case EraseRec:
+		fmt.Fprintf(b, "ERASE %s.\n", s.Record)
+	case ConnectRec:
+		fmt.Fprintf(b, "CONNECT %s TO %s.\n", s.Record, s.Set)
+	case DisconnectRec:
+		fmt.Fprintf(b, "DISCONNECT %s FROM %s.\n", s.Record, s.Set)
+	case MFind:
+		if s.Sort != nil {
+			fmt.Fprintf(b, "%s INTO %s.\n", s.Sort, s.Coll)
+		} else {
+			fmt.Fprintf(b, "%s INTO %s.\n", s.Find, s.Coll)
+		}
+	case ForEach:
+		fmt.Fprintf(b, "FOR EACH %s IN %s\n", s.Var, s.Coll)
+		formatBlock(b, s.Body, depth+1)
+		indent(b, depth)
+		b.WriteString("END-FOR.\n")
+	case MDelete:
+		fmt.Fprintf(b, "DELETE %s.\n", s.Coll)
+	case MModify:
+		fmt.Fprintf(b, "MODIFY %s SET (%s).\n", s.Coll, formatAssigns(s.Assigns))
+	case MStore:
+		fmt.Fprintf(b, "STORE %s (%s)", s.Record, formatAssigns(s.Assigns))
+		sets := make([]string, 0, len(s.Owners))
+		for set := range s.Owners {
+			sets = append(sets, set)
+		}
+		sort.Strings(sets)
+		for i, set := range sets {
+			if i == 0 {
+				b.WriteString("\n")
+				indent(b, depth+1)
+				b.WriteString("VIA ")
+			} else {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(b, "%s = %s", set, s.Owners[set])
+		}
+		b.WriteString(".\n")
+	case SqlForEach:
+		fmt.Fprintf(b, "FOR EACH %s IN (%s)\n", s.Var, s.Query)
+		formatBlock(b, s.Body, depth+1)
+		indent(b, depth)
+		b.WriteString("END-FOR.\n")
+	case SqlExec:
+		fmt.Fprintf(b, "%s.\n", s.Stmt)
+	case DLIGet:
+		fmt.Fprintf(b, "%s%s.\n", s.Func, ssaSuffix(s.SSAs))
+	case DLIInsert:
+		fmt.Fprintf(b, "ISRT %s (%s)", s.Record, formatAssigns(s.Assigns))
+		if len(s.Under) > 0 {
+			fmt.Fprintf(b, " UNDER%s", ssaSuffix(s.Under))
+		}
+		b.WriteString(".\n")
+	case DLIDelete:
+		b.WriteString("DLET.\n")
+	case DLIRepl:
+		fmt.Fprintf(b, "REPL (%s).\n", formatAssigns(s.Assigns))
+	default:
+		fmt.Fprintf(b, "*> unformattable statement %T\n", st)
+	}
+}
+
+func formatExprList(args []Expr) string {
+	parts := make([]string, len(args))
+	for i, a := range args {
+		parts[i] = FormatExpr(a)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func usingSuffix(using []string) string {
+	if len(using) == 0 {
+		return ""
+	}
+	return " USING " + strings.Join(using, ", ")
+}
+
+func formatAssigns(assigns []FieldAssign) string {
+	parts := make([]string, len(assigns))
+	for i, a := range assigns {
+		parts[i] = fmt.Sprintf("%s = %s", a.Field, FormatExpr(a.E))
+	}
+	return strings.Join(parts, ", ")
+}
+
+func ssaSuffix(ssas []SSASpec) string {
+	if len(ssas) == 0 {
+		return ""
+	}
+	parts := make([]string, len(ssas))
+	for i, s := range ssas {
+		if s.Field == "" {
+			parts[i] = s.Segment
+		} else {
+			parts[i] = fmt.Sprintf("%s(%s %s %s)", s.Segment, s.Field, s.Op, FormatExpr(s.E))
+		}
+	}
+	return " " + strings.Join(parts, ", ")
+}
+
+// FormatExpr renders an expression, parenthesizing nested binaries so the
+// output re-parses with identical structure.
+func FormatExpr(e Expr) string {
+	switch x := e.(type) {
+	case Lit:
+		return x.V.Literal()
+	case Var:
+		return x.Name
+	case Field:
+		return fmt.Sprintf("%s IN %s", x.Field, x.Record)
+	case StatusRef:
+		return "DB-STATUS"
+	case RecordRef:
+		return "RECORD " + x.Record
+	case Bin:
+		l, r := FormatExpr(x.L), FormatExpr(x.R)
+		if needsParens(x.L) {
+			l = "(" + l + ")"
+		}
+		if needsParens(x.R) {
+			r = "(" + r + ")"
+		}
+		return fmt.Sprintf("%s %s %s", l, x.Op, r)
+	case Un:
+		inner := FormatExpr(x.E)
+		if needsParens(x.E) {
+			inner = "(" + inner + ")"
+		}
+		if x.Op == "NOT" {
+			return "NOT " + inner
+		}
+		return "- " + inner
+	}
+	return fmt.Sprintf("<%T>", e)
+}
+
+func needsParens(e Expr) bool {
+	switch e.(type) {
+	case Bin, Un:
+		return true
+	}
+	return false
+}

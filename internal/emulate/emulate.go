@@ -1,0 +1,274 @@
+// Package emulate is the DML emulation strategy of §2.1.2 (the Honeywell
+// "Task 609" package): it "preserves the behavior of the application
+// program by intercepting the individual DML calls at execution time and
+// invoking equivalent DML calls to the restructured database", using a
+// mapping description derived from the transformation plan.
+//
+// The prototype limitations the paper lists are reproduced deliberately:
+// retrieval only (updates return ErrRetrievalOnly), and per-call overhead
+// from consulting "run time descriptions and tables for both the original
+// and restructured database organizations" — every intercepted call walks
+// the mapping tables, and a sweep of a split set maintains an emulated
+// cursor over the upper/lower chain.
+package emulate
+
+import (
+	"errors"
+	"fmt"
+
+	"progconv/internal/netstore"
+	"progconv/internal/schema"
+	"progconv/internal/value"
+	"progconv/internal/xform"
+)
+
+// ErrRetrievalOnly reports an update through the emulator: "1) retrieval
+// only — no update allowed" (§2.1.2).
+var ErrRetrievalOnly = errors.New("emulate: retrieval only (Task 609 limitation)")
+
+// Session presents the SOURCE schema's DML against a RESTRUCTURED
+// database. It wraps a target run-unit and translates each call.
+type Session struct {
+	src       *schema.Network
+	target    *netstore.Session
+	rewriters []*xform.Rewriter
+	// sweep state per split source set: the emulated currency.
+	sweeps map[string]*splitSweep
+}
+
+type splitSweep struct {
+	split   xform.PathSplit
+	started bool
+}
+
+// NewSession opens an emulating run-unit: src is the schema the program
+// was written against, target the restructured database, plan the
+// restructuring.
+func NewSession(src *schema.Network, target *netstore.DB, plan *xform.Plan) (*Session, error) {
+	rewriters, err := plan.Rewriters(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{
+		src:       src,
+		target:    netstore.NewSession(target),
+		rewriters: rewriters,
+		sweeps:    map[string]*splitSweep{},
+	}, nil
+}
+
+// Status returns the target run-unit's DB-STATUS (the emulator forwards
+// outcome codes unchanged; status-code fidelity is part of mimicking the
+// old interface).
+func (s *Session) Status() netstore.Status { return s.target.Status() }
+
+// mapping helpers: consulted on every call, which is the emulation
+// overhead the paper describes.
+
+func (s *Session) mapRecord(name string) string {
+	for _, r := range s.rewriters {
+		name = r.MapRecord(name)
+	}
+	return name
+}
+
+func (s *Session) mapMatch(srcType string, match *value.Record) (*value.Record, error) {
+	if match == nil {
+		return nil, nil
+	}
+	out := value.NewRecord()
+	for _, n := range match.Names() {
+		rec, field := srcType, n
+		for _, r := range s.rewriters {
+			if r.IsDropped(rec, field) {
+				return nil, fmt.Errorf("emulate: field %s.%s no longer exists", srcType, n)
+			}
+			rec, field = r.MapField(rec, field)
+		}
+		out.Set(field, match.MustGet(n))
+	}
+	return out, nil
+}
+
+func (s *Session) splitFor(set string) (xform.PathSplit, bool) {
+	for _, r := range s.rewriters {
+		if sp, ok := r.Splits[set]; ok {
+			return sp, true
+		}
+	}
+	return xform.PathSplit{}, false
+}
+
+func (s *Session) mapSet(name string) (string, bool) {
+	for _, r := range s.rewriters {
+		n, ok := r.MapSet(name)
+		if !ok {
+			return name, false
+		}
+		name = n
+	}
+	return name, true
+}
+
+// unmapRecordNames renames a retrieved record's fields back to the source
+// spelling, the reverse mapping of §2.1.2.
+func (s *Session) unmapRecord(srcType string, rec *value.Record) *value.Record {
+	if rec == nil {
+		return nil
+	}
+	srcRec := s.src.Record(srcType)
+	if srcRec == nil {
+		return rec
+	}
+	out := value.NewRecord()
+	for _, f := range srcRec.Fields {
+		nr, nf := srcType, f.Name
+		for _, r := range s.rewriters {
+			nr, nf = r.MapField(nr, nf)
+		}
+		out.Set(f.Name, rec.MustGet(nf))
+	}
+	return out
+}
+
+// FindAny emulates FIND ANY <srcType> [matching match].
+func (s *Session) FindAny(srcType string, match *value.Record) (netstore.Status, error) {
+	m, err := s.mapMatch(srcType, match)
+	if err != nil {
+		return s.target.Status(), err
+	}
+	return s.target.FindAny(s.mapRecord(srcType), m)
+}
+
+// Get emulates GET <srcType>, reversing field renames so the program sees
+// the record shape it always saw.
+func (s *Session) Get(srcType string) (*value.Record, netstore.Status, error) {
+	rec, st, err := s.target.Get(s.mapRecord(srcType))
+	if err != nil || st != netstore.OK {
+		return nil, st, err
+	}
+	return s.unmapRecord(srcType, rec), st, nil
+}
+
+// FindInSet emulates FIND FIRST/NEXT <member> WITHIN <srcSet>. For an
+// unsplit set this is one translated call; for a split set the emulator
+// steps an upper/lower cursor — the "increased ... access path length"
+// of §2.1.2.
+func (s *Session) FindInSet(srcSet string, dir netstore.Direction, match *value.Record) (netstore.Status, error) {
+	sp, isSplit := s.splitFor(srcSet)
+	if !isSplit {
+		set, ok := s.mapSet(srcSet)
+		if !ok {
+			return s.target.Status(), fmt.Errorf("emulate: set %s not representable", srcSet)
+		}
+		srcMember := s.src.Set(srcSet).Member
+		m, err := s.mapMatch(srcMember, match)
+		if err != nil {
+			return s.target.Status(), err
+		}
+		return s.target.FindInSet(set, dir, m)
+	}
+
+	if dir != netstore.First && dir != netstore.Next {
+		return s.target.Status(), fmt.Errorf("emulate: only FIRST and NEXT are emulated over split sets")
+	}
+	m, err := s.mapMatch(sp.Member, match)
+	if err != nil {
+		return s.target.Status(), err
+	}
+	sweep := s.sweeps[srcSet]
+	if sweep == nil || dir == netstore.First {
+		sweep = &splitSweep{split: sp}
+		s.sweeps[srcSet] = sweep
+	}
+
+	if !sweep.started || dir == netstore.First {
+		// Enter the first upper occurrence.
+		st, err := s.target.FindInSet(sp.Upper, netstore.First, nil)
+		if err != nil {
+			return st, err
+		}
+		if st != netstore.OK {
+			return netstore.EndOfSet, nil
+		}
+		sweep.started = true
+		st, err = s.target.FindInSet(sp.Lower, netstore.First, m)
+		if err != nil {
+			return st, err
+		}
+		if st == netstore.OK {
+			return netstore.OK, nil
+		}
+		return s.advanceUpper(sweep, m)
+	}
+
+	// NEXT: continue in the current lower occurrence, then advance.
+	st, err := s.target.FindInSet(sp.Lower, netstore.Next, m)
+	if err != nil {
+		return st, err
+	}
+	if st == netstore.OK {
+		return netstore.OK, nil
+	}
+	return s.advanceUpper(sweep, m)
+}
+
+// advanceUpper moves to the next intermediate occurrence and into its
+// first matching member; repositioning on the intermediate restores the
+// lower set's currency after the member navigation consumed it.
+func (s *Session) advanceUpper(sweep *splitSweep, match *value.Record) (netstore.Status, error) {
+	sp := sweep.split
+	for {
+		// The lower sweep left currency on a member; climb back to its
+		// intermediate before stepping the upper set.
+		if st, err := s.target.FindOwner(sp.Lower); err != nil {
+			return st, err
+		}
+		st, err := s.target.FindInSet(sp.Upper, netstore.Next, nil)
+		if err != nil {
+			return st, err
+		}
+		if st != netstore.OK {
+			return netstore.EndOfSet, nil
+		}
+		st, err = s.target.FindInSet(sp.Lower, netstore.First, match)
+		if err != nil {
+			return st, err
+		}
+		if st == netstore.OK {
+			return netstore.OK, nil
+		}
+	}
+}
+
+// FindOwner emulates FIND OWNER WITHIN <srcSet> (two climbs for a split).
+func (s *Session) FindOwner(srcSet string) (netstore.Status, error) {
+	if sp, ok := s.splitFor(srcSet); ok {
+		if st, err := s.target.FindOwner(sp.Lower); err != nil || st != netstore.OK {
+			return st, err
+		}
+		return s.target.FindOwner(sp.Upper)
+	}
+	set, ok := s.mapSet(srcSet)
+	if !ok {
+		return s.target.Status(), fmt.Errorf("emulate: set %s not representable", srcSet)
+	}
+	return s.target.FindOwner(set)
+}
+
+// Store, Modify and Erase reproduce the prototype's restriction.
+
+// Store is not emulated (retrieval only).
+func (s *Session) Store(string, *value.Record) (netstore.RecordID, netstore.Status, error) {
+	return 0, s.target.Status(), ErrRetrievalOnly
+}
+
+// Modify is not emulated (retrieval only).
+func (s *Session) Modify(string, *value.Record) (netstore.Status, error) {
+	return s.target.Status(), ErrRetrievalOnly
+}
+
+// Erase is not emulated (retrieval only).
+func (s *Session) Erase(string) (netstore.Status, error) {
+	return s.target.Status(), ErrRetrievalOnly
+}

@@ -1,0 +1,85 @@
+// Package equiv is the operational equivalence checker: the paper's §1.1
+// rule that "except with respect to the database, a restructured program
+// must preserve the input/output behavior of the original program" — the
+// same terminal messages and the same series of reads and writes to
+// non-database files, while "a different combination of interactions is
+// acceptable with respect to the database".
+package equiv
+
+import (
+	"fmt"
+	"strings"
+
+	"progconv/internal/dbprog"
+)
+
+// Verdict is the outcome of one equivalence check.
+type Verdict struct {
+	Equal  bool
+	Source *dbprog.Trace
+	Target *dbprog.Trace
+	// SourceErr/TargetErr record aborted runs; two runs that abort are
+	// not equal (the paper's conversions must preserve behaviour, and an
+	// aborting program has none to preserve).
+	SourceErr error
+	TargetErr error
+}
+
+// Diff renders the first divergence for the conversion report.
+func (v Verdict) Diff() string {
+	if v.Equal {
+		return "traces identical"
+	}
+	if v.SourceErr != nil || v.TargetErr != nil {
+		return fmt.Sprintf("runs aborted: source=%v target=%v", v.SourceErr, v.TargetErr)
+	}
+	a, b := v.Source.Events, v.Target.Events
+	for i := 0; i < len(a) || i < len(b); i++ {
+		switch {
+		case i >= len(a):
+			return fmt.Sprintf("event %d: source ended, target has %s", i, b[i])
+		case i >= len(b):
+			return fmt.Sprintf("event %d: target ended, source has %s", i, a[i])
+		case a[i] != b[i]:
+			return fmt.Sprintf("event %d: source %s vs target %s", i, a[i], b[i])
+		}
+	}
+	return "traces identical"
+}
+
+// Check runs the source program under its configuration and the target
+// program under its configuration and compares the observable traces.
+func Check(src *dbprog.Program, srcCfg dbprog.Config, dst *dbprog.Program, dstCfg dbprog.Config) Verdict {
+	ta, ea := dbprog.Run(src, srcCfg)
+	tb, eb := dbprog.Run(dst, dstCfg)
+	v := Verdict{Source: ta, Target: tb, SourceErr: ea, TargetErr: eb}
+	v.Equal = ea == nil && eb == nil && ta.Equal(tb)
+	return v
+}
+
+// TerminalLines extracts the terminal output of a trace, a convenience
+// for experiments that compare answers rather than full traces.
+func TerminalLines(t *dbprog.Trace) []string {
+	var out []string
+	for _, e := range t.Events {
+		if e.Kind == dbprog.Terminal {
+			out = append(out, e.Text)
+		}
+	}
+	return out
+}
+
+// Summary renders a batch of verdicts for a report.
+func Summary(verdicts map[string]Verdict) string {
+	var b strings.Builder
+	pass, fail := 0, 0
+	for name, v := range verdicts {
+		if v.Equal {
+			pass++
+		} else {
+			fail++
+			fmt.Fprintf(&b, "  %s: %s\n", name, v.Diff())
+		}
+	}
+	return fmt.Sprintf("%d equivalent, %d divergent\n%s", pass, fail, b.String())
+}

@@ -1,0 +1,85 @@
+package equiv
+
+import (
+	"strings"
+	"testing"
+
+	"progconv/internal/dbprog"
+	"progconv/internal/netstore"
+	"progconv/internal/schema"
+)
+
+func parse(t *testing.T, src string) *dbprog.Program {
+	t.Helper()
+	p, err := dbprog.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func cfg() dbprog.Config {
+	return dbprog.Config{Net: netstore.NewDB(schema.CompanyV1())}
+}
+
+func TestCheckEqual(t *testing.T) {
+	a := parse(t, `PROGRAM A DIALECT NETWORK. PRINT 'X'. PRINT 'Y'. END PROGRAM.`)
+	b := parse(t, `PROGRAM B DIALECT NETWORK. PRINT 'X'. PRINT 'Y'. END PROGRAM.`)
+	v := Check(a, cfg(), b, cfg())
+	if !v.Equal {
+		t.Errorf("verdict = %+v", v)
+	}
+	if v.Diff() != "traces identical" {
+		t.Error("Diff on equal")
+	}
+}
+
+func TestCheckDivergent(t *testing.T) {
+	a := parse(t, `PROGRAM A DIALECT NETWORK. PRINT 'X'. END PROGRAM.`)
+	b := parse(t, `PROGRAM B DIALECT NETWORK. PRINT 'Z'. END PROGRAM.`)
+	v := Check(a, cfg(), b, cfg())
+	if v.Equal {
+		t.Error("should diverge")
+	}
+	if !strings.Contains(v.Diff(), "event 0") {
+		t.Errorf("diff = %s", v.Diff())
+	}
+	// Length divergence.
+	c := parse(t, `PROGRAM C DIALECT NETWORK. PRINT 'X'. PRINT 'MORE'. END PROGRAM.`)
+	v2 := Check(a, cfg(), c, cfg())
+	if v2.Equal || !strings.Contains(v2.Diff(), "source ended") {
+		t.Errorf("diff = %s", v2.Diff())
+	}
+	v3 := Check(c, cfg(), a, cfg())
+	if v3.Equal || !strings.Contains(v3.Diff(), "target ended") {
+		t.Errorf("diff = %s", v3.Diff())
+	}
+}
+
+func TestCheckAbortedRun(t *testing.T) {
+	a := parse(t, `PROGRAM A DIALECT NETWORK. PRINT 'X'. END PROGRAM.`)
+	bad := parse(t, `PROGRAM B DIALECT NETWORK. PRINT NOPE. END PROGRAM.`)
+	v := Check(a, cfg(), bad, cfg())
+	if v.Equal || v.TargetErr == nil {
+		t.Errorf("verdict = %+v", v)
+	}
+	if !strings.Contains(v.Diff(), "aborted") {
+		t.Errorf("diff = %s", v.Diff())
+	}
+}
+
+func TestTerminalLinesAndSummary(t *testing.T) {
+	a := parse(t, `PROGRAM A DIALECT NETWORK. PRINT 'X'. WRITE 'F' 'L'. PRINT 'Y'. END PROGRAM.`)
+	tr, _ := dbprog.Run(a, cfg())
+	lines := TerminalLines(tr)
+	if len(lines) != 2 || lines[0] != "X" {
+		t.Errorf("lines = %v", lines)
+	}
+	s := Summary(map[string]Verdict{
+		"ok":  {Equal: true},
+		"bad": {Equal: false, Source: &dbprog.Trace{}, Target: &dbprog.Trace{}},
+	})
+	if !strings.Contains(s, "1 equivalent, 1 divergent") || !strings.Contains(s, "bad:") {
+		t.Errorf("summary = %s", s)
+	}
+}

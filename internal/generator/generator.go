@@ -1,0 +1,250 @@
+// Package generator is the Program Generator of Figure 4.1. Its two
+// halves mirror the paper:
+//
+//   - program text generation for converted ASTs is dbprog.Format (the
+//     Program Generator proper "produces a target program");
+//   - language-template synthesis (§4.1, Nations & Su): the same
+//     data-model-independent access-pattern sequence is realized as a
+//     SEQUEL query block (the paper's template A) and as a CODASYL DML
+//     program (template B), "since the conversion takes place at a level
+//     of abstraction that is removed from an actual DBMS language".
+package generator
+
+import (
+	"fmt"
+	"strings"
+
+	"progconv/internal/dbprog"
+	"progconv/internal/schema"
+	"progconv/internal/semantic"
+	"progconv/internal/value"
+)
+
+// Cond binds one constrained field of an access-pattern sequence to a
+// concrete comparison.
+type Cond struct {
+	Field string
+	Op    string // = <> < <= > >=
+	V     value.Value
+}
+
+// Binding supplies the conditions for a sequence's CondFields.
+type Binding []Cond
+
+func (b Binding) find(field string) (Cond, bool) {
+	for _, c := range b {
+		if c.Field == field {
+			return c, true
+		}
+	}
+	return Cond{}, false
+}
+
+// ToSequel synthesizes the relational realization of an access-pattern
+// sequence: nested SELECT blocks linked by IN on the entities' keys, the
+// shape of the paper's template (A). Fields lists the output columns of
+// the final target.
+func ToSequel(seq *semantic.Sequence, sem *semantic.Schema, bind Binding, fields []string) (string, error) {
+	if err := seq.Validate(sem); err != nil {
+		return "", err
+	}
+	if len(seq.Steps) == 0 {
+		return "", fmt.Errorf("generator: empty sequence")
+	}
+	// linkCol(i) is the column tested by block i against block i-1: the
+	// key of whichever of the two adjacent targets is the entity (the
+	// association carries the entity's key as an attribute).
+	linkCol := func(i int) (string, error) {
+		if e := sem.Entity(seq.Steps[i].Target); e != nil && len(e.Key) > 0 {
+			return e.Key[0], nil
+		}
+		if e := sem.Entity(seq.Steps[i-1].Target); e != nil && len(e.Key) > 0 {
+			return e.Key[0], nil
+		}
+		return "", fmt.Errorf("generator: no linking key between %s and %s",
+			seq.Steps[i-1].Target, seq.Steps[i].Target)
+	}
+
+	var inner string
+	for i, st := range seq.Steps {
+		conds, err := stepConds(st, bind)
+		if err != nil {
+			return "", err
+		}
+		if i > 0 {
+			col, err := linkCol(i)
+			if err != nil {
+				return "", err
+			}
+			conds = append(conds, fmt.Sprintf("%s IN (%s)", col, inner))
+		}
+		sel := strings.Join(fields, ", ")
+		if i+1 < len(seq.Steps) {
+			col, err := linkCol(i + 1)
+			if err != nil {
+				return "", err
+			}
+			sel = col
+		}
+		q := fmt.Sprintf("SELECT %s FROM %s", sel, st.Target)
+		if len(conds) > 0 {
+			q += " WHERE " + strings.Join(conds, " AND ")
+		}
+		inner = q
+	}
+	return inner, nil
+}
+
+// stepConds renders a step's bound conditions.
+func stepConds(st semantic.Step, bind Binding) ([]string, error) {
+	var out []string
+	for _, f := range st.CondFields {
+		c, ok := bind.find(f)
+		if !ok {
+			return nil, fmt.Errorf("generator: no binding for condition field %s", f)
+		}
+		out = append(out, fmt.Sprintf("%s %s %s", c.Field, c.Op, c.V.Literal()))
+	}
+	return out, nil
+}
+
+// ToNetworkProgram synthesizes the CODASYL realization (the paper's
+// template B): FIND ANY on the entry entity, a FIND NEXT ... WITHIN ...
+// USING loop per association step, FIND OWNER to reach entities from
+// association records, and a PRINT of the target's fields. Equality
+// conditions ride the USING clauses; other comparisons become IF filters
+// inside the loop, as a COBOL programmer would write them.
+func ToNetworkProgram(name string, seq *semantic.Sequence, sem *semantic.Schema,
+	net *schema.Network, bind Binding, fields []string) (*dbprog.Program, error) {
+	if err := seq.Validate(sem); err != nil {
+		return nil, err
+	}
+	if len(seq.Steps) == 0 || seq.Steps[0].Kind != semantic.ViaSelf {
+		return nil, fmt.Errorf("generator: network template needs a via-self entry step")
+	}
+	if seq.Op != semantic.Retrieve {
+		return nil, fmt.Errorf("generator: only RETRIEVE sequences are synthesized")
+	}
+
+	entry := seq.Steps[0]
+	var stmts []dbprog.Stmt
+	using, filters, err := splitConds(entry, bind)
+	if err != nil {
+		return nil, err
+	}
+	if len(filters) > 0 {
+		return nil, fmt.Errorf("generator: non-equality condition on the entry step is not realizable as FIND ANY")
+	}
+	for _, c := range using {
+		stmts = append(stmts, dbprog.Move{
+			E: dbprog.Lit{V: c.V}, Field: c.Field, Record: entry.Target,
+		})
+	}
+	stmts = append(stmts, dbprog.FindAny{Record: entry.Target, Using: condFieldNames(using)})
+	notFound := dbprog.If{
+		Cond: dbprog.Bin{Op: "<>", L: dbprog.StatusRef{}, R: dbprog.Lit{V: value.Str("OK")}},
+		Then: []dbprog.Stmt{
+			dbprog.Print{Args: []dbprog.Expr{dbprog.Lit{V: value.Str("NOT FOUND")}}},
+			dbprog.Stop{},
+		},
+	}
+	stmts = append(stmts, notFound)
+
+	// The innermost body prints the final target's fields.
+	final := seq.Steps[len(seq.Steps)-1]
+	var printArgs []dbprog.Expr
+	for _, f := range fields {
+		printArgs = append(printArgs, dbprog.Field{Record: final.Target, Field: f})
+	}
+	body := []dbprog.Stmt{dbprog.Print{Args: printArgs}}
+
+	// Build loops from the inside out.
+	for i := len(seq.Steps) - 1; i >= 1; i-- {
+		st := seq.Steps[i]
+		switch st.Kind {
+		case semantic.ViaAssoc:
+			// Reach the entity from the association record: FIND OWNER in
+			// the set whose owner is the entity and member the association
+			// record.
+			sets := net.SetsBetween(st.Target, st.Via)
+			if len(sets) != 1 {
+				return nil, fmt.Errorf("generator: need exactly one set from %s to %s, found %d",
+					st.Target, st.Via, len(sets))
+			}
+			body = append([]dbprog.Stmt{
+				dbprog.FindOwner{Set: sets[0].Name},
+				dbprog.GetRec{Record: st.Target},
+			}, body...)
+		case semantic.AssocViaSide:
+			sets := net.SetsBetween(st.Via, st.Target)
+			if len(sets) != 1 {
+				return nil, fmt.Errorf("generator: need exactly one set from %s to %s, found %d",
+					st.Via, st.Target, len(sets))
+			}
+			using, filters, err := splitConds(st, bind)
+			if err != nil {
+				return nil, err
+			}
+			inner := append([]dbprog.Stmt{dbprog.GetRec{Record: st.Target}}, wrapFilters(st.Target, filters, body)...)
+			var moves []dbprog.Stmt
+			for _, c := range using {
+				moves = append(moves, dbprog.Move{E: dbprog.Lit{V: c.V}, Field: c.Field, Record: st.Target})
+			}
+			loop := dbprog.PerformUntil{
+				Cond: dbprog.Bin{Op: "<>", L: dbprog.StatusRef{}, R: dbprog.Lit{V: value.Str("OK")}},
+				Body: []dbprog.Stmt{
+					dbprog.FindInSet{Dir: "NEXT", Record: st.Target, Set: sets[0].Name,
+						Using: condFieldNames(using)},
+					dbprog.If{
+						Cond: dbprog.Bin{Op: "=", L: dbprog.StatusRef{}, R: dbprog.Lit{V: value.Str("OK")}},
+						Then: inner,
+					},
+				},
+			}
+			body = append(moves, loop)
+		default:
+			return nil, fmt.Errorf("generator: step kind %v not realizable in the network template", st.Kind)
+		}
+	}
+	stmts = append(stmts, body...)
+	return &dbprog.Program{Name: name, Dialect: dbprog.Network, Stmts: stmts}, nil
+}
+
+// splitConds separates a step's bound conditions into equality (USING)
+// and filter comparisons.
+func splitConds(st semantic.Step, bind Binding) (using []Cond, filters []Cond, err error) {
+	for _, f := range st.CondFields {
+		c, ok := bind.find(f)
+		if !ok {
+			return nil, nil, fmt.Errorf("generator: no binding for condition field %s", f)
+		}
+		if c.Op == "=" {
+			using = append(using, c)
+		} else {
+			filters = append(filters, c)
+		}
+	}
+	return using, filters, nil
+}
+
+func condFieldNames(cs []Cond) []string {
+	out := make([]string, len(cs))
+	for i, c := range cs {
+		out[i] = c.Field
+	}
+	return out
+}
+
+// wrapFilters guards a body with IF filters for non-equality conditions.
+func wrapFilters(record string, filters []Cond, body []dbprog.Stmt) []dbprog.Stmt {
+	for i := len(filters) - 1; i >= 0; i-- {
+		c := filters[i]
+		body = []dbprog.Stmt{dbprog.If{
+			Cond: dbprog.Bin{Op: c.Op,
+				L: dbprog.Field{Record: record, Field: c.Field},
+				R: dbprog.Lit{V: c.V}},
+			Then: body,
+		}}
+	}
+	return body
+}

@@ -1,0 +1,262 @@
+package generator
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"progconv/internal/dbprog"
+	"progconv/internal/netstore"
+	"progconv/internal/relstore"
+	"progconv/internal/schema"
+	"progconv/internal/semantic"
+	"progconv/internal/sequel"
+	"progconv/internal/value"
+)
+
+// personnelData is the shared population: (employee, dept, years).
+var personnelData = []struct {
+	e, ename string
+	age      int
+	d, dname string
+	mgr      string
+	yos      int
+}{
+	{"E1", "BAKER", 28, "D2", "SALES", "SMITH", 3},
+	{"E2", "CLARK", 33, "D2", "SALES", "SMITH", 11},
+	{"E3", "ADAMS", 45, "D12", "ACCT", "JONES", 3},
+	{"E4", "EVANS", 51, "D2", "SALES", "SMITH", 14},
+}
+
+func relDB(t *testing.T) *relstore.DB {
+	t.Helper()
+	db := relstore.NewDB(schema.EmpDeptRelational())
+	seenDept := map[string]bool{}
+	for _, r := range personnelData {
+		db.Insert("EMP", value.FromPairs("E#", r.e, "ENAME", r.ename, "AGE", r.age))
+		if !seenDept[r.d] {
+			seenDept[r.d] = true
+			db.Insert("DEPT", value.FromPairs("D#", r.d, "DNAME", r.dname, "MGR", r.mgr))
+		}
+		db.Insert("EMP-DEPT", value.FromPairs("E#", r.e, "D#", r.d, "YEAR-OF-SERVICE", r.yos))
+	}
+	return db
+}
+
+func netDB(t *testing.T) *netstore.DB {
+	t.Helper()
+	db := netstore.NewDB(schema.EmpDeptNetwork())
+	s := netstore.NewSession(db)
+	seenDept := map[string]bool{}
+	for _, r := range personnelData {
+		s.Store("EMP", value.FromPairs("E#", r.e, "ENAME", r.ename, "AGE", r.age))
+		if !seenDept[r.d] {
+			seenDept[r.d] = true
+			s.Store("DEPT", value.FromPairs("D#", r.d, "DNAME", r.dname, "MGR", r.mgr))
+		}
+		s.FindAny("EMP", value.FromPairs("E#", r.e))
+		s.FindAny("DEPT", value.FromPairs("D#", r.d))
+		if _, st, err := s.Store("EMP-DEPT",
+			value.FromPairs("E#", r.e, "D#", r.d, "YEAR-OF-SERVICE", r.yos)); st != netstore.OK || err != nil {
+			t.Fatalf("store EMP-DEPT: %v %v", st, err)
+		}
+	}
+	return db
+}
+
+// smithBinding is the paper's worked query: manager Smith, more than ten
+// years of service.
+func smithBinding() (*semantic.Sequence, Binding) {
+	return semantic.SmithQuery(), Binding{
+		{Field: "MGR", Op: "=", V: value.Str("SMITH")},
+		{Field: "YEAR-OF-SERVICE", Op: ">", V: value.Of(10)},
+	}
+}
+
+// TestCrossModelSynthesis is EXP-S4.1b: one access-pattern sequence
+// realized as SEQUEL and as CODASYL DML, both executed, same answers.
+func TestCrossModelSynthesis(t *testing.T) {
+	seq, bind := smithBinding()
+	sem := semantic.PersonnelSchema()
+
+	// Template (A): SEQUEL.
+	text, err := ToSequel(seq, sem, bind, []string{"ENAME"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := sequel.ParseQuery(text)
+	if err != nil {
+		t.Fatalf("generated SEQUEL does not parse: %v\n%s", err, text)
+	}
+	rows, err := sequel.Exec(relDB(t), q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var relNames []string
+	for _, r := range rows {
+		relNames = append(relNames, r.MustGet("ENAME").AsString())
+	}
+
+	// Template (B): CODASYL.
+	prog, err := ToNetworkProgram("SMITH-QUERY", seq, sem, schema.EmpDeptNetwork(), bind, []string{"ENAME"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := dbprog.Run(prog, dbprog.Config{Net: netDB(t)})
+	if err != nil {
+		t.Fatalf("generated network program failed: %v\n%s", err, dbprog.Format(prog))
+	}
+	var netNames []string
+	for _, e := range tr.Events {
+		if e.Kind == dbprog.Terminal {
+			netNames = append(netNames, e.Text)
+		}
+	}
+
+	sort.Strings(relNames)
+	sort.Strings(netNames)
+	if strings.Join(relNames, ",") != strings.Join(netNames, ",") {
+		t.Errorf("cross-model answers differ: SEQUEL %v vs CODASYL %v\n%s\n%s",
+			relNames, netNames, text, dbprog.Format(prog))
+	}
+	if len(relNames) != 2 { // CLARK and EVANS: Smith's people over ten years
+		t.Errorf("answers = %v", relNames)
+	}
+}
+
+func TestToSequelShape(t *testing.T) {
+	seq, bind := smithBinding()
+	text, err := ToSequel(seq, semantic.PersonnelSchema(), bind, []string{"ENAME"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"SELECT ENAME FROM EMP WHERE E# IN",
+		"SELECT E# FROM EMP-DEPT WHERE YEAR-OF-SERVICE > 10 AND D# IN",
+		"SELECT D# FROM DEPT WHERE MGR = 'SMITH'",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("generated SEQUEL missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestPaperTemplateBEquality generates the paper's exact §4.1 example:
+// department D2, three years of service.
+func TestPaperTemplateBEquality(t *testing.T) {
+	sem := semantic.PersonnelSchema()
+	seq := &semantic.Sequence{
+		Steps: []semantic.Step{
+			{Kind: semantic.ViaSelf, Target: "DEPT", Via: "DEPT", CondFields: []string{"D#"}},
+			{Kind: semantic.AssocViaSide, Target: "EMP-DEPT", Via: "DEPT", CondFields: []string{"YEAR-OF-SERVICE"}},
+			{Kind: semantic.ViaAssoc, Target: "EMP", Via: "EMP-DEPT"},
+		},
+		Op: semantic.Retrieve,
+	}
+	bind := Binding{
+		{Field: "D#", Op: "=", V: value.Str("D2")},
+		{Field: "YEAR-OF-SERVICE", Op: "=", V: value.Of(3)},
+	}
+	prog, err := ToNetworkProgram("TPL-B", seq, sem, schema.EmpDeptNetwork(), bind, []string{"ENAME"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := dbprog.Format(prog)
+	// The generated text has the paper's template (B) skeleton.
+	for _, want := range []string{
+		"MOVE 'D2' TO D# IN DEPT",
+		"FIND ANY DEPT USING D#",
+		"MOVE 3 TO YEAR-OF-SERVICE IN EMP-DEPT",
+		"FIND NEXT EMP-DEPT WITHIN ED USING YEAR-OF-SERVICE",
+		"FIND OWNER WITHIN E-ED",
+		"GET EMP",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("template B missing %q:\n%s", want, text)
+		}
+	}
+	tr, err := dbprog.Run(prog, dbprog.Config{Net: netDB(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range tr.Events {
+		if e.Kind == dbprog.Terminal {
+			names = append(names, e.Text)
+		}
+	}
+	if strings.Join(names, ",") != "BAKER" {
+		t.Errorf("template B answers = %v", names)
+	}
+	// The SEQUEL twin returns the same.
+	sq, err := ToSequel(seq, sem, bind, []string{"ENAME"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := sequel.ParseQuery(sq)
+	rows, err := sequel.Exec(relDB(t), q, nil)
+	if err != nil || len(rows) != 1 || rows[0].MustGet("ENAME").AsString() != "BAKER" {
+		t.Errorf("template A = %v, %v", rows, err)
+	}
+}
+
+func TestGeneratorErrors(t *testing.T) {
+	sem := semantic.PersonnelSchema()
+	seq, bind := smithBinding()
+	if _, err := ToSequel(&semantic.Sequence{}, sem, nil, nil); err == nil {
+		t.Error("empty sequence")
+	}
+	if _, err := ToSequel(seq, sem, nil, []string{"ENAME"}); err == nil {
+		t.Error("missing binding")
+	}
+	// Network: entry must be via-self.
+	badSeq := &semantic.Sequence{Steps: []semantic.Step{
+		{Kind: semantic.AssocViaSide, Target: "EMP-DEPT", Via: "DEPT"},
+	}, Op: semantic.Retrieve}
+	if _, err := ToNetworkProgram("X", badSeq, sem, schema.EmpDeptNetwork(), nil, nil); err == nil {
+		t.Error("non-entity entry")
+	}
+	// Non-equality on the entry step.
+	seq2 := semantic.SmithQuery()
+	bind2 := Binding{
+		{Field: "MGR", Op: ">", V: value.Str("A")},
+		{Field: "YEAR-OF-SERVICE", Op: "=", V: value.Of(3)},
+	}
+	if _, err := ToNetworkProgram("X", seq2, sem, schema.EmpDeptNetwork(), bind2, nil); err == nil {
+		t.Error("non-equality entry condition")
+	}
+	// Non-retrieve op.
+	seq3 := semantic.SmithQuery()
+	seq3.Op = semantic.Delete
+	if _, err := ToNetworkProgram("X", seq3, sem, schema.EmpDeptNetwork(), bind, nil); err == nil {
+		t.Error("non-retrieve op")
+	}
+	// Missing set between entities.
+	disconnected := schema.EmpDeptNetwork()
+	disconnected.Sets = disconnected.Sets[:2] // drop E-ED and ED
+	if _, err := ToNetworkProgram("X", semantic.SmithQuery(), sem, disconnected, bind, nil); err == nil {
+		t.Error("missing sets")
+	}
+	// Missing binding in network synthesis.
+	if _, err := ToNetworkProgram("X", semantic.SmithQuery(), sem, schema.EmpDeptNetwork(),
+		Binding{{Field: "MGR", Op: "=", V: value.Str("S")}}, nil); err == nil {
+		t.Error("missing YOS binding")
+	}
+}
+
+// TestNonEqualityFilterInLoop: a > condition becomes an IF inside the
+// loop rather than a USING clause.
+func TestNonEqualityFilterInLoop(t *testing.T) {
+	seq, bind := smithBinding()
+	prog, err := ToNetworkProgram("F", seq, semantic.PersonnelSchema(), schema.EmpDeptNetwork(), bind, []string{"ENAME"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := dbprog.Format(prog)
+	if !strings.Contains(text, "IF YEAR-OF-SERVICE IN EMP-DEPT > 10") {
+		t.Errorf("filter IF missing:\n%s", text)
+	}
+	if strings.Contains(text, "USING YEAR-OF-SERVICE") {
+		t.Errorf("non-equality must not ride USING:\n%s", text)
+	}
+}

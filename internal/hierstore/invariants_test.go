@@ -1,0 +1,151 @@
+package hierstore
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"progconv/internal/schema"
+	"progconv/internal/value"
+)
+
+// checkHierInvariants verifies the structural promises of the engine:
+//
+//  1. parent/child links are bidirectional and typed per the schema;
+//  2. twins are ordered by their sequence field with no duplicates;
+//  3. the hierarchic sequence visits every live segment exactly once.
+func checkHierInvariants(t *testing.T, db *DB) {
+	t.Helper()
+	seen := map[SegID]bool{}
+	var walk func(id SegID, parentType string, parent SegID)
+	walk = func(id SegID, parentType string, parent SegID) {
+		if seen[id] {
+			t.Fatalf("segment %d visited twice", id)
+		}
+		seen[id] = true
+		if db.ParentOf(id) != parent {
+			t.Fatalf("segment %d: ParentOf=%d want %d", id, db.ParentOf(id), parent)
+		}
+		segType := db.Schema().Segment(db.TypeOf(id))
+		if segType == nil {
+			t.Fatalf("segment %d has unknown type %q", id, db.TypeOf(id))
+		}
+		for _, childType := range segType.Children {
+			kids := db.ChildrenOf(id, childType.Name)
+			keys := map[string]bool{}
+			for i, c := range kids {
+				if db.TypeOf(c) != childType.Name {
+					t.Fatalf("child %d of %d has type %s, want %s", c, id, db.TypeOf(c), childType.Name)
+				}
+				if childType.Seq != "" {
+					k := db.Data(c).MustGet(childType.Seq).Key()
+					if keys[k] {
+						t.Fatalf("twins under %d share sequence value", id)
+					}
+					keys[k] = true
+					if i > 0 {
+						prev := db.Data(kids[i-1]).MustGet(childType.Seq)
+						cur := db.Data(c).MustGet(childType.Seq)
+						if cmp, ok := prev.Compare(cur); ok && cmp > 0 {
+							t.Fatalf("twins under %d out of order", id)
+						}
+					}
+				}
+				walk(c, segType.Name, id)
+			}
+		}
+	}
+	rootType := db.Schema().Root
+	rootKeys := map[string]bool{}
+	for i, r := range db.Roots() {
+		if rootType.Seq != "" {
+			k := db.Data(r).MustGet(rootType.Seq).Key()
+			if rootKeys[k] {
+				t.Fatal("duplicate root sequence value")
+			}
+			rootKeys[k] = true
+			if i > 0 {
+				prev := db.Data(db.Roots()[i-1]).MustGet(rootType.Seq)
+				cur := db.Data(r).MustGet(rootType.Seq)
+				if cmp, ok := prev.Compare(cur); ok && cmp > 0 {
+					t.Fatal("roots out of order")
+				}
+			}
+		}
+		walk(r, "", 0)
+	}
+	if got := len(db.Sequence()); got != len(seen) {
+		t.Fatalf("Sequence visits %d segments, tree holds %d", got, len(seen))
+	}
+}
+
+// TestRandomDLISequencesPreserveInvariants drives random ISRT/DLET/REPL
+// mixes through a PCB and checks the tree invariants throughout.
+func TestRandomDLISequencesPreserveInvariants(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4} {
+		rng := rand.New(rand.NewSource(seed))
+		db := NewDB(schema.EmpDeptHierarchy())
+		s := NewSession(db)
+		for op := 0; op < 300; op++ {
+			switch rng.Intn(8) {
+			case 0, 1: // insert a department root
+				s.ISRT(value.FromPairs(
+					"D#", fmt.Sprintf("D%03d", rng.Intn(40)),
+					"DNAME", fmt.Sprintf("N%d", rng.Intn(5)),
+					"MGR", "M"), U("DEPT"))
+			case 2, 3, 4: // insert an employee under a random department
+				roots := db.Roots()
+				if len(roots) == 0 {
+					continue
+				}
+				d := db.Data(roots[rng.Intn(len(roots))]).MustGet("D#")
+				s.ISRT(value.FromPairs(
+					"E#", fmt.Sprintf("E%04d", rng.Intn(500)),
+					"ENAME", "X", "AGE", 20+rng.Intn(40), "YEAR-OF-SERVICE", rng.Intn(20)),
+					Q("DEPT", "D#", EQ, d), U("EMP"))
+			case 5: // replace a random segment's non-key data
+				seqn := db.Sequence()
+				if len(seqn) == 0 {
+					continue
+				}
+				id := seqn[rng.Intn(len(seqn))]
+				s.Reset()
+				if db.TypeOf(id) == "EMP" {
+					if _, st := s.GU(Q("EMP", "E#", EQ, db.Data(id).MustGet("E#"))); st == OK {
+						s.REPL(value.FromPairs("AGE", value.Of(int64(20+rng.Intn(40)))))
+					}
+				} else {
+					if _, st := s.GU(Q("DEPT", "D#", EQ, db.Data(id).MustGet("D#"))); st == OK {
+						s.REPL(value.FromPairs("DNAME", value.Str(fmt.Sprintf("N%d", rng.Intn(5)))))
+					}
+				}
+			case 6: // delete a random subtree
+				seqn := db.Sequence()
+				if len(seqn) == 0 {
+					continue
+				}
+				id := seqn[rng.Intn(len(seqn))]
+				s.Reset()
+				var st Status
+				if db.TypeOf(id) == "EMP" {
+					_, st = s.GU(Q("EMP", "E#", EQ, db.Data(id).MustGet("E#")))
+				} else {
+					_, st = s.GU(Q("DEPT", "D#", EQ, db.Data(id).MustGet("D#")))
+				}
+				if st == OK {
+					s.DLET()
+				}
+			case 7: // navigate (must not corrupt)
+				s.Reset()
+				s.GN()
+				s.GN(U("EMP"))
+				s.GNP(U("EMP"))
+			}
+			if op%40 == 0 {
+				checkHierInvariants(t, db)
+			}
+		}
+		checkHierInvariants(t, db)
+		checkHierInvariants(t, db.Clone())
+	}
+}

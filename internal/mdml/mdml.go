@@ -1,0 +1,492 @@
+// Package mdml implements the University of Maryland conversion-oriented
+// DML of §4.2 (Shneiderman): retrievals that "return collections of
+// records of a single record type", specified by a FIND with a qualified
+// access path that "begins with a SYSTEM owned set or a collection of
+// previously retrieved target records" and is extended by set-name /
+// record-name pairs, plus SORT, STORE, DELETE and MODIFY.
+//
+//	FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'MACHINERY'),
+//	     DIV-EMP, EMP(DEPT-NAME = 'SALES'))
+//
+// The language exists to be easy to convert: the paper's Figure 4.2→4.4
+// transformation rewrites these FIND paths mechanically, which
+// package xform reproduces.
+package mdml
+
+import (
+	"fmt"
+	"strings"
+
+	"progconv/internal/netstore"
+	"progconv/internal/value"
+)
+
+// Qual is a boolean qualification over one record's fields.
+type Qual interface {
+	fmt.Stringer
+	// Eval tests the record; params supply :NAME placeholders.
+	Eval(rec *value.Record, params map[string]value.Value) (bool, error)
+}
+
+// Cmp is FIELD op operand.
+type Cmp struct {
+	Field string
+	Op    string
+	Lit   value.Value // used when Param is empty
+	Param string
+}
+
+func (c Cmp) String() string {
+	if c.Param != "" {
+		return fmt.Sprintf("%s %s :%s", c.Field, c.Op, c.Param)
+	}
+	return fmt.Sprintf("%s %s %s", c.Field, c.Op, c.Lit.Literal())
+}
+
+// Eval implements Qual.
+func (c Cmp) Eval(rec *value.Record, params map[string]value.Value) (bool, error) {
+	lhs, ok := rec.Get(c.Field)
+	if !ok {
+		return false, fmt.Errorf("mdml: record has no field %s", c.Field)
+	}
+	rhs := c.Lit
+	if c.Param != "" {
+		v, bound := params[c.Param]
+		if !bound {
+			return false, fmt.Errorf("mdml: unbound parameter :%s", c.Param)
+		}
+		rhs = v
+	}
+	if lhs.IsNull() || rhs.IsNull() {
+		return false, nil
+	}
+	cmp, comparable := lhs.Compare(rhs)
+	if !comparable {
+		return false, nil
+	}
+	switch c.Op {
+	case "=":
+		return cmp == 0, nil
+	case "<>":
+		return cmp != 0, nil
+	case "<":
+		return cmp < 0, nil
+	case "<=":
+		return cmp <= 0, nil
+	case ">":
+		return cmp > 0, nil
+	case ">=":
+		return cmp >= 0, nil
+	}
+	return false, fmt.Errorf("mdml: unknown operator %q", c.Op)
+}
+
+// And is conjunction.
+type And struct{ L, R Qual }
+
+func (q And) String() string { return fmt.Sprintf("(%s AND %s)", q.L, q.R) }
+
+// Eval implements Qual.
+func (q And) Eval(rec *value.Record, params map[string]value.Value) (bool, error) {
+	l, err := q.L.Eval(rec, params)
+	if err != nil || !l {
+		return false, err
+	}
+	return q.R.Eval(rec, params)
+}
+
+// Or is disjunction.
+type Or struct{ L, R Qual }
+
+func (q Or) String() string { return fmt.Sprintf("(%s OR %s)", q.L, q.R) }
+
+// Eval implements Qual.
+func (q Or) Eval(rec *value.Record, params map[string]value.Value) (bool, error) {
+	l, err := q.L.Eval(rec, params)
+	if err != nil || l {
+		return l, err
+	}
+	return q.R.Eval(rec, params)
+}
+
+// Not is negation.
+type Not struct{ Q Qual }
+
+func (q Not) String() string { return fmt.Sprintf("(NOT %s)", q.Q) }
+
+// Eval implements Qual.
+func (q Not) Eval(rec *value.Record, params map[string]value.Value) (bool, error) {
+	v, err := q.Q.Eval(rec, params)
+	return !v, err
+}
+
+// Conjuncts decomposes a qualification into its top-level AND conjuncts,
+// the unit the Program Converter moves between path steps (a DEPT-NAME
+// condition migrates from the EMP step to the new DEPT step in the
+// Figure 4.2→4.4 conversion).
+func Conjuncts(q Qual) []Qual {
+	if q == nil {
+		return nil
+	}
+	if a, ok := q.(And); ok {
+		return append(Conjuncts(a.L), Conjuncts(a.R)...)
+	}
+	return []Qual{q}
+}
+
+// Conjoin rebuilds a qualification from conjuncts (nil for none).
+func Conjoin(qs []Qual) Qual {
+	var out Qual
+	for _, q := range qs {
+		if out == nil {
+			out = q
+		} else {
+			out = And{out, q}
+		}
+	}
+	return out
+}
+
+// QualFields returns every field name a qualification mentions.
+func QualFields(q Qual) []string {
+	switch x := q.(type) {
+	case nil:
+		return nil
+	case Cmp:
+		return []string{x.Field}
+	case And:
+		return append(QualFields(x.L), QualFields(x.R)...)
+	case Or:
+		return append(QualFields(x.L), QualFields(x.R)...)
+	case Not:
+		return QualFields(x.Q)
+	}
+	return nil
+}
+
+// IsEqualityOn reports whether the qualification pins the given field
+// with a top-level equality conjunct — the condition under which a
+// rewritten path stays within one set occurrence and needs no SORT.
+func IsEqualityOn(q Qual, field string) bool {
+	for _, c := range Conjuncts(q) {
+		if cmp, ok := c.(Cmp); ok && cmp.Field == field && cmp.Op == "=" {
+			return true
+		}
+	}
+	return false
+}
+
+// StepKind distinguishes path elements.
+type StepKind uint8
+
+// Path step kinds.
+const (
+	SystemStep     StepKind = iota // the SYSTEM entry point
+	CollectionStep                 // a previously retrieved collection, by name
+	SetStep                        // traverse a set from owners to members
+	RecordStep                     // filter to a record type, optionally qualified
+)
+
+// Step is one element of a FIND access path.
+type Step struct {
+	Kind StepKind
+	Name string // set name, record name, or collection name
+	Qual Qual   // only for RecordStep, may be nil
+}
+
+func (s Step) String() string {
+	switch s.Kind {
+	case SystemStep:
+		return "SYSTEM"
+	case CollectionStep:
+		return "@" + s.Name
+	case SetStep:
+		return s.Name
+	default:
+		if s.Qual != nil {
+			return fmt.Sprintf("%s(%s)", s.Name, s.Qual)
+		}
+		return s.Name
+	}
+}
+
+// Find is a FIND(target: path...) retrieval.
+type Find struct {
+	Target string
+	Steps  []Step
+}
+
+// String renders the FIND in the paper's syntax.
+func (f *Find) String() string {
+	parts := make([]string, len(f.Steps))
+	for i, s := range f.Steps {
+		parts[i] = s.String()
+	}
+	return fmt.Sprintf("FIND(%s: %s)", f.Target, strings.Join(parts, ", "))
+}
+
+// Sort wraps a Find (or collection) with an ordering, the paper's
+// SORT(FIND(...)) ON (EMP-NAME).
+type Sort struct {
+	Inner *Find
+	On    []string
+}
+
+// String renders the SORT in the paper's syntax.
+func (s *Sort) String() string {
+	return fmt.Sprintf("SORT(%s) ON (%s)", s.Inner, strings.Join(s.On, ", "))
+}
+
+// Evaluator runs Maryland DML against a network database.
+type Evaluator struct {
+	db *netstore.DB
+	// Collections holds previously retrieved collections by name, for
+	// paths that start from one.
+	Collections map[string][]netstore.RecordID
+	// Params supplies :NAME qualification placeholders.
+	Params map[string]value.Value
+}
+
+// NewEvaluator creates an evaluator over the database.
+func NewEvaluator(db *netstore.DB) *Evaluator {
+	return &Evaluator{
+		db:          db,
+		Collections: make(map[string][]netstore.RecordID),
+		Params:      make(map[string]value.Value),
+	}
+}
+
+// DB returns the underlying database.
+func (e *Evaluator) DB() *netstore.DB { return e.db }
+
+// Eval runs a FIND and returns the resulting collection of record IDs,
+// in traversal order, without duplicates (§4.2: "Duplicates are not
+// allowed").
+func (e *Evaluator) Eval(f *Find) ([]netstore.RecordID, error) {
+	if e.db.Schema().Record(f.Target) == nil {
+		return nil, fmt.Errorf("mdml: unknown target record type %s", f.Target)
+	}
+	if len(f.Steps) == 0 {
+		return nil, fmt.Errorf("mdml: empty access path")
+	}
+	sch := e.db.Schema()
+	if err := f.Classify(
+		func(n string) bool { return sch.Set(n) != nil },
+		func(n string) bool { return sch.Record(n) != nil },
+	); err != nil {
+		return nil, err
+	}
+	var current []netstore.RecordID
+	sawSystem := false
+	for i, step := range f.Steps {
+		switch step.Kind {
+		case SystemStep:
+			if i != 0 {
+				return nil, fmt.Errorf("mdml: SYSTEM must begin the path")
+			}
+			sawSystem = true
+		case CollectionStep:
+			if i != 0 {
+				return nil, fmt.Errorf("mdml: collection %s must begin the path", step.Name)
+			}
+			coll, ok := e.Collections[step.Name]
+			if !ok {
+				return nil, fmt.Errorf("mdml: unknown collection %s", step.Name)
+			}
+			current = append([]netstore.RecordID(nil), coll...)
+		case SetStep:
+			set := e.db.Schema().Set(step.Name)
+			if set == nil {
+				return nil, fmt.Errorf("mdml: unknown set %s", step.Name)
+			}
+			if i == 1 && sawSystem {
+				if !set.IsSystem() {
+					return nil, fmt.Errorf("mdml: set %s after SYSTEM is not SYSTEM-owned", step.Name)
+				}
+				current = e.db.SystemMembers(step.Name)
+				continue
+			}
+			var next []netstore.RecordID
+			seen := make(map[netstore.RecordID]bool)
+			for _, owner := range current {
+				if e.db.TypeOf(owner) != set.Owner {
+					return nil, fmt.Errorf("mdml: set %s cannot be traversed from %s records",
+						step.Name, e.db.TypeOf(owner))
+				}
+				for _, m := range e.db.Members(step.Name, owner) {
+					if !seen[m] {
+						seen[m] = true
+						next = append(next, m)
+					}
+				}
+			}
+			current = next
+		case RecordStep:
+			if e.db.Schema().Record(step.Name) == nil {
+				return nil, fmt.Errorf("mdml: unknown record type %s", step.Name)
+			}
+			var next []netstore.RecordID
+			for _, id := range current {
+				if e.db.TypeOf(id) != step.Name {
+					return nil, fmt.Errorf("mdml: path yields %s records where %s expected",
+						e.db.TypeOf(id), step.Name)
+				}
+				if step.Qual != nil {
+					keep, err := step.Qual.Eval(e.db.Data(id), e.Params)
+					if err != nil {
+						return nil, err
+					}
+					if !keep {
+						continue
+					}
+				}
+				next = append(next, id)
+			}
+			current = next
+		}
+	}
+	last := f.Steps[len(f.Steps)-1]
+	if last.Kind != RecordStep || last.Name != f.Target {
+		return nil, fmt.Errorf("mdml: path must end at the target record type %s", f.Target)
+	}
+	return current, nil
+}
+
+// EvalSort runs a SORT(FIND(...)) ON (fields).
+func (e *Evaluator) EvalSort(s *Sort) ([]netstore.RecordID, error) {
+	ids, err := e.Eval(s.Inner)
+	if err != nil {
+		return nil, err
+	}
+	return e.SortIDs(ids, s.On)
+}
+
+// SortIDs orders a collection by the given fields of the records' data.
+func (e *Evaluator) SortIDs(ids []netstore.RecordID, on []string) ([]netstore.RecordID, error) {
+	type pair struct {
+		id  netstore.RecordID
+		rec *value.Record
+	}
+	pairs := make([]pair, len(ids))
+	for i, id := range ids {
+		rec := e.db.Data(id)
+		if rec == nil {
+			return nil, fmt.Errorf("mdml: stale record %d in collection", id)
+		}
+		for _, f := range on {
+			if !rec.Has(f) {
+				return nil, fmt.Errorf("mdml: sort field %s not in record", f)
+			}
+		}
+		pairs[i] = pair{id, rec}
+	}
+	recs := make([]*value.Record, len(pairs))
+	order := make(map[*value.Record]netstore.RecordID, len(pairs))
+	for i, p := range pairs {
+		recs[i] = p.rec
+		order[p.rec] = p.id
+	}
+	value.SortRecords(recs, on)
+	out := make([]netstore.RecordID, len(recs))
+	for i, r := range recs {
+		out[i] = order[r]
+	}
+	return out, nil
+}
+
+// Records resolves a collection to its record data, in order.
+func (e *Evaluator) Records(ids []netstore.RecordID) []*value.Record {
+	out := make([]*value.Record, 0, len(ids))
+	for _, id := range ids {
+		if r := e.db.Data(id); r != nil {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Delete erases every record in the collection, with the engine's
+// retention semantics (MANDATORY members cascade).
+func (e *Evaluator) Delete(ids []netstore.RecordID) (int, error) {
+	sess := netstore.NewSession(e.db)
+	n := 0
+	for _, id := range ids {
+		if !e.db.Exists(id) {
+			continue // already cascaded away
+		}
+		recType := e.db.TypeOf(id)
+		if sess.Position(id) != netstore.OK {
+			continue
+		}
+		if _, err := sess.Erase(recType); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// Modify applies the assignments to every record in the collection.
+func (e *Evaluator) Modify(ids []netstore.RecordID, set *value.Record) (int, error) {
+	sess := netstore.NewSession(e.db)
+	n := 0
+	for _, id := range ids {
+		if !e.db.Exists(id) {
+			continue
+		}
+		recType := e.db.TypeOf(id)
+		if st := sess.Position(id); st != netstore.OK {
+			return n, fmt.Errorf("mdml: cannot reposition on record %d (%v)", id, st)
+		}
+		mst, err := sess.Modify(recType, set)
+		if err != nil {
+			return n, err
+		}
+		if mst != netstore.OK {
+			return n, fmt.Errorf("mdml: modify failed with %v", mst)
+		}
+		n++
+	}
+	return n, nil
+}
+
+// Store creates a record of the target type. ownerPaths names, for each
+// non-SYSTEM AUTOMATIC set the type is a member of, a FIND that must
+// resolve to exactly one owner occurrence; the new record is connected
+// beneath it.
+func (e *Evaluator) Store(target string, rec *value.Record, ownerPaths map[string]*Find) (netstore.RecordID, error) {
+	typ := e.db.Schema().Record(target)
+	if typ == nil {
+		return 0, fmt.Errorf("mdml: unknown record type %s", target)
+	}
+	sess := netstore.NewSession(e.db)
+	for _, set := range e.db.Schema().SetsWithMember(target) {
+		if set.IsSystem() {
+			continue
+		}
+		path, ok := ownerPaths[set.Name]
+		if !ok {
+			continue // MANUAL sets need no owner; AUTOMATIC will fail in Store
+		}
+		owners, err := e.Eval(path)
+		if err != nil {
+			return 0, err
+		}
+		if len(owners) != 1 {
+			return 0, fmt.Errorf("mdml: owner path for set %s resolved to %d records, need exactly 1",
+				set.Name, len(owners))
+		}
+		// Position the set's currency on the owner.
+		if st := sess.Position(owners[0]); st != netstore.OK {
+			return 0, fmt.Errorf("mdml: cannot position on owner for set %s (%v)", set.Name, st)
+		}
+	}
+	id, st, err := sess.Store(target, rec)
+	if err != nil {
+		return 0, err
+	}
+	if st != netstore.OK {
+		return 0, fmt.Errorf("mdml: store failed with %v", st)
+	}
+	return id, nil
+}

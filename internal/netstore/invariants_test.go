@@ -1,0 +1,187 @@
+package netstore
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"progconv/internal/schema"
+	"progconv/internal/value"
+)
+
+// checkInvariants verifies the structural invariants the engine promises
+// after any operation sequence:
+//
+//  1. membership is bidirectional: OwnerOf and Members agree exactly;
+//  2. every set occurrence is ordered by the set's keys;
+//  3. no duplicate set-key values inside one occurrence;
+//  4. AUTOMATIC+MANDATORY members of non-SYSTEM sets are always connected
+//     (they cannot be stored without an owner or disconnected later).
+func checkInvariants(t *testing.T, db *DB) {
+	t.Helper()
+	sch := db.Schema()
+	for _, set := range sch.Sets {
+		// Collect owner → members as recorded in the occurrence lists.
+		owners := []RecordID{OwnerSystem}
+		if !set.IsSystem() {
+			owners = db.AllOf(set.Owner)
+		}
+		listed := map[RecordID]RecordID{} // member -> owner per lists
+		for _, owner := range owners {
+			members := db.Members(set.Name, owner)
+			seenKeys := map[string]bool{}
+			for i, m := range members {
+				listed[m] = owner
+				data := db.StoredData(m)
+				if data == nil {
+					t.Fatalf("set %s lists erased record %d", set.Name, m)
+				}
+				if len(set.Keys) > 0 {
+					k := data.KeyOf(set.Keys)
+					if seenKeys[k] {
+						t.Fatalf("set %s occurrence of %d has duplicate key %v", set.Name, owner, set.Keys)
+					}
+					seenKeys[k] = true
+					if i > 0 {
+						prev := db.StoredData(members[i-1])
+						if value.CompareBy(prev, data, set.Keys) > 0 {
+							t.Fatalf("set %s occurrence of %d out of order at %d", set.Name, owner, i)
+						}
+					}
+				}
+			}
+		}
+		// Every member's OwnerOf agrees with the occurrence lists.
+		for _, m := range db.AllOf(set.Member) {
+			owner, connected := db.OwnerOf(set.Name, m)
+			lo, inList := listed[m]
+			if connected != inList {
+				t.Fatalf("set %s: record %d connected=%v but inList=%v", set.Name, m, connected, inList)
+			}
+			if connected && owner != lo {
+				t.Fatalf("set %s: record %d OwnerOf=%d but listed under %d", set.Name, m, owner, lo)
+			}
+			if !connected && set.Insertion == schema.Automatic && set.Retention == schema.Mandatory {
+				t.Fatalf("set %s: AUTOMATIC MANDATORY member %d is disconnected", set.Name, m)
+			}
+		}
+	}
+}
+
+// TestRandomOperationSequencesPreserveInvariants drives the engine with
+// seeded random operation mixes and checks the invariants throughout.
+func TestRandomOperationSequencesPreserveInvariants(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4, 5} {
+		rng := rand.New(rand.NewSource(seed))
+		db := NewDB(schema.CompanyV1())
+		s := NewSession(db)
+		divs := 0
+		for op := 0; op < 400; op++ {
+			switch rng.Intn(10) {
+			case 0, 1: // store a division
+				s.Store("DIV", value.FromPairs(
+					"DIV-NAME", fmt.Sprintf("DIV-%03d", divs),
+					"DIV-LOC", fmt.Sprintf("L%d", rng.Intn(5))))
+				divs++
+			case 2, 3, 4: // position on a random division and store an employee
+				if divs == 0 {
+					continue
+				}
+				s.FindAny("DIV", value.FromPairs("DIV-NAME", fmt.Sprintf("DIV-%03d", rng.Intn(divs))))
+				s.Store("EMP", value.FromPairs(
+					"EMP-NAME", fmt.Sprintf("E-%04d", rng.Intn(2000)),
+					"DEPT-NAME", fmt.Sprintf("D%d", rng.Intn(4)),
+					"AGE", 20+rng.Intn(40)))
+			case 5: // modify a random employee's set key (forces reordering)
+				ids := db.AllOf("EMP")
+				if len(ids) == 0 {
+					continue
+				}
+				s.Position(ids[rng.Intn(len(ids))])
+				s.Modify("EMP", value.FromPairs("EMP-NAME", fmt.Sprintf("E-%04d", rng.Intn(2000))))
+			case 6: // modify a non-key field
+				ids := db.AllOf("EMP")
+				if len(ids) == 0 {
+					continue
+				}
+				s.Position(ids[rng.Intn(len(ids))])
+				s.Modify("EMP", value.FromPairs("AGE", value.Of(int64(20+rng.Intn(40)))))
+			case 7: // erase a random employee
+				ids := db.AllOf("EMP")
+				if len(ids) == 0 {
+					continue
+				}
+				s.Position(ids[rng.Intn(len(ids))])
+				s.Erase("EMP")
+			case 8: // erase a random division (cascades its employees)
+				ids := db.AllOf("DIV")
+				if len(ids) == 0 {
+					continue
+				}
+				s.Position(ids[rng.Intn(len(ids))])
+				s.Erase("DIV")
+			case 9: // navigate around (must not corrupt anything)
+				s.FindInSet("ALL-DIV", First, nil)
+				s.FindInSet("ALL-DIV", Next, nil)
+				s.FindInSet("DIV-EMP", Next, nil)
+				s.FindOwner("DIV-EMP")
+			}
+			if op%50 == 0 {
+				checkInvariants(t, db)
+			}
+		}
+		checkInvariants(t, db)
+		// The clone carries identical structure.
+		checkInvariants(t, db.Clone())
+	}
+}
+
+// TestRandomSequencesWithManualOptionalSets exercises CONNECT/DISCONNECT
+// under the same invariant checks.
+func TestRandomSequencesWithManualOptionalSets(t *testing.T) {
+	sch := schema.CompanyV1()
+	sch.Set("DIV-EMP").Insertion = schema.Manual
+	sch.Set("DIV-EMP").Retention = schema.Optional
+	for _, seed := range []int64{11, 12, 13} {
+		rng := rand.New(rand.NewSource(seed))
+		db := NewDB(sch.Clone())
+		s := NewSession(db)
+		for d := 0; d < 3; d++ {
+			s.Store("DIV", value.FromPairs("DIV-NAME", fmt.Sprintf("DIV-%d", d), "DIV-LOC", "X"))
+		}
+		for op := 0; op < 300; op++ {
+			switch rng.Intn(6) {
+			case 0, 1: // store a free-floating employee
+				s.Store("EMP", value.FromPairs(
+					"EMP-NAME", fmt.Sprintf("E-%04d", rng.Intn(500)),
+					"DEPT-NAME", "D", "AGE", 30))
+			case 2, 3: // connect a random employee under a random division
+				ids := db.AllOf("EMP")
+				if len(ids) == 0 {
+					continue
+				}
+				s.FindAny("DIV", value.FromPairs("DIV-NAME", fmt.Sprintf("DIV-%d", rng.Intn(3))))
+				s.Position(ids[rng.Intn(len(ids))])
+				s.Connect("DIV-EMP")
+			case 4: // disconnect
+				ids := db.AllOf("EMP")
+				if len(ids) == 0 {
+					continue
+				}
+				s.Position(ids[rng.Intn(len(ids))])
+				s.Disconnect("DIV-EMP")
+			case 5: // erase
+				ids := db.AllOf("EMP")
+				if len(ids) == 0 {
+					continue
+				}
+				s.Position(ids[rng.Intn(len(ids))])
+				s.Erase("EMP")
+			}
+			if op%40 == 0 {
+				checkInvariants(t, db)
+			}
+		}
+		checkInvariants(t, db)
+	}
+}

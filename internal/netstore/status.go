@@ -1,0 +1,56 @@
+// Package netstore is the CODASYL DBTG network engine: record occurrences
+// connected into owner-coupled set occurrences, navigated by a run-unit
+// holding currency indicators, through the DML verbs the paper's programs
+// use (FIND, GET, STORE, ERASE, MODIFY, CONNECT, DISCONNECT).
+//
+// The engine exposes DB-STATUS codes rather than hiding outcomes in
+// errors, because §3.2's status-code dependence hazard is about programs
+// branching on those codes: the program layer must see exactly what a
+// 1979 program saw.
+package netstore
+
+// Status is the DB-STATUS register value after a DML operation. The
+// numeric codes follow the DBTG convention of a major code per statement
+// class; programs (and the §3.2 hazard analysis) branch on them.
+type Status int
+
+// DB-STATUS values.
+const (
+	OK             Status = 0      // operation succeeded
+	EndOfSet       Status = 307100 // FIND NEXT/PRIOR exhausted the set occurrence
+	NotFound       Status = 326500 // FIND ANY/DUPLICATE found no matching record
+	NoCurrency     Status = 306300 // operation needs a current record and none is set
+	NoCurrentOwner Status = 306100 // STORE/CONNECT found no current owner for a set
+	DuplicateInSet Status = 321205 // CONNECT/STORE would duplicate a set key in an occurrence
+	AlreadyMember  Status = 330500 // CONNECT target is already a member of the set
+	NotMember      Status = 322500 // DISCONNECT/FIND OWNER target is not a member
+	Retention      Status = 323100 // DISCONNECT from a MANDATORY set
+	WrongType      Status = 308200 // currency does not match the statement's record type
+)
+
+// String renders the status the way conversion reports spell it.
+func (s Status) String() string {
+	switch s {
+	case OK:
+		return "OK"
+	case EndOfSet:
+		return "END-OF-SET"
+	case NotFound:
+		return "NOT-FOUND"
+	case NoCurrency:
+		return "NO-CURRENCY"
+	case NoCurrentOwner:
+		return "NO-CURRENT-OWNER"
+	case DuplicateInSet:
+		return "DUPLICATE-IN-SET"
+	case AlreadyMember:
+		return "ALREADY-MEMBER"
+	case NotMember:
+		return "NOT-MEMBER"
+	case Retention:
+		return "RETENTION-VIOLATION"
+	case WrongType:
+		return "WRONG-TYPE"
+	}
+	return "UNKNOWN-STATUS"
+}

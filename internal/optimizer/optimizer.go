@@ -1,0 +1,365 @@
+// Package optimizer is the Optimizer of Figure 4.1: it "refines the
+// representation, improving access paths, algorithms, and data handling"
+// after conversion. Three refinements are implemented, each motivated by
+// a sentence of the paper:
+//
+//   - redundant SORT elimination — a SORT whose keys are already the
+//     enumeration order guaranteed by the access path is dropped;
+//   - qualification pushdown — a condition on a virtual field sourced
+//     from a record earlier on the path moves to that record's step, so
+//     whole sub-occurrences are skipped ("the original source program may
+//     not be efficiently coded");
+//   - access-path selection — a longer set chain is replaced by a shorter
+//     one with the same endpoints when the path graph offers a unique
+//     minimal route (§5.4: "closely related to the access path selection
+//     problem").
+package optimizer
+
+import (
+	"strconv"
+
+	"progconv/internal/dbprog"
+	"progconv/internal/mdml"
+	"progconv/internal/schema"
+	"progconv/internal/semantic"
+)
+
+// Optimization names one applied rewrite, for the conversion report.
+type Optimization struct {
+	Rule string
+	Note string
+}
+
+// Optimize refines a program against its (target) schema, returning the
+// refined program and the rewrites applied. Only Maryland and network
+// dialects have database-visible structure to refine; other dialects
+// return unchanged.
+func Optimize(p *dbprog.Program, net *schema.Network) (*dbprog.Program, []Optimization) {
+	o := &optimizer{net: net}
+	out := &dbprog.Program{Name: p.Name, Dialect: p.Dialect}
+	switch p.Dialect {
+	case dbprog.Maryland:
+		out.Stmts = o.block(p.Stmts)
+	case dbprog.Network:
+		out.Stmts = o.flatten(p.Stmts)
+	default:
+		return p, nil
+	}
+	return out, o.applied
+}
+
+type optimizer struct {
+	net     *schema.Network
+	applied []Optimization
+}
+
+func (o *optimizer) note(rule, note string) {
+	o.applied = append(o.applied, Optimization{Rule: rule, Note: note})
+}
+
+func (o *optimizer) block(stmts []dbprog.Stmt) []dbprog.Stmt {
+	var out []dbprog.Stmt
+	for _, st := range stmts {
+		switch s := st.(type) {
+		case dbprog.MFind:
+			out = append(out, o.optimizeMFind(s))
+		case dbprog.ForEach:
+			out = append(out, dbprog.ForEach{Var: s.Var, Coll: s.Coll, Body: o.block(s.Body)})
+		case dbprog.If:
+			out = append(out, dbprog.If{Cond: s.Cond, Then: o.block(s.Then), Else: o.block(s.Else)})
+		case dbprog.PerformUntil:
+			out = append(out, dbprog.PerformUntil{Cond: s.Cond, Body: o.block(s.Body)})
+		default:
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+func (o *optimizer) optimizeMFind(s dbprog.MFind) dbprog.Stmt {
+	find := s.Find
+	if s.Sort != nil {
+		find = s.Sort.Inner
+	}
+	// Parsed paths carry provisional step kinds; resolve them against the
+	// schema before structural rewriting. An unclassifiable path is left
+	// untouched (it will fail at run time with its own diagnostic).
+	if err := find.Classify(
+		func(n string) bool { return o.net.Set(n) != nil },
+		func(n string) bool { return o.net.Record(n) != nil },
+	); err != nil {
+		return s
+	}
+	find = o.pushdown(find)
+	find = o.shortenPath(find)
+	if s.Sort != nil {
+		if order, ok := o.guaranteedOrder(find); ok && sameFields(order, s.Sort.On) {
+			o.note("sort-elimination",
+				"SORT ON ("+joinFields(s.Sort.On)+") matches the path's guaranteed order")
+			return dbprog.MFind{Coll: s.Coll, Find: find}
+		}
+		return dbprog.MFind{Coll: s.Coll, Sort: &mdml.Sort{Inner: find, On: s.Sort.On}}
+	}
+	return dbprog.MFind{Coll: s.Coll, Find: find}
+}
+
+// guaranteedOrder computes the enumeration order a path guarantees: the
+// final set's keys, provided every earlier record step is pinned to a
+// single occurrence by an equality on its step set's keys — then the
+// final occurrence is unique and its internal order is the answer. A
+// single-set path from SYSTEM qualifies trivially.
+func (o *optimizer) guaranteedOrder(f *mdml.Find) ([]string, bool) {
+	var lastSet *schema.SetType
+	var sets []*schema.SetType
+	var recSteps []mdml.Step
+	for _, st := range f.Steps {
+		switch st.Kind {
+		case mdml.SetStep:
+			t := o.net.Set(st.Name)
+			if t == nil {
+				return nil, false
+			}
+			sets = append(sets, t)
+			lastSet = t
+		case mdml.RecordStep:
+			recSteps = append(recSteps, st)
+		case mdml.CollectionStep:
+			return nil, false // unknown base order
+		}
+	}
+	if lastSet == nil || len(lastSet.Keys) == 0 {
+		return nil, false
+	}
+	// Every set before the last must be pinned by its following record
+	// step: an equality on each of its keys.
+	for i := 0; i < len(sets)-1; i++ {
+		if i >= len(recSteps) {
+			return nil, false
+		}
+		for _, k := range sets[i].Keys {
+			if !mdml.IsEqualityOn(recSteps[i].Qual, k) {
+				return nil, false
+			}
+		}
+		if len(sets[i].Keys) == 0 {
+			return nil, false
+		}
+	}
+	return lastSet.Keys, true
+}
+
+// pushdown moves equality conjuncts on pass-through virtual fields to the
+// earliest step that stores the field.
+func (o *optimizer) pushdown(f *mdml.Find) *mdml.Find {
+	out := &mdml.Find{Target: f.Target, Steps: append([]mdml.Step(nil), f.Steps...)}
+	last := len(out.Steps) - 1
+	if last < 0 || out.Steps[last].Kind != mdml.RecordStep || out.Steps[last].Qual == nil {
+		return out
+	}
+	member := o.net.Record(out.Steps[last].Name)
+	if member == nil {
+		return out
+	}
+	var kept []mdml.Qual
+	for _, cj := range mdml.Conjuncts(out.Steps[last].Qual) {
+		fields := mdml.QualFields(cj)
+		moved := false
+		if len(fields) == 1 {
+			if vf := member.Field(fields[0]); vf != nil && vf.Virtual != nil {
+				// Find the step of the record that stores the source field.
+				if idx, ok := o.sourceStep(out.Steps[:last], vf); ok {
+					out.Steps[idx].Qual = mdml.Conjoin(append(mdml.Conjuncts(out.Steps[idx].Qual), renameQualField(cj, vf.Virtual.Using)))
+					o.note("qualification-pushdown",
+						"condition on virtual "+member.Name+"."+fields[0]+" moved to "+out.Steps[idx].Name)
+					moved = true
+				}
+			}
+		}
+		if !moved {
+			kept = append(kept, cj)
+		}
+	}
+	out.Steps[last].Qual = mdml.Conjoin(kept)
+	return out
+}
+
+// sourceStep locates the path step holding the record type that stores a
+// virtual field's source, following pass-through virtuals.
+func (o *optimizer) sourceStep(steps []mdml.Step, vf *schema.Field) (int, bool) {
+	set := o.net.Set(vf.Virtual.ViaSet)
+	if set == nil {
+		return 0, false
+	}
+	ownerType := set.Owner
+	owner := o.net.Record(ownerType)
+	if owner == nil {
+		return 0, false
+	}
+	srcField := owner.Field(vf.Virtual.Using)
+	if srcField == nil {
+		return 0, false
+	}
+	if srcField.Virtual != nil {
+		// Pass-through: keep climbing.
+		for i := len(steps) - 1; i >= 0; i-- {
+			if steps[i].Kind == mdml.RecordStep && steps[i].Name == ownerType {
+				if idx, ok := o.sourceStep(steps[:i], srcField); ok {
+					return idx, true
+				}
+				return i, true
+			}
+		}
+		return 0, false
+	}
+	for i := len(steps) - 1; i >= 0; i-- {
+		if steps[i].Kind == mdml.RecordStep && steps[i].Name == ownerType {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+func renameQualField(q mdml.Qual, newField string) mdml.Qual {
+	switch x := q.(type) {
+	case mdml.Cmp:
+		x.Field = newField
+		return x
+	case mdml.Not:
+		return mdml.Not{Q: renameQualField(x.Q, newField)}
+	case mdml.Or:
+		return mdml.Or{L: renameQualField(x.L, newField), R: renameQualField(x.R, newField)}
+	case mdml.And:
+		return mdml.And{L: renameQualField(x.L, newField), R: renameQualField(x.R, newField)}
+	}
+	return q
+}
+
+// shortenPath replaces an unqualified set chain with a unique shorter
+// route between the same record endpoints.
+func (o *optimizer) shortenPath(f *mdml.Find) *mdml.Find {
+	// Locate a maximal run SetStep (RecordStep unqualified SetStep)* and
+	// try to replace it. Only fully unqualified interior records may be
+	// skipped.
+	steps := f.Steps
+	for start := 0; start < len(steps); start++ {
+		if steps[start].Kind != mdml.RecordStep {
+			continue
+		}
+		// Chain: record at start, then alternate set/record to another
+		// record with only unqualified records in between.
+		end := start
+		hops := 0
+		for j := start + 1; j+1 < len(steps); j += 2 {
+			if steps[j].Kind != mdml.SetStep || steps[j+1].Kind != mdml.RecordStep {
+				break
+			}
+			hops++
+			end = j + 1
+			if steps[j+1].Qual != nil {
+				break // qualified: cannot skip past it, but may end here
+			}
+		}
+		if hops < 2 {
+			continue
+		}
+		// Interior records must be unqualified.
+		interiorClean := true
+		for j := start + 1; j < end; j++ {
+			if steps[j].Kind == mdml.RecordStep && steps[j].Qual != nil {
+				interiorClean = false
+			}
+		}
+		if !interiorClean {
+			continue
+		}
+		from, to := steps[start].Name, steps[end].Name
+		short, unique, err := semantic.ShortestNetworkPath(o.net, from, to, hops)
+		if err != nil || !unique || short.Cost() >= hops {
+			continue
+		}
+		// All hops must be downward (FIND paths traverse owner→member).
+		down := true
+		for _, h := range short.Hops {
+			if !h.Down {
+				down = false
+			}
+		}
+		if !down {
+			continue
+		}
+		var repl []mdml.Step
+		repl = append(repl, steps[:start+1]...)
+		cur := from
+		for _, h := range short.Hops {
+			set := o.net.Set(h.Set)
+			repl = append(repl, mdml.Step{Kind: mdml.SetStep, Name: h.Set})
+			cur = set.Member
+			last := h == short.Hops[len(short.Hops)-1]
+			step := mdml.Step{Kind: mdml.RecordStep, Name: cur}
+			if last {
+				step.Qual = steps[end].Qual
+			}
+			repl = append(repl, step)
+		}
+		repl = append(repl, steps[end+1:]...)
+		o.note("access-path-selection",
+			"chain "+from+"→"+to+" shortened from "+strconv.Itoa(hops)+" to "+strconv.Itoa(short.Cost())+" sets")
+		return &mdml.Find{Target: f.Target, Steps: repl}
+	}
+	return f
+}
+
+// flatten removes the always-true IF wrappers the converter uses to
+// expand one statement into two, and recurses into blocks.
+func (o *optimizer) flatten(stmts []dbprog.Stmt) []dbprog.Stmt {
+	var out []dbprog.Stmt
+	for _, st := range stmts {
+		switch s := st.(type) {
+		case dbprog.If:
+			if isAlwaysTrue(s.Cond) && len(s.Else) == 0 {
+				o.note("constant-fold", "always-true IF flattened")
+				out = append(out, o.flatten(s.Then)...)
+				continue
+			}
+			out = append(out, dbprog.If{Cond: s.Cond, Then: o.flatten(s.Then), Else: o.flatten(s.Else)})
+		case dbprog.PerformUntil:
+			out = append(out, dbprog.PerformUntil{Cond: s.Cond, Body: o.flatten(s.Body)})
+		default:
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+func isAlwaysTrue(e dbprog.Expr) bool {
+	b, ok := e.(dbprog.Bin)
+	if !ok || b.Op != "=" {
+		return false
+	}
+	l, lok := b.L.(dbprog.Lit)
+	r, rok := b.R.(dbprog.Lit)
+	return lok && rok && l.V.Equal(r.V)
+}
+
+func sameFields(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func joinFields(fs []string) string {
+	out := ""
+	for i, f := range fs {
+		if i > 0 {
+			out += ", "
+		}
+		out += f
+	}
+	return out
+}

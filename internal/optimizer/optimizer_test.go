@@ -1,0 +1,257 @@
+package optimizer
+
+import (
+	"strings"
+	"testing"
+
+	"progconv/internal/dbprog"
+	"progconv/internal/netstore"
+	"progconv/internal/schema"
+	"progconv/internal/value"
+)
+
+func parse(t *testing.T, src string) *dbprog.Program {
+	t.Helper()
+	p, err := dbprog.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return p
+}
+
+func v2DB(t *testing.T) *netstore.DB {
+	t.Helper()
+	db := netstore.NewDB(schema.CompanyV2())
+	s := netstore.NewSession(db)
+	for _, d := range []struct{ n, l string }{{"MACHINERY", "DETROIT"}, {"TEXTILES", "ATLANTA"}} {
+		s.Store("DIV", value.FromPairs("DIV-NAME", d.n, "DIV-LOC", d.l))
+	}
+	for _, e := range []struct {
+		div, dept, name string
+		age             int
+	}{
+		{"MACHINERY", "SALES", "ADAMS", 45},
+		{"MACHINERY", "SALES", "BAKER", 28},
+		{"MACHINERY", "WELDING", "CLARK", 33},
+		{"TEXTILES", "SALES", "DAVIS", 51},
+	} {
+		s.FindAny("DIV", value.FromPairs("DIV-NAME", e.div))
+		if st, _ := s.FindAny("DEPT", value.FromPairs("DEPT-NAME", e.dept, "DIV-NAME", e.div)); st != netstore.OK {
+			s.FindAny("DIV", value.FromPairs("DIV-NAME", e.div))
+			s.Store("DEPT", value.FromPairs("DEPT-NAME", e.dept))
+		}
+		s.Store("EMP", value.FromPairs("EMP-NAME", e.name, "AGE", e.age))
+	}
+	return db
+}
+
+// assertSameTrace runs both programs on fresh copies of the database and
+// compares I/O.
+func assertSameTrace(t *testing.T, a, b *dbprog.Program, db *netstore.DB) {
+	t.Helper()
+	tr1, err1 := dbprog.Run(a, dbprog.Config{Net: db.Clone()})
+	tr2, err2 := dbprog.Run(b, dbprog.Config{Net: db.Clone()})
+	if err1 != nil || err2 != nil {
+		t.Fatalf("runs: %v / %v", err1, err2)
+	}
+	if !tr1.Equal(tr2) {
+		t.Fatalf("optimization changed behaviour:\n%s\nvs\n%s\noptimized:\n%s",
+			tr1, tr2, dbprog.Format(b))
+	}
+}
+
+func TestSortEliminationOnSystemSet(t *testing.T) {
+	p := parse(t, `
+PROGRAM SE DIALECT MARYLAND.
+  SORT(FIND(DIV: SYSTEM, ALL-DIV, DIV)) ON (DIV-NAME) INTO C.
+  FOR EACH D IN C
+    PRINT DIV-NAME IN D.
+  END-FOR.
+END PROGRAM.
+`)
+	out, opts := Optimize(p, schema.CompanyV2())
+	text := dbprog.Format(out)
+	if strings.Contains(text, "SORT") {
+		t.Errorf("SORT not eliminated:\n%s", text)
+	}
+	if len(opts) == 0 || opts[0].Rule != "sort-elimination" {
+		t.Errorf("opts = %v", opts)
+	}
+	assertSameTrace(t, p, out, v2DB(t))
+}
+
+func TestSortKeptWhenOrderDiffers(t *testing.T) {
+	p := parse(t, `
+PROGRAM SK DIALECT MARYLAND.
+  SORT(FIND(DIV: SYSTEM, ALL-DIV, DIV)) ON (DIV-LOC) INTO C.
+  FOR EACH D IN C
+    PRINT DIV-NAME IN D.
+  END-FOR.
+END PROGRAM.
+`)
+	out, _ := Optimize(p, schema.CompanyV2())
+	if !strings.Contains(dbprog.Format(out), "SORT") {
+		t.Error("SORT on non-key order must stay")
+	}
+	assertSameTrace(t, p, out, v2DB(t))
+}
+
+func TestSortEliminationPinnedChain(t *testing.T) {
+	// DIV pinned by equality on ALL-DIV's key, DEPT pinned on DIV-DEPT's
+	// key: enumeration over DEPT-EMP is by EMP-NAME, so the SORT drops.
+	p := parse(t, `
+PROGRAM SP DIALECT MARYLAND.
+  SORT(FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'MACHINERY'), DIV-DEPT, DEPT(DEPT-NAME = 'SALES'), DEPT-EMP, EMP)) ON (EMP-NAME) INTO C.
+  FOR EACH E IN C
+    PRINT EMP-NAME IN E.
+  END-FOR.
+END PROGRAM.
+`)
+	out, _ := Optimize(p, schema.CompanyV2())
+	if strings.Contains(dbprog.Format(out), "SORT") {
+		t.Errorf("pinned chain SORT should drop:\n%s", dbprog.Format(out))
+	}
+	assertSameTrace(t, p, out, v2DB(t))
+}
+
+func TestSortKeptWhenChainUnpinned(t *testing.T) {
+	p := parse(t, `
+PROGRAM SU DIALECT MARYLAND.
+  SORT(FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-DEPT, DEPT, DEPT-EMP, EMP)) ON (EMP-NAME) INTO C.
+  FOR EACH E IN C
+    PRINT EMP-NAME IN E.
+  END-FOR.
+END PROGRAM.
+`)
+	out, _ := Optimize(p, schema.CompanyV2())
+	if !strings.Contains(dbprog.Format(out), "SORT") {
+		t.Error("unpinned chain crosses occurrences; SORT must stay")
+	}
+	assertSameTrace(t, p, out, v2DB(t))
+}
+
+func TestQualificationPushdown(t *testing.T) {
+	// DIV-NAME on EMP is a two-level pass-through virtual: the condition
+	// moves all the way up to the DIV step.
+	p := parse(t, `
+PROGRAM QP DIALECT MARYLAND.
+  FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-DEPT, DEPT, DEPT-EMP, EMP(DIV-NAME = 'TEXTILES')) INTO C.
+  FOR EACH E IN C
+    PRINT EMP-NAME IN E.
+  END-FOR.
+END PROGRAM.
+`)
+	out, opts := Optimize(p, schema.CompanyV2())
+	text := dbprog.Format(out)
+	if !strings.Contains(text, "DIV(DIV-NAME = 'TEXTILES')") {
+		t.Errorf("condition not pushed to DIV:\n%s", text)
+	}
+	if !strings.Contains(text, "EMP)") || strings.Contains(text, "EMP(DIV-NAME") {
+		t.Errorf("member step should lose the condition:\n%s", text)
+	}
+	found := false
+	for _, o := range opts {
+		if o.Rule == "qualification-pushdown" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("opts = %v", opts)
+	}
+	assertSameTrace(t, p, out, v2DB(t))
+}
+
+func TestPushdownOneLevelVirtual(t *testing.T) {
+	// DEPT-NAME on EMP is sourced from DEPT: moves one level.
+	p := parse(t, `
+PROGRAM QP1 DIALECT MARYLAND.
+  FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-DEPT, DEPT, DEPT-EMP, EMP(DEPT-NAME = 'SALES' AND AGE > 30)) INTO C.
+  FOR EACH E IN C
+    PRINT EMP-NAME IN E.
+  END-FOR.
+END PROGRAM.
+`)
+	out, _ := Optimize(p, schema.CompanyV2())
+	text := dbprog.Format(out)
+	if !strings.Contains(text, "DEPT(DEPT-NAME = 'SALES')") || !strings.Contains(text, "EMP(AGE > 30)") {
+		t.Errorf("one-level pushdown:\n%s", text)
+	}
+	assertSameTrace(t, p, out, v2DB(t))
+}
+
+func TestAccessPathSelection(t *testing.T) {
+	// Add a shortcut set DIV→EMP alongside the chain; the long path
+	// rewrites onto it.
+	sch := schema.CompanyV2()
+	sch.Sets = append(sch.Sets, &schema.SetType{
+		Name: "DIV-EMP-X", Owner: "DIV", Member: "EMP", Keys: []string{"EMP-NAME"},
+		Insertion: schema.Manual, Retention: schema.Optional,
+	})
+	p := parse(t, `
+PROGRAM AP DIALECT MARYLAND.
+  FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'MACHINERY'), DIV-DEPT, DEPT, DEPT-EMP, EMP(AGE > 30)) INTO C.
+  FOR EACH E IN C
+    PRINT EMP-NAME IN E.
+  END-FOR.
+END PROGRAM.
+`)
+	out, opts := Optimize(p, sch)
+	text := dbprog.Format(out)
+	if !strings.Contains(text, "DIV-EMP-X") {
+		t.Errorf("shortcut not chosen:\n%s", text)
+	}
+	found := false
+	for _, o := range opts {
+		if o.Rule == "access-path-selection" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("opts = %v", opts)
+	}
+}
+
+func TestNoPathSelectionWhenAmbiguous(t *testing.T) {
+	// Two parallel shortcuts: ambiguous, keep the original chain.
+	sch := schema.CompanyV2()
+	sch.Sets = append(sch.Sets,
+		&schema.SetType{Name: "DIV-EMP-X", Owner: "DIV", Member: "EMP", Insertion: schema.Manual},
+		&schema.SetType{Name: "DIV-EMP-Y", Owner: "DIV", Member: "EMP", Insertion: schema.Manual},
+	)
+	p := parse(t, `
+PROGRAM AP2 DIALECT MARYLAND.
+  FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'M'), DIV-DEPT, DEPT, DEPT-EMP, EMP) INTO C.
+END PROGRAM.
+`)
+	out, _ := Optimize(p, sch)
+	if strings.Contains(dbprog.Format(out), "DIV-EMP-X") {
+		t.Error("ambiguous shortcut must not be chosen")
+	}
+}
+
+func TestFlattenGeneratedIf(t *testing.T) {
+	p := &dbprog.Program{Name: "F", Dialect: dbprog.Network, Stmts: []dbprog.Stmt{
+		dbprog.If{
+			Cond: dbprog.Bin{Op: "=", L: dbprog.Lit{V: value.Of(1)}, R: dbprog.Lit{V: value.Of(1)}},
+			Then: []dbprog.Stmt{
+				dbprog.FindOwner{Set: "DEPT-EMP"},
+				dbprog.FindOwner{Set: "DIV-DEPT"},
+			},
+		},
+	}}
+	out, opts := Optimize(p, schema.CompanyV2())
+	if len(out.Stmts) != 2 {
+		t.Errorf("not flattened: %v", out.Stmts)
+	}
+	if len(opts) != 1 || opts[0].Rule != "constant-fold" {
+		t.Errorf("opts = %v", opts)
+	}
+}
+
+func TestOtherDialectsUntouched(t *testing.T) {
+	p := parse(t, `PROGRAM S DIALECT SEQUEL. PRINT 'HI'. END PROGRAM.`)
+	out, opts := Optimize(p, schema.CompanyV2())
+	if out != p || opts != nil {
+		t.Error("SEQUEL programs should pass through")
+	}
+}

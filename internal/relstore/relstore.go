@@ -1,0 +1,351 @@
+// Package relstore is the relational engine: an in-memory store of typed
+// tuples with primary-key uniqueness (the one constraint §3.1 says the
+// relational model maintains explicitly, "by means of key declarations")
+// and optional foreign-key (existence) enforcement.
+//
+// Foreign-key enforcement is off by default, matching the paper's 1979
+// observation that existence constraints "can be and are maintained by
+// the programs that access the database". Turning it on moves those
+// constraints out of program logic and into the model, which is exactly
+// the centralization §3.1 argues for; the EXP-F3.1 experiment exercises
+// both configurations.
+package relstore
+
+import (
+	"fmt"
+
+	"progconv/internal/schema"
+	"progconv/internal/value"
+)
+
+// Option configures a DB.
+type Option func(*DB)
+
+// EnforceForeignKeys makes Insert, Update and Delete maintain the
+// schema's referential constraints centrally.
+func EnforceForeignKeys() Option {
+	return func(db *DB) { db.enforceFK = true }
+}
+
+// DB is an in-memory relational database instance.
+type DB struct {
+	schema    *schema.Relational
+	tables    map[string]*table
+	enforceFK bool
+}
+
+type table struct {
+	rel   *schema.Relation
+	rows  []*value.Record
+	byKey map[string]*value.Record
+}
+
+// NewDB creates an empty database for the schema. The schema must be
+// valid; NewDB panics otherwise, since an invalid schema is a programming
+// error in the caller.
+func NewDB(s *schema.Relational, opts ...Option) *DB {
+	if err := s.Validate(); err != nil {
+		panic(fmt.Sprintf("relstore: invalid schema: %v", err))
+	}
+	db := &DB{schema: s, tables: make(map[string]*table, len(s.Relations))}
+	for _, r := range s.Relations {
+		db.tables[r.Name] = &table{rel: r, byKey: make(map[string]*value.Record)}
+	}
+	for _, o := range opts {
+		o(db)
+	}
+	return db
+}
+
+// Schema returns the database's schema.
+func (db *DB) Schema() *schema.Relational { return db.schema }
+
+// EnforcesForeignKeys reports whether referential constraints are
+// maintained centrally.
+func (db *DB) EnforcesForeignKeys() bool { return db.enforceFK }
+
+func (db *DB) table(rel string) (*table, error) {
+	t, ok := db.tables[rel]
+	if !ok {
+		return nil, fmt.Errorf("relstore: unknown relation %s", rel)
+	}
+	return t, nil
+}
+
+// checkShape verifies the tuple matches the relation: every declared
+// column present with a value of the declared kind (or null for non-key
+// columns), and no extra fields.
+func checkShape(rel *schema.Relation, rec *value.Record) error {
+	if rec.Len() != len(rel.Columns) {
+		return fmt.Errorf("relstore: %s: tuple has %d fields, relation has %d columns",
+			rel.Name, rec.Len(), len(rel.Columns))
+	}
+	for _, c := range rel.Columns {
+		v, ok := rec.Get(c.Name)
+		if !ok {
+			return fmt.Errorf("relstore: %s: missing column %s", rel.Name, c.Name)
+		}
+		if v.IsNull() {
+			if rel.IsKey(c.Name) {
+				// §3.1: "In particular, CNO and S can not have null values."
+				return fmt.Errorf("relstore: %s: key column %s cannot be null", rel.Name, c.Name)
+			}
+			continue
+		}
+		if v.Kind() != c.Kind {
+			return fmt.Errorf("relstore: %s.%s: value kind %v, column kind %v",
+				rel.Name, c.Name, v.Kind(), c.Kind)
+		}
+	}
+	return nil
+}
+
+func (db *DB) checkForeign(rel *schema.Relation, rec *value.Record) error {
+	for _, fk := range rel.ForeignKeys {
+		vals := make([]value.Value, len(fk.Fields))
+		anyNull := false
+		for i, f := range fk.Fields {
+			vals[i] = rec.MustGet(f)
+			anyNull = anyNull || vals[i].IsNull()
+		}
+		if anyNull {
+			continue // a null reference asserts nothing
+		}
+		ref := db.tables[fk.RefRel]
+		probe := value.NewRecord()
+		for i, f := range fk.RefFields {
+			probe.Set(f, vals[i])
+		}
+		if _, ok := ref.byKey[probe.KeyOf(fk.RefFields)]; !ok {
+			return fmt.Errorf("relstore: %s: foreign key (%v) has no matching %s tuple",
+				rel.Name, vals, fk.RefRel)
+		}
+	}
+	return nil
+}
+
+// referencedBy reports an error if any tuple elsewhere references rec
+// through a foreign key of the schema.
+func (db *DB) referencedBy(rel *schema.Relation, rec *value.Record) error {
+	for _, other := range db.schema.Relations {
+		for _, fk := range other.ForeignKeys {
+			if fk.RefRel != rel.Name {
+				continue
+			}
+			for _, row := range db.tables[other.Name].rows {
+				match := true
+				for i, f := range fk.Fields {
+					fv := row.MustGet(f)
+					if fv.IsNull() || !fv.Equal(rec.MustGet(fk.RefFields[i])) {
+						match = false
+						break
+					}
+				}
+				if match {
+					return fmt.Errorf("relstore: %s tuple is referenced by %s", rel.Name, other.Name)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Insert adds a tuple. The record is cloned; the caller keeps ownership
+// of its argument.
+func (db *DB) Insert(rel string, rec *value.Record) error {
+	t, err := db.table(rel)
+	if err != nil {
+		return err
+	}
+	if err := checkShape(t.rel, rec); err != nil {
+		return err
+	}
+	key := rec.KeyOf(t.rel.Key)
+	if _, dup := t.byKey[key]; dup {
+		return fmt.Errorf("relstore: %s: duplicate key %v", rel, projectKey(t.rel, rec))
+	}
+	if db.enforceFK {
+		if err := db.checkForeign(t.rel, rec); err != nil {
+			return err
+		}
+	}
+	row := rec.Clone()
+	t.rows = append(t.rows, row)
+	t.byKey[key] = row
+	return nil
+}
+
+func projectKey(rel *schema.Relation, rec *value.Record) []string {
+	out := make([]string, len(rel.Key))
+	for i, k := range rel.Key {
+		out[i] = rec.MustGet(k).String()
+	}
+	return out
+}
+
+// FindByKey returns a copy of the tuple with the given key values (in
+// schema key order), or nil if absent.
+func (db *DB) FindByKey(rel string, keyVals ...value.Value) (*value.Record, error) {
+	t, err := db.table(rel)
+	if err != nil {
+		return nil, err
+	}
+	if len(keyVals) != len(t.rel.Key) {
+		return nil, fmt.Errorf("relstore: %s: key has %d columns, got %d values",
+			rel, len(t.rel.Key), len(keyVals))
+	}
+	probe := value.NewRecord()
+	for i, k := range t.rel.Key {
+		probe.Set(k, keyVals[i])
+	}
+	row, ok := t.byKey[probe.KeyOf(t.rel.Key)]
+	if !ok {
+		return nil, nil
+	}
+	return row.Clone(), nil
+}
+
+// Scan calls fn for each tuple of the relation in insertion order. The
+// record passed to fn is the stored row; fn must not mutate it. Returning
+// false stops the scan.
+func (db *DB) Scan(rel string, fn func(*value.Record) bool) error {
+	t, err := db.table(rel)
+	if err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if !fn(row) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// All returns copies of every tuple in the relation, in insertion order.
+func (db *DB) All(rel string) ([]*value.Record, error) {
+	t, err := db.table(rel)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*value.Record, len(t.rows))
+	for i, row := range t.rows {
+		out[i] = row.Clone()
+	}
+	return out, nil
+}
+
+// Count returns the number of tuples in the relation.
+func (db *DB) Count(rel string) (int, error) {
+	t, err := db.table(rel)
+	if err != nil {
+		return 0, err
+	}
+	return len(t.rows), nil
+}
+
+// DeleteWhere removes every tuple satisfying pred and returns how many
+// were removed. With foreign keys enforced, a referenced tuple makes the
+// whole operation fail without changes (the engine refuses to create the
+// §3.1 inconsistency that ERASE-with-cascade can).
+func (db *DB) DeleteWhere(rel string, pred func(*value.Record) bool) (int, error) {
+	t, err := db.table(rel)
+	if err != nil {
+		return 0, err
+	}
+	var doomed []*value.Record
+	for _, row := range t.rows {
+		if pred(row) {
+			doomed = append(doomed, row)
+		}
+	}
+	if db.enforceFK {
+		for _, row := range doomed {
+			if err := db.referencedBy(t.rel, row); err != nil {
+				return 0, err
+			}
+		}
+	}
+	if len(doomed) == 0 {
+		return 0, nil
+	}
+	kept := t.rows[:0]
+	doomedSet := make(map[*value.Record]bool, len(doomed))
+	for _, d := range doomed {
+		doomedSet[d] = true
+	}
+	for _, row := range t.rows {
+		if doomedSet[row] {
+			delete(t.byKey, row.KeyOf(t.rel.Key))
+		} else {
+			kept = append(kept, row)
+		}
+	}
+	t.rows = kept
+	return len(doomed), nil
+}
+
+// Update applies set to every tuple satisfying pred. set receives a copy
+// and returns the replacement; key changes are re-indexed and checked for
+// uniqueness. Returns how many tuples changed. The operation is
+// all-or-nothing: any constraint violation leaves the table untouched.
+func (db *DB) Update(rel string, pred func(*value.Record) bool, set func(*value.Record)) (int, error) {
+	t, err := db.table(rel)
+	if err != nil {
+		return 0, err
+	}
+	type change struct {
+		idx int
+		rec *value.Record
+	}
+	var changes []change
+	newKeys := make(map[string]bool)
+	for i, row := range t.rows {
+		if !pred(row) {
+			continue
+		}
+		rec := row.Clone()
+		set(rec)
+		if err := checkShape(t.rel, rec); err != nil {
+			return 0, err
+		}
+		oldKey, newKey := row.KeyOf(t.rel.Key), rec.KeyOf(t.rel.Key)
+		if newKey != oldKey {
+			if _, exists := t.byKey[newKey]; exists {
+				return 0, fmt.Errorf("relstore: %s: update would duplicate key %v", rel, projectKey(t.rel, rec))
+			}
+		}
+		if newKeys[newKey] {
+			return 0, fmt.Errorf("relstore: %s: update would duplicate key %v", rel, projectKey(t.rel, rec))
+		}
+		newKeys[newKey] = true
+		if db.enforceFK {
+			if err := db.checkForeign(t.rel, rec); err != nil {
+				return 0, err
+			}
+		}
+		changes = append(changes, change{i, rec})
+	}
+	for _, c := range changes {
+		old := t.rows[c.idx]
+		delete(t.byKey, old.KeyOf(t.rel.Key))
+		t.rows[c.idx] = c.rec
+		t.byKey[c.rec.KeyOf(t.rel.Key)] = c.rec
+	}
+	return len(changes), nil
+}
+
+// Clone returns an independent deep copy of the database, used by the
+// restructurer and the bridge baseline.
+func (db *DB) Clone() *DB {
+	c := NewDB(db.schema.Clone())
+	c.enforceFK = db.enforceFK
+	for name, t := range db.tables {
+		ct := c.tables[name]
+		for _, row := range t.rows {
+			r := row.Clone()
+			ct.rows = append(ct.rows, r)
+			ct.byKey[r.KeyOf(t.rel.Key)] = r
+		}
+	}
+	return c
+}

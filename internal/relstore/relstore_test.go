@@ -1,0 +1,411 @@
+package relstore
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"progconv/internal/schema"
+	"progconv/internal/value"
+)
+
+func schoolDB(t *testing.T, opts ...Option) *DB {
+	t.Helper()
+	return NewDB(schema.SchoolRelational(), opts...)
+}
+
+func mustInsert(t *testing.T, db *DB, rel string, rec *value.Record) {
+	t.Helper()
+	if err := db.Insert(rel, rec); err != nil {
+		t.Fatalf("Insert(%s, %v): %v", rel, rec, err)
+	}
+}
+
+func seedSchool(t *testing.T, db *DB) {
+	t.Helper()
+	mustInsert(t, db, "COURSE", value.FromPairs("CNO", "CS101", "CNAME", "Intro"))
+	mustInsert(t, db, "COURSE", value.FromPairs("CNO", "CS202", "CNAME", "Databases"))
+	mustInsert(t, db, "SEMESTER", value.FromPairs("S", "F78", "YEAR", 1978))
+	mustInsert(t, db, "COURSE-OFFERING",
+		value.FromPairs("CNO", "CS101", "S", "F78", "INSTRUCTOR", "Taylor"))
+}
+
+func TestInsertAndFindByKey(t *testing.T) {
+	db := schoolDB(t)
+	seedSchool(t, db)
+	got, err := db.FindByKey("COURSE", value.Str("CS101"))
+	if err != nil || got == nil {
+		t.Fatalf("FindByKey: %v, %v", got, err)
+	}
+	if got.MustGet("CNAME").AsString() != "Intro" {
+		t.Error("wrong tuple")
+	}
+	miss, err := db.FindByKey("COURSE", value.Str("NOPE"))
+	if err != nil || miss != nil {
+		t.Error("missing key should be nil, nil")
+	}
+	comp, err := db.FindByKey("COURSE-OFFERING", value.Str("CS101"), value.Str("F78"))
+	if err != nil || comp == nil {
+		t.Error("composite key lookup")
+	}
+}
+
+func TestFindByKeyIsACopy(t *testing.T) {
+	db := schoolDB(t)
+	seedSchool(t, db)
+	got, _ := db.FindByKey("COURSE", value.Str("CS101"))
+	got.Set("CNAME", value.Str("MUTATED"))
+	again, _ := db.FindByKey("COURSE", value.Str("CS101"))
+	if again.MustGet("CNAME").AsString() != "Intro" {
+		t.Error("FindByKey must return a copy")
+	}
+}
+
+func TestInsertIsACopy(t *testing.T) {
+	db := schoolDB(t)
+	rec := value.FromPairs("CNO", "CS101", "CNAME", "Intro")
+	mustInsert(t, db, "COURSE", rec)
+	rec.Set("CNAME", value.Str("MUTATED"))
+	got, _ := db.FindByKey("COURSE", value.Str("CS101"))
+	if got.MustGet("CNAME").AsString() != "Intro" {
+		t.Error("Insert must clone its argument")
+	}
+}
+
+func TestDuplicateKeyRejected(t *testing.T) {
+	db := schoolDB(t)
+	seedSchool(t, db)
+	err := db.Insert("COURSE", value.FromPairs("CNO", "CS101", "CNAME", "Again"))
+	if err == nil || !strings.Contains(err.Error(), "duplicate key") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestShapeChecks(t *testing.T) {
+	db := schoolDB(t)
+	cases := []struct {
+		name string
+		rec  *value.Record
+		want string
+	}{
+		{"missing column", value.FromPairs("CNO", "X"), "has 1 fields"},
+		{"extra column", value.FromPairs("CNO", "X", "CNAME", "Y", "EXTRA", 1), "has 3 fields"},
+		{"wrong field name", value.FromPairs("CNO", "X", "WRONG", "Y"), "missing column"},
+		{"wrong kind", value.FromPairs("CNO", "X", "CNAME", 7), "value kind"},
+		{"null key", value.FromPairs("CNO", nil, "CNAME", "Y"), "cannot be null"},
+	}
+	for _, tc := range cases {
+		err := db.Insert("COURSE", tc.rec)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want %q", tc.name, err, tc.want)
+		}
+	}
+	// Null in a non-key column is fine (the paper's nullable INSTRUCTOR).
+	mustInsert(t, db, "COURSE", value.FromPairs("CNO", "C", "CNAME", nil))
+}
+
+func TestUnknownRelation(t *testing.T) {
+	db := schoolDB(t)
+	if err := db.Insert("NOPE", value.NewRecord()); err == nil {
+		t.Error("Insert unknown relation")
+	}
+	if _, err := db.FindByKey("NOPE"); err == nil {
+		t.Error("FindByKey unknown relation")
+	}
+	if err := db.Scan("NOPE", func(*value.Record) bool { return true }); err == nil {
+		t.Error("Scan unknown relation")
+	}
+	if _, err := db.All("NOPE"); err == nil {
+		t.Error("All unknown relation")
+	}
+	if _, err := db.Count("NOPE"); err == nil {
+		t.Error("Count unknown relation")
+	}
+	if _, err := db.DeleteWhere("NOPE", nil); err == nil {
+		t.Error("DeleteWhere unknown relation")
+	}
+	if _, err := db.Update("NOPE", nil, nil); err == nil {
+		t.Error("Update unknown relation")
+	}
+}
+
+func TestFindByKeyArity(t *testing.T) {
+	db := schoolDB(t)
+	if _, err := db.FindByKey("COURSE-OFFERING", value.Str("CS101")); err == nil {
+		t.Error("composite key needs both values")
+	}
+}
+
+func TestForeignKeysOffByDefault(t *testing.T) {
+	db := schoolDB(t)
+	// 1979 default: the model does not maintain existence constraints.
+	err := db.Insert("COURSE-OFFERING",
+		value.FromPairs("CNO", "GHOST", "S", "NOWHERE", "INSTRUCTOR", "X"))
+	if err != nil {
+		t.Errorf("dangling insert should succeed with FKs off: %v", err)
+	}
+}
+
+func TestForeignKeysEnforced(t *testing.T) {
+	db := schoolDB(t, EnforceForeignKeys())
+	if !db.EnforcesForeignKeys() {
+		t.Fatal("option not applied")
+	}
+	seedSchool(t, db)
+	err := db.Insert("COURSE-OFFERING",
+		value.FromPairs("CNO", "GHOST", "S", "F78", "INSTRUCTOR", "X"))
+	if err == nil || !strings.Contains(err.Error(), "no matching COURSE") {
+		t.Errorf("dangling CNO: %v", err)
+	}
+	// Deleting a referenced course is refused.
+	_, err = db.DeleteWhere("COURSE", func(r *value.Record) bool {
+		return r.MustGet("CNO").AsString() == "CS101"
+	})
+	if err == nil || !strings.Contains(err.Error(), "referenced by") {
+		t.Errorf("delete referenced: %v", err)
+	}
+	// Deleting an unreferenced course works.
+	n, err := db.DeleteWhere("COURSE", func(r *value.Record) bool {
+		return r.MustGet("CNO").AsString() == "CS202"
+	})
+	if err != nil || n != 1 {
+		t.Errorf("delete unreferenced: %d, %v", n, err)
+	}
+}
+
+func TestNullForeignKeyAssertsNothing(t *testing.T) {
+	rs := schema.SchoolRelational()
+	// Make INSTRUCTOR a nullable FK-ish column: instead use CNO nullable is
+	// impossible (key); so test with a custom schema.
+	s := &schema.Relational{Name: "T", Relations: []*schema.Relation{
+		{Name: "P", Columns: []schema.Column{{Name: "ID", Kind: value.Int}}, Key: []string{"ID"}},
+		{Name: "C", Columns: []schema.Column{
+			{Name: "ID", Kind: value.Int}, {Name: "PID", Kind: value.Int}},
+			Key: []string{"ID"},
+			ForeignKeys: []schema.ForeignKey{
+				{Fields: []string{"PID"}, RefRel: "P", RefFields: []string{"ID"}}}},
+	}}
+	db := NewDB(s, EnforceForeignKeys())
+	if err := db.Insert("C", value.FromPairs("ID", 1, "PID", nil)); err != nil {
+		t.Errorf("null FK should be allowed: %v", err)
+	}
+	_ = rs
+}
+
+func TestScanOrderAndEarlyStop(t *testing.T) {
+	db := schoolDB(t)
+	seedSchool(t, db)
+	var seen []string
+	db.Scan("COURSE", func(r *value.Record) bool {
+		seen = append(seen, r.MustGet("CNO").AsString())
+		return true
+	})
+	if len(seen) != 2 || seen[0] != "CS101" || seen[1] != "CS202" {
+		t.Errorf("scan order = %v", seen)
+	}
+	count := 0
+	db.Scan("COURSE", func(*value.Record) bool { count++; return false })
+	if count != 1 {
+		t.Errorf("early stop scanned %d", count)
+	}
+}
+
+func TestAllReturnsCopies(t *testing.T) {
+	db := schoolDB(t)
+	seedSchool(t, db)
+	rows, _ := db.All("COURSE")
+	rows[0].Set("CNAME", value.Str("MUTATED"))
+	again, _ := db.FindByKey("COURSE", value.Str("CS101"))
+	if again.MustGet("CNAME").AsString() != "Intro" {
+		t.Error("All must return copies")
+	}
+}
+
+func TestDeleteWhere(t *testing.T) {
+	db := schoolDB(t)
+	seedSchool(t, db)
+	n, err := db.DeleteWhere("COURSE", func(r *value.Record) bool {
+		return strings.HasPrefix(r.MustGet("CNO").AsString(), "CS")
+	})
+	if err != nil || n != 2 {
+		t.Fatalf("deleted %d, %v", n, err)
+	}
+	if c, _ := db.Count("COURSE"); c != 0 {
+		t.Error("not all deleted")
+	}
+	// Key index updated: reinsert works.
+	mustInsert(t, db, "COURSE", value.FromPairs("CNO", "CS101", "CNAME", "Back"))
+	n, err = db.DeleteWhere("COURSE", func(*value.Record) bool { return false })
+	if err != nil || n != 0 {
+		t.Error("no-match delete")
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	db := schoolDB(t)
+	seedSchool(t, db)
+	n, err := db.Update("COURSE",
+		func(r *value.Record) bool { return r.MustGet("CNO").AsString() == "CS101" },
+		func(r *value.Record) { r.Set("CNAME", value.Str("Renamed")) })
+	if err != nil || n != 1 {
+		t.Fatalf("Update: %d, %v", n, err)
+	}
+	got, _ := db.FindByKey("COURSE", value.Str("CS101"))
+	if got.MustGet("CNAME").AsString() != "Renamed" {
+		t.Error("update lost")
+	}
+}
+
+func TestUpdateKeyChangeReindexes(t *testing.T) {
+	db := schoolDB(t)
+	seedSchool(t, db)
+	n, err := db.Update("COURSE",
+		func(r *value.Record) bool { return r.MustGet("CNO").AsString() == "CS101" },
+		func(r *value.Record) { r.Set("CNO", value.Str("CS999")) })
+	if err != nil || n != 1 {
+		t.Fatalf("Update: %d, %v", n, err)
+	}
+	if got, _ := db.FindByKey("COURSE", value.Str("CS101")); got != nil {
+		t.Error("old key still present")
+	}
+	if got, _ := db.FindByKey("COURSE", value.Str("CS999")); got == nil {
+		t.Error("new key absent")
+	}
+}
+
+func TestUpdateDuplicateKeyRejectedAtomically(t *testing.T) {
+	db := schoolDB(t)
+	seedSchool(t, db)
+	_, err := db.Update("COURSE",
+		func(r *value.Record) bool { return r.MustGet("CNO").AsString() == "CS101" },
+		func(r *value.Record) { r.Set("CNO", value.Str("CS202")) })
+	if err == nil || !strings.Contains(err.Error(), "duplicate key") {
+		t.Fatalf("err = %v", err)
+	}
+	// Nothing changed.
+	if got, _ := db.FindByKey("COURSE", value.Str("CS101")); got == nil {
+		t.Error("atomicity violated")
+	}
+}
+
+func TestUpdateCollidingNewKeysRejected(t *testing.T) {
+	db := schoolDB(t)
+	seedSchool(t, db)
+	// Both courses mapped to the same new key: second must trip on first.
+	_, err := db.Update("COURSE",
+		func(*value.Record) bool { return true },
+		func(r *value.Record) { r.Set("CNO", value.Str("SAME")) })
+	if err == nil || !strings.Contains(err.Error(), "duplicate key") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestUpdateShapeViolation(t *testing.T) {
+	db := schoolDB(t)
+	seedSchool(t, db)
+	_, err := db.Update("COURSE",
+		func(*value.Record) bool { return true },
+		func(r *value.Record) { r.Set("CNAME", value.Of(3)) })
+	if err == nil || !strings.Contains(err.Error(), "value kind") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	db := schoolDB(t)
+	seedSchool(t, db)
+	c := db.Clone()
+	c.DeleteWhere("COURSE-OFFERING", func(*value.Record) bool { return true })
+	c.Update("COURSE",
+		func(*value.Record) bool { return true },
+		func(r *value.Record) { r.Set("CNAME", value.Str("X")) })
+	if n, _ := db.Count("COURSE-OFFERING"); n != 1 {
+		t.Error("clone delete leaked")
+	}
+	got, _ := db.FindByKey("COURSE", value.Str("CS101"))
+	if got.MustGet("CNAME").AsString() != "Intro" {
+		t.Error("clone update leaked")
+	}
+	// Clone preserves the option.
+	fk := NewDB(schema.SchoolRelational(), EnforceForeignKeys()).Clone()
+	if !fk.EnforcesForeignKeys() {
+		t.Error("Clone lost enforceFK")
+	}
+}
+
+func TestNewDBPanicsOnInvalidSchema(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewDB(&schema.Relational{Name: "BAD", Relations: []*schema.Relation{{Name: "R"}}})
+}
+
+// Property: after inserting n distinct keys, Count reports n and each key
+// is findable.
+func TestInsertFindCountProperty(t *testing.T) {
+	f := func(keys []int64) bool {
+		s := &schema.Relational{Name: "T", Relations: []*schema.Relation{
+			{Name: "R", Columns: []schema.Column{{Name: "K", Kind: value.Int}}, Key: []string{"K"}},
+		}}
+		db := NewDB(s)
+		uniq := map[int64]bool{}
+		for _, k := range keys {
+			if uniq[k] {
+				continue
+			}
+			uniq[k] = true
+			if err := db.Insert("R", value.FromPairs("K", k)); err != nil {
+				return false
+			}
+		}
+		n, _ := db.Count("R")
+		if n != len(uniq) {
+			return false
+		}
+		for k := range uniq {
+			got, err := db.FindByKey("R", value.Of(k))
+			if err != nil || got == nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: DeleteWhere(p) removes exactly the tuples satisfying p.
+func TestDeleteWherePartitionProperty(t *testing.T) {
+	f := func(keys []int64, threshold int64) bool {
+		s := &schema.Relational{Name: "T", Relations: []*schema.Relation{
+			{Name: "R", Columns: []schema.Column{{Name: "K", Kind: value.Int}}, Key: []string{"K"}},
+		}}
+		db := NewDB(s)
+		uniq := map[int64]bool{}
+		for _, k := range keys {
+			if !uniq[k] {
+				uniq[k] = true
+				db.Insert("R", value.FromPairs("K", k))
+			}
+		}
+		pred := func(r *value.Record) bool { return r.MustGet("K").AsInt() < threshold }
+		wantGone := 0
+		for k := range uniq {
+			if k < threshold {
+				wantGone++
+			}
+		}
+		n, err := db.DeleteWhere("R", pred)
+		if err != nil || n != wantGone {
+			return false
+		}
+		left, _ := db.Count("R")
+		return left == len(uniq)-wantGone
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,183 @@
+package schema
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Segment is an IMS-style segment type: a record type with at most one
+// parent and an ordered list of child segment types. The order of
+// children defines the hierarchic sequence, which is exactly what the
+// Mehl & Wang order transformation (§2.2) changes.
+type Segment struct {
+	Name     string
+	Fields   []Field // stored fields only; hierarchical has no virtuals
+	Seq      string  // sequence field ordering twin occurrences, "" = insertion order
+	Children []*Segment
+}
+
+// Field returns the named field, or nil.
+func (s *Segment) Field(name string) *Field {
+	for i := range s.Fields {
+		if s.Fields[i].Name == name {
+			return &s.Fields[i]
+		}
+	}
+	return nil
+}
+
+// FieldNames returns the declared field names in order.
+func (s *Segment) FieldNames() []string {
+	names := make([]string, len(s.Fields))
+	for i, f := range s.Fields {
+		names[i] = f.Name
+	}
+	return names
+}
+
+// Clone returns a deep copy of the segment subtree.
+func (s *Segment) Clone() *Segment {
+	c := &Segment{Name: s.Name, Seq: s.Seq, Fields: append([]Field(nil), s.Fields...)}
+	for _, ch := range s.Children {
+		c.Children = append(c.Children, ch.Clone())
+	}
+	return c
+}
+
+// Hierarchy is a complete hierarchical schema: one root segment type per
+// database, as in IMS physical databases.
+type Hierarchy struct {
+	Name string
+	Root *Segment
+}
+
+// Segment returns the named segment type anywhere in the tree, or nil.
+func (h *Hierarchy) Segment(name string) *Segment {
+	var find func(s *Segment) *Segment
+	find = func(s *Segment) *Segment {
+		if s == nil {
+			return nil
+		}
+		if s.Name == name {
+			return s
+		}
+		for _, c := range s.Children {
+			if hit := find(c); hit != nil {
+				return hit
+			}
+		}
+		return nil
+	}
+	return find(h.Root)
+}
+
+// Parent returns the parent segment type of the named segment, or nil for
+// the root or an unknown segment.
+func (h *Hierarchy) Parent(name string) *Segment {
+	var find func(s *Segment) *Segment
+	find = func(s *Segment) *Segment {
+		if s == nil {
+			return nil
+		}
+		for _, c := range s.Children {
+			if c.Name == name {
+				return s
+			}
+			if hit := find(c); hit != nil {
+				return hit
+			}
+		}
+		return nil
+	}
+	return find(h.Root)
+}
+
+// Preorder returns all segment types in hierarchic (preorder) sequence.
+func (h *Hierarchy) Preorder() []*Segment {
+	var out []*Segment
+	var walk func(s *Segment)
+	walk = func(s *Segment) {
+		if s == nil {
+			return
+		}
+		out = append(out, s)
+		for _, c := range s.Children {
+			walk(c)
+		}
+	}
+	walk(h.Root)
+	return out
+}
+
+// Clone returns a deep copy.
+func (h *Hierarchy) Clone() *Hierarchy {
+	c := &Hierarchy{Name: h.Name}
+	if h.Root != nil {
+		c.Root = h.Root.Clone()
+	}
+	return c
+}
+
+// Validate checks internal consistency: a root exists, segment names are
+// unique, fields are unique per segment, sequence fields are declared.
+func (h *Hierarchy) Validate() error {
+	if h.Root == nil {
+		return fmt.Errorf("hierarchy %s: no root segment", h.Name)
+	}
+	seen := map[string]bool{}
+	for _, s := range h.Preorder() {
+		if seen[s.Name] {
+			return fmt.Errorf("hierarchy %s: duplicate segment %s", h.Name, s.Name)
+		}
+		seen[s.Name] = true
+		fields := map[string]bool{}
+		for _, f := range s.Fields {
+			if f.Virtual != nil {
+				return fmt.Errorf("segment %s: virtual fields are not supported in the hierarchical model", s.Name)
+			}
+			if fields[f.Name] {
+				return fmt.Errorf("segment %s: duplicate field %s", s.Name, f.Name)
+			}
+			fields[f.Name] = true
+		}
+		if s.Seq != "" && !fields[s.Seq] {
+			return fmt.Errorf("segment %s: sequence field %s not declared", s.Name, s.Seq)
+		}
+	}
+	return nil
+}
+
+// DDL renders the hierarchy in the hierarchical DDL accepted by the ddl
+// parser.
+func (h *Hierarchy) DDL() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "HIERARCHY NAME IS %s.\n", h.Name)
+	var walk func(s *Segment, parent string)
+	walk = func(s *Segment, parent string) {
+		fmt.Fprintf(&b, "SEGMENT %s (", s.Name)
+		for i, f := range s.Fields {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s %s", f.Name, f.Kind)
+		}
+		b.WriteString(")")
+		if parent == "" {
+			b.WriteString(" ROOT")
+		} else {
+			fmt.Fprintf(&b, " PARENT %s", parent)
+		}
+		if s.Seq != "" {
+			fmt.Fprintf(&b, " SEQ %s", s.Seq)
+		}
+		b.WriteString(".\n")
+		for _, c := range s.Children {
+			walk(c, s.Name)
+		}
+	}
+	if h.Root != nil {
+		walk(h.Root, "")
+	}
+	b.WriteString("END HIERARCHY.\n")
+	return b.String()
+}

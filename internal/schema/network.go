@@ -1,0 +1,300 @@
+package schema
+
+import (
+	"fmt"
+	"strings"
+
+	"progconv/internal/value"
+)
+
+// SystemOwner is the distinguished owner name for singular (SYSTEM-owned)
+// sets, the entry points of a CODASYL database: Figure 4.3's
+// "SET NAME IS ALL-DIV. OWNER IS SYSTEM."
+const SystemOwner = "SYSTEM"
+
+// Virtual describes a virtual (derived) field sourced from the owner of a
+// set occurrence: Figure 4.3's
+// "DIV-NAME VIRTUAL VIA DIV-EMP USING DIV-NAME."
+type Virtual struct {
+	ViaSet string // set whose owner supplies the value
+	Using  string // field of the owner record
+}
+
+// Field is one field of a network record type.
+type Field struct {
+	Name    string
+	Kind    value.Kind
+	Virtual *Virtual // nil for stored fields
+}
+
+// RecordType is a CODASYL record type declaration.
+type RecordType struct {
+	Name   string
+	Fields []Field
+}
+
+// Field returns the named field, or nil.
+func (r *RecordType) Field(name string) *Field {
+	for i := range r.Fields {
+		if r.Fields[i].Name == name {
+			return &r.Fields[i]
+		}
+	}
+	return nil
+}
+
+// FieldNames returns the declared field names in order.
+func (r *RecordType) FieldNames() []string {
+	names := make([]string, len(r.Fields))
+	for i, f := range r.Fields {
+		names[i] = f.Name
+	}
+	return names
+}
+
+// StoredFieldNames returns the names of non-virtual fields in order.
+func (r *RecordType) StoredFieldNames() []string {
+	var names []string
+	for _, f := range r.Fields {
+		if f.Virtual == nil {
+			names = append(names, f.Name)
+		}
+	}
+	return names
+}
+
+// Clone returns a deep copy.
+func (r *RecordType) Clone() *RecordType {
+	c := &RecordType{Name: r.Name, Fields: append([]Field(nil), r.Fields...)}
+	for i := range c.Fields {
+		if v := c.Fields[i].Virtual; v != nil {
+			vv := *v
+			c.Fields[i].Virtual = &vv
+		}
+	}
+	return c
+}
+
+// Insertion is the CODASYL set insertion mode (§3.1): AUTOMATIC members
+// are connected by STORE; MANUAL members require an explicit CONNECT.
+type Insertion uint8
+
+// Insertion modes.
+const (
+	Automatic Insertion = iota
+	Manual
+)
+
+func (m Insertion) String() string {
+	if m == Manual {
+		return "MANUAL"
+	}
+	return "AUTOMATIC"
+}
+
+// Retention is the CODASYL set retention mode (§3.1): MANDATORY members
+// cannot exist outside the set (inserting a course-offering with no course
+// fails; erasing the owner cascades), OPTIONAL members can.
+type Retention uint8
+
+// Retention modes.
+const (
+	Optional Retention = iota
+	Mandatory
+)
+
+func (m Retention) String() string {
+	if m == Mandatory {
+		return "MANDATORY"
+	}
+	return "OPTIONAL"
+}
+
+// SetType is an owner-coupled set type declaration: single owner and
+// member record types, ordered member instances, no duplicates within an
+// occurrence (the Maryland DDL restrictions of §4.2).
+type SetType struct {
+	Name      string
+	Owner     string // record type name, or SystemOwner
+	Member    string // record type name
+	Keys      []string
+	Insertion Insertion
+	Retention Retention
+}
+
+// IsSystem reports whether the set is SYSTEM-owned (an entry point).
+func (s *SetType) IsSystem() bool { return s.Owner == SystemOwner }
+
+// Clone returns a deep copy.
+func (s *SetType) Clone() *SetType {
+	c := *s
+	c.Keys = append([]string(nil), s.Keys...)
+	return &c
+}
+
+// Network is a complete CODASYL network schema: Figure 4.3.
+type Network struct {
+	Name    string
+	Records []*RecordType
+	Sets    []*SetType
+}
+
+// Record returns the named record type, or nil.
+func (s *Network) Record(name string) *RecordType {
+	for _, r := range s.Records {
+		if r.Name == name {
+			return r
+		}
+	}
+	return nil
+}
+
+// Set returns the named set type, or nil.
+func (s *Network) Set(name string) *SetType {
+	for _, t := range s.Sets {
+		if t.Name == name {
+			return t
+		}
+	}
+	return nil
+}
+
+// SetsOwnedBy returns the set types whose owner is the given record type.
+func (s *Network) SetsOwnedBy(record string) []*SetType {
+	var out []*SetType
+	for _, t := range s.Sets {
+		if t.Owner == record {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// SetsWithMember returns the set types whose member is the given record type.
+func (s *Network) SetsWithMember(record string) []*SetType {
+	var out []*SetType
+	for _, t := range s.Sets {
+		if t.Member == record {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// SetsBetween returns the set types linking owner record o to member
+// record m. Multiple data paths between the same pair are exactly the
+// situation the Supervisor must resolve interactively (§4).
+func (s *Network) SetsBetween(o, m string) []*SetType {
+	var out []*SetType
+	for _, t := range s.Sets {
+		if t.Owner == o && t.Member == m {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (s *Network) Clone() *Network {
+	c := &Network{Name: s.Name}
+	for _, r := range s.Records {
+		c.Records = append(c.Records, r.Clone())
+	}
+	for _, t := range s.Sets {
+		c.Sets = append(c.Sets, t.Clone())
+	}
+	return c
+}
+
+// Validate checks internal consistency: unique names, set owner/member
+// referring to declared record types, set keys being member fields,
+// virtual fields referring to sets in which the record is the member and
+// to fields of that set's owner.
+func (s *Network) Validate() error {
+	recs := map[string]*RecordType{}
+	for _, r := range s.Records {
+		if _, dup := recs[r.Name]; dup {
+			return fmt.Errorf("schema %s: duplicate record type %s", s.Name, r.Name)
+		}
+		recs[r.Name] = r
+		fields := map[string]bool{}
+		for _, f := range r.Fields {
+			if fields[f.Name] {
+				return fmt.Errorf("record %s: duplicate field %s", r.Name, f.Name)
+			}
+			fields[f.Name] = true
+		}
+	}
+	setNames := map[string]bool{}
+	for _, t := range s.Sets {
+		if setNames[t.Name] {
+			return fmt.Errorf("schema %s: duplicate set type %s", s.Name, t.Name)
+		}
+		setNames[t.Name] = true
+		if !t.IsSystem() && recs[t.Owner] == nil {
+			return fmt.Errorf("set %s: unknown owner record %s", t.Name, t.Owner)
+		}
+		member := recs[t.Member]
+		if member == nil {
+			return fmt.Errorf("set %s: unknown member record %s", t.Name, t.Member)
+		}
+		for _, k := range t.Keys {
+			if member.Field(k) == nil {
+				return fmt.Errorf("set %s: key %s is not a field of member %s", t.Name, k, t.Member)
+			}
+		}
+	}
+	for _, r := range s.Records {
+		for _, f := range r.Fields {
+			if f.Virtual == nil {
+				continue
+			}
+			set := s.Set(f.Virtual.ViaSet)
+			if set == nil {
+				return fmt.Errorf("record %s: virtual field %s via unknown set %s", r.Name, f.Name, f.Virtual.ViaSet)
+			}
+			if set.Member != r.Name {
+				return fmt.Errorf("record %s: virtual field %s via set %s of which it is not the member", r.Name, f.Name, set.Name)
+			}
+			if set.IsSystem() {
+				return fmt.Errorf("record %s: virtual field %s cannot source from SYSTEM set %s", r.Name, f.Name, set.Name)
+			}
+			owner := s.Record(set.Owner)
+			if owner.Field(f.Virtual.Using) == nil {
+				return fmt.Errorf("record %s: virtual field %s uses unknown owner field %s.%s",
+					r.Name, f.Name, set.Owner, f.Virtual.Using)
+			}
+		}
+	}
+	return nil
+}
+
+// DDL renders the schema in the Figure 4.3 schema language, extended with
+// typed fields and insertion/retention clauses.
+func (s *Network) DDL() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "SCHEMA NAME IS %s\n", s.Name)
+	b.WriteString("RECORD SECTION.\n")
+	for _, r := range s.Records {
+		fmt.Fprintf(&b, "  RECORD NAME IS %s.\n    FIELDS ARE.\n", r.Name)
+		for _, f := range r.Fields {
+			if f.Virtual != nil {
+				fmt.Fprintf(&b, "      %s VIRTUAL VIA %s USING %s.\n", f.Name, f.Virtual.ViaSet, f.Virtual.Using)
+			} else {
+				fmt.Fprintf(&b, "      %s %s.\n", f.Name, f.Kind)
+			}
+		}
+		b.WriteString("  END RECORD.\n")
+	}
+	b.WriteString("END RECORD SECTION.\nSET SECTION.\n")
+	for _, t := range s.Sets {
+		fmt.Fprintf(&b, "  SET NAME IS %s.\n    OWNER IS %s.\n    MEMBER IS %s.\n", t.Name, t.Owner, t.Member)
+		if len(t.Keys) > 0 {
+			fmt.Fprintf(&b, "    SET KEYS ARE (%s).\n", strings.Join(t.Keys, ", "))
+		}
+		fmt.Fprintf(&b, "    INSERTION IS %s.\n    RETENTION IS %s.\n", t.Insertion, t.Retention)
+		b.WriteString("  END SET.\n")
+	}
+	b.WriteString("END SET SECTION.\nEND SCHEMA.\n")
+	return b.String()
+}

@@ -1,0 +1,252 @@
+package schema
+
+import "progconv/internal/value"
+
+// This file holds the paper's own example schemas, used throughout the
+// tests, examples, and experiments so that every fixture is the one the
+// paper drew.
+
+// SchoolRelational is Figure 3.1a: the relational school database.
+//
+//	COURSE-OFFERING(CNO, S, INSTRUCTOR)
+//	COURSE(CNO, CNAME)
+//	SEMESTER(S, YEAR)
+func SchoolRelational() *Relational {
+	return &Relational{
+		Name: "SCHOOL",
+		Relations: []*Relation{
+			{
+				Name: "COURSE",
+				Columns: []Column{
+					{Name: "CNO", Kind: value.String},
+					{Name: "CNAME", Kind: value.String},
+				},
+				Key: []string{"CNO"},
+			},
+			{
+				Name: "SEMESTER",
+				Columns: []Column{
+					{Name: "S", Kind: value.String},
+					{Name: "YEAR", Kind: value.Int},
+				},
+				Key: []string{"S"},
+			},
+			{
+				Name: "COURSE-OFFERING",
+				Columns: []Column{
+					{Name: "CNO", Kind: value.String},
+					{Name: "S", Kind: value.String},
+					{Name: "INSTRUCTOR", Kind: value.String},
+				},
+				Key: []string{"CNO", "S"},
+				ForeignKeys: []ForeignKey{
+					{Fields: []string{"CNO"}, RefRel: "COURSE", RefFields: []string{"CNO"}},
+					{Fields: []string{"S"}, RefRel: "SEMESTER", RefFields: []string{"S"}},
+				},
+			},
+		},
+	}
+}
+
+// SchoolNetwork is Figure 3.1b: the CODASYL school database, with
+// COURSE-OFFERING an AUTOMATIC MANDATORY member of both the
+// COURSE'S-OFFERING and SEMESTER'S-OFFERING sets, capturing the existence
+// constraint the way §3.1 describes.
+func SchoolNetwork() *Network {
+	return &Network{
+		Name: "SCHOOL",
+		Records: []*RecordType{
+			{Name: "COURSE", Fields: []Field{
+				{Name: "CNO", Kind: value.String},
+				{Name: "CNAME", Kind: value.String},
+			}},
+			{Name: "SEMESTER", Fields: []Field{
+				{Name: "S", Kind: value.String},
+				{Name: "YEAR", Kind: value.Int},
+			}},
+			{Name: "COURSE-OFFERING", Fields: []Field{
+				{Name: "CNO", Kind: value.String},
+				{Name: "S", Kind: value.String},
+				{Name: "INSTRUCTOR", Kind: value.String},
+			}},
+		},
+		Sets: []*SetType{
+			{Name: "ALL-COURSE", Owner: SystemOwner, Member: "COURSE", Keys: []string{"CNO"}},
+			{Name: "ALL-SEMESTER", Owner: SystemOwner, Member: "SEMESTER", Keys: []string{"S"}},
+			{Name: "COURSES-OFFERING", Owner: "COURSE", Member: "COURSE-OFFERING",
+				Insertion: Automatic, Retention: Mandatory, Keys: []string{"S"}},
+			{Name: "SEMESTERS-OFFERING", Owner: "SEMESTER", Member: "COURSE-OFFERING",
+				Insertion: Automatic, Retention: Mandatory, Keys: []string{"CNO"}},
+		},
+	}
+}
+
+// CompanyV1 is Figures 4.2/4.3: the COMPANY schema with DIV owning EMP
+// directly through DIV-EMP, EMP carrying DEPT-NAME as a plain field and
+// DIV-NAME as a virtual field sourced from the owner.
+func CompanyV1() *Network {
+	return &Network{
+		Name: "COMPANY-NAME",
+		Records: []*RecordType{
+			{Name: "DIV", Fields: []Field{
+				{Name: "DIV-NAME", Kind: value.String},
+				{Name: "DIV-LOC", Kind: value.String},
+			}},
+			{Name: "EMP", Fields: []Field{
+				{Name: "EMP-NAME", Kind: value.String},
+				{Name: "DEPT-NAME", Kind: value.String},
+				{Name: "AGE", Kind: value.Int},
+				{Name: "DIV-NAME", Virtual: &Virtual{ViaSet: "DIV-EMP", Using: "DIV-NAME"}},
+			}},
+		},
+		Sets: []*SetType{
+			{Name: "ALL-DIV", Owner: SystemOwner, Member: "DIV", Keys: []string{"DIV-NAME"}},
+			{Name: "DIV-EMP", Owner: "DIV", Member: "EMP", Keys: []string{"EMP-NAME"},
+				Insertion: Automatic, Retention: Mandatory},
+		},
+	}
+}
+
+// CompanyV2 is Figure 4.4: the revised COMPANY schema with an intermediate
+// DEPT record between DIV and EMP. DEPT-NAME moves out of EMP into the new
+// DEPT record; EMP instances hang off their department.
+func CompanyV2() *Network {
+	return &Network{
+		Name: "COMPANY-NAME",
+		Records: []*RecordType{
+			{Name: "DIV", Fields: []Field{
+				{Name: "DIV-NAME", Kind: value.String},
+				{Name: "DIV-LOC", Kind: value.String},
+			}},
+			{Name: "DEPT", Fields: []Field{
+				{Name: "DEPT-NAME", Kind: value.String},
+				{Name: "DIV-NAME", Virtual: &Virtual{ViaSet: "DIV-DEPT", Using: "DIV-NAME"}},
+			}},
+			{Name: "EMP", Fields: []Field{
+				{Name: "EMP-NAME", Kind: value.String},
+				{Name: "DEPT-NAME", Virtual: &Virtual{ViaSet: "DEPT-EMP", Using: "DEPT-NAME"}},
+				{Name: "AGE", Kind: value.Int},
+				{Name: "DIV-NAME", Virtual: &Virtual{ViaSet: "DEPT-EMP", Using: "DIV-NAME"}},
+			}},
+		},
+		Sets: []*SetType{
+			{Name: "ALL-DIV", Owner: SystemOwner, Member: "DIV", Keys: []string{"DIV-NAME"}},
+			{Name: "DIV-DEPT", Owner: "DIV", Member: "DEPT", Keys: []string{"DEPT-NAME"},
+				Insertion: Automatic, Retention: Mandatory},
+			{Name: "DEPT-EMP", Owner: "DEPT", Member: "EMP", Keys: []string{"EMP-NAME"},
+				Insertion: Automatic, Retention: Mandatory},
+		},
+	}
+}
+
+// EmpDeptNetwork is the §4.1 (University of Florida) example database in
+// network form:
+//
+//	EMP(E#, ENAME, AGE)
+//	DEPT(D#, DNAME, MGR)
+//	EMP-DEPT(E#, D#, YEAR-OF-SERVICE)  — the association record
+//
+// The association is realized as an intersection record owned by both EMP
+// (set E-ED) and DEPT (set ED, the name the paper's CODASYL template
+// uses: "FIND NEXT EMP-DEPT WITHIN ED").
+func EmpDeptNetwork() *Network {
+	return &Network{
+		Name: "PERSONNEL",
+		Records: []*RecordType{
+			{Name: "EMP", Fields: []Field{
+				{Name: "E#", Kind: value.String},
+				{Name: "ENAME", Kind: value.String},
+				{Name: "AGE", Kind: value.Int},
+			}},
+			{Name: "DEPT", Fields: []Field{
+				{Name: "D#", Kind: value.String},
+				{Name: "DNAME", Kind: value.String},
+				{Name: "MGR", Kind: value.String},
+			}},
+			{Name: "EMP-DEPT", Fields: []Field{
+				{Name: "E#", Kind: value.String},
+				{Name: "D#", Kind: value.String},
+				{Name: "YEAR-OF-SERVICE", Kind: value.Int},
+			}},
+		},
+		Sets: []*SetType{
+			{Name: "ALL-EMP", Owner: SystemOwner, Member: "EMP", Keys: []string{"E#"}},
+			{Name: "ALL-DEPT", Owner: SystemOwner, Member: "DEPT", Keys: []string{"D#"}},
+			{Name: "E-ED", Owner: "EMP", Member: "EMP-DEPT",
+				Insertion: Automatic, Retention: Mandatory, Keys: []string{"D#"}},
+			{Name: "ED", Owner: "DEPT", Member: "EMP-DEPT",
+				Insertion: Automatic, Retention: Mandatory, Keys: []string{"E#"}},
+		},
+	}
+}
+
+// EmpDeptRelational is the §4.1 example in relational form: the schema the
+// paper's SEQUEL template (A) queries.
+func EmpDeptRelational() *Relational {
+	return &Relational{
+		Name: "PERSONNEL",
+		Relations: []*Relation{
+			{
+				Name: "EMP",
+				Columns: []Column{
+					{Name: "E#", Kind: value.String},
+					{Name: "ENAME", Kind: value.String},
+					{Name: "AGE", Kind: value.Int},
+				},
+				Key: []string{"E#"},
+			},
+			{
+				Name: "DEPT",
+				Columns: []Column{
+					{Name: "D#", Kind: value.String},
+					{Name: "DNAME", Kind: value.String},
+					{Name: "MGR", Kind: value.String},
+				},
+				Key: []string{"D#"},
+			},
+			{
+				Name: "EMP-DEPT",
+				Columns: []Column{
+					{Name: "E#", Kind: value.String},
+					{Name: "D#", Kind: value.String},
+					{Name: "YEAR-OF-SERVICE", Kind: value.Int},
+				},
+				Key: []string{"E#", "D#"},
+				ForeignKeys: []ForeignKey{
+					{Fields: []string{"E#"}, RefRel: "EMP", RefFields: []string{"E#"}},
+					{Fields: []string{"D#"}, RefRel: "DEPT", RefFields: []string{"D#"}},
+				},
+			},
+		},
+	}
+}
+
+// EmpDeptHierarchy is the §4.1 example as an IMS-style hierarchy rooted at
+// DEPT, with EMP-DEPT intersection data and EMP data beneath. It is the
+// substrate for the Mehl & Wang order-transformation experiment.
+func EmpDeptHierarchy() *Hierarchy {
+	return &Hierarchy{
+		Name: "PERSONNEL",
+		Root: &Segment{
+			Name: "DEPT",
+			Seq:  "D#",
+			Fields: []Field{
+				{Name: "D#", Kind: value.String},
+				{Name: "DNAME", Kind: value.String},
+				{Name: "MGR", Kind: value.String},
+			},
+			Children: []*Segment{
+				{
+					Name: "EMP",
+					Seq:  "E#",
+					Fields: []Field{
+						{Name: "E#", Kind: value.String},
+						{Name: "ENAME", Kind: value.String},
+						{Name: "AGE", Kind: value.Int},
+						{Name: "YEAR-OF-SERVICE", Kind: value.Int},
+					},
+				},
+			},
+		},
+	}
+}

@@ -1,0 +1,181 @@
+// Package schema defines the schema objects for the three data models the
+// paper reasons about — relational, CODASYL network (owner-coupled sets),
+// and hierarchical — together with validation and rendering. These are the
+// "database description" inputs of Figure 4.1: the Conversion Analyzer
+// consumes a source and a target schema in these forms.
+package schema
+
+import (
+	"fmt"
+	"strings"
+
+	"progconv/internal/value"
+)
+
+// Column describes one attribute of a relation.
+type Column struct {
+	Name string
+	Kind value.Kind
+}
+
+// ForeignKey is a referential (existence) constraint: the paper's §3.1
+// "a course-offering instance cannot exist unless the course and semester
+// instances it references do".
+type ForeignKey struct {
+	Fields    []string // referencing fields in this relation
+	RefRel    string   // referenced relation
+	RefFields []string // referenced fields (must be the key)
+}
+
+// Relation is a relational schema element: Figure 3.1a's
+// COURSE-OFFERING(CNO, S, ...) etc. Key is the (composite) primary key;
+// "the only constraint maintained explicitly in the relational model is
+// tuple uniqueness (by means of key declarations)".
+type Relation struct {
+	Name        string
+	Columns     []Column
+	Key         []string
+	ForeignKeys []ForeignKey
+}
+
+// Column returns the named column, or nil.
+func (r *Relation) Column(name string) *Column {
+	for i := range r.Columns {
+		if r.Columns[i].Name == name {
+			return &r.Columns[i]
+		}
+	}
+	return nil
+}
+
+// ColumnNames returns the declared column names in order.
+func (r *Relation) ColumnNames() []string {
+	names := make([]string, len(r.Columns))
+	for i, c := range r.Columns {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// IsKey reports whether the named column is part of the primary key.
+func (r *Relation) IsKey(name string) bool {
+	for _, k := range r.Key {
+		if k == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy.
+func (r *Relation) Clone() *Relation {
+	c := &Relation{
+		Name:    r.Name,
+		Columns: append([]Column(nil), r.Columns...),
+		Key:     append([]string(nil), r.Key...),
+	}
+	for _, fk := range r.ForeignKeys {
+		c.ForeignKeys = append(c.ForeignKeys, ForeignKey{
+			Fields:    append([]string(nil), fk.Fields...),
+			RefRel:    fk.RefRel,
+			RefFields: append([]string(nil), fk.RefFields...),
+		})
+	}
+	return c
+}
+
+// Relational is a complete relational schema.
+type Relational struct {
+	Name      string
+	Relations []*Relation
+}
+
+// Relation returns the named relation, or nil.
+func (s *Relational) Relation(name string) *Relation {
+	for _, r := range s.Relations {
+		if r.Name == name {
+			return r
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy.
+func (s *Relational) Clone() *Relational {
+	c := &Relational{Name: s.Name}
+	for _, r := range s.Relations {
+		c.Relations = append(c.Relations, r.Clone())
+	}
+	return c
+}
+
+// Validate checks internal consistency: unique names, keys and foreign
+// keys referring to declared columns/relations, FK targets being keys.
+func (s *Relational) Validate() error {
+	seen := map[string]bool{}
+	for _, r := range s.Relations {
+		if seen[r.Name] {
+			return fmt.Errorf("schema %s: duplicate relation %s", s.Name, r.Name)
+		}
+		seen[r.Name] = true
+		cols := map[string]bool{}
+		for _, c := range r.Columns {
+			if cols[c.Name] {
+				return fmt.Errorf("relation %s: duplicate column %s", r.Name, c.Name)
+			}
+			cols[c.Name] = true
+		}
+		if len(r.Key) == 0 {
+			return fmt.Errorf("relation %s: no key declared", r.Name)
+		}
+		for _, k := range r.Key {
+			if !cols[k] {
+				return fmt.Errorf("relation %s: key column %s not declared", r.Name, k)
+			}
+		}
+		for _, fk := range r.ForeignKeys {
+			if len(fk.Fields) == 0 || len(fk.Fields) != len(fk.RefFields) {
+				return fmt.Errorf("relation %s: malformed foreign key to %s", r.Name, fk.RefRel)
+			}
+			for _, f := range fk.Fields {
+				if !cols[f] {
+					return fmt.Errorf("relation %s: foreign key field %s not declared", r.Name, f)
+				}
+			}
+			ref := s.Relation(fk.RefRel)
+			if ref == nil {
+				return fmt.Errorf("relation %s: foreign key references unknown relation %s", r.Name, fk.RefRel)
+			}
+			if strings.Join(ref.Key, ",") != strings.Join(fk.RefFields, ",") {
+				return fmt.Errorf("relation %s: foreign key to %s must reference its key (%v)", r.Name, fk.RefRel, ref.Key)
+			}
+		}
+	}
+	return nil
+}
+
+// DDL renders the schema in the relational DDL accepted by the ddl parser.
+func (s *Relational) DDL() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "SCHEMA NAME IS %s.\n", s.Name)
+	for _, r := range s.Relations {
+		fmt.Fprintf(&b, "RELATION %s (", r.Name)
+		for i, c := range r.Columns {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s %s", c.Name, c.Kind)
+			if r.IsKey(c.Name) {
+				b.WriteString(" KEY")
+			}
+		}
+		b.WriteString(")")
+		for _, fk := range r.ForeignKeys {
+			fmt.Fprintf(&b, "\n  FOREIGN KEY (%s) REFERENCES %s (%s)",
+				strings.Join(fk.Fields, ", "), fk.RefRel, strings.Join(fk.RefFields, ", "))
+		}
+		b.WriteString(".\n")
+	}
+	b.WriteString("END SCHEMA.\n")
+	return b.String()
+}

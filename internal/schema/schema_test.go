@@ -1,0 +1,307 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+
+	"progconv/internal/value"
+)
+
+func TestPaperSchemasValidate(t *testing.T) {
+	if err := SchoolRelational().Validate(); err != nil {
+		t.Errorf("SchoolRelational: %v", err)
+	}
+	if err := SchoolNetwork().Validate(); err != nil {
+		t.Errorf("SchoolNetwork: %v", err)
+	}
+	if err := CompanyV1().Validate(); err != nil {
+		t.Errorf("CompanyV1: %v", err)
+	}
+	if err := CompanyV2().Validate(); err != nil {
+		t.Errorf("CompanyV2: %v", err)
+	}
+	if err := EmpDeptNetwork().Validate(); err != nil {
+		t.Errorf("EmpDeptNetwork: %v", err)
+	}
+	if err := EmpDeptRelational().Validate(); err != nil {
+		t.Errorf("EmpDeptRelational: %v", err)
+	}
+	if err := EmpDeptHierarchy().Validate(); err != nil {
+		t.Errorf("EmpDeptHierarchy: %v", err)
+	}
+}
+
+func TestRelationLookups(t *testing.T) {
+	s := SchoolRelational()
+	co := s.Relation("COURSE-OFFERING")
+	if co == nil {
+		t.Fatal("COURSE-OFFERING missing")
+	}
+	if c := co.Column("CNO"); c == nil || c.Kind != value.String {
+		t.Error("CNO column")
+	}
+	if co.Column("NOPE") != nil {
+		t.Error("unknown column should be nil")
+	}
+	if !co.IsKey("CNO") || !co.IsKey("S") || co.IsKey("INSTRUCTOR") {
+		t.Error("IsKey")
+	}
+	got := co.ColumnNames()
+	if len(got) != 3 || got[0] != "CNO" {
+		t.Errorf("ColumnNames = %v", got)
+	}
+	if s.Relation("NOPE") != nil {
+		t.Error("unknown relation should be nil")
+	}
+}
+
+func TestRelationalValidationFailures(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Relational)
+		want string
+	}{
+		{"duplicate relation", func(s *Relational) {
+			s.Relations = append(s.Relations, s.Relations[0].Clone())
+		}, "duplicate relation"},
+		{"duplicate column", func(s *Relational) {
+			r := s.Relation("COURSE")
+			r.Columns = append(r.Columns, Column{Name: "CNO", Kind: value.String})
+		}, "duplicate column"},
+		{"no key", func(s *Relational) { s.Relation("COURSE").Key = nil }, "no key"},
+		{"key not declared", func(s *Relational) { s.Relation("COURSE").Key = []string{"XX"} }, "not declared"},
+		{"fk unknown relation", func(s *Relational) {
+			s.Relation("COURSE-OFFERING").ForeignKeys[0].RefRel = "NOPE"
+		}, "unknown relation"},
+		{"fk field not declared", func(s *Relational) {
+			s.Relation("COURSE-OFFERING").ForeignKeys[0].Fields = []string{"ZZ"}
+		}, "not declared"},
+		{"fk not to key", func(s *Relational) {
+			s.Relation("COURSE-OFFERING").ForeignKeys[0].RefFields = []string{"CNAME"}
+		}, "must reference its key"},
+		{"fk arity", func(s *Relational) {
+			s.Relation("COURSE-OFFERING").ForeignKeys[0].Fields = []string{"CNO", "S"}
+		}, "malformed"},
+	}
+	for _, tc := range cases {
+		s := SchoolRelational()
+		tc.mut(s)
+		err := s.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestNetworkLookups(t *testing.T) {
+	s := CompanyV1()
+	if s.Record("EMP") == nil || s.Record("NOPE") != nil {
+		t.Error("Record lookup")
+	}
+	if s.Set("DIV-EMP") == nil || s.Set("NOPE") != nil {
+		t.Error("Set lookup")
+	}
+	if got := s.SetsOwnedBy("DIV"); len(got) != 1 || got[0].Name != "DIV-EMP" {
+		t.Errorf("SetsOwnedBy(DIV) = %v", got)
+	}
+	if got := s.SetsWithMember("EMP"); len(got) != 1 {
+		t.Errorf("SetsWithMember(EMP) = %v", got)
+	}
+	if got := s.SetsBetween("DIV", "EMP"); len(got) != 1 {
+		t.Errorf("SetsBetween = %v", got)
+	}
+	emp := s.Record("EMP")
+	if f := emp.Field("DIV-NAME"); f == nil || f.Virtual == nil || f.Virtual.ViaSet != "DIV-EMP" {
+		t.Error("virtual field lookup")
+	}
+	stored := emp.StoredFieldNames()
+	if len(stored) != 3 {
+		t.Errorf("StoredFieldNames = %v", stored)
+	}
+	if len(emp.FieldNames()) != 4 {
+		t.Errorf("FieldNames = %v", emp.FieldNames())
+	}
+}
+
+func TestSetTypeModes(t *testing.T) {
+	s := SchoolNetwork()
+	co := s.Set("COURSES-OFFERING")
+	if co.Insertion != Automatic || co.Retention != Mandatory {
+		t.Error("Figure 3.1b set modes")
+	}
+	if co.Insertion.String() != "AUTOMATIC" || co.Retention.String() != "MANDATORY" {
+		t.Error("mode strings")
+	}
+	if Manual.String() != "MANUAL" || Optional.String() != "OPTIONAL" {
+		t.Error("other mode strings")
+	}
+	if !s.Set("ALL-COURSE").IsSystem() || co.IsSystem() {
+		t.Error("IsSystem")
+	}
+}
+
+func TestNetworkValidationFailures(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Network)
+		want string
+	}{
+		{"duplicate record", func(s *Network) { s.Records = append(s.Records, s.Records[0].Clone()) }, "duplicate record"},
+		{"duplicate set", func(s *Network) { s.Sets = append(s.Sets, s.Sets[0].Clone()) }, "duplicate set"},
+		{"duplicate field", func(s *Network) {
+			r := s.Record("DIV")
+			r.Fields = append(r.Fields, Field{Name: "DIV-NAME", Kind: value.String})
+		}, "duplicate field"},
+		{"unknown owner", func(s *Network) { s.Set("DIV-EMP").Owner = "NOPE" }, "unknown owner"},
+		{"unknown member", func(s *Network) { s.Set("DIV-EMP").Member = "NOPE" }, "unknown member"},
+		{"bad set key", func(s *Network) { s.Set("DIV-EMP").Keys = []string{"NOPE"} }, "not a field of member"},
+		{"virtual unknown set", func(s *Network) {
+			s.Record("EMP").Field("DIV-NAME").Virtual.ViaSet = "NOPE"
+		}, "unknown set"},
+		{"virtual not member", func(s *Network) {
+			s.Record("EMP").Field("DIV-NAME").Virtual.ViaSet = "ALL-DIV"
+		}, "not the member"},
+		{"virtual unknown owner field", func(s *Network) {
+			s.Record("EMP").Field("DIV-NAME").Virtual.Using = "NOPE"
+		}, "unknown owner field"},
+	}
+	for _, tc := range cases {
+		s := CompanyV1()
+		tc.mut(s)
+		err := s.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestVirtualViaSystemSetRejected(t *testing.T) {
+	s := CompanyV1()
+	// Make DIV itself a member of a SYSTEM set and give it a virtual via it.
+	s.Record("DIV").Fields = append(s.Record("DIV").Fields,
+		Field{Name: "V", Virtual: &Virtual{ViaSet: "ALL-DIV", Using: "DIV-NAME"}})
+	err := s.Validate()
+	if err == nil || !strings.Contains(err.Error(), "SYSTEM") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestHierarchyLookups(t *testing.T) {
+	h := EmpDeptHierarchy()
+	if h.Segment("EMP") == nil || h.Segment("NOPE") != nil {
+		t.Error("Segment lookup")
+	}
+	if p := h.Parent("EMP"); p == nil || p.Name != "DEPT" {
+		t.Error("Parent(EMP)")
+	}
+	if h.Parent("DEPT") != nil {
+		t.Error("root has no parent")
+	}
+	pre := h.Preorder()
+	if len(pre) != 2 || pre[0].Name != "DEPT" || pre[1].Name != "EMP" {
+		t.Errorf("Preorder = %v", pre)
+	}
+	emp := h.Segment("EMP")
+	if emp.Field("AGE") == nil || emp.Field("NOPE") != nil {
+		t.Error("segment Field lookup")
+	}
+	if len(emp.FieldNames()) != 4 {
+		t.Error("segment FieldNames")
+	}
+}
+
+func TestHierarchyValidationFailures(t *testing.T) {
+	h := &Hierarchy{Name: "X"}
+	if err := h.Validate(); err == nil {
+		t.Error("no root should fail")
+	}
+	h = EmpDeptHierarchy()
+	h.Root.Children = append(h.Root.Children, &Segment{Name: "DEPT"})
+	if err := h.Validate(); err == nil || !strings.Contains(err.Error(), "duplicate segment") {
+		t.Errorf("duplicate segment: %v", err)
+	}
+	h = EmpDeptHierarchy()
+	h.Root.Seq = "NOPE"
+	if err := h.Validate(); err == nil || !strings.Contains(err.Error(), "sequence field") {
+		t.Errorf("bad seq: %v", err)
+	}
+	h = EmpDeptHierarchy()
+	h.Root.Fields = append(h.Root.Fields, Field{Name: "D#", Kind: value.String})
+	if err := h.Validate(); err == nil || !strings.Contains(err.Error(), "duplicate field") {
+		t.Errorf("dup field: %v", err)
+	}
+	h = EmpDeptHierarchy()
+	h.Root.Fields[0].Virtual = &Virtual{ViaSet: "X", Using: "Y"}
+	if err := h.Validate(); err == nil || !strings.Contains(err.Error(), "virtual") {
+		t.Errorf("virtual in hierarchy: %v", err)
+	}
+}
+
+func TestClonesAreDeep(t *testing.T) {
+	n := CompanyV1()
+	c := n.Clone()
+	c.Record("EMP").Fields[0].Name = "MUTATED"
+	c.Set("DIV-EMP").Keys[0] = "MUTATED"
+	c.Record("EMP").Field("DIV-NAME").Virtual.ViaSet = "MUTATED"
+	if n.Record("EMP").Fields[0].Name != "EMP-NAME" ||
+		n.Set("DIV-EMP").Keys[0] != "EMP-NAME" ||
+		n.Record("EMP").Field("DIV-NAME").Virtual.ViaSet != "DIV-EMP" {
+		t.Error("network Clone shares state")
+	}
+
+	r := SchoolRelational()
+	rc := r.Clone()
+	rc.Relation("COURSE-OFFERING").ForeignKeys[0].RefRel = "MUTATED"
+	rc.Relation("COURSE").Key[0] = "MUTATED"
+	if r.Relation("COURSE-OFFERING").ForeignKeys[0].RefRel != "COURSE" ||
+		r.Relation("COURSE").Key[0] != "CNO" {
+		t.Error("relational Clone shares state")
+	}
+
+	h := EmpDeptHierarchy()
+	hc := h.Clone()
+	hc.Root.Children[0].Fields[0].Name = "MUTATED"
+	if h.Root.Children[0].Fields[0].Name != "E#" {
+		t.Error("hierarchy Clone shares state")
+	}
+}
+
+func TestDDLRendering(t *testing.T) {
+	ddl := CompanyV1().DDL()
+	for _, want := range []string{
+		"SCHEMA NAME IS COMPANY-NAME",
+		"RECORD NAME IS DIV.",
+		"DIV-NAME VIRTUAL VIA DIV-EMP USING DIV-NAME.",
+		"SET NAME IS ALL-DIV.",
+		"OWNER IS SYSTEM.",
+		"SET KEYS ARE (EMP-NAME).",
+		"INSERTION IS AUTOMATIC.",
+		"RETENTION IS MANDATORY.",
+		"END SCHEMA.",
+	} {
+		if !strings.Contains(ddl, want) {
+			t.Errorf("network DDL missing %q\n%s", want, ddl)
+		}
+	}
+
+	rddl := SchoolRelational().DDL()
+	for _, want := range []string{
+		"RELATION COURSE (CNO STRING KEY, CNAME STRING).",
+		"FOREIGN KEY (CNO) REFERENCES COURSE (CNO)",
+	} {
+		if !strings.Contains(rddl, want) {
+			t.Errorf("relational DDL missing %q\n%s", want, rddl)
+		}
+	}
+
+	hddl := EmpDeptHierarchy().DDL()
+	for _, want := range []string{
+		"HIERARCHY NAME IS PERSONNEL.",
+		"SEGMENT DEPT (D# STRING, DNAME STRING, MGR STRING) ROOT SEQ D#.",
+		"PARENT DEPT",
+	} {
+		if !strings.Contains(hddl, want) {
+			t.Errorf("hierarchical DDL missing %q\n%s", want, hddl)
+		}
+	}
+}

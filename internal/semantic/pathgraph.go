@@ -1,0 +1,138 @@
+package semantic
+
+import (
+	"fmt"
+	"sort"
+
+	"progconv/internal/schema"
+)
+
+// FromNetwork derives a semantic schema from a network schema: record
+// types become entities (stored fields only) and every non-SYSTEM set
+// becomes an association whose dependency property mirrors MANDATORY
+// retention. This is the Conversion Analyzer's first move: encode the
+// database description "in suitable internal representations".
+func FromNetwork(n *schema.Network) *Schema {
+	s := &Schema{Name: n.Name}
+	for _, r := range n.Records {
+		e := &Entity{Name: r.Name, Fields: r.StoredFieldNames()}
+		s.Entities = append(s.Entities, e)
+	}
+	for _, t := range n.Sets {
+		if t.IsSystem() {
+			continue
+		}
+		s.Associations = append(s.Associations, &Association{
+			Name:       t.Name,
+			Left:       t.Owner,
+			Right:      t.Member,
+			Dependency: t.Retention == schema.Mandatory,
+		})
+	}
+	return s
+}
+
+// Hop is one set traversal in a network access path. Down means
+// owner→member; up means member→owner (FIND OWNER).
+type Hop struct {
+	Set  string
+	Down bool
+}
+
+func (h Hop) String() string {
+	if h.Down {
+		return h.Set + "↓"
+	}
+	return h.Set + "↑"
+}
+
+// NetPath is one way to reach a record type from another through sets:
+// an access-path-graph route with its cost (hop count).
+type NetPath struct {
+	Hops []Hop
+}
+
+// Cost is the path length; the optimizer prefers shorter routes.
+func (p NetPath) Cost() int { return len(p.Hops) }
+
+func (p NetPath) String() string {
+	out := ""
+	for i, h := range p.Hops {
+		if i > 0 {
+			out += " "
+		}
+		out += h.String()
+	}
+	return out
+}
+
+// NetworkPaths enumerates the routes from record type `from` to record
+// type `to` through the schema's sets, shortest first, up to maxHops.
+// More than one minimal route is the "multiple data paths" ambiguity the
+// Supervisor surfaces to the Conversion Analyst.
+func NetworkPaths(n *schema.Network, from, to string, maxHops int) ([]NetPath, error) {
+	if n.Record(from) == nil {
+		return nil, fmt.Errorf("semantic: unknown record type %s", from)
+	}
+	if n.Record(to) == nil {
+		return nil, fmt.Errorf("semantic: unknown record type %s", to)
+	}
+	type state struct {
+		at   string
+		path []Hop
+	}
+	var out []NetPath
+	queue := []state{{at: from}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.at == to && len(cur.path) > 0 {
+			out = append(out, NetPath{Hops: cur.path})
+			continue // do not extend past the target
+		}
+		if len(cur.path) >= maxHops {
+			continue
+		}
+		seen := func(set string) bool {
+			for _, h := range cur.path {
+				if h.Set == set {
+					return true
+				}
+			}
+			return false
+		}
+		for _, t := range n.Sets {
+			if t.IsSystem() || seen(t.Name) {
+				continue
+			}
+			if t.Owner == cur.at {
+				queue = append(queue, state{
+					at:   t.Member,
+					path: append(append([]Hop(nil), cur.path...), Hop{Set: t.Name, Down: true}),
+				})
+			}
+			if t.Member == cur.at {
+				queue = append(queue, state{
+					at:   t.Owner,
+					path: append(append([]Hop(nil), cur.path...), Hop{Set: t.Name, Down: false}),
+				})
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Cost() < out[j].Cost() })
+	return out, nil
+}
+
+// ShortestNetworkPath returns the minimal route and whether it is unique
+// among minimal routes. Non-uniqueness is an Analyst decision point.
+func ShortestNetworkPath(n *schema.Network, from, to string, maxHops int) (NetPath, bool, error) {
+	paths, err := NetworkPaths(n, from, to, maxHops)
+	if err != nil {
+		return NetPath{}, false, err
+	}
+	if len(paths) == 0 {
+		return NetPath{}, false, fmt.Errorf("semantic: no path from %s to %s", from, to)
+	}
+	unique := len(paths) == 1 || paths[1].Cost() > paths[0].Cost()
+	return paths[0], unique, nil
+}

@@ -1,0 +1,308 @@
+// Package semantic implements the high-level data model of §4.1 (Su,
+// University of Florida): entity types and associations with explicit
+// operational characteristics and integrity properties, and the four
+// basic access patterns in terms of which application-program data
+// traversals are described:
+//
+//	ACCESS A via A                     — entry by the entity's own fields
+//	ACCESS A via B through (Ai, Bj)    — relate unassociated entities by
+//	                                     comparable fields
+//	ACCESS AB via B                    — association occurrences from one
+//	                                     side's condition
+//	ACCESS A via AB                    — entities from association
+//	                                     occurrences
+//
+// A sequence of these patterns, ending in an operation (RETRIEVE, ...),
+// is the data-model-independent representation of a program's traversal;
+// "since the conversion takes place at a level of abstraction that is
+// removed from an actual DBMS language, conversion from one DBMS to
+// another ... is possible."
+package semantic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Entity is an entity type: EMP(E#, ENAME, AGE).
+type Entity struct {
+	Name   string
+	Fields []string
+	Key    []string
+}
+
+// Association relates two entity types and may carry its own attributes:
+// EMP-DEPT(E#, D#, YEAR-OF-SERVICE). Dependency marks the paper's
+// "characterizing entity" semantics: Right instances depend on Left
+// ("deletion of an employee implies deletion of dependents").
+type Association struct {
+	Name       string
+	Left       string
+	Right      string
+	Attrs      []string
+	Dependency bool
+	// MaxRight bounds how many Right instances may attach to one Left
+	// instance (0 = unbounded): the "numeric limits on relationship
+	// participation" of §3.1.
+	MaxRight int
+}
+
+// Schema is a semantic schema: the "database description" of Figure 4.1
+// at the level above any particular data model.
+type Schema struct {
+	Name         string
+	Entities     []*Entity
+	Associations []*Association
+}
+
+// Entity returns the named entity type, or nil.
+func (s *Schema) Entity(name string) *Entity {
+	for _, e := range s.Entities {
+		if e.Name == name {
+			return e
+		}
+	}
+	return nil
+}
+
+// Association returns the named association, or nil.
+func (s *Schema) Association(name string) *Association {
+	for _, a := range s.Associations {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// AssociationsOf returns every association touching the entity.
+func (s *Schema) AssociationsOf(entity string) []*Association {
+	var out []*Association
+	for _, a := range s.Associations {
+		if a.Left == entity || a.Right == entity {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Between returns the associations linking two entities, in either
+// orientation. More than one result is precisely the "multiple data
+// paths" situation the Conversion Supervisor resolves interactively.
+func (s *Schema) Between(a, b string) []*Association {
+	var out []*Association
+	for _, x := range s.Associations {
+		if (x.Left == a && x.Right == b) || (x.Left == b && x.Right == a) {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Validate checks internal consistency.
+func (s *Schema) Validate() error {
+	ents := map[string]bool{}
+	for _, e := range s.Entities {
+		if ents[e.Name] {
+			return fmt.Errorf("semantic: duplicate entity %s", e.Name)
+		}
+		ents[e.Name] = true
+		fields := map[string]bool{}
+		for _, f := range e.Fields {
+			if fields[f] {
+				return fmt.Errorf("semantic: entity %s: duplicate field %s", e.Name, f)
+			}
+			fields[f] = true
+		}
+		for _, k := range e.Key {
+			if !fields[k] {
+				return fmt.Errorf("semantic: entity %s: key field %s not declared", e.Name, k)
+			}
+		}
+	}
+	assocs := map[string]bool{}
+	for _, a := range s.Associations {
+		if assocs[a.Name] {
+			return fmt.Errorf("semantic: duplicate association %s", a.Name)
+		}
+		assocs[a.Name] = true
+		if !ents[a.Left] || !ents[a.Right] {
+			return fmt.Errorf("semantic: association %s links unknown entities %s-%s", a.Name, a.Left, a.Right)
+		}
+	}
+	return nil
+}
+
+// PatternKind is one of the four basic access patterns.
+type PatternKind uint8
+
+// The four access patterns of §4.1, plus the terminating operation.
+const (
+	ViaSelf       PatternKind = iota // ACCESS A via A
+	ViaComparable                    // ACCESS A via B through (Ai, Bj)
+	AssocViaSide                     // ACCESS AB via B
+	ViaAssoc                         // ACCESS A via AB
+)
+
+func (k PatternKind) String() string {
+	switch k {
+	case ViaSelf:
+		return "via-self"
+	case ViaComparable:
+		return "via-comparable"
+	case AssocViaSide:
+		return "assoc-via-side"
+	case ViaAssoc:
+		return "via-assoc"
+	}
+	return "?"
+}
+
+// Op is the operation terminating an access sequence.
+type Op uint8
+
+// Sequence-terminating operations.
+const (
+	Retrieve Op = iota
+	Update
+	Insert
+	Delete
+)
+
+func (o Op) String() string {
+	switch o {
+	case Retrieve:
+		return "RETRIEVE"
+	case Update:
+		return "UPDATE"
+	case Insert:
+		return "INSERT"
+	case Delete:
+		return "DELETE"
+	}
+	return "?"
+}
+
+// Step is one access pattern in a sequence. Target is what is accessed
+// (entity or association); Via is what constrains the access; Through
+// holds the comparable-field pair for ViaComparable. CondFields are the
+// fields the step's data condition mentions, which is what the converter
+// needs to know (the condition's value logic travels with the host
+// program).
+type Step struct {
+	Kind       PatternKind
+	Target     string
+	Via        string
+	Through    [2]string
+	CondFields []string
+}
+
+// String renders the step in the paper's ACCESS notation.
+func (st Step) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ACCESS %s via %s", st.Target, st.Via)
+	if st.Kind == ViaComparable {
+		fmt.Fprintf(&b, " through (%s, %s)", st.Through[0], st.Through[1])
+	}
+	if len(st.CondFields) > 0 {
+		fmt.Fprintf(&b, " [%s]", strings.Join(st.CondFields, ", "))
+	}
+	return b.String()
+}
+
+// Sequence is a complete data traversal: access steps ending in an
+// operation, as in the paper's worked derivation.
+type Sequence struct {
+	Steps []Step
+	Op    Op
+}
+
+// String renders the sequence one pattern per line, ending with the
+// operation, matching the paper's layout:
+//
+//	ACCESS DEPT via DEPT
+//	ACCESS EMP-DEPT via DEPT
+//	ACCESS EMP via EMP-DEPT
+//	RETRIEVE
+func (q *Sequence) String() string {
+	var b strings.Builder
+	for _, st := range q.Steps {
+		b.WriteString(st.String())
+		b.WriteByte('\n')
+	}
+	b.WriteString(q.Op.String())
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// Validate checks a sequence against a schema: every step's names exist
+// and each step's Via is reachable from the previous step's Target.
+func (q *Sequence) Validate(s *Schema) error {
+	prev := ""
+	for i, st := range q.Steps {
+		isEnt := s.Entity(st.Target) != nil
+		isAssoc := s.Association(st.Target) != nil
+		if !isEnt && !isAssoc {
+			return fmt.Errorf("semantic: step %d: unknown target %s", i, st.Target)
+		}
+		switch st.Kind {
+		case ViaSelf:
+			if st.Via != st.Target {
+				return fmt.Errorf("semantic: step %d: via-self must access %s via itself", i, st.Target)
+			}
+		case ViaComparable:
+			if s.Entity(st.Via) == nil {
+				return fmt.Errorf("semantic: step %d: unknown via entity %s", i, st.Via)
+			}
+		case AssocViaSide:
+			a := s.Association(st.Target)
+			if a == nil {
+				return fmt.Errorf("semantic: step %d: %s is not an association", i, st.Target)
+			}
+			if st.Via != a.Left && st.Via != a.Right {
+				return fmt.Errorf("semantic: step %d: %s is not a side of %s", i, st.Via, st.Target)
+			}
+		case ViaAssoc:
+			a := s.Association(st.Via)
+			if a == nil {
+				return fmt.Errorf("semantic: step %d: %s is not an association", i, st.Via)
+			}
+			if st.Target != a.Left && st.Target != a.Right {
+				return fmt.Errorf("semantic: step %d: %s is not a side of %s", i, st.Target, st.Via)
+			}
+		}
+		if i > 0 && st.Kind != ViaSelf && st.Kind != ViaComparable && st.Via != prev {
+			return fmt.Errorf("semantic: step %d: via %s does not continue from %s", i, st.Via, prev)
+		}
+		prev = st.Target
+	}
+	return nil
+}
+
+// PersonnelSchema is the §4.1 example: EMP, DEPT and the EMP-DEPT
+// association with YEAR-OF-SERVICE.
+func PersonnelSchema() *Schema {
+	return &Schema{
+		Name: "PERSONNEL",
+		Entities: []*Entity{
+			{Name: "EMP", Fields: []string{"E#", "ENAME", "AGE"}, Key: []string{"E#"}},
+			{Name: "DEPT", Fields: []string{"D#", "DNAME", "MGR"}, Key: []string{"D#"}},
+		},
+		Associations: []*Association{
+			{Name: "EMP-DEPT", Left: "DEPT", Right: "EMP", Attrs: []string{"YEAR-OF-SERVICE"}},
+		},
+	}
+}
+
+// SmithQuery is the paper's worked example: "Find the names of employees
+// who work for Manager Smith for more than ten years."
+func SmithQuery() *Sequence {
+	return &Sequence{
+		Steps: []Step{
+			{Kind: ViaSelf, Target: "DEPT", Via: "DEPT", CondFields: []string{"MGR"}},
+			{Kind: AssocViaSide, Target: "EMP-DEPT", Via: "DEPT", CondFields: []string{"YEAR-OF-SERVICE"}},
+			{Kind: ViaAssoc, Target: "EMP", Via: "EMP-DEPT"},
+		},
+		Op: Retrieve,
+	}
+}

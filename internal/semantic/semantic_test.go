@@ -1,0 +1,226 @@
+package semantic
+
+import (
+	"strings"
+	"testing"
+
+	"progconv/internal/schema"
+)
+
+func TestPersonnelSchemaValid(t *testing.T) {
+	s := PersonnelSchema()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Entity("EMP") == nil || s.Entity("NOPE") != nil {
+		t.Error("Entity lookup")
+	}
+	if s.Association("EMP-DEPT") == nil || s.Association("NOPE") != nil {
+		t.Error("Association lookup")
+	}
+	if len(s.AssociationsOf("EMP")) != 1 || len(s.AssociationsOf("DEPT")) != 1 {
+		t.Error("AssociationsOf")
+	}
+	if len(s.Between("EMP", "DEPT")) != 1 || len(s.Between("DEPT", "EMP")) != 1 {
+		t.Error("Between both orientations")
+	}
+}
+
+// TestSmithQueryRendering reproduces the paper's §4.1 derivation: the
+// access-pattern sequence for "employees who work for Manager Smith for
+// more than ten years".
+func TestSmithQueryRendering(t *testing.T) {
+	q := SmithQuery()
+	if err := q.Validate(PersonnelSchema()); err != nil {
+		t.Fatal(err)
+	}
+	got := q.String()
+	want := "ACCESS DEPT via DEPT [MGR]\n" +
+		"ACCESS EMP-DEPT via DEPT [YEAR-OF-SERVICE]\n" +
+		"ACCESS EMP via EMP-DEPT\n" +
+		"RETRIEVE\n"
+	if got != want {
+		t.Errorf("sequence:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestViaComparableStep(t *testing.T) {
+	s := PersonnelSchema()
+	q := &Sequence{
+		Steps: []Step{
+			{Kind: ViaComparable, Target: "EMP", Via: "DEPT", Through: [2]string{"ENAME", "MGR"}},
+		},
+		Op: Retrieve,
+	}
+	if err := q.Validate(s); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(q.Steps[0].String(), "through (ENAME, MGR)") {
+		t.Errorf("rendering: %s", q.Steps[0])
+	}
+}
+
+func TestSchemaValidationFailures(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Schema)
+		want string
+	}{
+		{"dup entity", func(s *Schema) { s.Entities = append(s.Entities, &Entity{Name: "EMP"}) }, "duplicate entity"},
+		{"dup field", func(s *Schema) { s.Entities[0].Fields = append(s.Entities[0].Fields, "E#") }, "duplicate field"},
+		{"bad key", func(s *Schema) { s.Entities[0].Key = []string{"NOPE"} }, "key field"},
+		{"dup assoc", func(s *Schema) {
+			s.Associations = append(s.Associations, &Association{Name: "EMP-DEPT", Left: "EMP", Right: "DEPT"})
+		}, "duplicate association"},
+		{"bad assoc side", func(s *Schema) { s.Associations[0].Left = "NOPE" }, "unknown entities"},
+	}
+	for _, tc := range cases {
+		s := PersonnelSchema()
+		tc.mut(s)
+		err := s.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: %v", tc.name, err)
+		}
+	}
+}
+
+func TestSequenceValidationFailures(t *testing.T) {
+	s := PersonnelSchema()
+	cases := []struct {
+		name string
+		q    *Sequence
+		want string
+	}{
+		{"unknown target", &Sequence{Steps: []Step{{Kind: ViaSelf, Target: "X", Via: "X"}}}, "unknown target"},
+		{"via-self mismatch", &Sequence{Steps: []Step{{Kind: ViaSelf, Target: "EMP", Via: "DEPT"}}}, "via-self"},
+		{"bad comparable via", &Sequence{Steps: []Step{{Kind: ViaComparable, Target: "EMP", Via: "NOPE"}}}, "unknown via entity"},
+		{"assoc-via-side non-assoc", &Sequence{Steps: []Step{{Kind: AssocViaSide, Target: "EMP", Via: "DEPT"}}}, "not an association"},
+		{"assoc-via-side bad side", &Sequence{Steps: []Step{{Kind: AssocViaSide, Target: "EMP-DEPT", Via: "EMP-DEPT"}}}, "not a side"},
+		{"via-assoc non-assoc", &Sequence{Steps: []Step{{Kind: ViaAssoc, Target: "EMP", Via: "DEPT"}}}, "not an association"},
+		{"discontinuous", &Sequence{Steps: []Step{
+			{Kind: ViaSelf, Target: "EMP", Via: "EMP"},
+			{Kind: AssocViaSide, Target: "EMP-DEPT", Via: "DEPT"},
+		}}, "does not continue"},
+	}
+	for _, tc := range cases {
+		err := tc.q.Validate(s)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: %v", tc.name, err)
+		}
+	}
+	// assoc-via-side with a non-side entity.
+	q := &Sequence{Steps: []Step{{Kind: AssocViaSide, Target: "EMP-DEPT", Via: "EMP-DEPT"}}}
+	if err := q.Validate(s); err == nil {
+		t.Error("non-side via should fail")
+	}
+}
+
+func TestPatternAndOpStrings(t *testing.T) {
+	for k, w := range map[PatternKind]string{ViaSelf: "via-self", ViaComparable: "via-comparable",
+		AssocViaSide: "assoc-via-side", ViaAssoc: "via-assoc", PatternKind(9): "?"} {
+		if k.String() != w {
+			t.Errorf("%d = %q", k, k.String())
+		}
+	}
+	for o, w := range map[Op]string{Retrieve: "RETRIEVE", Update: "UPDATE", Insert: "INSERT",
+		Delete: "DELETE", Op(9): "?"} {
+		if o.String() != w {
+			t.Errorf("%d = %q", o, o.String())
+		}
+	}
+}
+
+func TestFromNetwork(t *testing.T) {
+	s := FromNetwork(schema.EmpDeptNetwork())
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Entity("EMP-DEPT") == nil {
+		t.Error("intersection record should be an entity")
+	}
+	ed := s.Association("ED")
+	if ed == nil || ed.Left != "DEPT" || ed.Right != "EMP-DEPT" || !ed.Dependency {
+		t.Errorf("ED association = %+v", ed)
+	}
+	if s.Association("ALL-EMP") != nil {
+		t.Error("SYSTEM sets are not associations")
+	}
+}
+
+func TestNetworkPathsFigure42vs44(t *testing.T) {
+	// In Figure 4.2 DIV→EMP is one hop; in Figure 4.4 it is two.
+	v1, err := NetworkPaths(schema.CompanyV1(), "DIV", "EMP", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v1) == 0 || v1[0].Cost() != 1 || v1[0].Hops[0].Set != "DIV-EMP" || !v1[0].Hops[0].Down {
+		t.Errorf("V1 paths = %v", v1)
+	}
+	v2, err := NetworkPaths(schema.CompanyV2(), "DIV", "EMP", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v2) == 0 || v2[0].Cost() != 2 {
+		t.Errorf("V2 paths = %v", v2)
+	}
+	if v2[0].String() != "DIV-DEPT↓ DEPT-EMP↓" {
+		t.Errorf("V2 route = %s", v2[0])
+	}
+}
+
+func TestNetworkPathsUpHops(t *testing.T) {
+	// EMP→DIV goes member→owner.
+	paths, err := NetworkPaths(schema.CompanyV1(), "EMP", "DIV", 4)
+	if err != nil || len(paths) == 0 {
+		t.Fatal(err)
+	}
+	if paths[0].String() != "DIV-EMP↑" {
+		t.Errorf("up route = %s", paths[0])
+	}
+}
+
+func TestShortestNetworkPath(t *testing.T) {
+	p, unique, err := ShortestNetworkPath(schema.CompanyV2(), "DIV", "EMP", 4)
+	if err != nil || !unique || p.Cost() != 2 {
+		t.Errorf("%v %v %v", p, unique, err)
+	}
+	// EMP→DEPT in EmpDeptNetwork has exactly one minimal route via E-ED + ED.
+	p2, unique2, err := ShortestNetworkPath(schema.EmpDeptNetwork(), "EMP", "DEPT", 4)
+	if err != nil || p2.Cost() != 2 {
+		t.Errorf("%v %v %v", p2, unique2, err)
+	}
+}
+
+func TestShortestNetworkPathAmbiguity(t *testing.T) {
+	// Two parallel sets between the same pair: ambiguity.
+	n := schema.CompanyV1()
+	n.Sets = append(n.Sets, &schema.SetType{Name: "DIV-EMP-2", Owner: "DIV", Member: "EMP"})
+	_, unique, err := ShortestNetworkPath(n, "DIV", "EMP", 3)
+	if err != nil || unique {
+		t.Errorf("parallel sets should be ambiguous (unique=%v, err=%v)", unique, err)
+	}
+}
+
+func TestNetworkPathsErrors(t *testing.T) {
+	if _, err := NetworkPaths(schema.CompanyV1(), "NOPE", "EMP", 3); err == nil {
+		t.Error("unknown from")
+	}
+	if _, err := NetworkPaths(schema.CompanyV1(), "DIV", "NOPE", 3); err == nil {
+		t.Error("unknown to")
+	}
+	if _, _, err := ShortestNetworkPath(schema.CompanyV1(), "NOPE", "EMP", 3); err == nil {
+		t.Error("shortest unknown from")
+	}
+	// Disconnected: no path within budget.
+	n := schema.CompanyV1()
+	n.Records = append(n.Records, &schema.RecordType{Name: "LONER"})
+	if _, _, err := ShortestNetworkPath(n, "DIV", "LONER", 3); err == nil {
+		t.Error("no path should error")
+	}
+}
+
+func TestHopString(t *testing.T) {
+	if (Hop{Set: "S", Down: true}).String() != "S↓" || (Hop{Set: "S"}).String() != "S↑" {
+		t.Error("Hop rendering")
+	}
+}

@@ -1,0 +1,248 @@
+// Package sequel implements the SEQUEL subset the paper's language
+// template (A) is written in: single-relation SELECT blocks with
+// AND/OR/NOT conditions and nested IN sub-selects, plus the INSERT,
+// DELETE and UPDATE statements database programs need.
+//
+//	SELECT ENAME FROM EMP WHERE E# IN
+//	    SELECT E# FROM EMP-DEPT WHERE D# = 'D2'
+//	    AND YEAR-OF-SERVICE = 3
+//
+// Host programs bind variables through named parameters (:NAME), the
+// 1979 call-interface style in which "the request is passed as an
+// argument ... usually a program variable" (§3.2).
+package sequel
+
+import (
+	"fmt"
+	"strings"
+
+	"progconv/internal/value"
+)
+
+// Params supplies values for :NAME placeholders at execution time.
+type Params map[string]value.Value
+
+// Operand is the right-hand side of a comparison: a literal, a parameter,
+// or another column of the same relation.
+type Operand struct {
+	Lit   value.Value
+	Param string // non-empty: look up in Params
+	Col   string // non-empty: compare against this column
+}
+
+// Lit builds a literal operand.
+func Lit(v value.Value) Operand { return Operand{Lit: v} }
+
+// Param builds a parameter operand.
+func Param(name string) Operand { return Operand{Param: name} }
+
+// Col builds a column operand.
+func Col(name string) Operand { return Operand{Col: name} }
+
+func (o Operand) String() string {
+	switch {
+	case o.Param != "":
+		return ":" + o.Param
+	case o.Col != "":
+		return o.Col
+	default:
+		return o.Lit.Literal()
+	}
+}
+
+func (o Operand) eval(row *value.Record, params Params) (value.Value, error) {
+	switch {
+	case o.Param != "":
+		v, ok := params[o.Param]
+		if !ok {
+			return value.Value{}, fmt.Errorf("sequel: unbound parameter :%s", o.Param)
+		}
+		return v, nil
+	case o.Col != "":
+		v, ok := row.Get(o.Col)
+		if !ok {
+			return value.Value{}, fmt.Errorf("sequel: unknown column %s", o.Col)
+		}
+		return v, nil
+	default:
+		return o.Lit, nil
+	}
+}
+
+// Cond is a boolean condition over one row.
+type Cond interface {
+	fmt.Stringer
+	eval(row *value.Record, ctx *execCtx) (bool, error)
+}
+
+// Cmp compares a column against an operand: A op B.
+type Cmp struct {
+	Col string
+	Op  string // = <> < <= > >=
+	Rhs Operand
+}
+
+func (c Cmp) String() string { return fmt.Sprintf("%s %s %s", c.Col, c.Op, c.Rhs) }
+
+func (c Cmp) eval(row *value.Record, ctx *execCtx) (bool, error) {
+	lhs, ok := row.Get(c.Col)
+	if !ok {
+		return false, fmt.Errorf("sequel: unknown column %s", c.Col)
+	}
+	rhs, err := c.Rhs.eval(row, ctx.params)
+	if err != nil {
+		return false, err
+	}
+	cmp, comparable := lhs.Compare(rhs)
+	if !comparable || lhs.IsNull() || rhs.IsNull() {
+		return false, nil // 1979 null semantics: comparisons with null fail
+	}
+	switch c.Op {
+	case "=":
+		return cmp == 0, nil
+	case "<>":
+		return cmp != 0, nil
+	case "<":
+		return cmp < 0, nil
+	case "<=":
+		return cmp <= 0, nil
+	case ">":
+		return cmp > 0, nil
+	case ">=":
+		return cmp >= 0, nil
+	}
+	return false, fmt.Errorf("sequel: unknown operator %q", c.Op)
+}
+
+// In tests membership of a column in a sub-select: A IN (SELECT ...).
+type In struct {
+	Col string
+	Sub *Select
+}
+
+func (c In) String() string { return fmt.Sprintf("%s IN (%s)", c.Col, c.Sub) }
+
+func (c In) eval(row *value.Record, ctx *execCtx) (bool, error) {
+	lhs, ok := row.Get(c.Col)
+	if !ok {
+		return false, fmt.Errorf("sequel: unknown column %s", c.Col)
+	}
+	if lhs.IsNull() {
+		return false, nil
+	}
+	set, err := ctx.subquerySet(c.Sub)
+	if err != nil {
+		return false, err
+	}
+	return set[lhs.Key()], nil
+}
+
+// And is conjunction.
+type And struct{ L, R Cond }
+
+func (c And) String() string { return fmt.Sprintf("(%s AND %s)", c.L, c.R) }
+
+func (c And) eval(row *value.Record, ctx *execCtx) (bool, error) {
+	l, err := c.L.eval(row, ctx)
+	if err != nil || !l {
+		return false, err
+	}
+	return c.R.eval(row, ctx)
+}
+
+// Or is disjunction.
+type Or struct{ L, R Cond }
+
+func (c Or) String() string { return fmt.Sprintf("(%s OR %s)", c.L, c.R) }
+
+func (c Or) eval(row *value.Record, ctx *execCtx) (bool, error) {
+	l, err := c.L.eval(row, ctx)
+	if err != nil || l {
+		return l, err
+	}
+	return c.R.eval(row, ctx)
+}
+
+// Not is negation.
+type Not struct{ C Cond }
+
+func (c Not) String() string { return fmt.Sprintf("(NOT %s)", c.C) }
+
+func (c Not) eval(row *value.Record, ctx *execCtx) (bool, error) {
+	v, err := c.C.eval(row, ctx)
+	return !v, err
+}
+
+// Select is a query block. Fields nil means SELECT *.
+type Select struct {
+	Fields []string
+	From   string
+	Where  Cond // nil = no condition
+}
+
+func (q *Select) String() string {
+	fields := "*"
+	if q.Fields != nil {
+		fields = strings.Join(q.Fields, ", ")
+	}
+	s := fmt.Sprintf("SELECT %s FROM %s", fields, q.From)
+	if q.Where != nil {
+		s += " WHERE " + q.Where.String()
+	}
+	return s
+}
+
+// Insert is INSERT INTO rel (cols) VALUES (operands).
+type Insert struct {
+	Into   string
+	Cols   []string
+	Values []Operand
+}
+
+func (s *Insert) String() string {
+	vals := make([]string, len(s.Values))
+	for i, v := range s.Values {
+		vals[i] = v.String()
+	}
+	return fmt.Sprintf("INSERT INTO %s (%s) VALUES (%s)",
+		s.Into, strings.Join(s.Cols, ", "), strings.Join(vals, ", "))
+}
+
+// Delete is DELETE FROM rel WHERE cond.
+type Delete struct {
+	From  string
+	Where Cond
+}
+
+func (s *Delete) String() string {
+	out := "DELETE FROM " + s.From
+	if s.Where != nil {
+		out += " WHERE " + s.Where.String()
+	}
+	return out
+}
+
+// Assign is one SET clause of an UPDATE.
+type Assign struct {
+	Col string
+	Rhs Operand
+}
+
+// Update is UPDATE rel SET assignments WHERE cond.
+type Update struct {
+	Rel   string
+	Set   []Assign
+	Where Cond
+}
+
+func (s *Update) String() string {
+	sets := make([]string, len(s.Set))
+	for i, a := range s.Set {
+		sets[i] = fmt.Sprintf("%s = %s", a.Col, a.Rhs)
+	}
+	out := fmt.Sprintf("UPDATE %s SET %s", s.Rel, strings.Join(sets, ", "))
+	if s.Where != nil {
+		out += " WHERE " + s.Where.String()
+	}
+	return out
+}

@@ -1,0 +1,160 @@
+package sequel
+
+import (
+	"fmt"
+
+	"progconv/internal/relstore"
+	"progconv/internal/value"
+)
+
+// execCtx carries the database and parameters through condition
+// evaluation, memoizing sub-select results (a sub-select in this subset
+// is uncorrelated, so one evaluation serves every outer row).
+type execCtx struct {
+	db     *relstore.DB
+	params Params
+	subs   map[*Select]map[string]bool
+}
+
+func (ctx *execCtx) subquerySet(q *Select) (map[string]bool, error) {
+	if set, ok := ctx.subs[q]; ok {
+		return set, nil
+	}
+	if len(q.Fields) != 1 {
+		return nil, fmt.Errorf("sequel: IN sub-select must produce exactly one column")
+	}
+	rows, err := Exec(ctx.db, q, ctx.params)
+	if err != nil {
+		return nil, err
+	}
+	set := make(map[string]bool, len(rows))
+	for _, r := range rows {
+		set[r.MustGet(q.Fields[0]).Key()] = true
+	}
+	if ctx.subs == nil {
+		ctx.subs = make(map[*Select]map[string]bool)
+	}
+	ctx.subs[q] = set
+	return set, nil
+}
+
+// Exec runs a SELECT and returns the projected rows in the relation's
+// insertion order — the "given order" programs come to depend on (§3.2).
+func Exec(db *relstore.DB, q *Select, params Params) ([]*value.Record, error) {
+	rel := db.Schema().Relation(q.From)
+	if rel == nil {
+		return nil, fmt.Errorf("sequel: unknown relation %s", q.From)
+	}
+	fields := q.Fields
+	if fields == nil {
+		fields = rel.ColumnNames()
+	}
+	for _, f := range fields {
+		if rel.Column(f) == nil {
+			return nil, fmt.Errorf("sequel: relation %s has no column %s", q.From, f)
+		}
+	}
+	ctx := &execCtx{db: db, params: params}
+	var out []*value.Record
+	var evalErr error
+	db.Scan(q.From, func(row *value.Record) bool {
+		if q.Where != nil {
+			keep, err := q.Where.eval(row, ctx)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			if !keep {
+				return true
+			}
+		}
+		out = append(out, row.Project(fields))
+		return true
+	})
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	return out, nil
+}
+
+// ExecInsert runs an INSERT.
+func ExecInsert(db *relstore.DB, s *Insert, params Params) error {
+	rel := db.Schema().Relation(s.Into)
+	if rel == nil {
+		return fmt.Errorf("sequel: unknown relation %s", s.Into)
+	}
+	if len(s.Cols) != len(s.Values) {
+		return fmt.Errorf("sequel: INSERT into %s: %d columns, %d values", s.Into, len(s.Cols), len(s.Values))
+	}
+	rec := value.NewRecord()
+	for _, c := range rel.Columns {
+		rec.Set(c.Name, value.NullValue())
+	}
+	for i, c := range s.Cols {
+		v, err := s.Values[i].eval(nil, params)
+		if err != nil {
+			return err
+		}
+		rec.Set(c, v)
+	}
+	return db.Insert(s.Into, rec)
+}
+
+// ExecDelete runs a DELETE, returning the number of rows removed.
+func ExecDelete(db *relstore.DB, s *Delete, params Params) (int, error) {
+	ctx := &execCtx{db: db, params: params}
+	var evalErr error
+	n, err := db.DeleteWhere(s.From, func(row *value.Record) bool {
+		if evalErr != nil {
+			return false
+		}
+		if s.Where == nil {
+			return true
+		}
+		keep, err := s.Where.eval(row, ctx)
+		if err != nil {
+			evalErr = err
+			return false
+		}
+		return keep
+	})
+	if evalErr != nil {
+		return 0, evalErr
+	}
+	return n, err
+}
+
+// ExecUpdate runs an UPDATE, returning the number of rows changed.
+func ExecUpdate(db *relstore.DB, s *Update, params Params) (int, error) {
+	ctx := &execCtx{db: db, params: params}
+	var evalErr error
+	n, err := db.Update(s.Rel,
+		func(row *value.Record) bool {
+			if evalErr != nil {
+				return false
+			}
+			if s.Where == nil {
+				return true
+			}
+			keep, err := s.Where.eval(row, ctx)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			return keep
+		},
+		func(row *value.Record) {
+			for _, a := range s.Set {
+				v, err := a.Rhs.eval(row, params)
+				if err != nil {
+					evalErr = err
+					return
+				}
+				row.Set(a.Col, v)
+			}
+		})
+	if evalErr != nil {
+		return 0, evalErr
+	}
+	return n, err
+}

@@ -1,0 +1,198 @@
+package value
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRecordSetGet(t *testing.T) {
+	r := NewRecord()
+	r.Set("A", Of(1))
+	r.Set("B", Str("x"))
+	if v, ok := r.Get("A"); !ok || v.AsInt() != 1 {
+		t.Error("Get A")
+	}
+	if !r.Has("B") || r.Has("C") {
+		t.Error("Has")
+	}
+	if r.MustGet("C").Kind() != Null {
+		t.Error("MustGet missing field should be null")
+	}
+	r.Set("A", Of(2))
+	if r.Len() != 2 {
+		t.Errorf("overwrite should not grow record, len=%d", r.Len())
+	}
+	if r.MustGet("A").AsInt() != 2 {
+		t.Error("overwrite lost")
+	}
+}
+
+func TestFromPairs(t *testing.T) {
+	r := FromPairs("N", "bob", "AGE", 31, "W", 2.5, "OK", true, "X", Of(9), "Z", nil)
+	if r.MustGet("N").AsString() != "bob" || r.MustGet("AGE").AsInt() != 31 ||
+		r.MustGet("W").AsFloat() != 2.5 || !r.MustGet("OK").AsBool() ||
+		r.MustGet("X").AsInt() != 9 || !r.MustGet("Z").IsNull() {
+		t.Errorf("FromPairs built %v", r)
+	}
+}
+
+func TestFromPairsPanics(t *testing.T) {
+	assertPanics := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanics("odd args", func() { FromPairs("A") })
+	assertPanics("non-string name", func() { FromPairs(1, 2) })
+	assertPanics("bad value type", func() { FromPairs("A", []int{1}) })
+}
+
+func TestRecordDelete(t *testing.T) {
+	r := FromPairs("A", 1, "B", 2, "C", 3)
+	r.Delete("B")
+	if r.Len() != 2 || r.Has("B") {
+		t.Error("Delete B")
+	}
+	got := r.Names()
+	if len(got) != 2 || got[0] != "A" || got[1] != "C" {
+		t.Errorf("order after delete = %v", got)
+	}
+	r.Delete("ZZZ") // no-op
+	if r.Len() != 2 {
+		t.Error("deleting absent field changed record")
+	}
+}
+
+func TestRecordRename(t *testing.T) {
+	r := FromPairs("A", 1, "B", 2)
+	r.Rename("A", "AA")
+	if r.Has("A") || r.MustGet("AA").AsInt() != 1 {
+		t.Error("Rename")
+	}
+	if r.Names()[0] != "AA" {
+		t.Errorf("rename should preserve position, names=%v", r.Names())
+	}
+	r.Rename("NOPE", "X") // no-op
+	if r.Len() != 2 {
+		t.Error("renaming absent field changed record")
+	}
+}
+
+func TestRecordCloneIsDeep(t *testing.T) {
+	r := FromPairs("A", 1)
+	c := r.Clone()
+	c.Set("A", Of(99))
+	c.Set("B", Of(2))
+	if r.MustGet("A").AsInt() != 1 || r.Has("B") {
+		t.Error("Clone shares state with original")
+	}
+}
+
+func TestRecordProject(t *testing.T) {
+	r := FromPairs("A", 1, "B", 2, "C", 3)
+	p := r.Project([]string{"C", "A", "MISSING"})
+	if p.Len() != 3 {
+		t.Fatalf("project len = %d", p.Len())
+	}
+	if p.Names()[0] != "C" || p.Names()[1] != "A" {
+		t.Errorf("projection order = %v", p.Names())
+	}
+	if !p.MustGet("MISSING").IsNull() {
+		t.Error("missing field should project to null")
+	}
+}
+
+func TestRecordEqual(t *testing.T) {
+	a := FromPairs("A", 1, "B", "x")
+	b := FromPairs("B", "x", "A", 1) // different order, same content
+	if !a.Equal(b) {
+		t.Error("order must not matter for Equal")
+	}
+	c := FromPairs("A", 1, "B", "y")
+	if a.Equal(c) {
+		t.Error("different values should differ")
+	}
+	d := FromPairs("A", 1)
+	if a.Equal(d) || d.Equal(a) {
+		t.Error("different widths should differ")
+	}
+}
+
+func TestKeyOfComposite(t *testing.T) {
+	a := FromPairs("X", "ab", "Y", "c")
+	b := FromPairs("X", "a", "Y", "bc")
+	if a.KeyOf([]string{"X", "Y"}) == b.KeyOf([]string{"X", "Y"}) {
+		t.Error("composite keys must not collide across field boundaries")
+	}
+	if a.KeyOf([]string{"X"}) != FromPairs("X", "ab").KeyOf([]string{"X"}) {
+		t.Error("same field values should give same key")
+	}
+}
+
+func TestRecordString(t *testing.T) {
+	r := FromPairs("A", 1, "B", "x")
+	if got := r.String(); got != "{A=1, B=x}" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestCompareByAndSort(t *testing.T) {
+	recs := []*Record{
+		FromPairs("N", "carol", "AGE", 40),
+		FromPairs("N", "alice", "AGE", 30),
+		FromPairs("N", "bob", "AGE", 30),
+	}
+	SortRecords(recs, []string{"AGE", "N"})
+	if recs[0].MustGet("N").AsString() != "alice" ||
+		recs[1].MustGet("N").AsString() != "bob" ||
+		recs[2].MustGet("N").AsString() != "carol" {
+		t.Errorf("sorted order wrong: %v %v %v", recs[0], recs[1], recs[2])
+	}
+}
+
+func TestSortIsStable(t *testing.T) {
+	recs := []*Record{
+		FromPairs("K", 1, "TAG", "first"),
+		FromPairs("K", 1, "TAG", "second"),
+		FromPairs("K", 0, "TAG", "zero"),
+	}
+	SortRecords(recs, []string{"K"})
+	if recs[1].MustGet("TAG").AsString() != "first" || recs[2].MustGet("TAG").AsString() != "second" {
+		t.Error("equal keys must preserve insertion order")
+	}
+}
+
+func TestCompareByIncomparableFallsBackToString(t *testing.T) {
+	a := FromPairs("X", "10")
+	b := FromPairs("X", 9)
+	// string "10" vs int 9: incomparable, falls back to String form ("10" < "9")
+	if c := CompareBy(a, b, []string{"X"}); c != -1 {
+		t.Errorf("fallback compare = %d", c)
+	}
+}
+
+// Property: Project preserves values for present fields.
+func TestProjectPreservesValuesProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		r := FromPairs("A", a, "B", b)
+		p := r.Project([]string{"B"})
+		return p.Len() == 1 && p.MustGet("B").AsInt() == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Clone().Equal(original) always holds.
+func TestCloneEqualProperty(t *testing.T) {
+	f := func(s string, n int64) bool {
+		r := FromPairs("S", s, "N", n)
+		return r.Clone().Equal(r)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,239 @@
+package xform
+
+import (
+	"fmt"
+	"strings"
+
+	"progconv/internal/schema"
+)
+
+// Classify is the Conversion Analyzer of Figure 4.1: it "analyzes the
+// source and target databases in order to classify the types of changes
+// that have been made", producing a Plan drawn from the catalogue. A
+// change it cannot explain is returned in the error — the situation an
+// interactive Conversion Analyst must resolve (renames, for instance,
+// are indistinguishable from drop-and-add without human input, so they
+// must be supplied in an explicit plan).
+func Classify(src, dst *schema.Network) (*Plan, error) {
+	plan := &Plan{}
+	cur := src.Clone()
+
+	// 1. Introduced intermediates: a source set gone, replaced by an
+	// upper/lower chain through a new record type.
+	for _, s := range src.Sets {
+		if s.IsSystem() || dst.Set(s.Name) != nil {
+			continue
+		}
+		t, ok := detectIntroduce(cur, dst, s.Name)
+		if !ok {
+			continue
+		}
+		next, err := t.ApplySchema(cur)
+		if err != nil {
+			return nil, fmt.Errorf("xform: classified %s but cannot apply: %w", t.Name(), err)
+		}
+		plan.Steps = append(plan.Steps, t)
+		cur = next
+	}
+
+	// 2. Collapsed intermediates: a source record type gone, its chain
+	// replaced by one set.
+	for _, r := range src.Records {
+		if dst.Record(r.Name) != nil {
+			continue
+		}
+		t, ok := detectCollapse(cur, dst, r.Name)
+		if !ok {
+			continue
+		}
+		next, err := t.ApplySchema(cur)
+		if err != nil {
+			return nil, fmt.Errorf("xform: classified %s but cannot apply: %w", t.Name(), err)
+		}
+		plan.Steps = append(plan.Steps, t)
+		cur = next
+	}
+
+	// 3. Same-named set property changes.
+	for _, s := range cur.Sets {
+		d := dst.Set(s.Name)
+		if d == nil {
+			continue
+		}
+		if strings.Join(s.Keys, ",") != strings.Join(d.Keys, ",") {
+			t := ChangeSetKeys{Set: s.Name, Keys: append([]string(nil), d.Keys...)}
+			next, err := t.ApplySchema(cur)
+			if err != nil {
+				return nil, err
+			}
+			plan.Steps = append(plan.Steps, t)
+			cur = next
+		}
+		if s.Retention != d.Retention {
+			t := ChangeRetention{Set: s.Name, Retention: d.Retention}
+			next, err := t.ApplySchema(cur)
+			if err != nil {
+				return nil, err
+			}
+			plan.Steps = append(plan.Steps, t)
+			cur = next
+		}
+	}
+
+	// 4. Same-named record field adds and drops.
+	for _, r := range cur.Records {
+		d := dst.Record(r.Name)
+		if d == nil {
+			continue
+		}
+		for _, f := range r.Fields {
+			if d.Field(f.Name) == nil && f.Virtual == nil {
+				t := DropField{Record: r.Name, Field: f.Name}
+				next, err := t.ApplySchema(cur)
+				if err != nil {
+					return nil, fmt.Errorf("xform: field %s.%s disappeared but cannot be dropped: %w", r.Name, f.Name, err)
+				}
+				plan.Steps = append(plan.Steps, t)
+				cur = next
+			}
+		}
+		for _, f := range d.Fields {
+			if cur.Record(r.Name).Field(f.Name) == nil && f.Virtual == nil {
+				t := AddField{Record: r.Name, Field: f.Name, Kind: f.Kind}
+				next, err := t.ApplySchema(cur)
+				if err != nil {
+					return nil, err
+				}
+				plan.Steps = append(plan.Steps, t)
+				cur = next
+			}
+		}
+	}
+
+	// Whatever remains unexplained goes to the Analyst.
+	if diff := describeDiff(cur, dst); diff != "" {
+		return plan, fmt.Errorf("xform: changes not in the catalogue (analyst required):\n%s", diff)
+	}
+	return plan, nil
+}
+
+// detectIntroduce matches the IntroduceIntermediate signature for a
+// source set that vanished.
+func detectIntroduce(src, dst *schema.Network, setName string) (IntroduceIntermediate, bool) {
+	s := src.Set(setName)
+	for _, upper := range dst.Sets {
+		if upper.Owner != s.Owner || upper.IsSystem() {
+			continue
+		}
+		inter := upper.Member
+		if src.Record(inter) != nil {
+			continue // not a new record type
+		}
+		for _, lower := range dst.Sets {
+			if lower.Owner != inter || lower.Member != s.Member {
+				continue
+			}
+			interRec := dst.Record(inter)
+			if interRec == nil || len(upper.Keys) != 1 {
+				continue
+			}
+			group := upper.Keys[0]
+			gf := interRec.Field(group)
+			if gf == nil || gf.Virtual != nil {
+				continue
+			}
+			// The member must have carried the group field as stored data.
+			mf := src.Record(s.Member).Field(group)
+			if mf == nil || mf.Virtual != nil {
+				continue
+			}
+			return IntroduceIntermediate{
+				Set: setName, Inter: inter, GroupField: group,
+				Upper: upper.Name, Lower: lower.Name,
+			}, true
+		}
+	}
+	return IntroduceIntermediate{}, false
+}
+
+// detectCollapse matches the CollapseIntermediate signature for a source
+// record type that vanished.
+func detectCollapse(src, dst *schema.Network, interName string) (CollapseIntermediate, bool) {
+	var upper, lower *schema.SetType
+	for _, s := range src.Sets {
+		if s.Member == interName && !s.IsSystem() {
+			if upper != nil {
+				return CollapseIntermediate{}, false
+			}
+			upper = s
+		}
+		if s.Owner == interName {
+			if lower != nil {
+				return CollapseIntermediate{}, false
+			}
+			lower = s
+		}
+	}
+	if upper == nil || lower == nil || len(upper.Keys) != 1 {
+		return CollapseIntermediate{}, false
+	}
+	for _, d := range dst.Sets {
+		if d.Owner == upper.Owner && d.Member == lower.Member && src.Set(d.Name) == nil {
+			return CollapseIntermediate{
+				Upper: upper.Name, Lower: lower.Name,
+				GroupField: upper.Keys[0], NewSet: d.Name,
+			}, true
+		}
+	}
+	return CollapseIntermediate{}, false
+}
+
+// describeDiff lists structural differences between two schemas, for the
+// analyst escalation message. DDL text is the comparison medium: two
+// schemas are the same exactly when they render the same.
+func describeDiff(a, b *schema.Network) string {
+	if a.DDL() == b.DDL() {
+		return ""
+	}
+	var lines []string
+	for _, r := range a.Records {
+		if b.Record(r.Name) == nil {
+			lines = append(lines, fmt.Sprintf("  record %s exists only in source", r.Name))
+		}
+	}
+	for _, r := range b.Records {
+		if a.Record(r.Name) == nil {
+			lines = append(lines, fmt.Sprintf("  record %s exists only in target", r.Name))
+		}
+	}
+	for _, s := range a.Sets {
+		if b.Set(s.Name) == nil {
+			lines = append(lines, fmt.Sprintf("  set %s exists only in source", s.Name))
+		}
+	}
+	for _, s := range b.Sets {
+		if a.Set(s.Name) == nil {
+			lines = append(lines, fmt.Sprintf("  set %s exists only in target", s.Name))
+		}
+	}
+	for _, r := range a.Records {
+		o := b.Record(r.Name)
+		if o == nil {
+			continue
+		}
+		for _, f := range r.Fields {
+			if o.Field(f.Name) == nil {
+				lines = append(lines, fmt.Sprintf("  field %s.%s exists only in source", r.Name, f.Name))
+			}
+		}
+		for _, f := range o.Fields {
+			if r.Field(f.Name) == nil {
+				lines = append(lines, fmt.Sprintf("  field %s.%s exists only in target", r.Name, f.Name))
+			}
+		}
+	}
+	if len(lines) == 0 {
+		lines = append(lines, "  declarations differ in detail (kinds, virtuals, modes, or ordering)")
+	}
+	return strings.Join(lines, "\n")
+}

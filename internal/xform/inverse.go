@@ -1,0 +1,80 @@
+package xform
+
+import (
+	"fmt"
+
+	"progconv/internal/schema"
+)
+
+// Inverse returns the transformation that undoes t, given the schema t
+// was applied to. It exists because Housel's approach (§2.2) and the
+// bridge-program strategy (§2.1.2) both need the inverse data mapping:
+// "the source database can be reconstructed from the target database by
+// applying some inverse operators". Non-invertible transformations
+// (DropField) return an error.
+func Inverse(t Transformation, src *schema.Network) (Transformation, error) {
+	switch x := t.(type) {
+	case RenameRecord:
+		return RenameRecord{Old: x.New, New: x.Old}, nil
+	case RenameField:
+		return RenameField{Record: x.Record, Old: x.New, New: x.Old}, nil
+	case RenameSet:
+		return RenameSet{Old: x.New, New: x.Old}, nil
+	case AddField:
+		return DropField{Record: x.Record, Field: x.Field}, nil
+	case DropField:
+		return nil, fmt.Errorf("xform: drop-field of %s.%s loses information and has no inverse", x.Record, x.Field)
+	case ChangeSetKeys:
+		old := src.Set(x.Set)
+		if old == nil {
+			return nil, fmt.Errorf("xform: no set %s in source schema", x.Set)
+		}
+		return ChangeSetKeys{Set: x.Set, Keys: append([]string(nil), old.Keys...)}, nil
+	case ChangeRetention:
+		old := src.Set(x.Set)
+		if old == nil {
+			return nil, fmt.Errorf("xform: no set %s in source schema", x.Set)
+		}
+		return ChangeRetention{Set: x.Set, Retention: old.Retention}, nil
+	case IntroduceIntermediate:
+		return CollapseIntermediate{
+			Upper: x.Upper, Lower: x.Lower, GroupField: x.GroupField, NewSet: x.Set,
+		}, nil
+	case CollapseIntermediate:
+		upper := src.Set(x.Upper)
+		if upper == nil {
+			return nil, fmt.Errorf("xform: no set %s in source schema", x.Upper)
+		}
+		return IntroduceIntermediate{
+			Set: x.NewSet, Inter: upper.Member, GroupField: x.GroupField,
+			Upper: x.Upper, Lower: x.Lower,
+		}, nil
+	}
+	return nil, fmt.Errorf("xform: no inverse rule for %T", t)
+}
+
+// InversePlan builds the plan that maps the target schema back to the
+// source: each step inverted, in reverse order. This is the bridge
+// strategy's reverse mapping.
+func (p *Plan) InversePlan(src *schema.Network) (*Plan, error) {
+	// Collect the schema each step sees.
+	schemas := []*schema.Network{src}
+	cur := src
+	for _, t := range p.Steps {
+		next, err := t.ApplySchema(cur)
+		if err != nil {
+			return nil, err
+		}
+		schemas = append(schemas, next)
+		cur = next
+	}
+	inv := &Plan{}
+	for i := len(p.Steps) - 1; i >= 0; i-- {
+		it, err := Inverse(p.Steps[i], schemas[i])
+		if err != nil {
+			return nil, err
+		}
+		inv.Steps = append(inv.Steps, it)
+	}
+	return inv, nil
+}
