@@ -8,6 +8,7 @@ package progconv
 //	go test -bench=. -benchmem
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -77,6 +78,11 @@ func BenchmarkSchoolConstraints(b *testing.B) {
 
 // BenchmarkPipeline backs EXP-F4.1: the full supervisor run (classify,
 // migrate, convert, optimize, verify) over a small application system.
+// The supervisor's worker pool defaults to GOMAXPROCS, so
+//
+//	go test -bench=Pipeline -cpu 1,4,8
+//
+// measures the batch engine's scaling directly.
 func BenchmarkPipeline(b *testing.B) {
 	progs := []*dbprog.Program{
 		mustParse(b, `
@@ -107,7 +113,7 @@ END PROGRAM.
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sup := core.NewSupervisor()
-		if _, err := sup.Run(schema.CompanyV1(), schema.CompanyV2(), nil, db.Clone(), progs); err != nil {
+		if _, err := sup.Run(context.Background(), schema.CompanyV1(), schema.CompanyV2(), nil, db.Clone(), progs); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -145,7 +151,7 @@ END PROGRAM.
 	plan := figurePlan()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := convert.Convert(p, src, plan)
+		res, err := convert.Convert(context.Background(), p, src, plan)
 		if err != nil || !res.Auto {
 			b.Fatal(err)
 		}
@@ -165,7 +171,7 @@ SELECT ENAME FROM EMP WHERE E# IN
 	sem := semantic.PersonnelSchema()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := analyzer.DeriveSequence(q, sem); err != nil {
+		if _, err := analyzer.DeriveSequence(context.Background(), q, sem); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -183,17 +189,19 @@ func BenchmarkTemplateSynthesis(b *testing.B) {
 	net := schema.EmpDeptNetwork()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := generator.ToSequel(seq, sem, bind, []string{"ENAME"}); err != nil {
+		if _, err := generator.ToSequel(context.Background(), seq, sem, bind, []string{"ENAME"}); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := generator.ToNetworkProgram("B", seq, sem, net, bind, []string{"ENAME"}); err != nil {
+		if _, err := generator.ToNetworkProgram(context.Background(), "B", seq, sem, net, bind, []string{"ENAME"}); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
 // BenchmarkCorpusConversion backs EXP-C1: the supervisor over the
-// 100-program period-realistic inventory.
+// 100-program period-realistic inventory. Like BenchmarkPipeline it
+// inherits the pool size from GOMAXPROCS; run with -cpu 1,4,8 to see
+// the throughput scaling of the concurrent batch engine.
 func BenchmarkCorpusConversion(b *testing.B) {
 	members, err := corpus.Programs(corpus.PeriodProfile(42))
 	if err != nil {
@@ -209,7 +217,7 @@ func BenchmarkCorpusConversion(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		sup := core.NewSupervisor()
 		sup.Verify = false
-		if _, err := sup.Run(src, nil, plan, nil, progs); err != nil {
+		if _, err := sup.Run(context.Background(), src, nil, plan, nil, progs); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -378,7 +386,7 @@ func BenchmarkHazardDetection(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, m := range members {
-			analyzer.Analyze(m.Program, net)
+			analyzer.Analyze(context.Background(), m.Program, net)
 		}
 	}
 }
@@ -397,7 +405,7 @@ END PROGRAM.
 	v2 := schema.CompanyV2()
 	b.Run("Optimize", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			optimizer.Optimize(p, v2)
+			optimizer.Optimize(context.Background(), p, v2)
 		}
 	})
 	// Ablation: executing the unoptimized vs optimized query.
@@ -430,7 +438,7 @@ END PROGRAM.
 			}
 		}
 	}
-	opt, _ := optimizer.Optimize(p, v2)
+	opt, _ := optimizer.Optimize(context.Background(), p, v2)
 	b.Run("ExecUnoptimized", func(b *testing.B) { run(b, p) })
 	b.Run("ExecOptimized", func(b *testing.B) { run(b, opt) })
 }

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sort"
@@ -26,6 +27,7 @@ import (
 	"progconv/internal/hierstore"
 	"progconv/internal/mdml"
 	"progconv/internal/netstore"
+	"progconv/internal/obs"
 	"progconv/internal/optimizer"
 	"progconv/internal/relstore"
 	"progconv/internal/schema"
@@ -199,7 +201,7 @@ END PROGRAM.
 `),
 	}
 	sup := core.NewSupervisor()
-	report, err := sup.Run(schema.CompanyV1(), schema.CompanyV2(), nil, companyV1DB(), progs)
+	report, err := sup.Run(context.Background(), schema.CompanyV1(), schema.CompanyV2(), nil, companyV1DB(), progs)
 	if err != nil {
 		fmt.Println("error:", err)
 		return
@@ -299,15 +301,15 @@ END PROGRAM.`,
 END PROGRAM.`,
 	} {
 		p := mustParse(src)
-		res, err := convert.Convert(p, schema.CompanyV1(), plan)
+		res, err := convert.Convert(context.Background(), p, schema.CompanyV1(), plan)
 		if err != nil || !res.Auto {
 			fmt.Printf("  conversion failed: %v %v\n", res, err)
 			continue
 		}
-		opt, _ := optimizer.Optimize(res.Program, v2)
+		opt, _ := optimizer.Optimize(context.Background(), res.Program, v2)
 		v1db := companyV1DB()
 		v2db, _ := plan.MigrateData(v1db)
-		verdict := equiv.Check(p, dbprog.Config{Net: v1db}, opt, dbprog.Config{Net: v2db})
+		verdict := equiv.Check(context.Background(), p, dbprog.Config{Net: v1db}, opt, dbprog.Config{Net: v2db})
 		fmt.Printf("\n  source:\n%s", indent(dbprog.Format(p), 4))
 		fmt.Printf("  converted:\n%s", indent(dbprog.Format(opt), 4))
 		fmt.Printf("  I/O equivalent: %v\n", verdict.Equal)
@@ -323,7 +325,7 @@ SELECT ENAME FROM EMP WHERE E# IN
   (SELECT E# FROM EMP-DEPT WHERE YEAR-OF-SERVICE > 10 AND D# IN
     (SELECT D# FROM DEPT WHERE MGR = 'SMITH'))`)
 	fmt.Printf("query:\n%s\n\n", indent(q.String(), 2))
-	seq, err := analyzer.DeriveSequence(q, semantic.PersonnelSchema())
+	seq, err := analyzer.DeriveSequence(context.Background(), q, semantic.PersonnelSchema())
 	if err != nil {
 		fmt.Println("error:", err)
 		return
@@ -348,13 +350,13 @@ func expS41b() {
 		{Field: "D#", Op: "=", V: value.Str("D2")},
 		{Field: "YEAR-OF-SERVICE", Op: "=", V: value.Of(3)},
 	}
-	sq, err := generator.ToSequel(seq, sem, bind, []string{"ENAME"})
+	sq, err := generator.ToSequel(context.Background(), seq, sem, bind, []string{"ENAME"})
 	if err != nil {
 		fmt.Println("error:", err)
 		return
 	}
 	fmt.Printf("template (A), SEQUEL:\n%s\n", indent(sq, 2))
-	prog, err := generator.ToNetworkProgram("TPL-B", seq, sem, schema.EmpDeptNetwork(), bind, []string{"ENAME"})
+	prog, err := generator.ToNetworkProgram(context.Background(), "TPL-B", seq, sem, schema.EmpDeptNetwork(), bind, []string{"ENAME"})
 	if err != nil {
 		fmt.Println("error:", err)
 		return
@@ -367,7 +369,8 @@ func expS41b() {
 func expC1() {
 	banner("EXP-C1", "§2.1.1 claim: 65-70% automatic success rate over a program inventory")
 	fmt.Println("\nconversion: Figure 4.2→4.4 split, strict policy (no accepted order changes)")
-	fmt.Printf("\n%-44s %6s %10s %8s\n", "hazard mix", "auto", "qualified", "manual")
+	fmt.Printf("\n%-44s %6s %10s %8s %10s %9s %9s\n",
+		"hazard mix", "auto", "qualified", "manual", "wall", "analyze", "convert")
 	profiles := []struct {
 		name string
 		p    corpus.Profile
@@ -397,14 +400,21 @@ func expC1() {
 		}
 		sup := core.NewSupervisor()
 		sup.Verify = false
-		report, err := sup.Run(schema.CompanyV1(), nil, figurePlan(), nil, progs)
+		sup.Metrics = obs.NewRecorder()
+		report, err := sup.Run(context.Background(), schema.CompanyV1(), nil, figurePlan(), nil, progs)
 		if err != nil {
 			fmt.Println("error:", err)
 			return
 		}
 		auto, qualified, manual := report.Counts()
-		fmt.Printf("%-44s %5d%% %9d%% %7d%%\n", row.name, auto, qualified, manual)
+		m := report.Metrics
+		fmt.Printf("%-44s %5d%% %9d%% %7d%% %10s %9s %9s\n", row.name, auto, qualified, manual,
+			m.Wall.Round(time.Microsecond),
+			m.Stage(obs.StageAnalyze).Mean().Round(time.Microsecond),
+			m.Stage(obs.StageConvert).Mean().Round(time.Microsecond))
 	}
+	fmt.Println("\n(wall = batch elapsed on the concurrent supervisor;",
+		"analyze/convert = mean per-program stage time)")
 	fmt.Println("\nshape target: the period-realistic row lands in the paper's 65-70% band.")
 	fmt.Println("With an analyst accepting order changes, the qualified share converts too:")
 	members, _ := corpus.Programs(corpus.PeriodProfile(42))
@@ -413,7 +423,7 @@ func expC1() {
 		progs[i] = m.Program
 	}
 	sup := &core.Supervisor{Analyst: core.Policy{AcceptOrderChanges: true}, Verify: false}
-	report, _ := sup.Run(schema.CompanyV1(), nil, figurePlan(), nil, progs)
+	report, _ := sup.Run(context.Background(), schema.CompanyV1(), nil, figurePlan(), nil, progs)
 	auto, qualified, manual := report.Counts()
 	fmt.Printf("  accepting analyst: %d%% auto + %d%% qualified = %d%% converted, %d%% manual\n",
 		auto, qualified, auto+qualified, manual)
@@ -425,8 +435,9 @@ func expC2() {
 	banner("EXP-C2", "§2.1.2 claim: emulation and bridge strategies degrade efficiency")
 	fmt.Println("\nworkload: Q queries 'employees of one department of one division',")
 	fmt.Println("run against the restructured (Figure 4.4) database by each strategy.")
-	fmt.Printf("\n%-10s %8s  %12s %12s %14s %14s\n",
-		"DB size", "queries", "rewrite", "emulate", "bridge(cold)", "bridge(warm)")
+	fmt.Printf("\n%-10s %8s  %12s %12s %14s %14s %12s\n",
+		"DB size", "queries", "rewrite", "emulate", "bridge(cold)", "bridge(warm)", "conv(wall)")
+	var lastConv *obs.Metrics
 	for _, scale := range []struct {
 		name    string
 		divs    int
@@ -452,10 +463,47 @@ func expC2() {
 		emulateT := timeEmulate(src.Schema(), target, plan, scale.queries, scale.divs, scale.depts)
 		coldT, warmT := timeBridge(src.Schema(), target, plan, scale.queries, scale.divs, scale.depts)
 
-		fmt.Printf("%-10s %8d  %10.1fµs %10.1fµs %12.1fµs %12.1fµs   (per query)\n",
+		// The one-time rewrite cost the strategies amortize: converting Q
+		// itself through the instrumented supervisor.
+		q := fmt.Sprintf(`
+PROGRAM Q DIALECT MARYLAND.
+  FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'DIV-%02d'), DIV-EMP, EMP(DEPT-NAME = 'D-%02d')) INTO C.
+  FOR EACH E IN C
+    PRINT EMP-NAME IN E.
+  END-FOR.
+END PROGRAM.
+`, 1%scale.divs, 1%scale.depts)
+		prog, err := dbprog.Parse(q)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		sup := core.NewSupervisor()
+		sup.Verify = false
+		sup.Metrics = obs.NewRecorder()
+		report, err := sup.Run(context.Background(), src.Schema(), nil, plan, nil,
+			[]*dbprog.Program{prog})
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		lastConv = report.Metrics
+
+		fmt.Printf("%-10s %8d  %10.1fµs %10.1fµs %12.1fµs %12.1fµs %12s   (per query)\n",
 			scale.name, scale.queries,
 			us(rewriteT, scale.queries), us(emulateT, scale.queries),
-			us(coldT, scale.queries), us(warmT, scale.queries))
+			us(coldT, scale.queries), us(warmT, scale.queries),
+			report.Metrics.Wall.Round(time.Microsecond))
+	}
+	if lastConv != nil {
+		fmt.Printf("\nper-stage cost of converting Q (one-time, amortized by rewrite):\n")
+		for _, st := range obs.Stages() {
+			s := lastConv.Stage(st)
+			if s.Count == 0 {
+				continue
+			}
+			fmt.Printf("  %-10s %10s\n", st, s.Mean().Round(time.Microsecond))
+		}
 	}
 	fmt.Println("\nshape target: rewrite fastest; emulation slower by a growing factor")
 	fmt.Println("(per-call mapping + chain walking); cold bridge worst (reconstruction),")
@@ -662,7 +710,7 @@ func expH1() {
 		return ok && want == kind
 	}
 	for _, m := range members {
-		abs := analyzer.Analyze(m.Program, schema.CompanyV1())
+		abs := analyzer.Analyze(context.Background(), m.Program, schema.CompanyV1())
 		found := map[analyzer.IssueKind]bool{}
 		for _, i := range abs.Issues {
 			found[i.Kind] = true

@@ -5,17 +5,19 @@
 //	progconv check <schema.ddl>
 //	progconv diff <source.ddl> <target.ddl>
 //	progconv analyze <schema.ddl> <program.prog>
-//	progconv convert [-accept-order] <source.ddl> <target.ddl> <program.prog>...
+//	progconv convert [-accept-order] [-stats] [-parallel N] <source.ddl> <target.ddl> <program.prog>...
 //	progconv run [-init <program.prog>] [-input line]... <schema.ddl> <program.prog>
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
+	"progconv"
 	"progconv/internal/analyzer"
-	"progconv/internal/core"
 	"progconv/internal/dbprog"
 	"progconv/internal/hierstore"
 	"progconv/internal/netstore"
@@ -55,7 +57,7 @@ func usage() {
   progconv check <schema.ddl>
   progconv diff <source.ddl> <target.ddl>
   progconv analyze <schema.ddl> <program.prog>
-  progconv convert [-accept-order] <source.ddl> <target.ddl> <program.prog>...
+  progconv convert [-accept-order] [-stats] [-parallel N] <source.ddl> <target.ddl> <program.prog>...
   progconv run [-init <program.prog>] [-input line]... <schema.ddl> <program.prog>`)
 	os.Exit(2)
 }
@@ -68,12 +70,12 @@ func readFile(path string) (string, error) {
 	return string(b), nil
 }
 
-func loadProgram(path string) (*dbprog.Program, error) {
+func loadProgram(path string) (*progconv.Program, error) {
 	src, err := readFile(path)
 	if err != nil {
 		return nil, err
 	}
-	p, err := dbprog.Parse(src)
+	p, err := progconv.ParseProgram(src)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
@@ -164,7 +166,7 @@ func cmdAnalyze(args []string) error {
 	if err != nil {
 		return err
 	}
-	abs := analyzer.Analyze(p, sch)
+	abs := analyzer.Analyze(context.Background(), p, sch)
 	fmt.Print(abs.Describe())
 	return nil
 }
@@ -173,6 +175,10 @@ func cmdConvert(args []string) error {
 	fs := flag.NewFlagSet("convert", flag.ExitOnError)
 	acceptOrder := fs.Bool("accept-order", false,
 		"analyst accepts conversions whose output order may change")
+	stats := fs.Bool("stats", false,
+		"print per-stage timing statistics after the report")
+	parallel := fs.Int("parallel", 0,
+		"worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	fs.Parse(args)
 	rest := fs.Args()
 	if len(rest) < 3 {
@@ -182,7 +188,7 @@ func cmdConvert(args []string) error {
 	if err != nil {
 		return err
 	}
-	var progs []*dbprog.Program
+	var progs []*progconv.Program
 	for _, path := range rest[2:] {
 		p, err := loadProgram(path)
 		if err != nil {
@@ -190,18 +196,28 @@ func cmdConvert(args []string) error {
 		}
 		progs = append(progs, p)
 	}
-	sup := core.NewSupervisor()
-	sup.Analyst = core.Policy{AcceptOrderChanges: *acceptOrder}
-	sup.Verify = false
-	report, err := sup.Run(src, dst, nil, nil, progs)
+	// Interrupt cancels the batch mid-inventory (ErrCanceled).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	opts := []progconv.Option{
+		progconv.WithAnalyst(progconv.Policy{AcceptOrderChanges: *acceptOrder}),
+		progconv.WithParallelism(*parallel),
+	}
+	if *stats {
+		opts = append(opts, progconv.WithMetrics())
+	}
+	report, err := progconv.Convert(ctx, src, dst, nil, progs, opts...)
 	if err != nil {
 		return err
 	}
 	fmt.Print(report)
 	for _, o := range report.Outcomes {
-		if o.Converted != nil {
-			fmt.Printf("\n--- converted %s ---\n%s", o.Name, dbprog.Format(o.Converted))
+		if o.Generated != "" {
+			fmt.Printf("\n--- converted %s ---\n%s", o.Name, o.Generated)
 		}
+	}
+	if *stats {
+		fmt.Printf("\n%s", report.Metrics)
 	}
 	return nil
 }

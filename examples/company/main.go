@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -77,7 +78,7 @@ END PROGRAM.
 	// The Supervisor classifies the Figure 4.2→4.4 change, restructures
 	// the data, converts each program, optimizes, and verifies.
 	sup := core.NewSupervisor()
-	report, err := sup.Run(schema.CompanyV1(), schema.CompanyV2(), nil, db, programs)
+	report, err := sup.Run(context.Background(), schema.CompanyV1(), schema.CompanyV2(), nil, db, programs)
 	if err != nil {
 		log.Fatal(err)
 	}

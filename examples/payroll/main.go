@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -48,7 +49,7 @@ SELECT ENAME FROM EMP WHERE E# IN
 	fmt.Println("query: employees who work for Manager Smith for more than ten years")
 
 	// 2. The Program Analyzer lifts it to the access-pattern sequence.
-	seq, err := analyzer.DeriveSequence(q, sem)
+	seq, err := analyzer.DeriveSequence(context.Background(), q, sem)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -60,14 +61,14 @@ SELECT ENAME FROM EMP WHERE E# IN
 		{Field: "MGR", Op: "=", V: value.Str("SMITH")},
 		{Field: "YEAR-OF-SERVICE", Op: ">", V: value.Of(10)},
 	}
-	sq, err := generator.ToSequel(seq, sem, bind, []string{"ENAME"})
+	sq, err := generator.ToSequel(context.Background(), seq, sem, bind, []string{"ENAME"})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\ntemplate (A), SEQUEL realization:")
 	fmt.Println(" ", sq)
 
-	prog, err := generator.ToNetworkProgram("SMITH-TENURE", seq, sem,
+	prog, err := generator.ToNetworkProgram(context.Background(), "SMITH-TENURE", seq, sem,
 		schema.EmpDeptNetwork(), bind, []string{"ENAME"})
 	if err != nil {
 		log.Fatal(err)

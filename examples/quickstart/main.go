@@ -1,16 +1,16 @@
 // Quickstart: convert one database program across one schema
-// restructuring and verify it "runs equivalently" (§1.1).
+// restructuring through the public progconv API and verify it "runs
+// equivalently" (§1.1).
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"progconv/internal/convert"
-	"progconv/internal/dbprog"
-	"progconv/internal/equiv"
+	"progconv"
 	"progconv/internal/netstore"
 	"progconv/internal/schema"
 	"progconv/internal/value"
@@ -33,7 +33,7 @@ func main() {
 	}
 
 	// 2. A database program written against that schema.
-	prog, err := dbprog.Parse(`
+	prog, err := progconv.ParseProgram(`
 PROGRAM SALES-ROSTER DIALECT MARYLAND.
   FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(DEPT-NAME = 'SALES')) INTO SALES.
   FOR EACH E IN SALES
@@ -47,30 +47,27 @@ END PROGRAM.
 
 	// 3. The restructuring: Figure 4.2 → Figure 4.4 (departments become
 	// records between divisions and employees).
-	plan := &xform.Plan{Steps: []xform.Transformation{
+	plan := &progconv.Plan{Steps: []xform.Transformation{
 		xform.IntroduceIntermediate{
 			Set: "DIV-EMP", Inter: "DEPT", GroupField: "DEPT-NAME",
 			Upper: "DIV-DEPT", Lower: "DEPT-EMP",
 		},
 	}}
 
-	// 4. Convert the data and the program.
-	target, err := plan.MigrateData(src)
+	// 4. One call converts the data and the program, and verifies the
+	// conversion operationally: identical non-database I/O.
+	report, err := progconv.Convert(context.Background(),
+		src.Schema(), nil, plan, []*progconv.Program{prog},
+		progconv.WithVerifyDB(src), progconv.WithMetrics())
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := convert.Convert(prog, src.Schema(), plan)
-	if err != nil {
-		log.Fatal(err)
-	}
+	o := report.Outcomes[0]
 	fmt.Println("converted program:")
-	fmt.Print(dbprog.Format(res.Program))
-
-	// 5. Verify the conversion operationally: identical non-database I/O.
-	verdict := equiv.Check(
-		prog, dbprog.Config{Net: src},
-		res.Program, dbprog.Config{Net: target})
-	fmt.Printf("\nI/O equivalent: %v\n", verdict.Equal)
+	fmt.Print(o.Generated)
+	fmt.Printf("\ndisposition: %s\n", o.Disposition)
+	fmt.Printf("I/O equivalent: %v\n", o.Verified.Equal)
 	fmt.Println("\noutput on the restructured database:")
-	fmt.Print(verdict.Target)
+	fmt.Print(o.Verified.Target)
+	fmt.Printf("\n%s", report.Metrics)
 }

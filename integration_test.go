@@ -4,6 +4,7 @@ package progconv
 // whole system composes correctly.
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -120,7 +121,7 @@ func TestSupervisorVerifiesEveryAutoConversion(t *testing.T) {
 	}
 	db := corpus.Database(prof)
 	sup := core.NewSupervisor()
-	report, err := sup.Run(schema.CompanyV1(), schema.CompanyV2(), nil, db, progs)
+	report, err := sup.Run(context.Background(), schema.CompanyV1(), schema.CompanyV2(), nil, db, progs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +241,7 @@ func TestConvertedCorpusProgramsRunClean(t *testing.T) {
 	db := corpus.Database(prof)
 	sup := core.NewSupervisor()
 	sup.Verify = false
-	report, err := sup.Run(schema.CompanyV1(), schema.CompanyV2(), nil, db, progs)
+	report, err := sup.Run(context.Background(), schema.CompanyV1(), schema.CompanyV2(), nil, db, progs)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package analyzer
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -135,7 +136,15 @@ func (a *Abstract) HasBlockingIssue() bool {
 // Analyze lifts a program. The network schema is consulted to decide
 // whether a swept set is SYSTEM-owned; it may be nil for non-network
 // dialects.
-func Analyze(p *dbprog.Program, net *schema.Network) *Abstract {
+//
+// Analyze honors ctx only as a fast-path bailout: when ctx is already
+// done it returns an empty Abstract immediately. Callers running under
+// a cancelable context must check ctx.Err() before trusting the result
+// (the Conversion Supervisor does).
+func Analyze(ctx context.Context, p *dbprog.Program, net *schema.Network) *Abstract {
+	if ctx.Err() != nil {
+		return &Abstract{Prog: p}
+	}
 	a := &analysis{prog: p, net: net}
 	a.inputVars = collectInputVars(p.Stmts)
 	abs := &Abstract{Prog: p}

@@ -1,6 +1,7 @@
 package analyzer
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -37,7 +38,7 @@ END PROGRAM.
 `
 
 func TestLiftRetrieveLoop(t *testing.T) {
-	abs := Analyze(parse(t, sweepProgram), companyDB())
+	abs := Analyze(context.Background(), parse(t, sweepProgram), companyDB())
 	var rl *RetrieveLoop
 	for _, n := range abs.Nodes {
 		if x, ok := n.(RetrieveLoop); ok {
@@ -78,7 +79,7 @@ PROGRAM SUM DIALECT NETWORK.
   PRINT TOTAL.
 END PROGRAM.
 `
-	abs := Analyze(parse(t, src), companyDB())
+	abs := Analyze(context.Background(), parse(t, src), companyDB())
 	found := false
 	for _, n := range abs.Nodes {
 		if rl, ok := n.(RetrieveLoop); ok {
@@ -112,7 +113,7 @@ PROGRAM ALLDIVS DIALECT NETWORK.
   END-PERFORM.
 END PROGRAM.
 `
-	abs := Analyze(parse(t, src), companyDB())
+	abs := Analyze(context.Background(), parse(t, src), companyDB())
 	rl, ok := abs.Nodes[0].(RetrieveLoop)
 	if !ok {
 		t.Fatalf("not lifted:\n%s", abs.Describe())
@@ -131,7 +132,7 @@ PROGRAM ODD DIALECT NETWORK.
   END-PERFORM.
 END PROGRAM.
 `
-	abs := Analyze(parse(t, src), companyDB())
+	abs := Analyze(context.Background(), parse(t, src), companyDB())
 	if _, ok := abs.Nodes[0].(LoopNode); !ok {
 		t.Fatalf("unguarded loop should stay a LoopNode:\n%s", abs.Describe())
 	}
@@ -155,7 +156,7 @@ PROGRAM RTV DIALECT NETWORK.
   END-IF.
 END PROGRAM.
 `
-	abs := Analyze(parse(t, src), companyDB())
+	abs := Analyze(context.Background(), parse(t, src), companyDB())
 	if !hasIssue(abs, RunTimeVariability) {
 		t.Errorf("issues = %v", abs.Issues)
 	}
@@ -174,7 +175,7 @@ PROGRAM RTV2 DIALECT NETWORK.
   END-IF.
 END PROGRAM.
 `
-	abs := Analyze(parse(t, src), companyDB())
+	abs := Analyze(context.Background(), parse(t, src), companyDB())
 	if !hasIssue(abs, RunTimeVariability) {
 		t.Errorf("LET-chained input var not tracked: %v", abs.Issues)
 	}
@@ -190,7 +191,7 @@ PROGRAM PF DIALECT NETWORK.
   PRINT EMP-NAME IN EMP.
 END PROGRAM.
 `
-	abs := Analyze(parse(t, src), companyDB())
+	abs := Analyze(context.Background(), parse(t, src), companyDB())
 	if !hasIssue(abs, ProcessFirst) {
 		t.Errorf("issues = %v", abs.Issues)
 	}
@@ -209,7 +210,7 @@ PROGRAM OKFIRST DIALECT NETWORK.
   END-PERFORM.
 END PROGRAM.
 `
-	abs := Analyze(parse(t, src), companyDB())
+	abs := Analyze(context.Background(), parse(t, src), companyDB())
 	if hasIssue(abs, ProcessFirst) {
 		t.Errorf("FIRST followed by NEXT sweep is fine: %v", abs.Issues)
 	}
@@ -224,12 +225,12 @@ PROGRAM SCD DIALECT NETWORK.
   END-IF.
 END PROGRAM.
 `
-	abs := Analyze(parse(t, src), companyDB())
+	abs := Analyze(context.Background(), parse(t, src), companyDB())
 	if !hasIssue(abs, StatusCodeDependence) {
 		t.Errorf("issues = %v", abs.Issues)
 	}
 	// Generic OK tests are not flagged.
-	abs2 := Analyze(parse(t, sweepProgram), companyDB())
+	abs2 := Analyze(context.Background(), parse(t, sweepProgram), companyDB())
 	if hasIssue(abs2, StatusCodeDependence) {
 		t.Errorf("OK checks flagged: %v", abs2.Issues)
 	}
@@ -270,7 +271,7 @@ SELECT ENAME FROM EMP WHERE E# IN
 	if err != nil {
 		t.Fatal(err)
 	}
-	seq, err := DeriveSequence(q, semantic.PersonnelSchema())
+	seq, err := DeriveSequence(context.Background(), q, semantic.PersonnelSchema())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -286,7 +287,7 @@ SELECT ENAME FROM EMP WHERE E# IN
 
 func TestDeriveSimpleEntityQuery(t *testing.T) {
 	q, _ := sequel.ParseQuery("SELECT ENAME FROM EMP WHERE AGE > 30")
-	seq, err := DeriveSequence(q, semantic.PersonnelSchema())
+	seq, err := DeriveSequence(context.Background(), q, semantic.PersonnelSchema())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -310,20 +311,20 @@ func TestDeriveErrors(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", src, err)
 		}
-		if _, err := DeriveSequence(q, sem); err == nil {
+		if _, err := DeriveSequence(context.Background(), q, sem); err == nil {
 			t.Errorf("%s should not derive", src)
 		}
 	}
 	// Entity reached via a non-association (nested entity query).
 	q, _ := sequel.ParseQuery("SELECT ENAME FROM EMP WHERE E# IN (SELECT D# FROM DEPT)")
-	if _, err := DeriveSequence(q, sem); err == nil {
+	if _, err := DeriveSequence(context.Background(), q, sem); err == nil {
 		t.Error("entity-via-entity should not derive")
 	}
 }
 
 func TestDeriveDisjunctionAsCondition(t *testing.T) {
 	q, _ := sequel.ParseQuery("SELECT ENAME FROM EMP WHERE AGE > 30 OR AGE < 20")
-	seq, err := DeriveSequence(q, semantic.PersonnelSchema())
+	seq, err := DeriveSequence(context.Background(), q, semantic.PersonnelSchema())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -341,7 +342,7 @@ PROGRAM MD DIALECT MARYLAND.
   END-FOR.
 END PROGRAM.
 `
-	abs := Analyze(parse(t, src), companyDB())
+	abs := Analyze(context.Background(), parse(t, src), companyDB())
 	raw := 0
 	for _, n := range abs.Nodes {
 		if _, ok := n.(RawDML); ok {

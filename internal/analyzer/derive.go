@@ -1,6 +1,7 @@
 package analyzer
 
 import (
+	"context"
 	"fmt"
 
 	"progconv/internal/semantic"
@@ -23,8 +24,12 @@ import (
 //	RETRIEVE
 //
 // Each nested block must range over an entity or association of the
-// schema; the chain of IN sub-selects is the traversal.
-func DeriveSequence(q *sequel.Select, sem *semantic.Schema) (*semantic.Sequence, error) {
+// schema; the chain of IN sub-selects is the traversal. Derivation
+// respects ctx cancellation, returning ctx.Err() wrapped.
+func DeriveSequence(ctx context.Context, q *sequel.Select, sem *semantic.Schema) (*semantic.Sequence, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("analyzer: derive: %w", err)
+	}
 	steps, err := deriveSteps(q, sem)
 	if err != nil {
 		return nil, err

@@ -11,6 +11,7 @@
 package convert
 
 import (
+	"context"
 	"fmt"
 
 	"progconv/internal/analyzer"
@@ -38,8 +39,24 @@ type Result struct {
 }
 
 // Convert rewrites a program for a transformation plan over its source
-// network schema.
-func Convert(p *dbprog.Program, src *schema.Network, plan *xform.Plan) (*Result, error) {
+// network schema. A done ctx aborts the conversion with ctx.Err()
+// wrapped, so batch supervisors can cancel mid-inventory.
+func Convert(ctx context.Context, p *dbprog.Program, src *schema.Network, plan *xform.Plan) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("convert: %s: %w", p.Name, err)
+	}
+	return ConvertAnalyzed(ctx, analyzer.Analyze(ctx, p, src), src, plan)
+}
+
+// ConvertAnalyzed converts a program whose Program Analyzer pass already
+// ran, so supervisors that analyze and convert as separate instrumented
+// stages do not pay for the analysis twice. abs must come from
+// analyzer.Analyze over the same program and schema.
+func ConvertAnalyzed(ctx context.Context, abs *analyzer.Abstract, src *schema.Network, plan *xform.Plan) (*Result, error) {
+	p := abs.Prog
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("convert: %s: %w", p.Name, err)
+	}
 	rewriters, err := plan.Rewriters(src)
 	if err != nil {
 		return nil, err
@@ -49,7 +66,6 @@ func Convert(p *dbprog.Program, src *schema.Network, plan *xform.Plan) (*Result,
 		res.Notes = append(res.Notes, r.Notes...)
 	}
 
-	abs := analyzer.Analyze(p, src)
 	res.Issues = append(res.Issues, abs.Issues...)
 	if abs.HasBlockingIssue() {
 		res.Auto = false

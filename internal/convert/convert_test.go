@@ -1,6 +1,7 @@
 package convert
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -53,7 +54,7 @@ func convertAndCompare(t *testing.T, src string) *Result {
 		t.Fatalf("parse: %v", err)
 	}
 	plan := figurePlan()
-	res, err := Convert(p, schema.CompanyV1(), plan)
+	res, err := Convert(context.Background(), p, schema.CompanyV1(), plan)
 	if err != nil {
 		t.Fatalf("convert: %v", err)
 	}
@@ -233,7 +234,7 @@ PROGRAM NOBS DIALECT NETWORK.
   END-PERFORM.
 END PROGRAM.
 `)
-	res, err := Convert(p, schema.CompanyV1(), figurePlan())
+	res, err := Convert(context.Background(), p, schema.CompanyV1(), figurePlan())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -273,7 +274,7 @@ PROGRAM RN DIALECT NETWORK.
   END-PERFORM.
 END PROGRAM.
 `)
-	res, err := Convert(p, schema.CompanyV1(), plan)
+	res, err := Convert(context.Background(), p, schema.CompanyV1(), plan)
 	if err != nil || !res.Auto {
 		t.Fatalf("%v %v", res, err)
 	}
@@ -310,7 +311,7 @@ PROGRAM DF DIALECT MARYLAND.
   END-FOR.
 END PROGRAM.
 `)
-	res, err := Convert(p, schema.CompanyV1(), plan)
+	res, err := Convert(context.Background(), p, schema.CompanyV1(), plan)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -326,7 +327,7 @@ PROGRAM DF2 DIALECT MARYLAND.
   END-FOR.
 END PROGRAM.
 `)
-	res2, err := Convert(p2, schema.CompanyV1(), plan)
+	res2, err := Convert(context.Background(), p2, schema.CompanyV1(), plan)
 	if err != nil || !res2.Auto {
 		t.Errorf("unaffected program should convert: %v %v", res2.Issues, err)
 	}
@@ -341,7 +342,7 @@ PROGRAM RTV DIALECT NETWORK.
   END-IF.
 END PROGRAM.
 `)
-	res, err := Convert(p, schema.CompanyV1(), figurePlan())
+	res, err := Convert(context.Background(), p, schema.CompanyV1(), figurePlan())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -368,7 +369,7 @@ END PROGRAM.`,
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := Convert(p, schema.CompanyV1(), figurePlan())
+		res, err := Convert(context.Background(), p, schema.CompanyV1(), figurePlan())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -396,7 +397,7 @@ func TestNetworkRawDMLFlagsOnSplit(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := Convert(p, schema.CompanyV1(), figurePlan())
+		res, err := Convert(context.Background(), p, schema.CompanyV1(), figurePlan())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -438,7 +439,7 @@ PROGRAM OC DIALECT NETWORK.
   END-PERFORM.
 END PROGRAM.
 `)
-	res, err := Convert(p, schema.CompanyV1(), plan)
+	res, err := Convert(context.Background(), p, schema.CompanyV1(), plan)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -460,7 +461,7 @@ PROGRAM OC2 DIALECT NETWORK.
   PRINT N.
 END PROGRAM.
 `)
-	res2, err := Convert(p2, schema.CompanyV1(), plan)
+	res2, err := Convert(context.Background(), p2, schema.CompanyV1(), plan)
 	if err != nil || !res2.Auto {
 		t.Errorf("silent loop should convert: %v %v", res2.Issues, err)
 	}
@@ -474,7 +475,7 @@ PROGRAM SQ DIALECT SEQUEL.
   END-FOR.
 END PROGRAM.
 `)
-	res, err := Convert(p, schema.CompanyV1(), figurePlan())
+	res, err := Convert(context.Background(), p, schema.CompanyV1(), figurePlan())
 	if err != nil || !res.Auto || res.Program != p {
 		t.Errorf("SEQUEL pass-through: %+v %v", res, err)
 	}
@@ -485,7 +486,7 @@ func TestRetentionNoteSurfaces(t *testing.T) {
 		xform.ChangeRetention{Set: "DIV-EMP", Retention: schema.Optional},
 	}}
 	p, _ := dbprog.Parse(`PROGRAM N DIALECT NETWORK. PRINT 'HI'. END PROGRAM.`)
-	res, err := Convert(p, schema.CompanyV1(), plan)
+	res, err := Convert(context.Background(), p, schema.CompanyV1(), plan)
 	if err != nil || !res.Auto {
 		t.Fatal(err)
 	}
@@ -497,7 +498,7 @@ func TestRetentionNoteSurfaces(t *testing.T) {
 func TestConvertErrorPropagation(t *testing.T) {
 	bad := &xform.Plan{Steps: []xform.Transformation{xform.RenameRecord{Old: "NOPE", New: "X"}}}
 	p, _ := dbprog.Parse(`PROGRAM X DIALECT NETWORK. PRINT 'HI'. END PROGRAM.`)
-	if _, err := Convert(p, schema.CompanyV1(), bad); err == nil {
+	if _, err := Convert(context.Background(), p, schema.CompanyV1(), bad); err == nil {
 		t.Error("bad plan should error")
 	}
 }

@@ -1,6 +1,7 @@
 package convert
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -27,7 +28,7 @@ PROGRAM ST DIALECT MARYLAND.
   PRINT 'STORED'.
 END PROGRAM.
 `)
-	res, err := Convert(p, schema.CompanyV1(), renamePlan())
+	res, err := Convert(context.Background(), p, schema.CompanyV1(), renamePlan())
 	if err != nil || !res.Auto {
 		t.Fatalf("%+v %v", res, err)
 	}
@@ -66,7 +67,7 @@ PROGRAM MM DIALECT MARYLAND.
   PRINT 'DONE'.
 END PROGRAM.
 `)
-	res, err := Convert(p, schema.CompanyV1(), renamePlan())
+	res, err := Convert(context.Background(), p, schema.CompanyV1(), renamePlan())
 	if err != nil || !res.Auto {
 		t.Fatalf("%+v %v", res, err)
 	}
@@ -94,7 +95,7 @@ PROGRAM Q DIALECT MARYLAND.
   END-FOR.
 END PROGRAM.
 `)
-	res, err := Convert(p, schema.CompanyV1(), renamePlan())
+	res, err := Convert(context.Background(), p, schema.CompanyV1(), renamePlan())
 	if err != nil || !res.Auto {
 		t.Fatalf("%+v %v", res, err)
 	}
@@ -119,7 +120,7 @@ PROGRAM HX DIALECT MARYLAND.
   END-FOR.
 END PROGRAM.
 `)
-	res, err := Convert(p, schema.CompanyV1(), renamePlan())
+	res, err := Convert(context.Background(), p, schema.CompanyV1(), renamePlan())
 	if err != nil || !res.Auto {
 		t.Fatalf("%+v %v", res, err)
 	}
@@ -165,7 +166,7 @@ END PROGRAM.`,
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := Convert(p, schema.CompanyV1(), plan)
+		res, err := Convert(context.Background(), p, schema.CompanyV1(), plan)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -194,7 +195,7 @@ PROGRAM FD DIALECT NETWORK.
   END-PERFORM.
 END PROGRAM.
 `)
-	res, err := Convert(p, schema.CompanyV1(), renamePlan())
+	res, err := Convert(context.Background(), p, schema.CompanyV1(), renamePlan())
 	if err != nil || !res.Auto {
 		t.Fatalf("%+v %v", res, err)
 	}
@@ -234,7 +235,7 @@ PROGRAM ED DIALECT NETWORK.
   PRINT DB-STATUS.
 END PROGRAM.
 `)
-	res, err := Convert(p, sch, plan)
+	res, err := Convert(context.Background(), p, sch, plan)
 	if err != nil || !res.Auto {
 		t.Fatalf("%+v %v", res, err)
 	}

@@ -5,25 +5,68 @@
 // Analyst. The paper expects "an interactive system would be most
 // successful"; the Analyst interface is that interaction point, and
 // Policy is the replayable non-interactive analyst.
+//
+// The supervisor is a concurrent batch engine: per-program conversion is
+// embarrassingly parallel (each analyze → convert → optimize → generate
+// → verify chain reads only the shared schemas, plan, and migrated
+// database), so Run fans the inventory out over a bounded worker pool
+// while keeping the Report deterministic — outcomes land in submission
+// order and are byte-identical to a serial run.
+//
+// # Error contract
+//
+// Run fails with typed sentinel errors checkable via errors.Is:
+//
+//   - ErrCanceled (wrapping context.Canceled or DeadlineExceeded) when
+//     the context ends mid-batch;
+//   - xform.ErrHazardUnresolved when the schema diff is not explained by
+//     the transformation catalogue (an Analyst must supply the plan);
+//   - xform.ErrNotInvertible is never raised by Run itself but flows
+//     through unchanged from plan-inversion helpers.
+//
+// Per-program conversion failures carry the program name in the message
+// and wrap the stage error via %w.
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
 
 	"progconv/internal/analyzer"
 	"progconv/internal/convert"
 	"progconv/internal/dbprog"
 	"progconv/internal/equiv"
 	"progconv/internal/netstore"
+	"progconv/internal/obs"
 	"progconv/internal/optimizer"
 	"progconv/internal/schema"
 	"progconv/internal/xform"
 )
 
+// ErrCanceled reports that a conversion run was abandoned because its
+// context was canceled or its deadline passed. Errors returned by Run
+// in that case satisfy errors.Is(err, ErrCanceled) as well as
+// errors.Is(err, ctx.Err()).
+var ErrCanceled = errors.New("core: conversion canceled")
+
+func canceledErr(cause error) error {
+	if cause == nil {
+		cause = context.Canceled
+	}
+	return fmt.Errorf("%w: %w", ErrCanceled, cause)
+}
+
 // Analyst answers the questions automation cannot: whether a qualified
 // conversion (one that weakens strict I/O equivalence, like an accepted
 // order change) should proceed.
+//
+// The supervisor serializes Decide calls even during a parallel run, so
+// implementations (interactive ones in particular) need no internal
+// locking; calls arrive in a nondeterministic but non-overlapping order.
 type Analyst interface {
 	// Decide returns true to accept the qualified conversion of the named
 	// program despite the issue.
@@ -60,6 +103,8 @@ const (
 	Manual
 )
 
+// String implements fmt.Stringer; unknown values render as
+// "disposition(N)" rather than collapsing to an ambiguous placeholder.
 func (d Disposition) String() string {
 	switch d {
 	case Auto:
@@ -69,7 +114,29 @@ func (d Disposition) String() string {
 	case Manual:
 		return "manual"
 	}
-	return "?"
+	return fmt.Sprintf("disposition(%d)", uint8(d))
+}
+
+// MarshalText implements encoding.TextMarshaler so dispositions
+// serialize cleanly in stats and report output.
+func (d Disposition) MarshalText() ([]byte, error) {
+	return []byte(d.String()), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler, accepting exactly
+// the strings MarshalText produces for the known dispositions.
+func (d *Disposition) UnmarshalText(text []byte) error {
+	switch string(text) {
+	case "auto":
+		*d = Auto
+	case "qualified":
+		*d = Qualified
+	case "manual":
+		*d = Manual
+	default:
+		return fmt.Errorf("core: unknown disposition %q", text)
+	}
+	return nil
 }
 
 // Outcome is one program's conversion record.
@@ -80,6 +147,9 @@ type Outcome struct {
 	Notes         []string
 	Optimizations []optimizer.Optimization
 	Converted     *dbprog.Program
+	// Generated is the Program Generator's rendering of Converted as
+	// target source text ("" when nothing was converted).
+	Generated string
 	// Verified holds the equivalence check against the migrated data,
 	// when the supervisor was given a database to verify with.
 	Verified *equiv.Verdict
@@ -92,6 +162,10 @@ type Report struct {
 	TargetSchema    *schema.Network
 	TargetDB        *netstore.DB
 	Outcomes        []Outcome
+	// Metrics summarizes per-stage timings when the supervisor ran with
+	// a metrics recorder (nil otherwise). It is rendered separately from
+	// String so serial and parallel reports stay byte-identical.
+	Metrics *obs.Metrics
 }
 
 // Counts returns (auto, qualified, manual).
@@ -149,6 +223,13 @@ type Supervisor struct {
 	// writes when the analyst accepted an order change, since their runs
 	// mutate state).
 	Verify bool
+	// Parallelism bounds the worker pool converting the program
+	// inventory. Zero or negative means runtime.GOMAXPROCS(0); 1 forces
+	// a serial run. Reports are deterministic at any setting.
+	Parallelism int
+	// Metrics, when non-nil, records one span per pipeline stage per
+	// program; Run snapshots it into Report.Metrics.
+	Metrics *obs.Recorder
 }
 
 // NewSupervisor returns a supervisor with the default strict policy.
@@ -156,13 +237,43 @@ func NewSupervisor() *Supervisor {
 	return &Supervisor{Analyst: Policy{}, Verify: true}
 }
 
+func (s *Supervisor) workers(n int) int {
+	w := s.Parallelism
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// runState is the read-only context a conversion run shares across
+// workers, plus the one serialization point (the Analyst).
+type runState struct {
+	src      *schema.Network
+	target   *schema.Network
+	plan     *xform.Plan
+	srcDB    *netstore.DB
+	targetDB *netstore.DB
+
+	analystMu sync.Mutex
+}
+
 // Run converts a database application system: it classifies the schema
 // change (unless an explicit plan is given), restructures the data, and
 // converts every program — "a database application system is converted
 // when each program actually existing in the source system has been
-// converted" (§1.1).
-func (s *Supervisor) Run(src, dst *schema.Network, plan *xform.Plan,
+// converted" (§1.1). Programs convert concurrently on the supervisor's
+// worker pool; ctx cancels the batch (Run then fails with ErrCanceled).
+func (s *Supervisor) Run(ctx context.Context, src, dst *schema.Network, plan *xform.Plan,
 	db *netstore.DB, progs []*dbprog.Program) (*Report, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, canceledErr(context.Cause(ctx))
+	}
 	if plan == nil {
 		var err error
 		plan, err = xform.Classify(src, dst)
@@ -187,50 +298,176 @@ func (s *Supervisor) Run(src, dst *schema.Network, plan *xform.Plan,
 		report.TargetDB = migrated
 	}
 
-	for _, p := range progs {
-		o := Outcome{Name: p.Name}
-		res, err := convert.Convert(p, src, plan)
-		if err != nil {
-			return nil, fmt.Errorf("core: converting %s: %w", p.Name, err)
-		}
-		o.Issues = res.Issues
-		o.Notes = res.Notes
-		switch {
-		case res.Auto:
-			o.Disposition = Auto
-			o.Converted = res.Program
-		case res.Program != nil && s.analystAccepts(p.Name, res.Issues):
-			o.Disposition = Qualified
-			o.Converted = res.Program
-		default:
-			o.Disposition = Manual
-		}
-		if o.Converted != nil {
-			opt, applied := optimizer.Optimize(o.Converted, target)
-			o.Converted = opt
-			o.Optimizations = applied
-		}
-		if s.Verify && db != nil && o.Disposition == Auto && o.Converted != nil {
-			v := equiv.Check(
-				p, dbprog.Config{Net: db.Clone()},
-				o.Converted, dbprog.Config{Net: report.TargetDB.Clone()})
-			o.Verified = &v
-		}
-		report.Outcomes = append(report.Outcomes, o)
+	run := &runState{src: src, target: target, plan: plan,
+		srcDB: db, targetDB: report.TargetDB}
+	outcomes := make([]Outcome, len(progs))
+	if err := s.convertAll(ctx, run, progs, outcomes); err != nil {
+		return nil, err
 	}
+	report.Outcomes = outcomes
+	report.Metrics = s.Metrics.Snapshot()
 	return report, nil
+}
+
+// convertAll fans the inventory out over the worker pool, writing each
+// program's outcome at its submission index so the report order never
+// depends on scheduling.
+func (s *Supervisor) convertAll(ctx context.Context, run *runState,
+	progs []*dbprog.Program, outcomes []Outcome) error {
+	if len(progs) == 0 {
+		return ctx.Err()
+	}
+	workers := s.workers(len(progs))
+	if workers == 1 {
+		for i, p := range progs {
+			o, err := s.convertOne(ctx, run, p)
+			if err != nil {
+				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+					return canceledErr(context.Cause(ctx))
+				}
+				return err
+			}
+			outcomes[i] = o
+		}
+		return nil
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		failIdx  = -1
+		failErr  error
+		canceled bool
+	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// A worker observing the pool shutting down is not the root
+			// cause; remember only that cancellation happened.
+			canceled = true
+		} else if failIdx < 0 || i < failIdx {
+			// The lowest submission index with a genuine failure wins, so
+			// the reported error matches what a serial run would surface.
+			failIdx, failErr = i, err
+		}
+		mu.Unlock()
+		cancel()
+	}
+	idxs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxs {
+				o, err := s.convertOne(runCtx, run, progs[i])
+				if err != nil {
+					fail(i, err)
+					continue
+				}
+				outcomes[i] = o
+			}
+		}()
+	}
+feed:
+	for i := range progs {
+		select {
+		case idxs <- i:
+		case <-runCtx.Done():
+			break feed
+		}
+	}
+	close(idxs)
+	wg.Wait()
+
+	if failErr != nil {
+		return failErr
+	}
+	if err := ctx.Err(); err != nil {
+		return canceledErr(context.Cause(ctx))
+	}
+	if canceled {
+		// Cancellation was observed but the parent context survived —
+		// cannot happen with the pool's own cancel unless a stage raised
+		// a context error spuriously; surface it rather than returning a
+		// report with holes.
+		return canceledErr(nil)
+	}
+	return nil
+}
+
+// convertOne runs the Figure 4.1 pipeline for a single program,
+// recording one metrics span per stage.
+func (s *Supervisor) convertOne(ctx context.Context, run *runState, p *dbprog.Program) (Outcome, error) {
+	o := Outcome{Name: p.Name}
+	if err := ctx.Err(); err != nil {
+		return o, fmt.Errorf("core: converting %s: %w", p.Name, err)
+	}
+
+	span := s.Metrics.StartSpan(p.Name, obs.StageAnalyze)
+	abs := analyzer.Analyze(ctx, p, run.src)
+	span.End()
+
+	span = s.Metrics.StartSpan(p.Name, obs.StageConvert)
+	res, err := convert.ConvertAnalyzed(ctx, abs, run.src, run.plan)
+	span.End()
+	if err != nil {
+		return o, fmt.Errorf("core: converting %s: %w", p.Name, err)
+	}
+	o.Issues = res.Issues
+	o.Notes = res.Notes
+	switch {
+	case res.Auto:
+		o.Disposition = Auto
+		o.Converted = res.Program
+	case res.Program != nil && s.analystAccepts(run, p.Name, res.Issues):
+		o.Disposition = Qualified
+		o.Converted = res.Program
+	default:
+		o.Disposition = Manual
+	}
+	if o.Converted != nil {
+		span = s.Metrics.StartSpan(p.Name, obs.StageOptimize)
+		opt, applied := optimizer.Optimize(ctx, o.Converted, run.target)
+		span.End()
+		o.Converted = opt
+		o.Optimizations = applied
+
+		span = s.Metrics.StartSpan(p.Name, obs.StageGenerate)
+		o.Generated = dbprog.Format(o.Converted)
+		span.End()
+	}
+	if s.Verify && run.srcDB != nil && o.Disposition == Auto && o.Converted != nil {
+		span = s.Metrics.StartSpan(p.Name, obs.StageVerify)
+		v := equiv.Check(ctx,
+			p, dbprog.Config{Net: run.srcDB.Clone()},
+			o.Converted, dbprog.Config{Net: run.targetDB.Clone()})
+		span.End()
+		o.Verified = &v
+	}
+	if err := ctx.Err(); err != nil {
+		// A stage may have returned early under cancellation; do not let
+		// its partial result stand as a real outcome.
+		return o, fmt.Errorf("core: converting %s: %w", p.Name, err)
+	}
+	return o, nil
 }
 
 // analystAccepts asks the analyst about every converter-raised issue; a
 // qualified conversion needs every one accepted, and only order
 // dependence is ever acceptable (anything else means the emitted text is
-// not a correct program for the new schema).
-func (s *Supervisor) analystAccepts(program string, issues []analyzer.Issue) bool {
+// not a correct program for the new schema). Decide calls are serialized
+// so interactive analysts never field overlapping questions.
+func (s *Supervisor) analystAccepts(run *runState, program string, issues []analyzer.Issue) bool {
 	any := false
 	for _, i := range issues {
 		switch i.Kind {
 		case analyzer.OrderDependence:
-			if !s.Analyst.Decide(program, i) {
+			run.analystMu.Lock()
+			ok := s.Analyst.Decide(program, i)
+			run.analystMu.Unlock()
+			if !ok {
 				return false
 			}
 			any = true

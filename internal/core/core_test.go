@@ -1,12 +1,15 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
 	"progconv/internal/analyzer"
 	"progconv/internal/dbprog"
 	"progconv/internal/netstore"
+	"progconv/internal/obs"
 	"progconv/internal/schema"
 	"progconv/internal/value"
 	"progconv/internal/xform"
@@ -97,7 +100,7 @@ END PROGRAM.
 func TestSupervisorEndToEnd(t *testing.T) {
 	sup := NewSupervisor()
 	db := companyV1DB(t)
-	report, err := sup.Run(schema.CompanyV1(), schema.CompanyV2(), nil, db, applicationSystem(t))
+	report, err := sup.Run(context.Background(), schema.CompanyV1(), schema.CompanyV2(), nil, db, applicationSystem(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +132,7 @@ func TestSupervisorEndToEnd(t *testing.T) {
 func TestSupervisorAcceptingAnalyst(t *testing.T) {
 	sup := &Supervisor{Analyst: Policy{AcceptOrderChanges: true}, Verify: true}
 	db := companyV1DB(t)
-	report, err := sup.Run(schema.CompanyV1(), schema.CompanyV2(), nil, db, applicationSystem(t))
+	report, err := sup.Run(context.Background(), schema.CompanyV1(), schema.CompanyV2(), nil, db, applicationSystem(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +158,7 @@ func TestSupervisorAcceptingAnalyst(t *testing.T) {
 
 func TestSupervisorExplicitPlanAndNoDB(t *testing.T) {
 	sup := NewSupervisor()
-	report, err := sup.Run(schema.CompanyV1(), nil, planFigure(), nil, applicationSystem(t)[:1])
+	report, err := sup.Run(context.Background(), schema.CompanyV1(), nil, planFigure(), nil, applicationSystem(t)[:1])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,16 +180,92 @@ func TestSupervisorClassifyErrorSurfaces(t *testing.T) {
 	weird.Sets = append(weird.Sets, &schema.SetType{Name: "ALL-ALIEN",
 		Owner: schema.SystemOwner, Member: "ALIEN"})
 	sup := NewSupervisor()
-	if _, err := sup.Run(schema.CompanyV1(), weird, nil, nil, nil); err == nil {
+	if _, err := sup.Run(context.Background(), schema.CompanyV1(), weird, nil, nil, nil); err == nil {
 		t.Error("unclassifiable change should error")
 	}
 }
 
 func TestDispositionString(t *testing.T) {
 	for d, w := range map[Disposition]string{Auto: "auto", Qualified: "qualified",
-		Manual: "manual", Disposition(9): "?"} {
+		Manual: "manual", Disposition(9): "disposition(9)"} {
 		if d.String() != w {
 			t.Errorf("%d = %q", d, d.String())
+		}
+	}
+}
+
+func TestDispositionTextMarshalling(t *testing.T) {
+	for _, d := range []Disposition{Auto, Qualified, Manual} {
+		text, err := d.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Disposition
+		if err := back.UnmarshalText(text); err != nil {
+			t.Fatal(err)
+		}
+		if back != d {
+			t.Errorf("round trip %v → %s → %v", d, text, back)
+		}
+	}
+	if _, err := Disposition(9).MarshalText(); err != nil {
+		t.Errorf("unknown disposition must still marshal: %v", err)
+	}
+	var d Disposition
+	if err := d.UnmarshalText([]byte("nonsense")); err == nil {
+		t.Error("unknown text must not unmarshal")
+	}
+}
+
+func TestRunCanceledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sup := NewSupervisor()
+	_, err := sup.Run(ctx, schema.CompanyV1(), nil, planFigure(), nil, applicationSystem(t))
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want ErrCanceled wrapping context.Canceled", err)
+	}
+}
+
+func TestParallelRunMatchesSerial(t *testing.T) {
+	progs := applicationSystem(t)
+	serial := &Supervisor{Analyst: Policy{}, Verify: true, Parallelism: 1}
+	par := &Supervisor{Analyst: Policy{}, Verify: true, Parallelism: 4}
+	a, err := serial.Run(context.Background(), schema.CompanyV1(), schema.CompanyV2(), nil, companyV1DB(t), progs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := par.Run(context.Background(), schema.CompanyV1(), schema.CompanyV2(), nil, companyV1DB(t), progs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("serial and parallel reports differ:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestMetricsRecorded(t *testing.T) {
+	sup := NewSupervisor()
+	sup.Metrics = obs.NewRecorder()
+	report, err := sup.Run(context.Background(), schema.CompanyV1(), schema.CompanyV2(), nil,
+		companyV1DB(t), applicationSystem(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Metrics == nil {
+		t.Fatal("metrics recorder given, none snapshotted")
+	}
+	an := report.Metrics.Stage(obs.StageAnalyze)
+	if an.Count != int64(len(report.Outcomes)) {
+		t.Errorf("analyze spans = %d, want %d", an.Count, len(report.Outcomes))
+	}
+	if report.Metrics.Stage(obs.StageVerify).Count == 0 {
+		t.Error("verified run recorded no verify spans")
+	}
+	// The generate stage produced real program text for converted outcomes.
+	for _, o := range report.Outcomes {
+		if o.Converted != nil && o.Generated == "" {
+			t.Errorf("%s: converted but no generated text", o.Name)
 		}
 	}
 }

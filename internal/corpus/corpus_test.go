@@ -1,6 +1,7 @@
 package corpus
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -79,7 +80,7 @@ func TestPeriodProfileLandsInPaperBand(t *testing.T) {
 	}}
 	sup := core.NewSupervisor()
 	sup.Verify = false
-	report, err := sup.Run(schema.CompanyV1(), nil, plan, nil, memberPrograms(members))
+	report, err := sup.Run(context.Background(), schema.CompanyV1(), nil, plan, nil, memberPrograms(members))
 	if err != nil {
 		t.Fatal(err)
 	}

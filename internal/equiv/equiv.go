@@ -7,6 +7,7 @@
 package equiv
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -49,7 +50,13 @@ func (v Verdict) Diff() string {
 
 // Check runs the source program under its configuration and the target
 // program under its configuration and compares the observable traces.
-func Check(src *dbprog.Program, srcCfg dbprog.Config, dst *dbprog.Program, dstCfg dbprog.Config) Verdict {
+// A done ctx yields a non-Equal verdict carrying ctx.Err() in both
+// error slots, so canceled checks are never mistaken for divergence-free
+// runs.
+func Check(ctx context.Context, src *dbprog.Program, srcCfg dbprog.Config, dst *dbprog.Program, dstCfg dbprog.Config) Verdict {
+	if err := ctx.Err(); err != nil {
+		return Verdict{SourceErr: err, TargetErr: err}
+	}
 	ta, ea := dbprog.Run(src, srcCfg)
 	tb, eb := dbprog.Run(dst, dstCfg)
 	v := Verdict{Source: ta, Target: tb, SourceErr: ea, TargetErr: eb}

@@ -1,6 +1,7 @@
 package equiv
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -25,7 +26,7 @@ func cfg() dbprog.Config {
 func TestCheckEqual(t *testing.T) {
 	a := parse(t, `PROGRAM A DIALECT NETWORK. PRINT 'X'. PRINT 'Y'. END PROGRAM.`)
 	b := parse(t, `PROGRAM B DIALECT NETWORK. PRINT 'X'. PRINT 'Y'. END PROGRAM.`)
-	v := Check(a, cfg(), b, cfg())
+	v := Check(context.Background(), a, cfg(), b, cfg())
 	if !v.Equal {
 		t.Errorf("verdict = %+v", v)
 	}
@@ -37,7 +38,7 @@ func TestCheckEqual(t *testing.T) {
 func TestCheckDivergent(t *testing.T) {
 	a := parse(t, `PROGRAM A DIALECT NETWORK. PRINT 'X'. END PROGRAM.`)
 	b := parse(t, `PROGRAM B DIALECT NETWORK. PRINT 'Z'. END PROGRAM.`)
-	v := Check(a, cfg(), b, cfg())
+	v := Check(context.Background(), a, cfg(), b, cfg())
 	if v.Equal {
 		t.Error("should diverge")
 	}
@@ -46,11 +47,11 @@ func TestCheckDivergent(t *testing.T) {
 	}
 	// Length divergence.
 	c := parse(t, `PROGRAM C DIALECT NETWORK. PRINT 'X'. PRINT 'MORE'. END PROGRAM.`)
-	v2 := Check(a, cfg(), c, cfg())
+	v2 := Check(context.Background(), a, cfg(), c, cfg())
 	if v2.Equal || !strings.Contains(v2.Diff(), "source ended") {
 		t.Errorf("diff = %s", v2.Diff())
 	}
-	v3 := Check(c, cfg(), a, cfg())
+	v3 := Check(context.Background(), c, cfg(), a, cfg())
 	if v3.Equal || !strings.Contains(v3.Diff(), "target ended") {
 		t.Errorf("diff = %s", v3.Diff())
 	}
@@ -59,7 +60,7 @@ func TestCheckDivergent(t *testing.T) {
 func TestCheckAbortedRun(t *testing.T) {
 	a := parse(t, `PROGRAM A DIALECT NETWORK. PRINT 'X'. END PROGRAM.`)
 	bad := parse(t, `PROGRAM B DIALECT NETWORK. PRINT NOPE. END PROGRAM.`)
-	v := Check(a, cfg(), bad, cfg())
+	v := Check(context.Background(), a, cfg(), bad, cfg())
 	if v.Equal || v.TargetErr == nil {
 		t.Errorf("verdict = %+v", v)
 	}

@@ -11,6 +11,7 @@
 package generator
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -43,8 +44,11 @@ func (b Binding) find(field string) (Cond, bool) {
 // ToSequel synthesizes the relational realization of an access-pattern
 // sequence: nested SELECT blocks linked by IN on the entities' keys, the
 // shape of the paper's template (A). Fields lists the output columns of
-// the final target.
-func ToSequel(seq *semantic.Sequence, sem *semantic.Schema, bind Binding, fields []string) (string, error) {
+// the final target. A done ctx aborts with ctx.Err() wrapped.
+func ToSequel(ctx context.Context, seq *semantic.Sequence, sem *semantic.Schema, bind Binding, fields []string) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", fmt.Errorf("generator: %w", err)
+	}
 	if err := seq.Validate(sem); err != nil {
 		return "", err
 	}
@@ -113,9 +117,13 @@ func stepConds(st semantic.Step, bind Binding) ([]string, error) {
 // USING loop per association step, FIND OWNER to reach entities from
 // association records, and a PRINT of the target's fields. Equality
 // conditions ride the USING clauses; other comparisons become IF filters
-// inside the loop, as a COBOL programmer would write them.
-func ToNetworkProgram(name string, seq *semantic.Sequence, sem *semantic.Schema,
+// inside the loop, as a COBOL programmer would write them. A done ctx
+// aborts with ctx.Err() wrapped.
+func ToNetworkProgram(ctx context.Context, name string, seq *semantic.Sequence, sem *semantic.Schema,
 	net *schema.Network, bind Binding, fields []string) (*dbprog.Program, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("generator: %w", err)
+	}
 	if err := seq.Validate(sem); err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package generator
 
 import (
+	"context"
 	"sort"
 	"strings"
 	"testing"
@@ -80,7 +81,7 @@ func TestCrossModelSynthesis(t *testing.T) {
 	sem := semantic.PersonnelSchema()
 
 	// Template (A): SEQUEL.
-	text, err := ToSequel(seq, sem, bind, []string{"ENAME"})
+	text, err := ToSequel(context.Background(), seq, sem, bind, []string{"ENAME"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestCrossModelSynthesis(t *testing.T) {
 	}
 
 	// Template (B): CODASYL.
-	prog, err := ToNetworkProgram("SMITH-QUERY", seq, sem, schema.EmpDeptNetwork(), bind, []string{"ENAME"})
+	prog, err := ToNetworkProgram(context.Background(), "SMITH-QUERY", seq, sem, schema.EmpDeptNetwork(), bind, []string{"ENAME"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +127,7 @@ func TestCrossModelSynthesis(t *testing.T) {
 
 func TestToSequelShape(t *testing.T) {
 	seq, bind := smithBinding()
-	text, err := ToSequel(seq, semantic.PersonnelSchema(), bind, []string{"ENAME"})
+	text, err := ToSequel(context.Background(), seq, semantic.PersonnelSchema(), bind, []string{"ENAME"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +158,7 @@ func TestPaperTemplateBEquality(t *testing.T) {
 		{Field: "D#", Op: "=", V: value.Str("D2")},
 		{Field: "YEAR-OF-SERVICE", Op: "=", V: value.Of(3)},
 	}
-	prog, err := ToNetworkProgram("TPL-B", seq, sem, schema.EmpDeptNetwork(), bind, []string{"ENAME"})
+	prog, err := ToNetworkProgram(context.Background(), "TPL-B", seq, sem, schema.EmpDeptNetwork(), bind, []string{"ENAME"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +190,7 @@ func TestPaperTemplateBEquality(t *testing.T) {
 		t.Errorf("template B answers = %v", names)
 	}
 	// The SEQUEL twin returns the same.
-	sq, err := ToSequel(seq, sem, bind, []string{"ENAME"})
+	sq, err := ToSequel(context.Background(), seq, sem, bind, []string{"ENAME"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,17 +204,17 @@ func TestPaperTemplateBEquality(t *testing.T) {
 func TestGeneratorErrors(t *testing.T) {
 	sem := semantic.PersonnelSchema()
 	seq, bind := smithBinding()
-	if _, err := ToSequel(&semantic.Sequence{}, sem, nil, nil); err == nil {
+	if _, err := ToSequel(context.Background(), &semantic.Sequence{}, sem, nil, nil); err == nil {
 		t.Error("empty sequence")
 	}
-	if _, err := ToSequel(seq, sem, nil, []string{"ENAME"}); err == nil {
+	if _, err := ToSequel(context.Background(), seq, sem, nil, []string{"ENAME"}); err == nil {
 		t.Error("missing binding")
 	}
 	// Network: entry must be via-self.
 	badSeq := &semantic.Sequence{Steps: []semantic.Step{
 		{Kind: semantic.AssocViaSide, Target: "EMP-DEPT", Via: "DEPT"},
 	}, Op: semantic.Retrieve}
-	if _, err := ToNetworkProgram("X", badSeq, sem, schema.EmpDeptNetwork(), nil, nil); err == nil {
+	if _, err := ToNetworkProgram(context.Background(), "X", badSeq, sem, schema.EmpDeptNetwork(), nil, nil); err == nil {
 		t.Error("non-entity entry")
 	}
 	// Non-equality on the entry step.
@@ -222,23 +223,23 @@ func TestGeneratorErrors(t *testing.T) {
 		{Field: "MGR", Op: ">", V: value.Str("A")},
 		{Field: "YEAR-OF-SERVICE", Op: "=", V: value.Of(3)},
 	}
-	if _, err := ToNetworkProgram("X", seq2, sem, schema.EmpDeptNetwork(), bind2, nil); err == nil {
+	if _, err := ToNetworkProgram(context.Background(), "X", seq2, sem, schema.EmpDeptNetwork(), bind2, nil); err == nil {
 		t.Error("non-equality entry condition")
 	}
 	// Non-retrieve op.
 	seq3 := semantic.SmithQuery()
 	seq3.Op = semantic.Delete
-	if _, err := ToNetworkProgram("X", seq3, sem, schema.EmpDeptNetwork(), bind, nil); err == nil {
+	if _, err := ToNetworkProgram(context.Background(), "X", seq3, sem, schema.EmpDeptNetwork(), bind, nil); err == nil {
 		t.Error("non-retrieve op")
 	}
 	// Missing set between entities.
 	disconnected := schema.EmpDeptNetwork()
 	disconnected.Sets = disconnected.Sets[:2] // drop E-ED and ED
-	if _, err := ToNetworkProgram("X", semantic.SmithQuery(), sem, disconnected, bind, nil); err == nil {
+	if _, err := ToNetworkProgram(context.Background(), "X", semantic.SmithQuery(), sem, disconnected, bind, nil); err == nil {
 		t.Error("missing sets")
 	}
 	// Missing binding in network synthesis.
-	if _, err := ToNetworkProgram("X", semantic.SmithQuery(), sem, schema.EmpDeptNetwork(),
+	if _, err := ToNetworkProgram(context.Background(), "X", semantic.SmithQuery(), sem, schema.EmpDeptNetwork(),
 		Binding{{Field: "MGR", Op: "=", V: value.Str("S")}}, nil); err == nil {
 		t.Error("missing YOS binding")
 	}
@@ -248,7 +249,7 @@ func TestGeneratorErrors(t *testing.T) {
 // loop rather than a USING clause.
 func TestNonEqualityFilterInLoop(t *testing.T) {
 	seq, bind := smithBinding()
-	prog, err := ToNetworkProgram("F", seq, semantic.PersonnelSchema(), schema.EmpDeptNetwork(), bind, []string{"ENAME"})
+	prog, err := ToNetworkProgram(context.Background(), "F", seq, semantic.PersonnelSchema(), schema.EmpDeptNetwork(), bind, []string{"ENAME"})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,323 @@
+// Package obs is the supervisor's observability substrate: per-stage
+// atomic counters and duration histograms, plus a lightweight span
+// recorder keyed by program name. The Conversion Supervisor times each
+// Figure 4.1 box (analyze → convert → optimize → generate → verify) per
+// program; the aggregate Metrics summary is embedded in the conversion
+// Report and rendered by `progconv convert -stats` and cmd/exper.
+//
+// The package is stdlib-only and safe for concurrent use: the hot path
+// (span End) touches only atomics, so instrumented parallel runs stay
+// within measurement noise of uninstrumented ones.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stage identifies one Figure 4.1 pipeline box.
+type Stage uint8
+
+// The pipeline stages, in execution order.
+const (
+	StageAnalyze Stage = iota
+	StageConvert
+	StageOptimize
+	StageGenerate
+	StageVerify
+	numStages
+)
+
+var stageNames = [numStages]string{
+	"analyze", "convert", "optimize", "generate", "verify",
+}
+
+// String implements fmt.Stringer.
+func (s Stage) String() string {
+	if int(s) < len(stageNames) {
+		return stageNames[s]
+	}
+	return fmt.Sprintf("stage(%d)", uint8(s))
+}
+
+// Stages returns every stage in execution order.
+func Stages() []Stage {
+	out := make([]Stage, numStages)
+	for i := range out {
+		out[i] = Stage(i)
+	}
+	return out
+}
+
+// numBuckets histogram buckets cover 1µs·4ⁱ boundaries: <1µs, <4µs,
+// <16µs, … <~4.3s, plus a final overflow bucket.
+const numBuckets = 17
+
+// BucketBound returns the exclusive upper duration bound of bucket i
+// (the last bucket is unbounded).
+func BucketBound(i int) time.Duration {
+	return time.Microsecond << (2 * uint(i))
+}
+
+func bucketOf(d time.Duration) int {
+	for i := 0; i < numBuckets-1; i++ {
+		if d < BucketBound(i) {
+			return i
+		}
+	}
+	return numBuckets - 1
+}
+
+// stageAccum is one stage's lock-free accumulator.
+type stageAccum struct {
+	count   atomic.Int64
+	nanos   atomic.Int64
+	min     atomic.Int64 // math.MaxInt64 until first observation
+	max     atomic.Int64
+	buckets [numBuckets]atomic.Int64
+}
+
+func (a *stageAccum) observe(d time.Duration) {
+	n := int64(d)
+	a.count.Add(1)
+	a.nanos.Add(n)
+	for {
+		cur := a.min.Load()
+		if n >= cur || a.min.CompareAndSwap(cur, n) {
+			break
+		}
+	}
+	for {
+		cur := a.max.Load()
+		if n <= cur || a.max.CompareAndSwap(cur, n) {
+			break
+		}
+	}
+	a.buckets[bucketOf(d)].Add(1)
+}
+
+// Recorder collects spans during one conversion run. The zero value is
+// not ready; use NewRecorder.
+type Recorder struct {
+	stages [numStages]stageAccum
+	start  time.Time
+
+	mu    sync.Mutex
+	spans map[string][]Span // program name → completed spans
+}
+
+// NewRecorder returns a recorder with the wall clock started.
+func NewRecorder() *Recorder {
+	r := &Recorder{start: time.Now(), spans: map[string][]Span{}}
+	for i := range r.stages {
+		r.stages[i].min.Store(int64(^uint64(0) >> 1))
+	}
+	return r
+}
+
+// Span is one completed stage execution for one program.
+type Span struct {
+	Program string
+	Stage   Stage
+	Start   time.Time
+	Dur     time.Duration
+}
+
+// activeSpan is a started, not-yet-ended span.
+type activeSpan struct {
+	rec     *Recorder
+	program string
+	stage   Stage
+	start   time.Time
+}
+
+// StartSpan begins timing one stage of one program. End the returned
+// span exactly once. A nil *Recorder is valid and records nothing, so
+// call sites need no guards.
+func (r *Recorder) StartSpan(program string, stage Stage) *activeSpan {
+	if r == nil {
+		return nil
+	}
+	return &activeSpan{rec: r, program: program, stage: stage, start: time.Now()}
+}
+
+// End finishes the span: the duration lands in the stage's atomic
+// accumulator and the span in the per-program trace.
+func (s *activeSpan) End() {
+	if s == nil {
+		return
+	}
+	d := time.Since(s.start)
+	s.rec.stages[s.stage].observe(d)
+	s.rec.mu.Lock()
+	s.rec.spans[s.program] = append(s.rec.spans[s.program],
+		Span{Program: s.program, Stage: s.stage, Start: s.start, Dur: d})
+	s.rec.mu.Unlock()
+}
+
+// Trace returns the completed spans recorded for one program, in end
+// order.
+func (r *Recorder) Trace(program string) []Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Span(nil), r.spans[program]...)
+}
+
+// StageStats is one stage's aggregate across a run.
+type StageStats struct {
+	Stage   Stage
+	Count   int64
+	Total   time.Duration
+	Min     time.Duration
+	Max     time.Duration
+	Buckets [numBuckets]int64
+}
+
+// Mean returns the average span duration (0 when nothing was recorded).
+func (s StageStats) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Total / time.Duration(s.Count)
+}
+
+// Metrics is the run summary embedded in a conversion Report.
+type Metrics struct {
+	// Wall is the elapsed time from recorder creation to snapshot.
+	Wall time.Duration
+	// Programs counts distinct instrumented programs.
+	Programs int
+	// ByStage holds per-stage aggregates in execution order; stages
+	// that never ran have Count 0.
+	ByStage []StageStats
+}
+
+// Snapshot freezes the recorder into a Metrics summary.
+func (r *Recorder) Snapshot() *Metrics {
+	if r == nil {
+		return nil
+	}
+	m := &Metrics{Wall: time.Since(r.start)}
+	r.mu.Lock()
+	m.Programs = len(r.spans)
+	r.mu.Unlock()
+	for i := range r.stages {
+		a := &r.stages[i]
+		st := StageStats{Stage: Stage(i), Count: a.count.Load(),
+			Total: time.Duration(a.nanos.Load())}
+		if st.Count > 0 {
+			st.Min = time.Duration(a.min.Load())
+			st.Max = time.Duration(a.max.Load())
+		}
+		for b := range st.Buckets {
+			st.Buckets[b] = a.buckets[b].Load()
+		}
+		m.ByStage = append(m.ByStage, st)
+	}
+	return m
+}
+
+// Stage returns the aggregate for one stage (zero stats if out of
+// range).
+func (m *Metrics) Stage(s Stage) StageStats {
+	if m == nil || int(s) >= len(m.ByStage) {
+		return StageStats{Stage: s}
+	}
+	return m.ByStage[s]
+}
+
+// sparkline renders a histogram as one glyph per occupied bucket range.
+var sparks = []rune("▁▂▃▄▅▆▇█")
+
+func sparkline(buckets [numBuckets]int64) string {
+	lo, hi := -1, -1
+	var peak int64
+	for i, n := range buckets {
+		if n > 0 {
+			if lo < 0 {
+				lo = i
+			}
+			hi = i
+			if n > peak {
+				peak = n
+			}
+		}
+	}
+	if lo < 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i := lo; i <= hi; i++ {
+		if buckets[i] == 0 {
+			b.WriteRune(' ')
+			continue
+		}
+		idx := int(buckets[i] * int64(len(sparks)-1) / peak)
+		b.WriteRune(sparks[idx])
+	}
+	return b.String()
+}
+
+// String renders the summary as the -stats table.
+func (m *Metrics) String() string {
+	if m == nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "STAGE TIMINGS (wall %s, %d programs)\n",
+		m.Wall.Round(time.Microsecond), m.Programs)
+	fmt.Fprintf(&b, "%-10s %7s %12s %12s %12s %12s  %s\n",
+		"stage", "spans", "total", "mean", "min", "max", "histogram")
+	for _, st := range m.ByStage {
+		if st.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-10s %7d %12s %12s %12s %12s  %s\n",
+			st.Stage, st.Count,
+			st.Total.Round(time.Microsecond), st.Mean().Round(time.Microsecond),
+			st.Min.Round(time.Microsecond), st.Max.Round(time.Microsecond),
+			sparkline(st.Buckets))
+	}
+	return b.String()
+}
+
+// Slowest returns the n programs with the largest summed span time,
+// slowest first — the supervisor's answer to "which conversions cost".
+func (r *Recorder) Slowest(n int) []ProgramCost {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	costs := make([]ProgramCost, 0, len(r.spans))
+	for name, spans := range r.spans {
+		var total time.Duration
+		for _, s := range spans {
+			total += s.Dur
+		}
+		costs = append(costs, ProgramCost{Program: name, Total: total})
+	}
+	r.mu.Unlock()
+	sort.Slice(costs, func(i, j int) bool {
+		if costs[i].Total != costs[j].Total {
+			return costs[i].Total > costs[j].Total
+		}
+		return costs[i].Program < costs[j].Program
+	})
+	if n < len(costs) {
+		costs = costs[:n]
+	}
+	return costs
+}
+
+// ProgramCost is one program's summed stage time.
+type ProgramCost struct {
+	Program string
+	Total   time.Duration
+}

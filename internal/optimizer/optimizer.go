@@ -16,6 +16,7 @@
 package optimizer
 
 import (
+	"context"
 	"strconv"
 
 	"progconv/internal/dbprog"
@@ -34,7 +35,14 @@ type Optimization struct {
 // refined program and the rewrites applied. Only Maryland and network
 // dialects have database-visible structure to refine; other dialects
 // return unchanged.
-func Optimize(p *dbprog.Program, net *schema.Network) (*dbprog.Program, []Optimization) {
+//
+// A done ctx returns the program unrefined (optimization is optional;
+// skipping it preserves correctness). Callers wanting cancellation
+// semantics should check ctx.Err() afterwards, as the supervisor does.
+func Optimize(ctx context.Context, p *dbprog.Program, net *schema.Network) (*dbprog.Program, []Optimization) {
+	if ctx.Err() != nil {
+		return p, nil
+	}
 	o := &optimizer{net: net}
 	out := &dbprog.Program{Name: p.Name, Dialect: p.Dialect}
 	switch p.Dialect {

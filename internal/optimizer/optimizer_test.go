@@ -1,6 +1,7 @@
 package optimizer
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -69,7 +70,7 @@ PROGRAM SE DIALECT MARYLAND.
   END-FOR.
 END PROGRAM.
 `)
-	out, opts := Optimize(p, schema.CompanyV2())
+	out, opts := Optimize(context.Background(), p, schema.CompanyV2())
 	text := dbprog.Format(out)
 	if strings.Contains(text, "SORT") {
 		t.Errorf("SORT not eliminated:\n%s", text)
@@ -89,7 +90,7 @@ PROGRAM SK DIALECT MARYLAND.
   END-FOR.
 END PROGRAM.
 `)
-	out, _ := Optimize(p, schema.CompanyV2())
+	out, _ := Optimize(context.Background(), p, schema.CompanyV2())
 	if !strings.Contains(dbprog.Format(out), "SORT") {
 		t.Error("SORT on non-key order must stay")
 	}
@@ -107,7 +108,7 @@ PROGRAM SP DIALECT MARYLAND.
   END-FOR.
 END PROGRAM.
 `)
-	out, _ := Optimize(p, schema.CompanyV2())
+	out, _ := Optimize(context.Background(), p, schema.CompanyV2())
 	if strings.Contains(dbprog.Format(out), "SORT") {
 		t.Errorf("pinned chain SORT should drop:\n%s", dbprog.Format(out))
 	}
@@ -123,7 +124,7 @@ PROGRAM SU DIALECT MARYLAND.
   END-FOR.
 END PROGRAM.
 `)
-	out, _ := Optimize(p, schema.CompanyV2())
+	out, _ := Optimize(context.Background(), p, schema.CompanyV2())
 	if !strings.Contains(dbprog.Format(out), "SORT") {
 		t.Error("unpinned chain crosses occurrences; SORT must stay")
 	}
@@ -141,7 +142,7 @@ PROGRAM QP DIALECT MARYLAND.
   END-FOR.
 END PROGRAM.
 `)
-	out, opts := Optimize(p, schema.CompanyV2())
+	out, opts := Optimize(context.Background(), p, schema.CompanyV2())
 	text := dbprog.Format(out)
 	if !strings.Contains(text, "DIV(DIV-NAME = 'TEXTILES')") {
 		t.Errorf("condition not pushed to DIV:\n%s", text)
@@ -171,7 +172,7 @@ PROGRAM QP1 DIALECT MARYLAND.
   END-FOR.
 END PROGRAM.
 `)
-	out, _ := Optimize(p, schema.CompanyV2())
+	out, _ := Optimize(context.Background(), p, schema.CompanyV2())
 	text := dbprog.Format(out)
 	if !strings.Contains(text, "DEPT(DEPT-NAME = 'SALES')") || !strings.Contains(text, "EMP(AGE > 30)") {
 		t.Errorf("one-level pushdown:\n%s", text)
@@ -195,7 +196,7 @@ PROGRAM AP DIALECT MARYLAND.
   END-FOR.
 END PROGRAM.
 `)
-	out, opts := Optimize(p, sch)
+	out, opts := Optimize(context.Background(), p, sch)
 	text := dbprog.Format(out)
 	if !strings.Contains(text, "DIV-EMP-X") {
 		t.Errorf("shortcut not chosen:\n%s", text)
@@ -223,7 +224,7 @@ PROGRAM AP2 DIALECT MARYLAND.
   FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'M'), DIV-DEPT, DEPT, DEPT-EMP, EMP) INTO C.
 END PROGRAM.
 `)
-	out, _ := Optimize(p, sch)
+	out, _ := Optimize(context.Background(), p, sch)
 	if strings.Contains(dbprog.Format(out), "DIV-EMP-X") {
 		t.Error("ambiguous shortcut must not be chosen")
 	}
@@ -239,7 +240,7 @@ func TestFlattenGeneratedIf(t *testing.T) {
 			},
 		},
 	}}
-	out, opts := Optimize(p, schema.CompanyV2())
+	out, opts := Optimize(context.Background(), p, schema.CompanyV2())
 	if len(out.Stmts) != 2 {
 		t.Errorf("not flattened: %v", out.Stmts)
 	}
@@ -250,7 +251,7 @@ func TestFlattenGeneratedIf(t *testing.T) {
 
 func TestOtherDialectsUntouched(t *testing.T) {
 	p := parse(t, `PROGRAM S DIALECT SEQUEL. PRINT 'HI'. END PROGRAM.`)
-	out, opts := Optimize(p, schema.CompanyV2())
+	out, opts := Optimize(context.Background(), p, schema.CompanyV2())
 	if out != p || opts != nil {
 		t.Error("SEQUEL programs should pass through")
 	}

@@ -112,7 +112,7 @@ func Classify(src, dst *schema.Network) (*Plan, error) {
 
 	// Whatever remains unexplained goes to the Analyst.
 	if diff := describeDiff(cur, dst); diff != "" {
-		return plan, fmt.Errorf("xform: changes not in the catalogue (analyst required):\n%s", diff)
+		return plan, fmt.Errorf("%w: changes not in the catalogue:\n%s", ErrHazardUnresolved, diff)
 	}
 	return plan, nil
 }

@@ -1,0 +1,18 @@
+// Typed sentinel errors: the conversion framework's failure contract.
+// Callers branch on these with errors.Is rather than matching message
+// strings; every error raised here wraps one of the sentinels via %w.
+package xform
+
+import "errors"
+
+var (
+	// ErrNotInvertible reports a transformation with no inverse data
+	// mapping — Housel's restriction (§2.2): information-losing steps
+	// (drop-field) exclude bridge reconstruction and plan inversion.
+	ErrNotInvertible = errors.New("xform: transformation not invertible")
+
+	// ErrHazardUnresolved reports a schema change the automatic
+	// classifier cannot explain from the catalogue: the hazard needs a
+	// Conversion Analyst decision before any plan can exist.
+	ErrHazardUnresolved = errors.New("xform: schema change needs analyst resolution")
+)

@@ -23,7 +23,7 @@ func Inverse(t Transformation, src *schema.Network) (Transformation, error) {
 	case AddField:
 		return DropField{Record: x.Record, Field: x.Field}, nil
 	case DropField:
-		return nil, fmt.Errorf("xform: drop-field of %s.%s loses information and has no inverse", x.Record, x.Field)
+		return nil, fmt.Errorf("%w: drop-field of %s.%s loses information", ErrNotInvertible, x.Record, x.Field)
 	case ChangeSetKeys:
 		old := src.Set(x.Set)
 		if old == nil {
@@ -50,7 +50,7 @@ func Inverse(t Transformation, src *schema.Network) (Transformation, error) {
 			Upper: x.Upper, Lower: x.Lower,
 		}, nil
 	}
-	return nil, fmt.Errorf("xform: no inverse rule for %T", t)
+	return nil, fmt.Errorf("%w: no inverse rule for %T", ErrNotInvertible, t)
 }
 
 // InversePlan builds the plan that maps the target schema back to the

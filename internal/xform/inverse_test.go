@@ -1,6 +1,7 @@
 package xform
 
 import (
+	"errors"
 	"testing"
 
 	"progconv/internal/schema"
@@ -90,12 +91,13 @@ func TestInversePlanRoundTripsData(t *testing.T) {
 }
 
 func TestInverseDropFieldFails(t *testing.T) {
-	if _, err := Inverse(DropField{Record: "EMP", Field: "AGE"}, schema.CompanyV1()); err == nil {
-		t.Error("drop-field has no inverse")
+	_, err := Inverse(DropField{Record: "EMP", Field: "AGE"}, schema.CompanyV1())
+	if !errors.Is(err, ErrNotInvertible) {
+		t.Errorf("drop-field inverse err = %v, want ErrNotInvertible", err)
 	}
 	plan := &Plan{Steps: []Transformation{DropField{Record: "EMP", Field: "AGE"}}}
-	if _, err := plan.InversePlan(schema.CompanyV1()); err == nil {
-		t.Error("plan with drop-field has no inverse")
+	if _, err := plan.InversePlan(schema.CompanyV1()); !errors.Is(err, ErrNotInvertible) {
+		t.Errorf("plan inverse err = %v, want ErrNotInvertible", err)
 	}
 }
 

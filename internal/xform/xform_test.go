@@ -1,6 +1,7 @@
 package xform
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -427,8 +428,8 @@ func TestClassifyEscalatesUnknownChanges(t *testing.T) {
 	dst.Sets = append(dst.Sets, &schema.SetType{Name: "ALL-AUDIT",
 		Owner: schema.SystemOwner, Member: "AUDIT"})
 	_, err := Classify(src, dst)
-	if err == nil || !strings.Contains(err.Error(), "analyst required") {
-		t.Errorf("err = %v", err)
+	if !errors.Is(err, ErrHazardUnresolved) {
+		t.Errorf("err = %v, want ErrHazardUnresolved", err)
 	}
 }
 

@@ -1,0 +1,151 @@
+// Public API: the progconv package is the supported facade over the
+// internal conversion framework. External callers convert a program
+// inventory with Convert and never import internal/ packages — the
+// types they need are re-exported here as aliases, so values returned
+// by one facade function can be passed to another.
+//
+// # Error contract
+//
+// Convert fails with typed sentinel errors, checkable via errors.Is:
+//
+//   - ErrCanceled when ctx is canceled or its deadline passes mid-batch
+//     (the error also matches ctx.Err());
+//   - ErrHazardUnresolved when no explicit plan was given and the schema
+//     diff is not explained by the transformation catalogue — a
+//     Conversion Analyst must author the plan;
+//   - ErrNotInvertible from plan-inversion helpers (InversePlan) when a
+//     step loses information (Housel's restriction).
+//
+// All other errors wrap the failing stage's error via %w with the
+// program name in the message.
+package progconv
+
+import (
+	"context"
+
+	"progconv/internal/core"
+	"progconv/internal/dbprog"
+	"progconv/internal/netstore"
+	"progconv/internal/obs"
+	"progconv/internal/schema"
+	"progconv/internal/schema/ddl"
+	"progconv/internal/xform"
+)
+
+// Re-exported conversion results: a Report is one run's full record,
+// one Outcome per submitted program, classified by Disposition.
+type (
+	Report      = core.Report
+	Outcome     = core.Outcome
+	Disposition = core.Disposition
+
+	// Analyst answers the questions automation cannot; Policy is the
+	// replayable non-interactive analyst.
+	Analyst = core.Analyst
+	Policy  = core.Policy
+
+	// Metrics is the per-stage timing summary embedded in a Report when
+	// the run was instrumented with WithMetrics.
+	Metrics = obs.Metrics
+
+	// Schema is a CODASYL network schema; Plan an ordered transformation
+	// sequence; Program a parsed database program; Database a network
+	// database instance. Aliases let external callers name values that
+	// flow between facade functions.
+	Schema   = schema.Network
+	Plan     = xform.Plan
+	Program  = dbprog.Program
+	Database = netstore.DB
+)
+
+// The dispositions.
+const (
+	Auto      = core.Auto
+	Qualified = core.Qualified
+	Manual    = core.Manual
+)
+
+// The sentinel errors; see the package error contract.
+var (
+	ErrCanceled         = core.ErrCanceled
+	ErrNotInvertible    = xform.ErrNotInvertible
+	ErrHazardUnresolved = xform.ErrHazardUnresolved
+)
+
+// options collects functional-option state for Convert.
+type options struct {
+	analyst     Analyst
+	parallelism int
+	metrics     bool
+	verifyDB    *Database
+}
+
+// Option configures one Convert run.
+type Option func(*options)
+
+// WithAnalyst supplies the Conversion Analyst consulted for qualified
+// conversions (default: the strict Policy that accepts nothing). Decide
+// calls are serialized even during parallel runs.
+func WithAnalyst(a Analyst) Option {
+	return func(o *options) { o.analyst = a }
+}
+
+// WithParallelism bounds the worker pool converting the inventory.
+// Zero or negative (and the default) means runtime.GOMAXPROCS(0); 1
+// forces a serial run. Reports are deterministic at any setting.
+func WithParallelism(n int) Option {
+	return func(o *options) { o.parallelism = n }
+}
+
+// WithMetrics instruments the run: each program's analyze → convert →
+// optimize → generate → verify chain is timed per stage and the summary
+// lands in Report.Metrics.
+func WithMetrics() Option {
+	return func(o *options) { o.metrics = true }
+}
+
+// WithVerifyDB supplies a populated source database: Convert migrates
+// it through the plan (Report.TargetDB) and verifies every automatic
+// conversion I/O-equivalent against the migrated data (§1.1).
+func WithVerifyDB(db *Database) Option {
+	return func(o *options) { o.verifyDB = db }
+}
+
+// Convert converts a database application system: it classifies the
+// src → dst schema change (or follows plan when non-nil, in which case
+// dst may be nil), restructures the data given via WithVerifyDB, and
+// converts every program concurrently on a bounded worker pool. The
+// Report lists outcomes in submission order and is byte-identical
+// across parallelism settings.
+func Convert(ctx context.Context, src, dst *Schema, plan *Plan,
+	programs []*Program, opts ...Option) (*Report, error) {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	sup := core.NewSupervisor()
+	if o.analyst != nil {
+		sup.Analyst = o.analyst
+	}
+	sup.Parallelism = o.parallelism
+	sup.Verify = o.verifyDB != nil
+	if o.metrics {
+		sup.Metrics = obs.NewRecorder()
+	}
+	return sup.Run(ctx, src, dst, plan, o.verifyDB, programs)
+}
+
+// ParseProgram parses database-program source text in any of the four
+// embedded DML dialects.
+func ParseProgram(src string) (*Program, error) { return dbprog.Parse(src) }
+
+// FormatProgram renders a (converted) program back to source text.
+func FormatProgram(p *Program) string { return dbprog.Format(p) }
+
+// ParseNetworkSchema parses Figure 4.3-style network DDL.
+func ParseNetworkSchema(src string) (*Schema, error) { return ddl.ParseNetwork(src) }
+
+// Classify infers the transformation plan explaining a src → dst schema
+// change, failing with ErrHazardUnresolved for changes outside the
+// catalogue.
+func Classify(src, dst *Schema) (*Plan, error) { return xform.Classify(src, dst) }

@@ -1,0 +1,131 @@
+package progconv
+
+// Public-facade tests: the properties Convert promises to external
+// callers — deterministic reports at any parallelism, prompt typed
+// cancellation, and data-race freedom under `go test -race`.
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"progconv/internal/analyzer"
+	"progconv/internal/corpus"
+	"progconv/internal/dbprog"
+	"progconv/internal/schema"
+)
+
+func corpusPrograms(t *testing.T) []*Program {
+	t.Helper()
+	members, err := corpus.Programs(corpus.PeriodProfile(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs := make([]*Program, len(members))
+	for i, m := range members {
+		progs[i] = m.Program
+	}
+	return progs
+}
+
+// TestConvertParallelCorpus drives the EXP-C1 corpus through the public
+// facade on the default (GOMAXPROCS-sized) worker pool. Run under
+// `go test -race` this is the framework's data-race acceptance test.
+func TestConvertParallelCorpus(t *testing.T) {
+	progs := corpusPrograms(t)
+	db := corpus.Database(corpus.PeriodProfile(42))
+	report, err := Convert(context.Background(), schema.CompanyV1(), nil, figurePlan(), progs,
+		WithVerifyDB(db), WithMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Outcomes) != len(progs) {
+		t.Fatalf("outcomes = %d, want %d", len(report.Outcomes), len(progs))
+	}
+	for i, o := range report.Outcomes {
+		if o.Name != progs[i].Name {
+			t.Fatalf("outcome %d is %s, want %s: submission order lost", i, o.Name, progs[i].Name)
+		}
+	}
+	auto, _, _ := report.Counts()
+	if auto == 0 {
+		t.Error("no automatic conversions over the period corpus")
+	}
+	if report.Metrics == nil || report.Metrics.Programs != len(progs) {
+		t.Errorf("metrics = %+v", report.Metrics)
+	}
+}
+
+// TestConvertDeterministicAcrossParallelism: a serial run and an
+// 8-worker run over the seeded EXP-C1 corpus render byte-identical
+// reports (the ISSUE's determinism acceptance criterion).
+func TestConvertDeterministicAcrossParallelism(t *testing.T) {
+	progs := corpusPrograms(t)
+	run := func(workers int) string {
+		report, err := Convert(context.Background(), schema.CompanyV1(), nil, figurePlan(), progs,
+			WithParallelism(workers), WithVerifyDB(corpus.Database(corpus.PeriodProfile(42))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return report.String()
+	}
+	serial, parallel := run(1), run(8)
+	if serial != parallel {
+		t.Errorf("serial and 8-way reports differ:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial, parallel)
+	}
+}
+
+// cancelingAnalyst cancels the batch the first time the supervisor
+// consults it, simulating an operator abort mid-inventory.
+type cancelingAnalyst struct{ cancel context.CancelFunc }
+
+func (a cancelingAnalyst) Decide(string, analyzer.Issue) bool {
+	a.cancel()
+	return false
+}
+
+// TestConvertCanceledMidBatch: cancellation during a parallel run
+// surfaces promptly as ErrCanceled (also matching context.Canceled),
+// not as a partial report.
+func TestConvertCanceledMidBatch(t *testing.T) {
+	progs := corpusPrograms(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	start := time.Now()
+	report, err := Convert(ctx, schema.CompanyV1(), nil, figurePlan(), progs,
+		WithAnalyst(cancelingAnalyst{cancel}))
+	if report != nil {
+		t.Error("canceled run must not return a report")
+	}
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want ErrCanceled wrapping context.Canceled", err)
+	}
+	if d := time.Since(start); d > 30*time.Second {
+		t.Errorf("cancellation took %v", d)
+	}
+}
+
+// TestFacadeHelpersRoundTrip: ParseProgram/FormatProgram and
+// ParseNetworkSchema/Classify compose through the exported aliases.
+func TestFacadeHelpersRoundTrip(t *testing.T) {
+	p, err := ParseProgram(`PROGRAM T DIALECT NETWORK. PRINT 'X'. END PROGRAM.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseProgram(FormatProgram(p))
+	if err != nil || back.Name != "T" {
+		t.Fatalf("round trip: %v, %+v", err, back)
+	}
+	src := schema.CompanyV1()
+	sch, err := ParseNetworkSchema(src.DDL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Classify(sch, schema.CompanyV2())
+	if err != nil || len(plan.Steps) == 0 {
+		t.Fatalf("classify: %v, %+v", err, plan)
+	}
+	var _ *dbprog.Program = p // alias identity: Program IS dbprog.Program
+}
