@@ -5,14 +5,20 @@
 //	progconv check <schema.ddl>
 //	progconv diff <source.ddl> <target.ddl>
 //	progconv analyze <schema.ddl> <program.prog>
-//	progconv convert [-accept-order] [-stats] [-parallel N] <source.ddl> <target.ddl> <program.prog>...
+//	progconv convert [-accept-order] [-stats] [-parallel N] [-events f.jsonl]
+//	                 [-trace f.json] [-metrics-out f.prom] [-debug-addr :6060]
+//	                 [-fail-on manual|qualified] <source.ddl> <target.ddl> <program.prog>...
 //	progconv run [-init <program.prog>] [-input line]... <schema.ddl> <program.prog>
 package main
 
 import (
+	"bufio"
 	"context"
+	"errors"
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 
@@ -48,16 +54,30 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "progconv:", err)
+		var xe exitError
+		if errors.As(err, &xe) {
+			os.Exit(xe.code)
+		}
 		os.Exit(1)
 	}
 }
+
+// exitError carries a specific process exit code (the -fail-on path).
+type exitError struct {
+	code int
+	msg  string
+}
+
+func (e exitError) Error() string { return e.msg }
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   progconv check <schema.ddl>
   progconv diff <source.ddl> <target.ddl>
   progconv analyze <schema.ddl> <program.prog>
-  progconv convert [-accept-order] [-stats] [-parallel N] <source.ddl> <target.ddl> <program.prog>...
+  progconv convert [-accept-order] [-stats] [-parallel N] [-events f.jsonl]
+                   [-trace f.json] [-metrics-out f.prom] [-debug-addr :6060]
+                   [-fail-on manual|qualified] <source.ddl> <target.ddl> <program.prog>...
   progconv run [-init <program.prog>] [-input line]... <schema.ddl> <program.prog>`)
 	os.Exit(2)
 }
@@ -176,10 +196,28 @@ func cmdConvert(args []string) error {
 	acceptOrder := fs.Bool("accept-order", false,
 		"analyst accepts conversions whose output order may change")
 	stats := fs.Bool("stats", false,
-		"print per-stage timing statistics after the report")
+		"print per-stage timing statistics after the report\n"+
+			"(histogram buckets are 1µs·4ⁱ upper bounds: <1µs, <4µs, <16µs, …)")
 	parallel := fs.Int("parallel", 0,
 		"worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	eventsOut := fs.String("events", "",
+		"write the structured event log to this JSONL file")
+	traceOut := fs.String("trace", "",
+		"write stage spans as Chrome trace_event JSON to this file\n"+
+			"(load in chrome://tracing or ui.perfetto.dev)")
+	metricsOut := fs.String("metrics-out", "",
+		"write run counters in Prometheus text format to this file")
+	debugAddr := fs.String("debug-addr", "",
+		"serve live run counters over HTTP expvar at this address (e.g. :6060)")
+	failOn := fs.String("fail-on", "",
+		"exit with code 3 when the report contains these dispositions:\n"+
+			"manual (manual only) or qualified (manual or qualified)")
 	fs.Parse(args)
+	switch *failOn {
+	case "", "manual", "qualified":
+	default:
+		return fmt.Errorf("-fail-on must be \"manual\" or \"qualified\", got %q", *failOn)
+	}
 	rest := fs.Args()
 	if len(rest) < 3 {
 		usage()
@@ -203,9 +241,45 @@ func cmdConvert(args []string) error {
 		progconv.WithAnalyst(progconv.Policy{AcceptOrderChanges: *acceptOrder}),
 		progconv.WithParallelism(*parallel),
 	}
-	if *stats {
-		opts = append(opts, progconv.WithMetrics())
+
+	// Event sinks: a streaming JSONL file and/or a counter tally feeding
+	// the Prometheus file and the live expvar endpoint.
+	var sinks []progconv.Sink
+	var jsonl *progconv.JSONLSink
+	var eventsBuf *bufio.Writer
+	var eventsFile *os.File
+	if *eventsOut != "" {
+		eventsFile, err = os.Create(*eventsOut)
+		if err != nil {
+			return err
+		}
+		defer eventsFile.Close()
+		eventsBuf = bufio.NewWriter(eventsFile)
+		jsonl = progconv.NewJSONLSink(eventsBuf)
+		sinks = append(sinks, jsonl)
 	}
+	var tally *progconv.Tally
+	if *metricsOut != "" || *debugAddr != "" {
+		tally = progconv.NewTally()
+		sinks = append(sinks, tally)
+	}
+	if sink := progconv.MultiSink(sinks...); sink != nil {
+		opts = append(opts, progconv.WithEventSink(sink))
+	}
+	var rec *progconv.Recorder
+	if *stats || *traceOut != "" {
+		rec = progconv.NewRecorder()
+		opts = append(opts, progconv.WithRecorder(rec))
+	}
+	if *debugAddr != "" {
+		expvar.Publish("progconv", expvar.Func(func() any { return tally.Snapshot() }))
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "progconv: debug endpoint:", err)
+			}
+		}()
+	}
+
 	report, err := progconv.Convert(ctx, src, dst, nil, progs, opts...)
 	if err != nil {
 		return err
@@ -219,7 +293,63 @@ func cmdConvert(args []string) error {
 	if *stats {
 		fmt.Printf("\n%s", report.Metrics)
 	}
+	if jsonl != nil {
+		if err := jsonl.Err(); err != nil {
+			return fmt.Errorf("event log: %w", err)
+		}
+		if err := eventsBuf.Flush(); err != nil {
+			return fmt.Errorf("event log: %w", err)
+		}
+		if err := eventsFile.Close(); err != nil {
+			return fmt.Errorf("event log: %w", err)
+		}
+	}
+	if *traceOut != "" {
+		if err := writeFileWith(*traceOut, func(w *bufio.Writer) error {
+			return progconv.WriteChromeTrace(w, rec)
+		}); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+	}
+	if *metricsOut != "" {
+		if err := writeFileWith(*metricsOut, func(w *bufio.Writer) error {
+			return progconv.WritePrometheus(w, tally, report.Metrics)
+		}); err != nil {
+			return fmt.Errorf("metrics: %w", err)
+		}
+	}
+	if *failOn != "" {
+		_, qualified, manual := report.Counts()
+		bad := manual
+		if *failOn == "qualified" {
+			bad += qualified
+		}
+		if bad > 0 {
+			return exitError{code: 3,
+				msg: fmt.Sprintf("fail-on %s: %d of %d programs were not converted automatically",
+					*failOn, bad, len(report.Outcomes))}
+		}
+	}
 	return nil
+}
+
+// writeFileWith creates path and streams into it through a buffered
+// writer, surfacing flush and close errors.
+func writeFileWith(path string, fn func(*bufio.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if err := fn(w); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func cmdRun(args []string) error {

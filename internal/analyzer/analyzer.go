@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"progconv/internal/dbprog"
+	"progconv/internal/obs"
 	"progconv/internal/schema"
 )
 
@@ -145,7 +146,7 @@ func Analyze(ctx context.Context, p *dbprog.Program, net *schema.Network) *Abstr
 	if ctx.Err() != nil {
 		return &Abstract{Prog: p}
 	}
-	a := &analysis{prog: p, net: net}
+	a := &analysis{prog: p, net: net, em: obs.EmitterFrom(ctx)}
 	a.inputVars = collectInputVars(p.Stmts)
 	abs := &Abstract{Prog: p}
 	abs.Nodes = a.lift(p.Stmts)
@@ -159,10 +160,13 @@ type analysis struct {
 	net       *schema.Network
 	inputVars map[string]bool
 	issues    []Issue
+	em        *obs.Emitter // event log (nil when the run is unobserved)
 }
 
 func (a *analysis) issue(k IssueKind, format string, args ...any) {
-	a.issues = append(a.issues, Issue{Kind: k, Msg: fmt.Sprintf(format, args...)})
+	msg := fmt.Sprintf(format, args...)
+	a.issues = append(a.issues, Issue{Kind: k, Msg: msg})
+	a.em.Hazard(a.prog.Name, k.String(), msg)
 }
 
 // collectInputVars finds variables carrying terminal or file input,

@@ -16,6 +16,7 @@ import (
 
 	"progconv/internal/analyzer"
 	"progconv/internal/dbprog"
+	"progconv/internal/obs"
 	"progconv/internal/schema"
 	"progconv/internal/value"
 	"progconv/internal/xform"
@@ -36,6 +37,10 @@ type Result struct {
 	Issues []analyzer.Issue
 	// Notes are behavioural observations carried from the plan.
 	Notes []string
+	// PlanStep is the catalogue name of the plan step implicated by the
+	// converter-raised findings ("" when none was attributable) — the
+	// audit trail's answer to "which restructuring caused this".
+	PlanStep string
 }
 
 // Convert rewrites a program for a transformation plan over its source
@@ -72,7 +77,8 @@ func ConvertAnalyzed(ctx context.Context, abs *analyzer.Abstract, src *schema.Ne
 		return res, nil
 	}
 
-	c := &converter{src: src, rewriters: rewriters, res: res}
+	c := &converter{src: src, rewriters: rewriters, res: res,
+		em: obs.EmitterFrom(ctx), prog: p.Name}
 	switch p.Dialect {
 	case dbprog.Maryland:
 		out := &dbprog.Program{Name: p.Name, Dialect: p.Dialect}
@@ -101,11 +107,30 @@ type converter struct {
 	collTypes map[string]string // Maryland collection → record type
 	varTypes  map[string]string // loop variable → record type
 	genCount  int
+	em        *obs.Emitter // event log (nil when the run is unobserved)
+	prog      string
 }
 
 func (c *converter) flag(kind analyzer.IssueKind, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
 	c.failed = true
-	c.res.Issues = append(c.res.Issues, analyzer.Issue{Kind: kind, Msg: fmt.Sprintf(format, args...)})
+	c.res.Issues = append(c.res.Issues, analyzer.Issue{Kind: kind, Msg: msg})
+	c.em.Hazard(c.prog, kind.String(), msg)
+}
+
+// flagAt is flag plus audit attribution: the finding is pinned on the
+// named plan step (the first attribution wins — it is the decisive one
+// in statement order).
+func (c *converter) flagAt(step string, kind analyzer.IssueKind, format string, args ...any) {
+	if c.res.PlanStep == "" {
+		c.res.PlanStep = step
+	}
+	c.flag(kind, format, args...)
+}
+
+// rewrote logs one DML statement mapped to the target schema.
+func (c *converter) rewrote(verb, detail string) {
+	c.em.Rewrite(c.prog, verb, detail)
 }
 
 // mapRecord chains record renames across the plan.
@@ -150,15 +175,16 @@ func (c *converter) splitFor(set string) (xform.PathSplit, *xform.Rewriter, bool
 	return xform.PathSplit{}, nil, false
 }
 
-// orderChangedKeys returns the old ordering keys if the plan changed the
-// set's enumeration order without splitting it.
-func (c *converter) orderChangedKeys(set string) ([]string, bool) {
+// orderChangedKeys returns the old ordering keys (and the responsible
+// plan step) if the plan changed the set's enumeration order without
+// splitting it.
+func (c *converter) orderChangedKeys(set string) ([]string, string, bool) {
 	for _, r := range c.rewriters {
 		if keys, ok := r.OrderChanged[set]; ok {
-			return keys, true
+			return keys, r.Step, true
 		}
 	}
-	return nil, false
+	return nil, "", false
 }
 
 func (c *converter) gensym(prefix string) string {
@@ -237,6 +263,7 @@ func (c *converter) rewriteHostStmt(st dbprog.Stmt) dbprog.Stmt {
 		for _, r := range c.rewriters {
 			for _, sp := range r.Splits {
 				if s.Record == sp.Member && s.Field == sp.GroupField {
+					c.rewrote("move", sp.Inter)
 					return dbprog.Move{E: c.rewriteExpr(s.E), Field: sp.GroupField, Record: sp.Inter}
 				}
 			}
@@ -246,6 +273,7 @@ func (c *converter) rewriteHostStmt(st dbprog.Stmt) dbprog.Stmt {
 			c.flag(analyzer.UnmatchedTemplate, "MOVE to dropped field %s.%s", s.Record, s.Field)
 			return st
 		}
+		c.rewrote("move", nr)
 		return dbprog.Move{E: c.rewriteExpr(s.E), Field: nf, Record: nr}
 	}
 	return st

@@ -27,6 +27,7 @@ func (c *converter) maryland(stmts []dbprog.Stmt) []dbprog.Stmt {
 			delete(c.varTypes, s.Var)
 			out = append(out, dbprog.ForEach{Var: s.Var, Coll: s.Coll, Body: body})
 		case dbprog.MDelete:
+			c.rewrote("m-delete", s.Coll)
 			out = append(out, s)
 		case dbprog.MModify:
 			out = append(out, c.rewriteMModify(s))
@@ -61,6 +62,7 @@ func (c *converter) rewriteMFind(s dbprog.MFind) dbprog.Stmt {
 	}
 	newFind, needSort := c.rewriteFindPath(find)
 	c.collTypes[s.Coll] = newFind.Target
+	c.rewrote("m-find", s.Coll)
 	out := dbprog.MFind{Coll: s.Coll}
 	switch {
 	case sortOn != nil:
@@ -213,7 +215,7 @@ func (c *converter) rewriteMModify(s dbprog.MModify) dbprog.Stmt {
 		for _, r := range c.rewriters {
 			for _, sp := range r.Splits {
 				if target == sp.Member && a.Field == sp.GroupField {
-					c.flag(analyzer.UnmatchedTemplate,
+					c.flagAt(r.Step, analyzer.UnmatchedTemplate,
 						"MODIFY of %s.%s regroups records across %s occurrences (view-update ambiguity)",
 						target, a.Field, sp.Inter)
 				}
@@ -227,6 +229,7 @@ func (c *converter) rewriteMModify(s dbprog.MModify) dbprog.Stmt {
 		_ = nr
 		assigns[i] = dbprog.FieldAssign{Field: nf, E: c.rewriteExpr(a.E)}
 	}
+	c.rewrote("m-modify", s.Coll)
 	return dbprog.MModify{Coll: s.Coll, Assigns: assigns}
 }
 
@@ -237,7 +240,7 @@ func (c *converter) rewriteMStore(s dbprog.MStore) dbprog.Stmt {
 	for _, r := range c.rewriters {
 		for _, sp := range r.Splits {
 			if s.Record == sp.Member {
-				c.flag(analyzer.UnmatchedTemplate,
+				c.flagAt(r.Step, analyzer.UnmatchedTemplate,
 					"STORE %s through split set requires creating/locating a %s occurrence (view-update ambiguity)",
 					s.Record, sp.Inter)
 				return s
@@ -263,5 +266,6 @@ func (c *converter) rewriteMStore(s dbprog.MStore) dbprog.Stmt {
 		}
 		owners[newSet] = newPath
 	}
+	c.rewrote("m-store", s.Record)
 	return dbprog.MStore{Record: c.mapRecord(s.Record), Assigns: assigns, Owners: owners}
 }

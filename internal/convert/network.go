@@ -39,12 +39,13 @@ func (c *converter) network(nodes []analyzer.Node) []dbprog.Stmt {
 
 // rewriteRetrieveLoop regenerates a lifted sweep for the target schema.
 func (c *converter) rewriteRetrieveLoop(rl analyzer.RetrieveLoop) []dbprog.Stmt {
-	sp, _, split := c.splitFor(rl.Set)
+	sp, spRW, split := c.splitFor(rl.Set)
+	c.rewrote("sweep", rl.Set)
 
 	// Order-change without structural change: observable loops become
 	// analyst work, silent loops convert with a note.
-	if oldKeys, changed := c.orderChangedKeys(rl.Set); changed && rl.Observable {
-		c.flag(analyzer.OrderDependence,
+	if oldKeys, step, changed := c.orderChangedKeys(rl.Set); changed && rl.Observable {
+		c.flagAt(step, analyzer.OrderDependence,
 			"loop over %s emits output per record and the set's ordering changed from %v",
 			rl.Set, oldKeys)
 	}
@@ -69,7 +70,7 @@ func (c *converter) rewriteRetrieveLoop(rl analyzer.RetrieveLoop) []dbprog.Stmt 
 			// Flag the order change but still emit the nested rewrite: it
 			// is the correct program for the new schema up to output order,
 			// and the Analyst may accept it (§5.2's qualified conversion).
-			c.flag(analyzer.OrderDependence,
+			c.flagAt(spRW.Step, analyzer.OrderDependence,
 				"sweep of %s prints per record; after the split enumeration groups by %s and the network DML cannot re-sort a stream",
 				rl.Set, sp.GroupField)
 		}
@@ -170,49 +171,59 @@ func (c *converter) mapUsing(record string, using []string) []string {
 // rewriteRawDML renames an unlifted DML statement; any reference to a
 // split set is beyond statement-level rules and goes to the analyst.
 func (c *converter) rewriteRawDML(st dbprog.Stmt) dbprog.Stmt {
-	splitTouched := func(set string) bool {
-		_, _, ok := c.splitFor(set)
-		return ok
+	splitTouched := func(set string) (string, bool) {
+		_, rw, ok := c.splitFor(set)
+		if !ok {
+			return "", false
+		}
+		return rw.Step, true
 	}
 	switch s := st.(type) {
 	case dbprog.Move:
 		return c.rewriteHostStmt(s)
 	case dbprog.FindAny:
+		c.rewrote("find-any", s.Record)
 		return dbprog.FindAny{Record: c.mapRecord(s.Record), Using: c.mapUsing(s.Record, s.Using)}
 	case dbprog.FindDup:
+		c.rewrote("find-dup", s.Record)
 		return dbprog.FindDup{Record: c.mapRecord(s.Record), Using: c.mapUsing(s.Record, s.Using)}
 	case dbprog.FindInSet:
-		if splitTouched(s.Set) {
-			c.flag(analyzer.UnmatchedTemplate,
+		if step, ok := splitTouched(s.Set); ok {
+			c.flagAt(step, analyzer.UnmatchedTemplate,
 				"FIND %s WITHIN %s outside a lifted sweep cannot be rewritten across the split", s.Dir, s.Set)
 			return st
 		}
 		set, _ := c.mapSet(s.Set)
+		c.rewrote("find-in-set", set)
 		return dbprog.FindInSet{Dir: s.Dir, Record: c.mapRecord(s.Record), Set: set,
 			Using: c.mapUsing(s.Record, s.Using)}
 	case dbprog.FindOwner:
 		if sp, _, ok := c.splitFor(s.Set); ok {
 			// FIND OWNER across a split climbs both new sets: the one
 			// structural raw rewrite that is always safe.
+			c.rewrote("find-owner", s.Set)
 			return seqStmt(
 				dbprog.FindOwner{Set: sp.Lower},
 				dbprog.FindOwner{Set: sp.Upper},
 			)
 		}
 		set, _ := c.mapSet(s.Set)
+		c.rewrote("find-owner", set)
 		return dbprog.FindOwner{Set: set}
 	case dbprog.GetRec:
+		c.rewrote("get", s.Record)
 		return dbprog.GetRec{Record: c.mapRecord(s.Record)}
 	case dbprog.StoreRec:
 		for _, r := range c.rewriters {
 			for _, sp := range r.Splits {
 				if s.Record == sp.Member {
-					c.flag(analyzer.UnmatchedTemplate,
+					c.flagAt(r.Step, analyzer.UnmatchedTemplate,
 						"STORE %s must select or create a %s occurrence (view-update ambiguity)", s.Record, sp.Inter)
 					return st
 				}
 			}
 		}
+		c.rewrote("store", s.Record)
 		return dbprog.StoreRec{Record: c.mapRecord(s.Record)}
 	case dbprog.ModifyRec:
 		for _, r := range c.rewriters {
@@ -220,35 +231,39 @@ func (c *converter) rewriteRawDML(st dbprog.Stmt) dbprog.Stmt {
 				if s.Record == sp.Member {
 					for _, f := range s.Using {
 						if f == sp.GroupField {
-							c.flag(analyzer.UnmatchedTemplate,
+							c.flagAt(r.Step, analyzer.UnmatchedTemplate,
 								"MODIFY %s USING %s regroups records across %s occurrences", s.Record, f, sp.Inter)
 							return st
 						}
 					}
 					if len(s.Using) == 0 {
-						c.flag(analyzer.UnmatchedTemplate,
+						c.flagAt(r.Step, analyzer.UnmatchedTemplate,
 							"MODIFY %s without USING may touch the lifted field %s", s.Record, sp.GroupField)
 						return st
 					}
 				}
 			}
 		}
+		c.rewrote("modify", s.Record)
 		return dbprog.ModifyRec{Record: c.mapRecord(s.Record), Using: c.mapUsing(s.Record, s.Using)}
 	case dbprog.EraseRec:
+		c.rewrote("erase", s.Record)
 		return dbprog.EraseRec{Record: c.mapRecord(s.Record)}
 	case dbprog.ConnectRec:
-		if splitTouched(s.Set) {
-			c.flag(analyzer.UnmatchedTemplate, "CONNECT through split set %s", s.Set)
+		if step, ok := splitTouched(s.Set); ok {
+			c.flagAt(step, analyzer.UnmatchedTemplate, "CONNECT through split set %s", s.Set)
 			return st
 		}
 		set, _ := c.mapSet(s.Set)
+		c.rewrote("connect", set)
 		return dbprog.ConnectRec{Record: c.mapRecord(s.Record), Set: set}
 	case dbprog.DisconnectRec:
-		if splitTouched(s.Set) {
-			c.flag(analyzer.UnmatchedTemplate, "DISCONNECT from split set %s", s.Set)
+		if step, ok := splitTouched(s.Set); ok {
+			c.flagAt(step, analyzer.UnmatchedTemplate, "DISCONNECT from split set %s", s.Set)
 			return st
 		}
 		set, _ := c.mapSet(s.Set)
+		c.rewrote("disconnect", set)
 		return dbprog.DisconnectRec{Record: c.mapRecord(s.Record), Set: set}
 	}
 	return st

@@ -139,6 +139,27 @@ func (d *Disposition) UnmarshalText(text []byte) error {
 	return nil
 }
 
+// Decision is one Analyst consultation preserved in the audit trail.
+type Decision struct {
+	Issue    analyzer.Issue
+	Accepted bool
+}
+
+// Audit explains why an Outcome landed at its Disposition — the decision
+// trail an auditor (or a later re-run) needs to reconstruct the
+// supervisor's reasoning without replaying the conversion.
+type Audit struct {
+	// Reason is the one-line explanation of the disposition.
+	Reason string
+	// Hazards lists the issue kinds found, in report order.
+	Hazards []string
+	// PlanStep is the catalogue name of the plan step implicated by
+	// converter findings ("" when none was attributable).
+	PlanStep string
+	// Decisions are the Analyst consultations, in the order asked.
+	Decisions []Decision
+}
+
 // Outcome is one program's conversion record.
 type Outcome struct {
 	Name          string
@@ -153,6 +174,8 @@ type Outcome struct {
 	// Verified holds the equivalence check against the migrated data,
 	// when the supervisor was given a database to verify with.
 	Verified *equiv.Verdict
+	// Audit records why the disposition was chosen.
+	Audit Audit
 }
 
 // Report is the supervisor's full record of one conversion run.
@@ -230,6 +253,11 @@ type Supervisor struct {
 	// Metrics, when non-nil, records one span per pipeline stage per
 	// program; Run snapshots it into Report.Metrics.
 	Metrics *obs.Recorder
+	// Events, when non-nil, receives the structured event log: stage
+	// boundaries, hazards, rewrites, Analyst decisions, verification
+	// verdicts, and outcomes. Within one program the events arrive in
+	// pipeline order regardless of Parallelism.
+	Events obs.Sink
 }
 
 // NewSupervisor returns a supervisor with the default strict policy.
@@ -259,6 +287,7 @@ type runState struct {
 	plan     *xform.Plan
 	srcDB    *netstore.DB
 	targetDB *netstore.DB
+	em       *obs.Emitter // nil when the run is unobserved
 
 	analystMu sync.Mutex
 }
@@ -299,7 +328,12 @@ func (s *Supervisor) Run(ctx context.Context, src, dst *schema.Network, plan *xf
 	}
 
 	run := &runState{src: src, target: target, plan: plan,
-		srcDB: db, targetDB: report.TargetDB}
+		srcDB: db, targetDB: report.TargetDB,
+		em: obs.NewEmitter(s.Events)}
+	// The emitter travels by context into the deeper layers (analyzer,
+	// converter, equivalence checker); WithEmitter is the identity for a
+	// nil emitter, so unobserved runs pay nothing.
+	ctx = obs.WithEmitter(ctx, run.em)
 	outcomes := make([]Outcome, len(progs))
 	if err := s.convertAll(ctx, run, progs, outcomes); err != nil {
 		return nil, err
@@ -405,45 +439,65 @@ func (s *Supervisor) convertOne(ctx context.Context, run *runState, p *dbprog.Pr
 		return o, fmt.Errorf("core: converting %s: %w", p.Name, err)
 	}
 
+	em := run.em
+	em.StageStart(p.Name, obs.StageAnalyze)
 	span := s.Metrics.StartSpan(p.Name, obs.StageAnalyze)
 	abs := analyzer.Analyze(ctx, p, run.src)
-	span.End()
+	em.StageEnd(p.Name, obs.StageAnalyze, span.End())
 
+	em.StageStart(p.Name, obs.StageConvert)
 	span = s.Metrics.StartSpan(p.Name, obs.StageConvert)
 	res, err := convert.ConvertAnalyzed(ctx, abs, run.src, run.plan)
-	span.End()
+	em.StageEnd(p.Name, obs.StageConvert, span.End())
 	if err != nil {
 		return o, fmt.Errorf("core: converting %s: %w", p.Name, err)
 	}
 	o.Issues = res.Issues
 	o.Notes = res.Notes
+	for _, i := range res.Issues {
+		o.Audit.Hazards = append(o.Audit.Hazards, i.Kind.String())
+	}
+	o.Audit.PlanStep = res.PlanStep
 	switch {
 	case res.Auto:
 		o.Disposition = Auto
 		o.Converted = res.Program
-	case res.Program != nil && s.analystAccepts(run, p.Name, res.Issues):
-		o.Disposition = Qualified
-		o.Converted = res.Program
+		o.Audit.Reason = "every statement matched a rewrite rule"
+	case res.Program != nil:
+		accepted, decisions := s.analystAccepts(run, p.Name, res.Issues)
+		o.Audit.Decisions = decisions
+		if accepted {
+			o.Disposition = Qualified
+			o.Converted = res.Program
+			o.Audit.Reason = "analyst accepted a weaker equivalence"
+		} else {
+			o.Disposition = Manual
+			o.Audit.Reason = manualReason(decisions, res.Issues)
+		}
 	default:
 		o.Disposition = Manual
+		o.Audit.Reason = "a blocking hazard stopped conversion"
 	}
 	if o.Converted != nil {
+		em.StageStart(p.Name, obs.StageOptimize)
 		span = s.Metrics.StartSpan(p.Name, obs.StageOptimize)
 		opt, applied := optimizer.Optimize(ctx, o.Converted, run.target)
-		span.End()
+		em.StageEnd(p.Name, obs.StageOptimize, span.End())
 		o.Converted = opt
 		o.Optimizations = applied
 
+		em.StageStart(p.Name, obs.StageGenerate)
 		span = s.Metrics.StartSpan(p.Name, obs.StageGenerate)
 		o.Generated = dbprog.Format(o.Converted)
-		span.End()
+		em.StageEnd(p.Name, obs.StageGenerate, span.End())
 	}
 	if s.Verify && run.srcDB != nil && o.Disposition == Auto && o.Converted != nil {
+		em.StageStart(p.Name, obs.StageVerify)
 		span = s.Metrics.StartSpan(p.Name, obs.StageVerify)
 		v := equiv.Check(ctx,
 			p, dbprog.Config{Net: run.srcDB.Clone()},
 			o.Converted, dbprog.Config{Net: run.targetDB.Clone()})
-		span.End()
+		em.StageEnd(p.Name, obs.StageVerify, span.End())
 		o.Verified = &v
 	}
 	if err := ctx.Err(); err != nil {
@@ -451,31 +505,53 @@ func (s *Supervisor) convertOne(ctx context.Context, run *runState, p *dbprog.Pr
 		// its partial result stand as a real outcome.
 		return o, fmt.Errorf("core: converting %s: %w", p.Name, err)
 	}
+	em.Outcome(p.Name, o.Disposition.String(), o.Audit.Reason)
 	return o, nil
+}
+
+// manualReason explains a Manual disposition for the audit trail.
+func manualReason(decisions []Decision, issues []analyzer.Issue) string {
+	for _, d := range decisions {
+		if !d.Accepted {
+			return fmt.Sprintf("analyst declined the %s finding", d.Issue.Kind)
+		}
+	}
+	for _, i := range issues {
+		switch i.Kind {
+		case analyzer.OrderDependence, analyzer.ProcessFirst, analyzer.StatusCodeDependence:
+		default:
+			return fmt.Sprintf("the %s finding admits no qualified conversion", i.Kind)
+		}
+	}
+	return "no finding qualified for analyst review"
 }
 
 // analystAccepts asks the analyst about every converter-raised issue; a
 // qualified conversion needs every one accepted, and only order
 // dependence is ever acceptable (anything else means the emitted text is
 // not a correct program for the new schema). Decide calls are serialized
-// so interactive analysts never field overlapping questions.
-func (s *Supervisor) analystAccepts(run *runState, program string, issues []analyzer.Issue) bool {
+// so interactive analysts never field overlapping questions. The second
+// result is the audit trail of every consultation actually made.
+func (s *Supervisor) analystAccepts(run *runState, program string, issues []analyzer.Issue) (bool, []Decision) {
 	any := false
+	var decisions []Decision
 	for _, i := range issues {
 		switch i.Kind {
 		case analyzer.OrderDependence:
 			run.analystMu.Lock()
 			ok := s.Analyst.Decide(program, i)
 			run.analystMu.Unlock()
+			decisions = append(decisions, Decision{Issue: i, Accepted: ok})
+			run.em.Decision(program, i.Kind.String(), i.Msg, ok)
 			if !ok {
-				return false
+				return false, decisions
 			}
 			any = true
 		case analyzer.ProcessFirst, analyzer.StatusCodeDependence:
 			// Warnings; they do not gate the converted text.
 		default:
-			return false
+			return false, decisions
 		}
 	}
-	return any
+	return any, decisions
 }

@@ -270,6 +270,117 @@ func TestMetricsRecorded(t *testing.T) {
 	}
 }
 
+// TestAuditTrail: every outcome carries the reason it landed at its
+// disposition, with hazards, analyst decisions and the implicated plan
+// step preserved.
+func TestAuditTrail(t *testing.T) {
+	sup := NewSupervisor()
+	report, err := sup.Run(context.Background(), schema.CompanyV1(), schema.CompanyV2(), nil,
+		companyV1DB(t), applicationSystem(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Outcome{}
+	for _, o := range report.Outcomes {
+		if o.Audit.Reason == "" {
+			t.Errorf("%s: empty audit reason", o.Name)
+		}
+		byName[o.Name] = o
+	}
+	if a := byName["LIST-OLD"].Audit; a.Reason != "every statement matched a rewrite rule" ||
+		len(a.Hazards) != 0 || len(a.Decisions) != 0 {
+		t.Errorf("LIST-OLD audit = %+v", a)
+	}
+	// PRINT-ALL's order dependence: the strict analyst declined, the
+	// hazard and the responsible plan step are on record.
+	pa := byName["PRINT-ALL"].Audit
+	if pa.Reason != "analyst declined the order-dependence finding" {
+		t.Errorf("PRINT-ALL reason = %q", pa.Reason)
+	}
+	if len(pa.Hazards) == 0 || pa.Hazards[0] != "order-dependence" {
+		t.Errorf("PRINT-ALL hazards = %v", pa.Hazards)
+	}
+	if pa.PlanStep != "introduce-intermediate" {
+		t.Errorf("PRINT-ALL plan step = %q", pa.PlanStep)
+	}
+	if len(pa.Decisions) != 1 || pa.Decisions[0].Accepted ||
+		pa.Decisions[0].Issue.Kind != analyzer.OrderDependence {
+		t.Errorf("PRINT-ALL decisions = %+v", pa.Decisions)
+	}
+	// INPUT-DRIVEN is blocked before conversion (run-time variability).
+	if r := byName["INPUT-DRIVEN"].Audit.Reason; r != "a blocking hazard stopped conversion" {
+		t.Errorf("INPUT-DRIVEN reason = %q", r)
+	}
+
+	// With an accepting analyst, the qualified path records its reason.
+	sup = &Supervisor{Analyst: Policy{AcceptOrderChanges: true}, Verify: false}
+	report, err = sup.Run(context.Background(), schema.CompanyV1(), schema.CompanyV2(), nil,
+		nil, applicationSystem(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range report.Outcomes {
+		if o.Name != "PRINT-ALL" {
+			continue
+		}
+		if o.Disposition != Qualified || o.Audit.Reason != "analyst accepted a weaker equivalence" {
+			t.Errorf("accepted PRINT-ALL audit = %v %+v", o.Disposition, o.Audit)
+		}
+		if len(o.Audit.Decisions) != 1 || !o.Audit.Decisions[0].Accepted {
+			t.Errorf("accepted PRINT-ALL decisions = %+v", o.Audit.Decisions)
+		}
+	}
+}
+
+// TestEventLogEmitted: a supervisor with an event sink emits the full
+// per-program trail — stage brackets, hazards, rewrites, decisions,
+// verification verdicts and one closing outcome per program.
+func TestEventLogEmitted(t *testing.T) {
+	ring := obs.NewRingSink(4096)
+	sup := NewSupervisor()
+	sup.Events = ring
+	report, err := sup.Run(context.Background(), schema.CompanyV1(), schema.CompanyV2(), nil,
+		companyV1DB(t), applicationSystem(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKind := map[obs.EventKind]int{}
+	outcomes := map[string]string{}
+	for _, ev := range ring.Events() {
+		byKind[ev.Kind]++
+		if ev.Kind == obs.EvOutcome {
+			outcomes[ev.Prog] = ev.Label
+		}
+	}
+	if byKind[obs.EvOutcome] != len(report.Outcomes) {
+		t.Errorf("outcome events = %d, want %d", byKind[obs.EvOutcome], len(report.Outcomes))
+	}
+	for _, o := range report.Outcomes {
+		if outcomes[o.Name] != o.Disposition.String() {
+			t.Errorf("%s outcome event label = %q, want %q",
+				o.Name, outcomes[o.Name], o.Disposition)
+		}
+	}
+	if byKind[obs.EvStageStart] == 0 || byKind[obs.EvStageStart] != byKind[obs.EvStageEnd] {
+		t.Errorf("stage events unbalanced: %d starts, %d ends",
+			byKind[obs.EvStageStart], byKind[obs.EvStageEnd])
+	}
+	for _, kind := range []obs.EventKind{obs.EvHazard, obs.EvRewrite, obs.EvDecision, obs.EvVerify} {
+		if byKind[kind] == 0 {
+			t.Errorf("no %v events from the mixed inventory", kind)
+		}
+	}
+	// The report itself is unchanged by observation (byte-compat pin).
+	bare, err := NewSupervisor().Run(context.Background(), schema.CompanyV1(), schema.CompanyV2(),
+		nil, companyV1DB(t), applicationSystem(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.String() != bare.String() {
+		t.Error("observed and unobserved reports differ")
+	}
+}
+
 func TestPolicyDecide(t *testing.T) {
 	p := Policy{AcceptOrderChanges: true}
 	if !p.Decide("X", analyzer.Issue{Kind: analyzer.OrderDependence}) {

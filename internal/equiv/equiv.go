@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"progconv/internal/dbprog"
+	"progconv/internal/obs"
 )
 
 // Verdict is the outcome of one equivalence check.
@@ -61,6 +62,9 @@ func Check(ctx context.Context, src *dbprog.Program, srcCfg dbprog.Config, dst *
 	tb, eb := dbprog.Run(dst, dstCfg)
 	v := Verdict{Source: ta, Target: tb, SourceErr: ea, TargetErr: eb}
 	v.Equal = ea == nil && eb == nil && ta.Equal(tb)
+	if em := obs.EmitterFrom(ctx); em.Enabled() {
+		em.Verify(src.Name, v.Equal, v.Diff())
+	}
 	return v
 }
 

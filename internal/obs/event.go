@@ -1,0 +1,340 @@
+package obs
+
+// The structured event log. Every decision the Conversion Supervisor
+// makes — stage boundaries, hazard findings, DML rewrites, Analyst
+// consultations, verification verdicts, final dispositions — is emitted
+// as a typed Event through a Sink. Sinks compose (MultiSink) and three
+// are provided: a bounded RingSink for in-memory capture, a streaming
+// JSONLSink, and the Tally counter collector in export.go.
+//
+// Instrumented code holds an *Emitter, the nil-safe front door: a nil
+// Emitter (no sink installed) makes every method a no-op without a
+// single allocation, so the pipeline's hot path costs nothing when the
+// run is not being observed. Within one program's conversion all events
+// are emitted from that program's worker goroutine in pipeline order,
+// so the per-program event subsequence is deterministic at any
+// parallelism; Seq records the global interleaving of one run.
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// EventKind classifies one event-log entry.
+type EventKind uint8
+
+// The event kinds.
+const (
+	// EvStageStart/EvStageEnd bracket one Figure 4.1 stage of one program.
+	EvStageStart EventKind = iota
+	EvStageEnd
+	// EvHazard is one §3.2 (or converter-raised) finding; Label is the
+	// issue kind, Detail the message.
+	EvHazard
+	// EvRewrite is one DML statement mapped to the target schema; Label
+	// is the DML verb, Detail the principal name (set, record, …).
+	EvRewrite
+	// EvDecision is one Analyst consultation; Label is the issue kind,
+	// Accepted the answer.
+	EvDecision
+	// EvVerify is one equivalence verdict; Label is "pass" or "fail".
+	EvVerify
+	// EvOutcome closes a program's trail; Label is the disposition,
+	// Detail the audit reason.
+	EvOutcome
+)
+
+var eventKindNames = [...]string{
+	"stage-start", "stage-end", "hazard", "rewrite",
+	"decision", "verify", "outcome",
+}
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	if int(k) < len(eventKindNames) {
+		return eventKindNames[k]
+	}
+	return "event(?)"
+}
+
+// Event is one entry of the structured event log.
+type Event struct {
+	// Seq is the 1-based global emission order within one run.
+	Seq uint64
+	// T is the offset from the emitter's start (the wall-clock axis of
+	// the log; zeroed by encoders asked to omit timing).
+	T time.Duration
+	// Prog names the program the event belongs to.
+	Prog string
+	// Kind classifies the event.
+	Kind EventKind
+	// Stage is set for stage-start/stage-end events.
+	Stage Stage
+	// Dur is the stage duration on stage-end events (0 when the run has
+	// no metrics recorder).
+	Dur time.Duration
+	// Label is the event's low-cardinality dimension: hazard kind, DML
+	// verb, issue kind, "pass"/"fail", or disposition.
+	Label string
+	// Detail is the free-form explanation.
+	Detail string
+	// Accepted is the Analyst's answer on decision events.
+	Accepted bool
+}
+
+// Sink consumes events. Implementations must be safe for concurrent
+// Emit calls.
+type Sink interface {
+	Emit(Event)
+}
+
+// Emitter is the nil-safe instrumentation front door: call sites hold
+// an *Emitter and never guard. A nil Emitter no-ops every method with
+// zero allocations.
+type Emitter struct {
+	sink  Sink
+	start time.Time
+	seq   atomic.Uint64
+}
+
+// NewEmitter wraps a sink; a nil sink yields a nil (inert) emitter.
+func NewEmitter(s Sink) *Emitter {
+	if s == nil {
+		return nil
+	}
+	return &Emitter{sink: s, start: time.Now()}
+}
+
+// Enabled reports whether events are being collected; use it to skip
+// building expensive Detail strings.
+func (e *Emitter) Enabled() bool { return e != nil }
+
+func (e *Emitter) emit(ev Event) {
+	if e == nil {
+		return
+	}
+	ev.Seq = e.seq.Add(1)
+	ev.T = time.Since(e.start)
+	e.sink.Emit(ev)
+}
+
+// StageStart records one program entering a pipeline stage.
+func (e *Emitter) StageStart(prog string, st Stage) {
+	e.emit(Event{Prog: prog, Kind: EvStageStart, Stage: st})
+}
+
+// StageEnd records one program leaving a pipeline stage.
+func (e *Emitter) StageEnd(prog string, st Stage, d time.Duration) {
+	e.emit(Event{Prog: prog, Kind: EvStageEnd, Stage: st, Dur: d})
+}
+
+// Hazard records one finding against a program.
+func (e *Emitter) Hazard(prog, kind, msg string) {
+	e.emit(Event{Prog: prog, Kind: EvHazard, Label: kind, Detail: msg})
+}
+
+// Rewrite records one DML statement mapped to the target schema.
+func (e *Emitter) Rewrite(prog, verb, detail string) {
+	e.emit(Event{Prog: prog, Kind: EvRewrite, Label: verb, Detail: detail})
+}
+
+// Decision records one Analyst consultation and its answer.
+func (e *Emitter) Decision(prog, kind, msg string, accepted bool) {
+	e.emit(Event{Prog: prog, Kind: EvDecision, Label: kind, Detail: msg, Accepted: accepted})
+}
+
+// Verify records one equivalence verdict.
+func (e *Emitter) Verify(prog string, pass bool, detail string) {
+	label := "fail"
+	if pass {
+		label = "pass"
+	}
+	e.emit(Event{Prog: prog, Kind: EvVerify, Label: label, Detail: detail})
+}
+
+// Outcome closes one program's trail with its disposition and reason.
+func (e *Emitter) Outcome(prog, disposition, reason string) {
+	e.emit(Event{Prog: prog, Kind: EvOutcome, Label: disposition, Detail: reason})
+}
+
+// emitterKey carries an Emitter through a context into the deeper
+// pipeline layers (analyzer, convert, equiv).
+type emitterKey struct{}
+
+// WithEmitter returns a context carrying the emitter. A nil emitter
+// returns ctx unchanged, keeping the no-observation path free.
+func WithEmitter(ctx context.Context, e *Emitter) context.Context {
+	if e == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, emitterKey{}, e)
+}
+
+// EmitterFrom extracts the context's emitter; nil (inert) when absent.
+func EmitterFrom(ctx context.Context) *Emitter {
+	e, _ := ctx.Value(emitterKey{}).(*Emitter)
+	return e
+}
+
+// RingSink is a bounded in-memory sink: the newest capacity events are
+// kept, older ones are dropped (counted). The single short critical
+// section keeps Emit lock-cheap under concurrent workers.
+type RingSink struct {
+	mu  sync.Mutex
+	buf []Event
+	n   uint64 // total emitted
+}
+
+// NewRingSink returns a ring holding up to capacity events (min 1).
+func NewRingSink(capacity int) *RingSink {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &RingSink{buf: make([]Event, capacity)}
+}
+
+// Emit implements Sink.
+func (r *RingSink) Emit(ev Event) {
+	r.mu.Lock()
+	r.buf[r.n%uint64(len(r.buf))] = ev
+	r.n++
+	r.mu.Unlock()
+}
+
+// Events returns the retained events, oldest first, in arrival order.
+func (r *RingSink) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cap := uint64(len(r.buf))
+	if r.n <= cap {
+		return append([]Event(nil), r.buf[:r.n]...)
+	}
+	out := make([]Event, 0, cap)
+	for i := r.n - cap; i < r.n; i++ {
+		out = append(out, r.buf[i%cap])
+	}
+	return out
+}
+
+// Total returns how many events were emitted into the ring.
+func (r *RingSink) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Dropped returns how many events fell out of the bounded window.
+func (r *RingSink) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if cap := uint64(len(r.buf)); r.n > cap {
+		return r.n - cap
+	}
+	return 0
+}
+
+// multiSink fans one Emit out to several sinks.
+type multiSink []Sink
+
+func (m multiSink) Emit(ev Event) {
+	for _, s := range m {
+		s.Emit(ev)
+	}
+}
+
+// MultiSink composes sinks; nils are skipped. Zero or one live sink
+// collapses to nil or the sink itself.
+func MultiSink(sinks ...Sink) Sink {
+	var live multiSink
+	for _, s := range sinks {
+		if s != nil {
+			live = append(live, s)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return live
+}
+
+// eventJSON is the stable JSONL wire shape; field order is pinned by
+// golden-file tests.
+type eventJSON struct {
+	Seq      uint64 `json:"seq"`
+	TNs      int64  `json:"t_ns,omitempty"`
+	Prog     string `json:"prog"`
+	Kind     string `json:"kind"`
+	Stage    string `json:"stage,omitempty"`
+	DurNs    int64  `json:"dur_ns,omitempty"`
+	Label    string `json:"label,omitempty"`
+	Detail   string `json:"detail,omitempty"`
+	Accepted *bool  `json:"accepted,omitempty"`
+}
+
+func (ev Event) wire(omitTiming bool) eventJSON {
+	j := eventJSON{Seq: ev.Seq, Prog: ev.Prog, Kind: ev.Kind.String(),
+		Label: ev.Label, Detail: ev.Detail}
+	if !omitTiming {
+		j.TNs = int64(ev.T)
+		j.DurNs = int64(ev.Dur)
+	}
+	if ev.Kind == EvStageStart || ev.Kind == EvStageEnd {
+		j.Stage = ev.Stage.String()
+	}
+	if ev.Kind == EvDecision {
+		a := ev.Accepted
+		j.Accepted = &a
+	}
+	return j
+}
+
+// EncodeJSONL writes events one JSON object per line. omitTiming drops
+// the wall-clock fields (t_ns, dur_ns) so the output is byte-stable
+// across runs — the representation golden-file tests pin.
+func EncodeJSONL(w io.Writer, events []Event, omitTiming bool) error {
+	enc := json.NewEncoder(w) // Encode appends the newline
+	for _, ev := range events {
+		if err := enc.Encode(ev.wire(omitTiming)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// JSONLSink streams events to a writer as JSON lines in arrival order.
+// The first write error sticks and silences the rest; check Err after
+// the run.
+type JSONLSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLSink returns a sink encoding onto w (wrap w in a bufio.Writer
+// for file output).
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{enc: json.NewEncoder(w)}
+}
+
+// Emit implements Sink.
+func (s *JSONLSink) Emit(ev Event) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = s.enc.Encode(ev.wire(false))
+	}
+	s.mu.Unlock()
+}
+
+// Err returns the first write error, if any.
+func (s *JSONLSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}

@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilEmitterNoOps(t *testing.T) {
+	if NewEmitter(nil) != nil {
+		t.Fatal("NewEmitter(nil) must return a nil emitter")
+	}
+	var e *Emitter
+	if e.Enabled() {
+		t.Error("nil emitter reports Enabled")
+	}
+	// None of these may panic or allocate.
+	e.StageStart("P", StageAnalyze)
+	e.StageEnd("P", StageAnalyze, time.Millisecond)
+	e.Hazard("P", "kind", "msg")
+	e.Rewrite("P", "get", "EMP")
+	e.Decision("P", "kind", "msg", true)
+	e.Verify("P", true, "ok")
+	e.Outcome("P", "auto", "reason")
+	if allocs := testing.AllocsPerRun(100, func() {
+		e.StageStart("P", StageConvert)
+		e.Rewrite("P", "get", "EMP")
+		e.StageEnd("P", StageConvert, 0)
+	}); allocs != 0 {
+		t.Errorf("nil emitter allocated %v per run, want 0", allocs)
+	}
+}
+
+// TestSpanHotPathZeroAlloc is the ISSUE's allocation acceptance
+// criterion: an instrumented pipeline with no sink installed adds zero
+// allocations on the span hot path (warm recorder, nil emitter).
+func TestSpanHotPathZeroAlloc(t *testing.T) {
+	r := NewRecorder()
+	r.StartSpan("P", StageConvert).End() // warm the per-program slice
+	var e *Emitter
+	if allocs := testing.AllocsPerRun(100, func() {
+		e.StageStart("P", StageConvert)
+		sp := r.StartSpan("P", StageConvert)
+		e.StageEnd("P", StageConvert, sp.End())
+	}); allocs != 0 {
+		t.Errorf("span hot path allocated %v per run, want 0", allocs)
+	}
+}
+
+func TestEmitterSeqAndTimes(t *testing.T) {
+	ring := NewRingSink(8)
+	e := NewEmitter(ring)
+	e.Hazard("P", "k", "first")
+	e.Verify("P", false, "second")
+	evs := ring.Events()
+	if len(evs) != 2 {
+		t.Fatalf("events = %d, want 2", len(evs))
+	}
+	if evs[0].Seq != 1 || evs[1].Seq != 2 {
+		t.Errorf("seqs = %d,%d, want 1,2", evs[0].Seq, evs[1].Seq)
+	}
+	if evs[1].T < evs[0].T {
+		t.Errorf("timestamps not monotone: %v then %v", evs[0].T, evs[1].T)
+	}
+	if evs[1].Label != "fail" {
+		t.Errorf("verify label = %q, want fail", evs[1].Label)
+	}
+}
+
+func TestRingSinkBoundAndDrop(t *testing.T) {
+	ring := NewRingSink(4)
+	e := NewEmitter(ring)
+	for i := 0; i < 10; i++ {
+		e.Rewrite("P", "get", "EMP")
+	}
+	if got := ring.Total(); got != 10 {
+		t.Errorf("total = %d, want 10", got)
+	}
+	if got := ring.Dropped(); got != 6 {
+		t.Errorf("dropped = %d, want 6", got)
+	}
+	evs := ring.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained = %d, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := uint64(7 + i); ev.Seq != want {
+			t.Errorf("event %d seq = %d, want %d (oldest-first)", i, ev.Seq, want)
+		}
+	}
+	if NewRingSink(0) == nil || len(NewRingSink(-3).Events()) != 0 {
+		t.Error("degenerate capacities must still yield a working ring")
+	}
+}
+
+func TestMultiSink(t *testing.T) {
+	if MultiSink() != nil || MultiSink(nil, nil) != nil {
+		t.Error("MultiSink with no live sinks must collapse to nil")
+	}
+	one := NewRingSink(4)
+	if got := MultiSink(nil, one); got != Sink(one) {
+		t.Error("MultiSink with one live sink must return it unwrapped")
+	}
+	two := NewRingSink(4)
+	e := NewEmitter(MultiSink(one, nil, two))
+	e.Hazard("P", "k", "m")
+	if one.Total() != 1 || two.Total() != 1 {
+		t.Errorf("fan-out totals = %d,%d, want 1,1", one.Total(), two.Total())
+	}
+}
+
+func TestEncodeJSONLShape(t *testing.T) {
+	events := []Event{
+		{Seq: 1, T: time.Second, Prog: "P", Kind: EvStageStart, Stage: StageAnalyze},
+		{Seq: 2, T: time.Second, Prog: "P", Kind: EvStageEnd, Stage: StageAnalyze, Dur: time.Millisecond},
+		{Seq: 3, T: time.Second, Prog: "P", Kind: EvDecision, Label: "order-dependence", Detail: "why", Accepted: true},
+		{Seq: 4, T: time.Second, Prog: "P", Kind: EvOutcome, Label: "auto", Detail: "reason"},
+	}
+	var buf bytes.Buffer
+	if err := EncodeJSONL(&buf, events, true); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d, want 4", len(lines))
+	}
+	var m map[string]any
+	for i, line := range lines {
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("line %d not JSON: %v", i, err)
+		}
+		if _, ok := m["t_ns"]; ok {
+			t.Errorf("line %d: omitTiming left t_ns", i)
+		}
+		if _, ok := m["dur_ns"]; ok {
+			t.Errorf("line %d: omitTiming left dur_ns", i)
+		}
+	}
+	if !strings.Contains(lines[0], `"stage":"analyze"`) {
+		t.Errorf("stage-start line missing stage: %s", lines[0])
+	}
+	if !strings.Contains(lines[2], `"accepted":true`) {
+		t.Errorf("decision line missing accepted: %s", lines[2])
+	}
+	if strings.Contains(lines[3], "accepted") || strings.Contains(lines[3], "stage") {
+		t.Errorf("outcome line carries fields of other kinds: %s", lines[3])
+	}
+
+	// With timing on, the wall-clock fields appear.
+	buf.Reset()
+	if err := EncodeJSONL(&buf, events[1:2], false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"t_ns"`) || !strings.Contains(buf.String(), `"dur_ns"`) {
+		t.Errorf("timed encoding missing wall-clock fields: %s", buf.String())
+	}
+}
+
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	w.n++
+	return 0, errors.New("disk full")
+}
+
+func TestJSONLSinkStickyError(t *testing.T) {
+	w := &failWriter{}
+	s := NewJSONLSink(w)
+	s.Emit(Event{Prog: "P"})
+	s.Emit(Event{Prog: "P"})
+	if s.Err() == nil {
+		t.Fatal("write error not surfaced")
+	}
+	if w.n != 1 {
+		t.Errorf("writer called %d times after first error, want 1", w.n)
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	for k, want := range map[EventKind]string{
+		EvStageStart: "stage-start", EvStageEnd: "stage-end",
+		EvHazard: "hazard", EvRewrite: "rewrite", EvDecision: "decision",
+		EvVerify: "verify", EvOutcome: "outcome",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", k, got, want)
+		}
+	}
+	if got := EventKind(99).String(); got != "event(?)" {
+		t.Errorf("unknown kind = %q", got)
+	}
+}

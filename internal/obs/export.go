@@ -1,0 +1,226 @@
+package obs
+
+// Exporters: the run's observability data in the two formats outside
+// tooling actually loads — Chrome trace_event JSON (chrome://tracing,
+// Perfetto) from the span recorder, and Prometheus text-format
+// exposition from the Tally counter sink plus the Metrics summary.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Tally is a Sink that folds the event stream into counters: programs
+// by disposition, hazard findings by kind, DML rewrites by verb, and
+// verification verdicts. It is the data source for the Prometheus
+// exporter and the expvar debug endpoint.
+type Tally struct {
+	mu           sync.Mutex
+	dispositions map[string]int64
+	hazards      map[string]int64
+	rewrites     map[string]int64
+	verdicts     map[string]int64
+}
+
+// NewTally returns an empty counter collector.
+func NewTally() *Tally {
+	return &Tally{
+		dispositions: map[string]int64{},
+		hazards:      map[string]int64{},
+		rewrites:     map[string]int64{},
+		verdicts:     map[string]int64{},
+	}
+}
+
+// Emit implements Sink.
+func (t *Tally) Emit(ev Event) {
+	t.mu.Lock()
+	switch ev.Kind {
+	case EvOutcome:
+		t.dispositions[ev.Label]++
+	case EvHazard:
+		t.hazards[ev.Label]++
+	case EvRewrite:
+		t.rewrites[ev.Label]++
+	case EvVerify:
+		t.verdicts[ev.Label]++
+	}
+	t.mu.Unlock()
+}
+
+// Snapshot flattens the counters into "family/label" keys — the shape
+// served live by the expvar debug endpoint.
+func (t *Tally) Snapshot() map[string]int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := map[string]int64{}
+	for _, f := range []struct {
+		name string
+		m    map[string]int64
+	}{
+		{"programs", t.dispositions},
+		{"hazards", t.hazards},
+		{"rewrites", t.rewrites},
+		{"verifications", t.verdicts},
+	} {
+		for label, n := range f.m {
+			out[f.name+"/"+label] = n
+		}
+	}
+	return out
+}
+
+// promFamily writes one counter family, labels sorted for byte-stable
+// output.
+func promFamily(w io.Writer, name, help, label string, m map[string]int64) error {
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name); err != nil {
+		return err
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if _, err := fmt.Fprintf(w, "%s{%s=%q} %d\n", name, label, k, m[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePrometheus renders the tally — and, when m is non-nil, the
+// per-stage latency histograms — in Prometheus text exposition format.
+func (t *Tally) WritePrometheus(w io.Writer, m *Metrics) error {
+	t.mu.Lock()
+	families := []struct {
+		name, help, label string
+		m                 map[string]int64
+	}{
+		{"progconv_programs_total", "Programs by conversion disposition.", "disposition", cloneCounts(t.dispositions)},
+		{"progconv_hazards_total", "Hazard findings by kind.", "kind", cloneCounts(t.hazards)},
+		{"progconv_dml_rewrites_total", "DML statements rewritten by verb.", "verb", cloneCounts(t.rewrites)},
+		{"progconv_verifications_total", "Equivalence verdicts by result.", "result", cloneCounts(t.verdicts)},
+	}
+	t.mu.Unlock()
+	for _, f := range families {
+		if err := promFamily(w, f.name, f.help, f.label, f.m); err != nil {
+			return err
+		}
+	}
+	if m == nil {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w,
+		"# HELP progconv_stage_duration_seconds Per-program pipeline stage latency.\n# TYPE progconv_stage_duration_seconds histogram\n"); err != nil {
+		return err
+	}
+	for _, st := range m.ByStage {
+		if st.Count == 0 {
+			continue
+		}
+		stage := st.Stage.String()
+		var cum int64
+		for i := 0; i < numBuckets-1; i++ {
+			cum += st.Buckets[i]
+			le := strconv.FormatFloat(BucketBound(i).Seconds(), 'g', -1, 64)
+			if _, err := fmt.Fprintf(w,
+				"progconv_stage_duration_seconds_bucket{stage=%q,le=%q} %d\n", stage, le, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w,
+			"progconv_stage_duration_seconds_bucket{stage=%q,le=\"+Inf\"} %d\n", stage, st.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "progconv_stage_duration_seconds_sum{stage=%q} %s\n",
+			stage, strconv.FormatFloat(st.Total.Seconds(), 'g', -1, 64)); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "progconv_stage_duration_seconds_count{stage=%q} %d\n",
+			stage, st.Count); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "# HELP progconv_run_wall_seconds Batch wall-clock time.\n# TYPE progconv_run_wall_seconds gauge\nprogconv_run_wall_seconds %s\n",
+		strconv.FormatFloat(m.Wall.Seconds(), 'g', -1, 64))
+	return err
+}
+
+func cloneCounts(m map[string]int64) map[string]int64 {
+	out := make(map[string]int64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// traceEvent is one Chrome trace_event entry ("X" complete spans and
+// "M" thread-name metadata).
+type traceEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteChromeTrace exports the recorder's spans as Chrome trace_event
+// JSON: one virtual thread per program (named), one complete ("X")
+// event per stage span, timestamps relative to recorder start. Load the
+// file in chrome://tracing or https://ui.perfetto.dev.
+func WriteChromeTrace(w io.Writer, r *Recorder) error {
+	if r == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[]}`)
+		return err
+	}
+	programs := r.Programs()
+	events := make([]traceEvent, 0, 2*len(programs))
+	for tid, prog := range programs {
+		events = append(events, traceEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: tid + 1,
+			Args: map[string]string{"name": prog},
+		})
+		for _, sp := range r.Trace(prog) {
+			events = append(events, traceEvent{
+				Name: sp.Stage.String(), Cat: "stage", Ph: "X",
+				Ts:  float64(sp.Start.Sub(r.start)) / float64(time.Microsecond),
+				Dur: float64(sp.Dur) / float64(time.Microsecond),
+				Pid: 1, Tid: tid + 1,
+				Args: map[string]string{"program": prog},
+			})
+		}
+	}
+	if _, err := io.WriteString(w, `{"traceEvents":[`); err != nil {
+		return err
+	}
+	for i, ev := range events {
+		if i > 0 {
+			if _, err := io.WriteString(w, ","); err != nil {
+				return err
+			}
+		}
+		if err := encodeTraceEvent(w, ev); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]}\n")
+	return err
+}
+
+func encodeTraceEvent(w io.Writer, ev traceEvent) error {
+	b, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}

@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testTally() *Tally {
+	tally := NewTally()
+	e := NewEmitter(tally)
+	e.Outcome("A", "auto", "r")
+	e.Outcome("B", "manual", "r")
+	e.Outcome("C", "auto", "r")
+	e.Hazard("B", "order-dependence", "m")
+	e.Rewrite("A", "get", "EMP")
+	e.Rewrite("A", "move", "EMP")
+	e.Rewrite("C", "get", "EMP")
+	e.Verify("A", true, "ok")
+	e.Verify("C", false, "diff")
+	return tally
+}
+
+func TestTallySnapshot(t *testing.T) {
+	snap := testTally().Snapshot()
+	want := map[string]int64{
+		"programs/auto": 2, "programs/manual": 1,
+		"hazards/order-dependence": 1,
+		"rewrites/get":             2, "rewrites/move": 1,
+		"verifications/pass": 1, "verifications/fail": 1,
+	}
+	for k, n := range want {
+		if snap[k] != n {
+			t.Errorf("snapshot[%q] = %d, want %d", k, snap[k], n)
+		}
+	}
+	if len(snap) != len(want) {
+		t.Errorf("snapshot has %d keys, want %d: %v", len(snap), len(want), snap)
+	}
+}
+
+// promLine matches the three legal line shapes of the Prometheus text
+// exposition format (comment, labelled sample, bare sample).
+var promLine = regexp.MustCompile(`^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+` +
+	`|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? [0-9eE.+-]+(Inf)?)$`)
+
+// TestWritePrometheusFormat is the ISSUE's format-lint acceptance
+// criterion: every line parses, HELP/TYPE precede their samples, and
+// the output ends with a newline.
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRecorder()
+	r.Observe("A", StageAnalyze, time.Now(), 3*time.Microsecond)
+	r.Observe("A", StageConvert, time.Now(), 40*time.Microsecond)
+	m := r.Snapshot()
+
+	var buf bytes.Buffer
+	if err := testTally().WritePrometheus(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasSuffix(out, "\n") {
+		t.Error("output does not end with a newline")
+	}
+	typed := map[string]bool{}
+	for i, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if !promLine.MatchString(line) {
+			t.Errorf("line %d fails format lint: %q", i+1, line)
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			typed[strings.Fields(line)[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line[:strings.IndexAny(line, "{ ")]
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name,
+			"_bucket"), "_sum"), "_count")
+		if !typed[name] && !typed[base] {
+			t.Errorf("line %d: sample %q precedes its # TYPE", i+1, name)
+		}
+	}
+	for _, want := range []string{
+		`progconv_programs_total{disposition="auto"} 2`,
+		`progconv_hazards_total{kind="order-dependence"} 1`,
+		`progconv_dml_rewrites_total{verb="get"} 2`,
+		`progconv_verifications_total{result="pass"} 1`,
+		`progconv_stage_duration_seconds_bucket{stage="analyze",le="+Inf"} 1`,
+		`progconv_stage_duration_seconds_count{stage="convert"} 1`,
+		"progconv_run_wall_seconds",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Without metrics only the counter families appear.
+	buf.Reset()
+	if err := testTally().WritePrometheus(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "stage_duration") {
+		t.Error("nil metrics still rendered histograms")
+	}
+}
+
+// TestWriteChromeTrace is the ISSUE's trace acceptance criterion: the
+// exporter's output parses as valid JSON, with one named thread per
+// program and one complete event per span.
+func TestWriteChromeTrace(t *testing.T) {
+	r := NewRecorder()
+	r.Observe("B-PROG", StageAnalyze, time.Now(), 5*time.Microsecond)
+	r.Observe("A-PROG", StageAnalyze, time.Now(), 5*time.Microsecond)
+	r.Observe("A-PROG", StageConvert, time.Now(), 7*time.Microsecond)
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	// 2 thread_name metadata + 3 spans.
+	if len(doc.TraceEvents) != 5 {
+		t.Fatalf("trace events = %d, want 5", len(doc.TraceEvents))
+	}
+	meta, spans := 0, 0
+	tidByProg := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+			tidByProg[ev.Args["name"].(string)] = ev.Tid
+		case "X":
+			spans++
+			if ev.Dur <= 0 {
+				t.Errorf("span %s has dur %v", ev.Name, ev.Dur)
+			}
+		default:
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if meta != 2 || spans != 3 {
+		t.Errorf("meta/spans = %d/%d, want 2/3", meta, spans)
+	}
+	// Thread order follows sorted program names.
+	if tidByProg["A-PROG"] != 1 || tidByProg["B-PROG"] != 2 {
+		t.Errorf("tids = %v, want A-PROG:1 B-PROG:2", tidByProg)
+	}
+
+	// A nil recorder still writes valid (empty) JSON.
+	buf.Reset()
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil || len(doc.TraceEvents) != 0 {
+		t.Errorf("nil-recorder trace invalid: %v %s", err, buf.String())
+	}
+}

@@ -1,12 +1,19 @@
-// Package obs is the supervisor's observability substrate: per-stage
-// atomic counters and duration histograms, plus a lightweight span
-// recorder keyed by program name. The Conversion Supervisor times each
-// Figure 4.1 box (analyze → convert → optimize → generate → verify) per
-// program; the aggregate Metrics summary is embedded in the conversion
-// Report and rendered by `progconv convert -stats` and cmd/exper.
+// Package obs is the supervisor's observability substrate:
+//
+//   - per-stage atomic counters and duration histograms plus a span
+//     recorder keyed by program name (this file) — the Metrics summary
+//     embedded in the conversion Report and rendered by `progconv
+//     convert -stats` and cmd/exper;
+//   - the structured event log (event.go): typed Events through a Sink,
+//     with a bounded RingSink, a streaming JSONL encoder, and a nil-safe
+//     Emitter so uninstrumented runs pay nothing;
+//   - exporters (export.go): Chrome trace_event JSON for
+//     chrome://tracing / Perfetto, and Prometheus text-format counters
+//     fed by the Tally sink.
 //
 // The package is stdlib-only and safe for concurrent use: the hot path
-// (span End) touches only atomics, so instrumented parallel runs stay
+// (span End, no-sink event emission) touches only atomics and one short
+// mutex, and allocates nothing, so instrumented parallel runs stay
 // within measurement noise of uninstrumented ones.
 package obs
 
@@ -127,8 +134,10 @@ type Span struct {
 	Dur     time.Duration
 }
 
-// activeSpan is a started, not-yet-ended span.
-type activeSpan struct {
+// ActiveSpan is a started, not-yet-ended span. It is a value (not a
+// pointer) so the span hot path performs no heap allocation; the zero
+// value is a valid no-op span.
+type ActiveSpan struct {
 	rec     *Recorder
 	program string
 	stage   Stage
@@ -138,25 +147,56 @@ type activeSpan struct {
 // StartSpan begins timing one stage of one program. End the returned
 // span exactly once. A nil *Recorder is valid and records nothing, so
 // call sites need no guards.
-func (r *Recorder) StartSpan(program string, stage Stage) *activeSpan {
+func (r *Recorder) StartSpan(program string, stage Stage) ActiveSpan {
+	if r == nil {
+		return ActiveSpan{}
+	}
+	return ActiveSpan{rec: r, program: program, stage: stage, start: time.Now()}
+}
+
+// End finishes the span and returns its duration: the duration lands in
+// the stage's atomic accumulator and the span in the per-program trace.
+// A zero-value span returns 0 and records nothing.
+func (s ActiveSpan) End() time.Duration {
+	if s.rec == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	s.rec.observe(s.program, s.stage, s.start, d)
+	return d
+}
+
+// Observe records an already-measured span directly — the replay/import
+// path used by tests and external span sources.
+func (r *Recorder) Observe(program string, stage Stage, start time.Time, d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.observe(program, stage, start, d)
+}
+
+func (r *Recorder) observe(program string, stage Stage, start time.Time, d time.Duration) {
+	r.stages[stage].observe(d)
+	r.mu.Lock()
+	r.spans[program] = append(r.spans[program],
+		Span{Program: program, Stage: stage, Start: start, Dur: d})
+	r.mu.Unlock()
+}
+
+// Programs returns the instrumented program names, sorted — the stable
+// thread order of the Chrome trace exporter.
+func (r *Recorder) Programs() []string {
 	if r == nil {
 		return nil
 	}
-	return &activeSpan{rec: r, program: program, stage: stage, start: time.Now()}
-}
-
-// End finishes the span: the duration lands in the stage's atomic
-// accumulator and the span in the per-program trace.
-func (s *activeSpan) End() {
-	if s == nil {
-		return
+	r.mu.Lock()
+	out := make([]string, 0, len(r.spans))
+	for name := range r.spans {
+		out = append(out, name)
 	}
-	d := time.Since(s.start)
-	s.rec.stages[s.stage].observe(d)
-	s.rec.mu.Lock()
-	s.rec.spans[s.program] = append(s.rec.spans[s.program],
-		Span{Program: s.program, Stage: s.stage, Start: s.start, Dur: d})
-	s.rec.mu.Unlock()
+	r.mu.Unlock()
+	sort.Strings(out)
+	return out
 }
 
 // Trace returns the completed spans recorded for one program, in end
@@ -285,6 +325,7 @@ func (m *Metrics) String() string {
 			st.Min.Round(time.Microsecond), st.Max.Round(time.Microsecond),
 			sparkline(st.Buckets))
 	}
+	b.WriteString("histogram buckets: 1µs·4ⁱ upper bounds (<1µs, <4µs, <16µs, …; last bucket unbounded)\n")
 	return b.String()
 }
 

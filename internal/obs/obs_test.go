@@ -42,8 +42,12 @@ func TestSpanAccumulation(t *testing.T) {
 func TestNilRecorderIsInert(t *testing.T) {
 	var r *Recorder
 	sp := r.StartSpan("X", StageVerify)
-	sp.End() // must not panic
-	if r.Snapshot() != nil || r.Trace("X") != nil || r.Slowest(5) != nil {
+	if d := sp.End(); d != 0 { // must not panic
+		t.Errorf("nil-recorder span duration = %v, want 0", d)
+	}
+	(ActiveSpan{}).End() // the zero-value span is equally inert
+	r.Observe("X", StageVerify, time.Now(), time.Second)
+	if r.Snapshot() != nil || r.Trace("X") != nil || r.Slowest(5) != nil || r.Programs() != nil {
 		t.Error("nil recorder should return nil summaries")
 	}
 }
@@ -97,7 +101,8 @@ func TestMetricsString(t *testing.T) {
 	sp := r.StartSpan("P", StageGenerate)
 	sp.End()
 	s := r.Snapshot().String()
-	for _, want := range []string{"STAGE TIMINGS", "generate", "histogram"} {
+	for _, want := range []string{"STAGE TIMINGS", "generate", "histogram",
+		"histogram buckets: 1µs·4ⁱ"} {
 		if !strings.Contains(s, want) {
 			t.Errorf("summary missing %q:\n%s", want, s)
 		}
@@ -117,6 +122,40 @@ func TestSlowest(t *testing.T) {
 	costs := r.Slowest(1)
 	if len(costs) != 1 || costs[0].Program != "SLOW" {
 		t.Errorf("slowest = %+v", costs)
+	}
+}
+
+// TestSlowestTieBreak: equal totals order by program name, so the
+// ranking (like every other report surface) is deterministic.
+func TestSlowestTieBreak(t *testing.T) {
+	r := NewRecorder()
+	now := time.Now()
+	for _, name := range []string{"ZEBRA", "ALPHA", "MIDDLE"} {
+		r.Observe(name, StageConvert, now, 5*time.Millisecond)
+	}
+	costs := r.Slowest(3)
+	if len(costs) != 3 {
+		t.Fatalf("costs = %d, want 3", len(costs))
+	}
+	for i, want := range []string{"ALPHA", "MIDDLE", "ZEBRA"} {
+		if costs[i].Program != want {
+			t.Errorf("costs[%d] = %s, want %s (name tie-break)", i, costs[i].Program, want)
+		}
+	}
+	// n larger than the population returns everything.
+	if got := r.Slowest(10); len(got) != 3 {
+		t.Errorf("Slowest(10) = %d entries, want 3", len(got))
+	}
+}
+
+func TestProgramsSorted(t *testing.T) {
+	r := NewRecorder()
+	now := time.Now()
+	r.Observe("B", StageAnalyze, now, time.Microsecond)
+	r.Observe("A", StageAnalyze, now, time.Microsecond)
+	got := r.Programs()
+	if len(got) != 2 || got[0] != "A" || got[1] != "B" {
+		t.Errorf("Programs() = %v, want [A B]", got)
 	}
 }
 

@@ -70,6 +70,10 @@ type Rewriter struct {
 	// strict equivalence (§5.2's levels of successful conversion), e.g. a
 	// retention change.
 	Notes []string
+	// Step is the catalogue name of the plan step this rewriter came
+	// from (set by Plan.Rewriters), so converter findings can attribute
+	// themselves in the decision audit trail.
+	Step string
 }
 
 // NewRewriter returns an empty rewriter (identity mapping).
@@ -253,6 +257,7 @@ func (p *Plan) Rewriters(src *schema.Network) ([]*Rewriter, error) {
 		if err != nil {
 			return nil, fmt.Errorf("xform: %s: %w", t.Name(), err)
 		}
+		r.Step = t.Name()
 		out = append(out, r)
 		next, err := t.ApplySchema(cur)
 		if err != nil {

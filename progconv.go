@@ -22,6 +22,7 @@ package progconv
 
 import (
 	"context"
+	"io"
 
 	"progconv/internal/core"
 	"progconv/internal/dbprog"
@@ -45,8 +46,24 @@ type (
 	Policy  = core.Policy
 
 	// Metrics is the per-stage timing summary embedded in a Report when
-	// the run was instrumented with WithMetrics.
-	Metrics = obs.Metrics
+	// the run was instrumented with WithMetrics; Recorder collects it and
+	// Span is one completed stage execution.
+	Metrics  = obs.Metrics
+	Recorder = obs.Recorder
+	Span     = obs.Span
+
+	// The structured event log: Events of the listed EventKinds flow to a
+	// Sink installed via WithEventSink. RingSink, JSONLSink and Tally are
+	// the provided sinks; Audit and Decision are the per-outcome decision
+	// trail.
+	Event     = obs.Event
+	EventKind = obs.EventKind
+	Sink      = obs.Sink
+	RingSink  = obs.RingSink
+	JSONLSink = obs.JSONLSink
+	Tally     = obs.Tally
+	Audit     = core.Audit
+	Decision  = core.Decision
 
 	// Schema is a CODASYL network schema; Plan an ordered transformation
 	// sequence; Program a parsed database program; Database a network
@@ -65,6 +82,17 @@ const (
 	Manual    = core.Manual
 )
 
+// The event kinds.
+const (
+	EvStageStart = obs.EvStageStart
+	EvStageEnd   = obs.EvStageEnd
+	EvHazard     = obs.EvHazard
+	EvRewrite    = obs.EvRewrite
+	EvDecision   = obs.EvDecision
+	EvVerify     = obs.EvVerify
+	EvOutcome    = obs.EvOutcome
+)
+
 // The sentinel errors; see the package error contract.
 var (
 	ErrCanceled         = core.ErrCanceled
@@ -78,6 +106,8 @@ type options struct {
 	parallelism int
 	metrics     bool
 	verifyDB    *Database
+	recorder    *Recorder
+	sink        Sink
 }
 
 // Option configures one Convert run.
@@ -111,6 +141,22 @@ func WithVerifyDB(db *Database) Option {
 	return func(o *options) { o.verifyDB = db }
 }
 
+// WithEventSink installs a structured event-log sink: every stage
+// boundary, hazard finding, DML rewrite, Analyst decision, verification
+// verdict and outcome is emitted as a typed Event. Within one program
+// the events arrive in pipeline order at any parallelism. Compose sinks
+// with MultiSink; a nil sink leaves the run unobserved.
+func WithEventSink(s Sink) Option {
+	return func(o *options) { o.sink = s }
+}
+
+// WithRecorder instruments the run with a caller-owned span recorder —
+// like WithMetrics, but the recorder outlives the run so its per-program
+// traces can feed WriteChromeTrace or span-level analysis.
+func WithRecorder(r *Recorder) Option {
+	return func(o *options) { o.recorder = r }
+}
+
 // Convert converts a database application system: it classifies the
 // src → dst schema change (or follows plan when non-nil, in which case
 // dst may be nil), restructures the data given via WithVerifyDB, and
@@ -129,10 +175,47 @@ func Convert(ctx context.Context, src, dst *Schema, plan *Plan,
 	}
 	sup.Parallelism = o.parallelism
 	sup.Verify = o.verifyDB != nil
-	if o.metrics {
-		sup.Metrics = obs.NewRecorder()
+	rec := o.recorder
+	if rec == nil && o.metrics {
+		rec = obs.NewRecorder()
 	}
+	sup.Metrics = rec
+	sup.Events = o.sink
 	return sup.Run(ctx, src, dst, plan, o.verifyDB, programs)
+}
+
+// NewRecorder returns a span recorder for WithRecorder.
+func NewRecorder() *Recorder { return obs.NewRecorder() }
+
+// NewRingSink returns a bounded in-memory event sink keeping the newest
+// capacity events.
+func NewRingSink(capacity int) *RingSink { return obs.NewRingSink(capacity) }
+
+// NewJSONLSink returns a sink streaming events to w as JSON lines.
+func NewJSONLSink(w io.Writer) *JSONLSink { return obs.NewJSONLSink(w) }
+
+// NewTally returns a counter-folding sink for metrics export.
+func NewTally() *Tally { return obs.NewTally() }
+
+// MultiSink composes event sinks; nils are skipped.
+func MultiSink(sinks ...Sink) Sink { return obs.MultiSink(sinks...) }
+
+// EncodeJSONL writes captured events one JSON object per line;
+// omitTiming drops the wall-clock fields for byte-stable output.
+func EncodeJSONL(w io.Writer, events []Event, omitTiming bool) error {
+	return obs.EncodeJSONL(w, events, omitTiming)
+}
+
+// WriteChromeTrace exports a recorder's spans as Chrome trace_event JSON
+// loadable in chrome://tracing or Perfetto.
+func WriteChromeTrace(w io.Writer, r *Recorder) error {
+	return obs.WriteChromeTrace(w, r)
+}
+
+// WritePrometheus renders a tally (and optionally a Report's Metrics)
+// in Prometheus text exposition format.
+func WritePrometheus(w io.Writer, t *Tally, m *Metrics) error {
+	return t.WritePrometheus(w, m)
 }
 
 // ParseProgram parses database-program source text in any of the four
