@@ -1,9 +1,10 @@
 // Command exper regenerates every experiment in EXPERIMENTS.md: the
 // paper's figures and worked examples (EXP-F*, EXP-S*), its quantitative
-// claims (EXP-C*), and the hazard-detector audit (EXP-H1). Run with no
-// arguments for all experiments, or name them:
+// claims (EXP-C*), the hazard-detector audit (EXP-H1), and the
+// resilience demonstration (EXP-R1). Run with no arguments for all
+// experiments, or name them:
 //
-//	exper [f3.1] [f4.1] [f4.3] [f4.4] [s4.1a] [s4.1b] [c1] [c2] [c3] [c4] [h1]
+//	exper [f3.1] [f4.1] [f4.3] [f4.4] [s4.1a] [s4.1b] [c1] [c2] [c3] [c4] [h1] [r1]
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"progconv/internal/corpus"
 	"progconv/internal/dbprog"
 	"progconv/internal/emulate"
+	"progconv/internal/fault"
 	"progconv/internal/equiv"
 	"progconv/internal/generator"
 	"progconv/internal/hierstore"
@@ -43,8 +45,9 @@ func main() {
 		"f3.1": expF31, "f4.1": expF41, "f4.3": expF43, "f4.4": expF44,
 		"s4.1a": expS41a, "s4.1b": expS41b,
 		"c1": expC1, "c2": expC2, "c3": expC3, "c4": expC4, "h1": expH1,
+		"r1": expR1,
 	}
-	order := []string{"f3.1", "f4.1", "f4.3", "f4.4", "s4.1a", "s4.1b", "c1", "c2", "c3", "c4", "h1"}
+	order := []string{"f3.1", "f4.1", "f4.3", "f4.4", "s4.1a", "s4.1b", "c1", "c2", "c3", "c4", "h1", "r1"}
 	args := os.Args[1:]
 	if len(args) == 0 {
 		args = order
@@ -752,6 +755,94 @@ func expH1() {
 			rec = float64(c.tp) / float64(c.tp+c.fn)
 		}
 		fmt.Printf("%-26s %4d %4d %4d  %.2f / %.2f\n", k, c.tp, c.fp, c.fn, prec, rec)
+	}
+}
+
+// expR1 demonstrates the resilience layer: a 50-program batch at
+// parallelism 8 absorbs an injected panic, a forced stage timeout, and
+// two transient errors, completes under collect-errors, and reconciles
+// the event-log fault counters against the injected plan. The report is
+// byte-identical to a serial run of the same chaos plan.
+func expR1() {
+	banner("EXP-R1", "resilience: fault isolation, stage budgets, retries under injected chaos")
+	p := corpus.Profile{
+		Seed:      42,
+		Divisions: 2, DeptsPerDiv: 2, EmpsPerDept: 2,
+		Programs:               50,
+		RateRunTimeVariability: 0.08,
+		RateOrderDependence:    0.12,
+		RateViewUpdate:         0.06,
+	}
+	members, err := corpus.Programs(p)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	progs := make([]*dbprog.Program, len(members))
+	for i, m := range members {
+		progs[i] = m.Program
+	}
+	inj := fault.New(1,
+		fault.Rule{Kind: fault.Panic, Prog: progs[3].Name, Stage: "convert"},
+		fault.Rule{Kind: fault.Delay, Prog: progs[10].Name, Stage: "analyze", Delay: 10 * time.Second},
+		fault.Rule{Kind: fault.Transient, Prog: progs[20].Name, Stage: "analyze"},
+		fault.Rule{Kind: fault.Transient, Prog: progs[30].Name, Stage: "analyze"},
+	)
+	fmt.Printf("\ninjected chaos plan over %d programs:\n", len(progs))
+	fmt.Printf("  panic      %s/convert\n", progs[3].Name)
+	fmt.Printf("  delay 10s  %s/analyze (stage budget 400ms forces a timeout)\n", progs[10].Name)
+	fmt.Printf("  transient  %s/analyze, %s/analyze (2 retries armed)\n",
+		progs[20].Name, progs[30].Name)
+
+	run := func(parallelism int) (*core.Report, *obs.Tally) {
+		tally := obs.NewTally()
+		sup := &core.Supervisor{
+			Analyst:       core.Policy{},
+			Parallelism:   parallelism,
+			Events:        tally,
+			StageTimeout:  400 * time.Millisecond,
+			Retries:       2,
+			Sleep:         func(ctx context.Context, _ time.Duration) error { return ctx.Err() },
+			FailurePolicy: core.CollectErrors,
+		}
+		ctx := fault.With(context.Background(), inj)
+		report, err := sup.Run(ctx, schema.CompanyV1(), nil, figurePlan(), nil, progs)
+		if err != nil {
+			fmt.Println("error:", err)
+			os.Exit(1)
+		}
+		return report, tally
+	}
+
+	serial, _ := run(1)
+	parallel, tally := run(8)
+
+	auto, qualified, manual := parallel.Counts()
+	fmt.Printf("\nbatch completed under collect-errors: %d auto, %d qualified, %d manual, %d failed\n",
+		auto, qualified, manual, parallel.FailedCount())
+	for _, o := range parallel.Outcomes {
+		if f := o.Audit.Failure; f != nil {
+			fmt.Printf("  x %-10s %s\n", o.Name, f.Error())
+		}
+		for _, r := range o.Audit.Retries {
+			fmt.Printf("  ^ %-10s retry %d of %s after %s: %v\n",
+				o.Name, r.Attempt, r.Stage, r.Backoff, r.Err)
+		}
+	}
+	fmt.Println("\nevent-log fault counters (parallel run) vs injected plan:")
+	faults := tally.Faults()
+	keys := make([]string, 0, len(faults))
+	for k := range faults {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("  %-10s %d\n", k, faults[k])
+	}
+	if serial.String() == parallel.String() {
+		fmt.Println("\nreport byte-identical at parallelism 1 and 8: yes")
+	} else {
+		fmt.Println("\nreport byte-identical at parallelism 1 and 8: NO (determinism bug)")
 	}
 }
 

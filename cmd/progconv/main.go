@@ -7,8 +7,15 @@
 //	progconv analyze <schema.ddl> <program.prog>
 //	progconv convert [-accept-order] [-stats] [-parallel N] [-events f.jsonl]
 //	                 [-trace f.json] [-metrics-out f.prom] [-debug-addr :6060]
-//	                 [-fail-on manual|qualified] <source.ddl> <target.ddl> <program.prog>...
+//	                 [-timeout d] [-stage-timeout d] [-analyst-timeout d]
+//	                 [-retries N] [-on-failure fail-fast|collect|budget:N]
+//	                 [-inject spec] [-fail-on manual|qualified]
+//	                 <source.ddl> <target.ddl> <program.prog>...
 //	progconv run [-init <program.prog>] [-input line]... <schema.ddl> <program.prog>
+//
+// Exit codes: 0 success; 1 run error; 2 usage; 3 the -fail-on gate
+// tripped; 4 the batch completed but programs failed in the pipeline
+// (possible only under -on-failure collect or budget:N).
 package main
 
 import (
@@ -21,10 +28,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 
 	"progconv"
 	"progconv/internal/analyzer"
 	"progconv/internal/dbprog"
+	"progconv/internal/fault"
 	"progconv/internal/hierstore"
 	"progconv/internal/netstore"
 	"progconv/internal/relstore"
@@ -77,7 +87,10 @@ func usage() {
   progconv analyze <schema.ddl> <program.prog>
   progconv convert [-accept-order] [-stats] [-parallel N] [-events f.jsonl]
                    [-trace f.json] [-metrics-out f.prom] [-debug-addr :6060]
-                   [-fail-on manual|qualified] <source.ddl> <target.ddl> <program.prog>...
+                   [-timeout d] [-stage-timeout d] [-analyst-timeout d]
+                   [-retries N] [-on-failure fail-fast|collect|budget:N]
+                   [-inject spec] [-fail-on manual|qualified]
+                   <source.ddl> <target.ddl> <program.prog>...
   progconv run [-init <program.prog>] [-input line]... <schema.ddl> <program.prog>`)
 	os.Exit(2)
 }
@@ -211,12 +224,43 @@ func cmdConvert(args []string) error {
 		"serve live run counters over HTTP expvar at this address (e.g. :6060)")
 	failOn := fs.String("fail-on", "",
 		"exit with code 3 when the report contains these dispositions:\n"+
-			"manual (manual only) or qualified (manual or qualified)")
+			"manual (manual or failed) or qualified (manual, failed or qualified)")
+	timeout := fs.Duration("timeout", 0,
+		"per-program budget for the whole analyze → verify chain (0 = unbounded);\n"+
+			"an expiry fails that program, not the batch")
+	stageTimeout := fs.Duration("stage-timeout", 0,
+		"per-stage budget for each pipeline stage attempt (0 = unbounded)")
+	analystTimeout := fs.Duration("analyst-timeout", 0,
+		"budget for each analyst consultation; an expiry declines the\n"+
+			"conversion and routes the program to manual (0 = unbounded)")
+	retries := fs.Int("retries", 0,
+		"retry stage attempts failing with transient errors up to N times")
+	onFailure := fs.String("on-failure", "fail-fast",
+		"what a failed program does to the batch: fail-fast aborts,\n"+
+			"collect completes around failures (exit 4), budget:N tolerates N-1")
+	inject := fs.String("inject", "",
+		"arm the deterministic fault injector (debugging/chaos drills);\n"+
+			"spec: [seed=S,]kind[=dur]@prog-glob/stage[:count][~rate],...\n"+
+			"kinds: panic, transient, delay (e.g. 'panic@P-0*/convert,delay=2s@*/analyze')")
 	fs.Parse(args)
 	switch *failOn {
 	case "", "manual", "qualified":
 	default:
 		return fmt.Errorf("-fail-on must be \"manual\" or \"qualified\", got %q", *failOn)
+	}
+	policy := progconv.FailFast
+	switch {
+	case *onFailure == "fail-fast":
+	case *onFailure == "collect":
+		policy = progconv.CollectErrors
+	case strings.HasPrefix(*onFailure, "budget:"):
+		n, err := strconv.Atoi(strings.TrimPrefix(*onFailure, "budget:"))
+		if err != nil || n < 1 {
+			return fmt.Errorf("-on-failure budget:N needs a positive count, got %q", *onFailure)
+		}
+		policy = progconv.Budget(n)
+	default:
+		return fmt.Errorf("-on-failure must be \"fail-fast\", \"collect\" or \"budget:N\", got %q", *onFailure)
 	}
 	rest := fs.Args()
 	if len(rest) < 3 {
@@ -237,9 +281,21 @@ func cmdConvert(args []string) error {
 	// Interrupt cancels the batch mid-inventory (ErrCanceled).
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	if *inject != "" {
+		inj, err := fault.Parse(*inject)
+		if err != nil {
+			return fmt.Errorf("-inject: %w", err)
+		}
+		ctx = fault.With(ctx, inj)
+	}
 	opts := []progconv.Option{
 		progconv.WithAnalyst(progconv.Policy{AcceptOrderChanges: *acceptOrder}),
 		progconv.WithParallelism(*parallel),
+		progconv.WithProgramTimeout(*timeout),
+		progconv.WithStageTimeout(*stageTimeout),
+		progconv.WithAnalystTimeout(*analystTimeout),
+		progconv.WithRetries(*retries, 0),
+		progconv.WithFailurePolicy(policy),
 	}
 
 	// Event sinks: a streaming JSONL file and/or a counter tally feeding
@@ -318,9 +374,15 @@ func cmdConvert(args []string) error {
 			return fmt.Errorf("metrics: %w", err)
 		}
 	}
+	if failed := report.FailedCount(); failed > 0 {
+		// The tolerant policies let the batch complete around broken
+		// programs; the exit code still says the run was not clean.
+		return exitError{code: 4,
+			msg: fmt.Sprintf("%d of %d programs failed in the pipeline", failed, len(report.Outcomes))}
+	}
 	if *failOn != "" {
 		_, qualified, manual := report.Counts()
-		bad := manual
+		bad := manual + report.FailedCount()
 		if *failOn == "qualified" {
 			bad += qualified
 		}

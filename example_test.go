@@ -1,0 +1,225 @@
+package progconv_test
+
+// Runnable examples for the facade. Everything here goes through the
+// public API only — schemas arrive as Figure 4.3 DDL text, programs as
+// DML source — so the examples double as proof that external callers
+// need no internal/ imports.
+
+import (
+	"context"
+	"fmt"
+
+	"progconv"
+)
+
+// companyV1DDL is the source schema of Figure 4.3: divisions owning
+// employees directly through DIV-EMP.
+const companyV1DDL = `
+SCHEMA NAME IS COMPANY-NAME
+RECORD SECTION;
+  RECORD NAME IS DIV.
+    FIELDS ARE.
+      DIV-NAME PIC X(20).
+      DIV-LOC PIC X(10).
+  END RECORD.
+  RECORD NAME IS EMP.
+    FIELDS ARE.
+      EMP-NAME PIC X(25).
+      DEPT-NAME PIC X(5).
+      AGE PIC 9(2).
+      DIV-NAME VIRTUAL
+        VIA DIV-EMP USING DIV-NAME.
+  END RECORD.
+END RECORD SECTION.
+SET SECTION.
+  SET NAME IS ALL-DIV.
+    OWNER IS SYSTEM.
+    MEMBER IS DIV.
+    SET KEYS ARE (DIV-NAME).
+  END SET.
+  SET NAME IS DIV-EMP.
+    OWNER IS DIV.
+    MEMBER IS EMP.
+    SET KEYS ARE (EMP-NAME).
+    INSERTION IS AUTOMATIC.
+    RETENTION IS MANDATORY.
+  END SET.
+END SET SECTION.
+END SCHEMA.
+`
+
+// companyV2DDL is the target schema: a DEPT record interposed between
+// DIV and EMP (the paper's running restructuring example).
+const companyV2DDL = `
+SCHEMA NAME IS COMPANY-NAME
+RECORD SECTION;
+  RECORD NAME IS DIV.
+    FIELDS ARE.
+      DIV-NAME PIC X(20).
+      DIV-LOC PIC X(10).
+  END RECORD.
+  RECORD NAME IS DEPT.
+    FIELDS ARE.
+      DEPT-NAME PIC X(5).
+      DIV-NAME VIRTUAL
+        VIA DIV-DEPT USING DIV-NAME.
+  END RECORD.
+  RECORD NAME IS EMP.
+    FIELDS ARE.
+      EMP-NAME PIC X(25).
+      DEPT-NAME VIRTUAL
+        VIA DEPT-EMP USING DEPT-NAME.
+      AGE PIC 9(2).
+      DIV-NAME VIRTUAL
+        VIA DEPT-EMP USING DIV-NAME.
+  END RECORD.
+END RECORD SECTION.
+SET SECTION.
+  SET NAME IS ALL-DIV.
+    OWNER IS SYSTEM.
+    MEMBER IS DIV.
+    SET KEYS ARE (DIV-NAME).
+  END SET.
+  SET NAME IS DIV-DEPT.
+    OWNER IS DIV.
+    MEMBER IS DEPT.
+    SET KEYS ARE (DEPT-NAME).
+    INSERTION IS AUTOMATIC.
+    RETENTION IS MANDATORY.
+  END SET.
+  SET NAME IS DEPT-EMP.
+    OWNER IS DEPT.
+    MEMBER IS EMP.
+    SET KEYS ARE (EMP-NAME).
+    INSERTION IS AUTOMATIC.
+    RETENTION IS MANDATORY.
+  END SET.
+END SET SECTION.
+END SCHEMA.
+`
+
+// mustSchemas parses the example DDL pair.
+func mustSchemas() (src, dst *progconv.Schema) {
+	src, err := progconv.ParseNetworkSchema(companyV1DDL)
+	if err != nil {
+		panic(err)
+	}
+	dst, err = progconv.ParseNetworkSchema(companyV2DDL)
+	if err != nil {
+		panic(err)
+	}
+	return src, dst
+}
+
+// ExampleConvert converts a one-program inventory across the V1 → V2
+// restructuring; the plan is inferred from the schema pair.
+func ExampleConvert() {
+	src, dst := mustSchemas()
+	prog, err := progconv.ParseProgram(`
+PROGRAM LIST-OLD DIALECT MARYLAND.
+  FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(AGE > 30)) INTO OLD.
+  FOR EACH E IN OLD
+    PRINT EMP-NAME IN E, AGE IN E.
+  END-FOR.
+END PROGRAM.
+`)
+	if err != nil {
+		panic(err)
+	}
+	report, err := progconv.Convert(context.Background(), src, dst, nil, []*progconv.Program{prog})
+	if err != nil {
+		panic(err)
+	}
+	o := report.Outcomes[0]
+	fmt.Printf("%s: %s\n", o.Name, o.Disposition)
+	auto, qualified, manual := report.Counts()
+	fmt.Printf("%d auto, %d qualified, %d manual\n", auto, qualified, manual)
+	// Output:
+	// LIST-OLD: auto
+	// 1 auto, 0 qualified, 0 manual
+}
+
+// acceptOrder is a custom Analyst built outside the module: it accepts
+// order-change findings and declines everything else.
+type acceptOrder struct{}
+
+func (acceptOrder) Decide(program string, issue progconv.Issue) bool {
+	return issue.Kind == progconv.OrderDependence
+}
+
+// ExampleConvert_withAnalyst routes an order-dependent program through
+// a custom Analyst, turning a manual outcome into a qualified one.
+func ExampleConvert_withAnalyst() {
+	src, dst := mustSchemas()
+	prog, err := progconv.ParseProgram(`
+PROGRAM PRINT-ALL DIALECT NETWORK.
+  MOVE 'MACHINERY' TO DIV-NAME IN DIV.
+  FIND ANY DIV USING DIV-NAME.
+  PERFORM UNTIL DB-STATUS <> 'OK'
+    FIND NEXT EMP WITHIN DIV-EMP.
+    IF DB-STATUS = 'OK'
+      GET EMP.
+      PRINT EMP-NAME IN EMP.
+    END-IF.
+  END-PERFORM.
+END PROGRAM.
+`)
+	if err != nil {
+		panic(err)
+	}
+	report, err := progconv.Convert(context.Background(), src, dst, nil,
+		[]*progconv.Program{prog}, progconv.WithAnalyst(acceptOrder{}))
+	if err != nil {
+		panic(err)
+	}
+	o := report.Outcomes[0]
+	fmt.Printf("%s: %s\n", o.Name, o.Disposition)
+	for _, d := range o.Audit.Decisions {
+		fmt.Printf("asked about %s: accepted=%v\n", d.Issue.Kind, d.Accepted)
+	}
+	// Output:
+	// PRINT-ALL: qualified
+	// asked about order-dependence: accepted=true
+}
+
+// ExampleWithEventSink captures the structured event log of a serial
+// run; within one program the events arrive in pipeline order.
+func ExampleWithEventSink() {
+	src, dst := mustSchemas()
+	prog, err := progconv.ParseProgram(`
+PROGRAM LIST-OLD DIALECT MARYLAND.
+  FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(AGE > 30)) INTO OLD.
+  FOR EACH E IN OLD
+    PRINT EMP-NAME IN E, AGE IN E.
+  END-FOR.
+END PROGRAM.
+`)
+	if err != nil {
+		panic(err)
+	}
+	ring := progconv.NewRingSink(64)
+	_, err = progconv.Convert(context.Background(), src, dst, nil, []*progconv.Program{prog},
+		progconv.WithParallelism(1), progconv.WithEventSink(ring))
+	if err != nil {
+		panic(err)
+	}
+	for _, ev := range ring.Events() {
+		switch ev.Kind {
+		case progconv.EvStageStart, progconv.EvStageEnd:
+			fmt.Printf("%s %s\n", ev.Kind, ev.Stage)
+		default:
+			fmt.Printf("%s %s\n", ev.Kind, ev.Label)
+		}
+	}
+	// Output:
+	// stage-start analyze
+	// stage-end analyze
+	// stage-start convert
+	// rewrite m-find
+	// stage-end convert
+	// stage-start optimize
+	// stage-end optimize
+	// stage-start generate
+	// stage-end generate
+	// outcome auto
+}

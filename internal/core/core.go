@@ -19,6 +19,8 @@
 //
 //   - ErrCanceled (wrapping context.Canceled or DeadlineExceeded) when
 //     the context ends mid-batch;
+//   - ErrFailureBudget when the failure policy's tolerance is exhausted
+//     (under the default FailFast policy, on the first Failed program);
 //   - xform.ErrHazardUnresolved when the schema diff is not explained by
 //     the transformation catalogue (an Analyst must supply the plan);
 //   - xform.ErrNotInvertible is never raised by Run itself but flows
@@ -26,6 +28,18 @@
 //
 // Per-program conversion failures carry the program name in the message
 // and wrap the stage error via %w.
+//
+// # Resilience
+//
+// Stage execution is isolated and budgeted: panics become Failed
+// outcomes with the recovered value and stack preserved in the Audit,
+// per-stage and per-program deadlines (StageTimeout, ProgramTimeout)
+// bound runaway work, Analyst consultations are bounded by
+// AnalystTimeout, and errors marked with Transient are retried with
+// deterministic capped backoff. FailurePolicy decides whether a Failed
+// program aborts the batch (FailFast, the default), is tolerated up to
+// a budget (Budget), or merely degrades that program's outcome
+// (CollectErrors). See resilience.go.
 package core
 
 import (
@@ -35,11 +49,13 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"time"
 
 	"progconv/internal/analyzer"
 	"progconv/internal/convert"
 	"progconv/internal/dbprog"
 	"progconv/internal/equiv"
+	"progconv/internal/fault"
 	"progconv/internal/netstore"
 	"progconv/internal/obs"
 	"progconv/internal/optimizer"
@@ -101,6 +117,10 @@ const (
 	Qualified
 	// Manual: routed to hand conversion.
 	Manual
+	// Failed: the pipeline itself broke on this program — a stage
+	// panicked, exceeded its budget, or errored past its retry
+	// allowance. The Audit's Failure field holds the evidence.
+	Failed
 )
 
 // String implements fmt.Stringer; unknown values render as
@@ -113,6 +133,8 @@ func (d Disposition) String() string {
 		return "qualified"
 	case Manual:
 		return "manual"
+	case Failed:
+		return "failed"
 	}
 	return fmt.Sprintf("disposition(%d)", uint8(d))
 }
@@ -133,6 +155,8 @@ func (d *Disposition) UnmarshalText(text []byte) error {
 		*d = Qualified
 	case "manual":
 		*d = Manual
+	case "failed":
+		*d = Failed
 	default:
 		return fmt.Errorf("core: unknown disposition %q", text)
 	}
@@ -143,6 +167,10 @@ func (d *Disposition) UnmarshalText(text []byte) error {
 type Decision struct {
 	Issue    analyzer.Issue
 	Accepted bool
+	// TimedOut reports that the Analyst did not answer within
+	// AnalystTimeout; Accepted is then the strict-policy fallback
+	// (declined).
+	TimedOut bool
 }
 
 // Audit explains why an Outcome landed at its Disposition — the decision
@@ -158,6 +186,13 @@ type Audit struct {
 	PlanStep string
 	// Decisions are the Analyst consultations, in the order asked.
 	Decisions []Decision
+	// Failure is the evidence behind a Failed disposition (nil
+	// otherwise): the broken stage, the failure kind, and — for panics —
+	// the recovered value and stack.
+	Failure *Failure
+	// Retries are the transient-error retries taken while converting
+	// this program, in order; present on successful outcomes too.
+	Retries []Retry
 }
 
 // Outcome is one program's conversion record.
@@ -206,6 +241,19 @@ func (r *Report) Counts() (auto, qualified, manual int) {
 	return
 }
 
+// FailedCount returns how many programs landed at Failed — possible
+// only under the CollectErrors or Budget failure policies, which let a
+// run complete around broken programs.
+func (r *Report) FailedCount() int {
+	n := 0
+	for _, o := range r.Outcomes {
+		if o.Disposition == Failed {
+			n++
+		}
+	}
+	return n
+}
+
 // String renders the report for the terminal.
 func (r *Report) String() string {
 	var b strings.Builder
@@ -231,10 +279,25 @@ func (r *Report) String() string {
 		for _, op := range o.Optimizations {
 			fmt.Fprintf(&b, "    * %s: %s\n", op.Rule, op.Note)
 		}
+		// Failure and retry evidence renders from configured budgets and
+		// deterministic messages only (never stacks or wall-clock values),
+		// keeping the report byte-identical at any parallelism.
+		if f := o.Audit.Failure; f != nil {
+			fmt.Fprintf(&b, "    x %s\n", f.Error())
+		}
+		for _, rt := range o.Audit.Retries {
+			fmt.Fprintf(&b, "    ^ retry %d of %s after %s: %s\n",
+				rt.Attempt, rt.Stage, rt.Backoff, rt.Err)
+		}
 	}
 	auto, qualified, manual := r.Counts()
-	fmt.Fprintf(&b, "\n%d auto, %d qualified, %d manual of %d programs\n",
-		auto, qualified, manual, len(r.Outcomes))
+	if failed := r.FailedCount(); failed > 0 {
+		fmt.Fprintf(&b, "\n%d auto, %d qualified, %d manual, %d failed of %d programs\n",
+			auto, qualified, manual, failed, len(r.Outcomes))
+	} else {
+		fmt.Fprintf(&b, "\n%d auto, %d qualified, %d manual of %d programs\n",
+			auto, qualified, manual, len(r.Outcomes))
+	}
 	return b.String()
 }
 
@@ -258,6 +321,32 @@ type Supervisor struct {
 	// verdicts, and outcomes. Within one program the events arrive in
 	// pipeline order regardless of Parallelism.
 	Events obs.Sink
+
+	// ProgramTimeout bounds one program's whole analyze → verify chain;
+	// zero means unbounded. An expiry fails that program (Failed, with
+	// FailTimeout evidence), not the batch.
+	ProgramTimeout time.Duration
+	// StageTimeout bounds each pipeline stage attempt; zero means
+	// unbounded.
+	StageTimeout time.Duration
+	// AnalystTimeout bounds each Analyst.Decide call; zero means
+	// unbounded. An expiry degrades to the strict-policy fallback
+	// (declined) and is recorded as a timed-out Decision.
+	AnalystTimeout time.Duration
+	// Retries is how many times a stage attempt failing with a Transient
+	// error is retried (0 = no retries).
+	Retries int
+	// RetryBackoff is the base backoff before the first retry, doubled
+	// per attempt and capped; zero means the 50ms default. Backoff is
+	// deliberately jitter-free so audit trails stay deterministic.
+	RetryBackoff time.Duration
+	// Sleep, when non-nil, replaces the real clock for retry backoff —
+	// tests inject an instant sleeper so retry chains cost no wall time.
+	// It must respect ctx cancellation.
+	Sleep func(ctx context.Context, d time.Duration) error
+	// FailurePolicy decides what a Failed program does to the rest of
+	// the batch; the zero value is FailFast.
+	FailurePolicy FailurePolicy
 }
 
 // NewSupervisor returns a supervisor with the default strict policy.
@@ -287,7 +376,8 @@ type runState struct {
 	plan     *xform.Plan
 	srcDB    *netstore.DB
 	targetDB *netstore.DB
-	em       *obs.Emitter // nil when the run is unobserved
+	em       *obs.Emitter    // nil when the run is unobserved
+	inj      *fault.Injector // nil unless a chaos harness armed the context
 
 	analystMu sync.Mutex
 }
@@ -307,6 +397,11 @@ func (s *Supervisor) Run(ctx context.Context, src, dst *schema.Network, plan *xf
 		var err error
 		plan, err = xform.Classify(src, dst)
 		if err != nil {
+			if db != nil {
+				// The caller supplied a verification database; make clear
+				// that the failure struck before any data was touched.
+				return nil, fmt.Errorf("core: conversion analyzer: %w (the verify database was never migrated)", err)
+			}
 			return nil, fmt.Errorf("core: conversion analyzer: %w", err)
 		}
 	}
@@ -329,7 +424,7 @@ func (s *Supervisor) Run(ctx context.Context, src, dst *schema.Network, plan *xf
 
 	run := &runState{src: src, target: target, plan: plan,
 		srcDB: db, targetDB: report.TargetDB,
-		em: obs.NewEmitter(s.Events)}
+		em: obs.NewEmitter(s.Events), inj: fault.From(ctx)}
 	// The emitter travels by context into the deeper layers (analyzer,
 	// converter, equivalence checker); WithEmitter is the identity for a
 	// nil emitter, so unobserved runs pay nothing.
@@ -352,10 +447,24 @@ func (s *Supervisor) convertAll(ctx context.Context, run *runState,
 		return ctx.Err()
 	}
 	workers := s.workers(len(progs))
+	threshold := s.FailurePolicy.threshold()
 	if workers == 1 {
+		failures := 0
 		for i, p := range progs {
-			o, err := s.convertOne(ctx, run, p)
+			o, err := s.convertProgram(ctx, run, p)
 			if err != nil {
+				var f *Failure
+				if errors.As(err, &f) {
+					// The pipeline broke on this program alone: land it at
+					// Failed and let the policy decide the batch's fate.
+					s.failProgram(run, &o, f)
+					outcomes[i] = o
+					failures++
+					if threshold > 0 && failures >= threshold {
+						return &batchAbort{name: p.Name, f: f}
+					}
+					continue
+				}
 				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 					return canceledErr(context.Cause(ctx))
 				}
@@ -374,6 +483,8 @@ func (s *Supervisor) convertAll(ctx context.Context, run *runState,
 		failIdx  = -1
 		failErr  error
 		canceled bool
+		failures int
+		aborted  bool
 	)
 	fail := func(i int, err error) {
 		mu.Lock()
@@ -395,9 +506,25 @@ func (s *Supervisor) convertAll(ctx context.Context, run *runState,
 		go func() {
 			defer wg.Done()
 			for i := range idxs {
-				o, err := s.convertOne(runCtx, run, progs[i])
+				o, err := s.convertProgram(runCtx, run, progs[i])
 				if err != nil {
-					fail(i, err)
+					var f *Failure
+					if !errors.As(err, &f) {
+						fail(i, err)
+						continue
+					}
+					s.failProgram(run, &o, f)
+					outcomes[i] = o
+					mu.Lock()
+					failures++
+					crossed := threshold > 0 && failures >= threshold && !aborted
+					if crossed {
+						aborted = true
+					}
+					mu.Unlock()
+					if crossed {
+						fail(i, &batchAbort{name: progs[i].Name, f: f})
+					}
 					continue
 				}
 				outcomes[i] = o
@@ -431,26 +558,34 @@ feed:
 	return nil
 }
 
-// convertOne runs the Figure 4.1 pipeline for a single program,
-// recording one metrics span per stage.
+// convertOne runs the Figure 4.1 pipeline for a single program through
+// the resilient stage runner: each stage executes under a recover
+// barrier with fault injection, a per-stage budget, and transient-error
+// retries. It returns a *Failure (as error) when this program alone
+// should land at Failed, or the raw context error when the batch itself
+// is ending.
 func (s *Supervisor) convertOne(ctx context.Context, run *runState, p *dbprog.Program) (Outcome, error) {
 	o := Outcome{Name: p.Name}
 	if err := ctx.Err(); err != nil {
-		return o, fmt.Errorf("core: converting %s: %w", p.Name, err)
+		return o, s.classifyCtxErr(ctx, err)
 	}
 
 	em := run.em
-	em.StageStart(p.Name, obs.StageAnalyze)
-	span := s.Metrics.StartSpan(p.Name, obs.StageAnalyze)
-	abs := analyzer.Analyze(ctx, p, run.src)
-	em.StageEnd(p.Name, obs.StageAnalyze, span.End())
+	var abs *analyzer.Abstract
+	if err := s.stage(ctx, run, p.Name, obs.StageAnalyze, &o, func(ctx context.Context) error {
+		abs = analyzer.Analyze(ctx, p, run.src)
+		return nil
+	}); err != nil {
+		return o, err
+	}
 
-	em.StageStart(p.Name, obs.StageConvert)
-	span = s.Metrics.StartSpan(p.Name, obs.StageConvert)
-	res, err := convert.ConvertAnalyzed(ctx, abs, run.src, run.plan)
-	em.StageEnd(p.Name, obs.StageConvert, span.End())
-	if err != nil {
-		return o, fmt.Errorf("core: converting %s: %w", p.Name, err)
+	var res *convert.Result
+	if err := s.stage(ctx, run, p.Name, obs.StageConvert, &o, func(ctx context.Context) error {
+		var err error
+		res, err = convert.ConvertAnalyzed(ctx, abs, run.src, run.plan)
+		return err
+	}); err != nil {
+		return o, err
 	}
 	o.Issues = res.Issues
 	o.Notes = res.Notes
@@ -479,31 +614,37 @@ func (s *Supervisor) convertOne(ctx context.Context, run *runState, p *dbprog.Pr
 		o.Audit.Reason = "a blocking hazard stopped conversion"
 	}
 	if o.Converted != nil {
-		em.StageStart(p.Name, obs.StageOptimize)
-		span = s.Metrics.StartSpan(p.Name, obs.StageOptimize)
-		opt, applied := optimizer.Optimize(ctx, o.Converted, run.target)
-		em.StageEnd(p.Name, obs.StageOptimize, span.End())
-		o.Converted = opt
-		o.Optimizations = applied
+		if err := s.stage(ctx, run, p.Name, obs.StageOptimize, &o, func(ctx context.Context) error {
+			opt, applied := optimizer.Optimize(ctx, o.Converted, run.target)
+			o.Converted = opt
+			o.Optimizations = applied
+			return nil
+		}); err != nil {
+			return o, err
+		}
 
-		em.StageStart(p.Name, obs.StageGenerate)
-		span = s.Metrics.StartSpan(p.Name, obs.StageGenerate)
-		o.Generated = dbprog.Format(o.Converted)
-		em.StageEnd(p.Name, obs.StageGenerate, span.End())
+		if err := s.stage(ctx, run, p.Name, obs.StageGenerate, &o, func(ctx context.Context) error {
+			o.Generated = dbprog.Format(o.Converted)
+			return nil
+		}); err != nil {
+			return o, err
+		}
 	}
 	if s.Verify && run.srcDB != nil && o.Disposition == Auto && o.Converted != nil {
-		em.StageStart(p.Name, obs.StageVerify)
-		span = s.Metrics.StartSpan(p.Name, obs.StageVerify)
-		v := equiv.Check(ctx,
-			p, dbprog.Config{Net: run.srcDB.Clone()},
-			o.Converted, dbprog.Config{Net: run.targetDB.Clone()})
-		em.StageEnd(p.Name, obs.StageVerify, span.End())
-		o.Verified = &v
+		if err := s.stage(ctx, run, p.Name, obs.StageVerify, &o, func(ctx context.Context) error {
+			v := equiv.Check(ctx,
+				p, dbprog.Config{Net: run.srcDB.Clone()},
+				o.Converted, dbprog.Config{Net: run.targetDB.Clone()})
+			o.Verified = &v
+			return nil
+		}); err != nil {
+			return o, err
+		}
 	}
 	if err := ctx.Err(); err != nil {
 		// A stage may have returned early under cancellation; do not let
 		// its partial result stand as a real outcome.
-		return o, fmt.Errorf("core: converting %s: %w", p.Name, err)
+		return o, s.classifyCtxErr(ctx, err)
 	}
 	em.Outcome(p.Name, o.Disposition.String(), o.Audit.Reason)
 	return o, nil
@@ -512,6 +653,9 @@ func (s *Supervisor) convertOne(ctx context.Context, run *runState, p *dbprog.Pr
 // manualReason explains a Manual disposition for the audit trail.
 func manualReason(decisions []Decision, issues []analyzer.Issue) string {
 	for _, d := range decisions {
+		if d.TimedOut {
+			return fmt.Sprintf("the analyst consultation on the %s finding timed out", d.Issue.Kind)
+		}
 		if !d.Accepted {
 			return fmt.Sprintf("analyst declined the %s finding", d.Issue.Kind)
 		}
@@ -538,10 +682,11 @@ func (s *Supervisor) analystAccepts(run *runState, program string, issues []anal
 	for _, i := range issues {
 		switch i.Kind {
 		case analyzer.OrderDependence:
-			run.analystMu.Lock()
-			ok := s.Analyst.Decide(program, i)
-			run.analystMu.Unlock()
-			decisions = append(decisions, Decision{Issue: i, Accepted: ok})
+			ok, timedOut := s.decide(run, program, i)
+			decisions = append(decisions, Decision{Issue: i, Accepted: ok, TimedOut: timedOut})
+			if timedOut {
+				run.em.Timeout(program, "analyst", s.AnalystTimeout)
+			}
 			run.em.Decision(program, i.Kind.String(), i.Msg, ok)
 			if !ok {
 				return false, decisions

@@ -1,0 +1,272 @@
+// Package fault is a deterministic, seeded fault injector for
+// exercising the Conversion Supervisor's resilience layer: it decides,
+// from pure inputs, whether a given (program, stage, attempt) site
+// should panic, stall, or fail transiently.
+//
+// Determinism is the design constraint. A chaos run must produce a
+// byte-identical report at any parallelism, so an injector holds no
+// firing sequence state: whether a fault fires at a site depends only
+// on the rule set, the seed, and the (program, stage, attempt) triple —
+// never on the order in which workers happen to reach their sites. The
+// probabilistic gate hashes (seed, program, stage, attempt) instead of
+// drawing from a shared random stream for the same reason.
+//
+// An injector travels by context (With/From) so the supervisor's deep
+// layers need no plumbing; a nil injector is inert. Production runs
+// never carry one — the only writers are chaos tests and the
+// `progconv convert -inject` debug flag, whose spec grammar Parse
+// documents.
+package fault
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"path"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// injectorKey carries an *Injector through a context.
+type injectorKey struct{}
+
+// With returns a context carrying the injector; a nil injector returns
+// ctx unchanged.
+func With(ctx context.Context, in *Injector) context.Context {
+	if in == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, injectorKey{}, in)
+}
+
+// From extracts the context's injector; nil (inert) when absent.
+func From(ctx context.Context) *Injector {
+	in, _ := ctx.Value(injectorKey{}).(*Injector)
+	return in
+}
+
+// Kind classifies an injected fault.
+type Kind uint8
+
+// The fault kinds.
+const (
+	// Transient makes the stage fail with an error the supervisor
+	// classifies as retryable (core.ErrTransient).
+	Transient Kind = iota
+	// Panic makes the stage panic with a deterministic message.
+	Panic
+	// Delay stalls the stage for the rule's Delay (or until the stage's
+	// context ends), the lever for forcing budget timeouts.
+	Delay
+)
+
+var kindNames = [...]string{"transient", "panic", "delay"}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "fault(?)"
+}
+
+// Rule matches fault sites. The zero values of the predicate fields are
+// permissive: an empty Prog or Stage (or "*") matches everything.
+type Rule struct {
+	// Kind is the fault to inject.
+	Kind Kind
+	// Prog is a path.Match glob over program names ("P-00?", "P-0*").
+	Prog string
+	// Stage is the pipeline stage name ("analyze", "convert", …).
+	Stage string
+	// Count bounds firing to the first Count attempts at a site
+	// (0 means 1): Count 2 on a Transient rule fails attempts 0 and 1,
+	// so a supervisor with at least two retries recovers on attempt 2.
+	Count int
+	// Rate, when in (0, 1), gates firing on a seeded hash of the site so
+	// only that fraction of matching sites fault. 0 and ≥1 always fire.
+	Rate float64
+	// Delay is the stall duration for Delay rules.
+	Delay time.Duration
+}
+
+func (r Rule) matches(prog, stage string) bool {
+	if r.Prog != "" && r.Prog != "*" {
+		if ok, err := path.Match(r.Prog, prog); err != nil || !ok {
+			return false
+		}
+	}
+	return r.Stage == "" || r.Stage == "*" || r.Stage == stage
+}
+
+// Fault is one injection decision: what should happen at the site.
+type Fault struct {
+	Kind  Kind
+	Delay time.Duration
+	// Msg is the deterministic description carried into panics,
+	// transient errors, and audit trails.
+	Msg string
+}
+
+// Injector decides faults for sites. It is immutable after construction
+// and safe for concurrent use.
+type Injector struct {
+	seed  int64
+	rules []Rule
+}
+
+// New builds an injector from explicit rules. The seed only matters for
+// rules with a fractional Rate.
+func New(seed int64, rules ...Rule) *Injector {
+	return &Injector{seed: seed, rules: rules}
+}
+
+// At returns the fault to inject at a site, or nil. The first matching
+// rule wins. The decision is a pure function of the injector and the
+// (prog, stage, attempt) triple.
+func (in *Injector) At(prog, stage string, attempt int) *Fault {
+	if in == nil {
+		return nil
+	}
+	for i, r := range in.rules {
+		if !r.matches(prog, stage) {
+			continue
+		}
+		count := r.Count
+		if count <= 0 {
+			count = 1
+		}
+		if attempt >= count {
+			continue
+		}
+		if r.Rate > 0 && r.Rate < 1 && !in.gate(i, prog, stage, attempt, r.Rate) {
+			continue
+		}
+		return &Fault{
+			Kind:  r.Kind,
+			Delay: r.Delay,
+			Msg: fmt.Sprintf("injected %s at %s/%s attempt %d",
+				r.Kind, prog, stage, attempt),
+		}
+	}
+	return nil
+}
+
+// gate hashes the site with the seed and rule index into [0,1) and
+// fires when the hash falls under rate — per-site pseudo-randomness
+// with no shared stream, hence schedule-independent.
+func (in *Injector) gate(rule int, prog, stage string, attempt int, rate float64) bool {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%d|%s|%s|%d", in.seed, rule, prog, stage, attempt)
+	const span = 1 << 53 // exactly representable float64 range
+	return float64(h.Sum64()%span)/float64(span) < rate
+}
+
+// Parse builds an injector from the `-inject` flag grammar: a
+// comma-separated list of rules and at most one seed element.
+//
+//	spec := element (',' element)*
+//	element := 'seed=' int
+//	         | kind ['=' duration] '@' progGlob '/' stage [':' count] ['~' rate]
+//	kind := 'panic' | 'transient' | 'delay'
+//
+// Examples:
+//
+//	panic@P-007/convert
+//	delay=250ms@P-01*/analyze
+//	transient@*/generate:2
+//	seed=7,transient@*/analyze~0.05
+func Parse(spec string) (*Injector, error) {
+	var (
+		seed  int64
+		rules []Rule
+	)
+	for _, elem := range strings.Split(spec, ",") {
+		elem = strings.TrimSpace(elem)
+		if elem == "" {
+			continue
+		}
+		if v, ok := strings.CutPrefix(elem, "seed="); ok {
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: bad seed %q: %v", v, err)
+			}
+			seed = n
+			continue
+		}
+		r, err := parseRule(elem)
+		if err != nil {
+			return nil, err
+		}
+		rules = append(rules, r)
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("fault: spec %q has no rules", spec)
+	}
+	return New(seed, rules...), nil
+}
+
+func parseRule(elem string) (Rule, error) {
+	var r Rule
+	head, site, ok := strings.Cut(elem, "@")
+	if !ok {
+		return r, fmt.Errorf("fault: rule %q needs kind@prog/stage", elem)
+	}
+	kind, durText, hasDur := strings.Cut(head, "=")
+	switch kind {
+	case "transient":
+		r.Kind = Transient
+	case "panic":
+		r.Kind = Panic
+	case "delay":
+		r.Kind = Delay
+	default:
+		return r, fmt.Errorf("fault: unknown kind %q (want transient|panic|delay)", kind)
+	}
+	if hasDur {
+		if r.Kind != Delay {
+			return r, fmt.Errorf("fault: only delay rules take a duration, got %q", elem)
+		}
+		d, err := time.ParseDuration(durText)
+		if err != nil {
+			return r, fmt.Errorf("fault: bad duration in %q: %v", elem, err)
+		}
+		r.Delay = d
+	} else if r.Kind == Delay {
+		return r, fmt.Errorf("fault: delay rule %q needs delay=<duration>", elem)
+	}
+	if site, rateText, cut := strings.Cut(site, "~"); cut {
+		rate, err := strconv.ParseFloat(rateText, 64)
+		if err != nil || rate <= 0 || rate > 1 {
+			return r, fmt.Errorf("fault: bad rate in %q (want (0,1])", elem)
+		}
+		r.Rate = rate
+		return finishSite(r, site, elem)
+	}
+	return finishSite(r, site, elem)
+}
+
+func finishSite(r Rule, site, elem string) (Rule, error) {
+	if site, countText, cut := strings.Cut(site, ":"); cut {
+		n, err := strconv.Atoi(countText)
+		if err != nil || n < 1 {
+			return r, fmt.Errorf("fault: bad count in %q (want ≥1)", elem)
+		}
+		r.Count = n
+		return splitSite(r, site, elem)
+	}
+	return splitSite(r, site, elem)
+}
+
+func splitSite(r Rule, site, elem string) (Rule, error) {
+	prog, stage, ok := strings.Cut(site, "/")
+	if !ok {
+		return r, fmt.Errorf("fault: rule %q needs prog/stage after @", elem)
+	}
+	if _, err := path.Match(prog, "probe"); err != nil {
+		return r, fmt.Errorf("fault: bad program glob in %q: %v", elem, err)
+	}
+	r.Prog, r.Stage = prog, stage
+	return r, nil
+}

@@ -1,0 +1,120 @@
+package fault
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestAtExplicitRules(t *testing.T) {
+	in := New(0,
+		Rule{Kind: Panic, Prog: "P-007", Stage: "convert"},
+		Rule{Kind: Transient, Prog: "P-01?", Stage: "analyze", Count: 2},
+		Rule{Kind: Delay, Prog: "*", Stage: "verify", Delay: time.Second},
+	)
+	if f := in.At("P-007", "convert", 0); f == nil || f.Kind != Panic {
+		t.Errorf("P-007/convert = %+v, want panic", f)
+	}
+	if f := in.At("P-007", "analyze", 0); f != nil {
+		t.Errorf("P-007/analyze fired: %+v", f)
+	}
+	if f := in.At("P-007", "convert", 1); f != nil {
+		t.Errorf("count 1 rule fired on attempt 1: %+v", f)
+	}
+	for attempt, want := range []bool{true, true, false} {
+		got := in.At("P-013", "analyze", attempt) != nil
+		if got != want {
+			t.Errorf("P-013/analyze attempt %d fired = %v, want %v", attempt, got, want)
+		}
+	}
+	if f := in.At("ANYTHING", "verify", 0); f == nil || f.Kind != Delay || f.Delay != time.Second {
+		t.Errorf("*/verify = %+v, want 1s delay", f)
+	}
+}
+
+// TestAtDeterministic: the decision is a pure function of the site — the
+// property that keeps chaos reports byte-identical across parallelism.
+func TestAtDeterministic(t *testing.T) {
+	in := New(7, Rule{Kind: Transient, Prog: "*", Stage: "analyze", Rate: 0.3})
+	fired := map[string]bool{}
+	for _, prog := range []string{"P-000", "P-001", "P-002", "P-003", "P-004"} {
+		fired[prog] = in.At(prog, "analyze", 0) != nil
+	}
+	for round := 0; round < 3; round++ {
+		for prog, want := range fired {
+			if got := in.At(prog, "analyze", 0) != nil; got != want {
+				t.Fatalf("round %d: %s fired = %v, want %v (stateful injector)", round, prog, got, want)
+			}
+		}
+	}
+	// A different seed moves the gate for at least one site (sanity that
+	// the seed participates at all; 5 sites at rate 0.3 collide rarely).
+	other := New(8, Rule{Kind: Transient, Prog: "*", Stage: "analyze", Rate: 0.3})
+	same := true
+	for prog, want := range fired {
+		if (other.At(prog, "analyze", 0) != nil) != want {
+			same = false
+		}
+	}
+	_ = same // seeds may coincide; the determinism assertions above are the test
+}
+
+func TestRateGateHitsFraction(t *testing.T) {
+	in := New(3, Rule{Kind: Transient, Rate: 0.25})
+	hits := 0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		if in.At(progName(i), "analyze", 0) != nil {
+			hits++
+		}
+	}
+	if frac := float64(hits) / n; frac < 0.18 || frac > 0.32 {
+		t.Errorf("rate 0.25 fired %.3f of sites", frac)
+	}
+}
+
+func progName(i int) string {
+	const digits = "0123456789"
+	return "P-" + string([]byte{digits[i/1000%10], digits[i/100%10], digits[i/10%10], digits[i%10]})
+}
+
+func TestParse(t *testing.T) {
+	in, err := Parse("seed=7,panic@P-007/convert,delay=250ms@P-01*/analyze,transient@*/generate:2~0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.seed != 7 || len(in.rules) != 3 {
+		t.Fatalf("parsed %+v", in)
+	}
+	if r := in.rules[1]; r.Kind != Delay || r.Delay != 250*time.Millisecond || r.Prog != "P-01*" {
+		t.Errorf("delay rule = %+v", r)
+	}
+	if r := in.rules[2]; r.Kind != Transient || r.Count != 2 || r.Rate != 0.5 {
+		t.Errorf("transient rule = %+v", r)
+	}
+	for _, bad := range []string{
+		"", "panic", "panic@P-007", "sparkle@a/b", "delay@a/b",
+		"transient=5ms@a/b", "panic@a/b:0", "transient@a/b~2", "panic@[/analyze",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestContextCarriage(t *testing.T) {
+	ctx := context.Background()
+	if From(ctx) != nil {
+		t.Error("empty context yielded an injector")
+	}
+	if With(ctx, nil) != ctx {
+		t.Error("nil injector must not grow the context")
+	}
+	in := New(0, Rule{Kind: Panic})
+	if From(With(ctx, in)) != in {
+		t.Error("injector lost in transit")
+	}
+	if (*Injector)(nil).At("P", "analyze", 0) != nil {
+		t.Error("nil injector fired")
+	}
+}

@@ -18,6 +18,7 @@ package obs
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"sync"
 	"sync/atomic"
@@ -46,11 +47,20 @@ const (
 	// EvOutcome closes a program's trail; Label is the disposition,
 	// Detail the audit reason.
 	EvOutcome
+	// EvRetry is one transient-error retry of a stage; Label is the stage
+	// name, Detail the attempt, backoff, and error.
+	EvRetry
+	// EvPanic is one recovered worker panic; Label is the stage name (or
+	// "supervisor" outside a stage), Detail the panic value.
+	EvPanic
+	// EvTimeout is one expired budget; Label is the stage name,
+	// "program", or "analyst", Detail the budget.
+	EvTimeout
 )
 
 var eventKindNames = [...]string{
 	"stage-start", "stage-end", "hazard", "rewrite",
-	"decision", "verify", "outcome",
+	"decision", "verify", "outcome", "retry", "panic", "timeout",
 }
 
 // String implements fmt.Stringer.
@@ -159,6 +169,26 @@ func (e *Emitter) Verify(prog string, pass bool, detail string) {
 // Outcome closes one program's trail with its disposition and reason.
 func (e *Emitter) Outcome(prog, disposition, reason string) {
 	e.emit(Event{Prog: prog, Kind: EvOutcome, Label: disposition, Detail: reason})
+}
+
+// Retry records one transient-error retry of a stage: attempt is the
+// 1-based retry number, backoff the deterministic pause before it.
+func (e *Emitter) Retry(prog, stage string, attempt int, backoff time.Duration, errText string) {
+	e.emit(Event{Prog: prog, Kind: EvRetry, Label: stage,
+		Detail: fmt.Sprintf("retry %d after %s backoff: %s", attempt, backoff, errText)})
+}
+
+// Panic records one recovered worker panic; stage is "supervisor" for
+// panics outside any pipeline stage.
+func (e *Emitter) Panic(prog, stage, value string) {
+	e.emit(Event{Prog: prog, Kind: EvPanic, Label: stage, Detail: value})
+}
+
+// Timeout records one expired budget; scope is the stage name,
+// "program", or "analyst".
+func (e *Emitter) Timeout(prog, scope string, budget time.Duration) {
+	e.emit(Event{Prog: prog, Kind: EvTimeout, Label: scope,
+		Detail: fmt.Sprintf("exceeded %s budget", budget)})
 }
 
 // emitterKey carries an Emitter through a context into the deeper

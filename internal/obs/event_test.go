@@ -184,6 +184,7 @@ func TestEventKindString(t *testing.T) {
 		EvStageStart: "stage-start", EvStageEnd: "stage-end",
 		EvHazard: "hazard", EvRewrite: "rewrite", EvDecision: "decision",
 		EvVerify: "verify", EvOutcome: "outcome",
+		EvRetry: "retry", EvPanic: "panic", EvTimeout: "timeout",
 	} {
 		if got := k.String(); got != want {
 			t.Errorf("%d.String() = %q, want %q", k, got, want)

@@ -16,15 +16,17 @@ import (
 )
 
 // Tally is a Sink that folds the event stream into counters: programs
-// by disposition, hazard findings by kind, DML rewrites by verb, and
-// verification verdicts. It is the data source for the Prometheus
-// exporter and the expvar debug endpoint.
+// by disposition, hazard findings by kind, DML rewrites by verb,
+// verification verdicts, and resilience faults (retries, recovered
+// panics, expired budgets) by kind. It is the data source for the
+// Prometheus exporter and the expvar debug endpoint.
 type Tally struct {
 	mu           sync.Mutex
 	dispositions map[string]int64
 	hazards      map[string]int64
 	rewrites     map[string]int64
 	verdicts     map[string]int64
+	faults       map[string]int64
 }
 
 // NewTally returns an empty counter collector.
@@ -34,6 +36,7 @@ func NewTally() *Tally {
 		hazards:      map[string]int64{},
 		rewrites:     map[string]int64{},
 		verdicts:     map[string]int64{},
+		faults:       map[string]int64{},
 	}
 }
 
@@ -49,8 +52,22 @@ func (t *Tally) Emit(ev Event) {
 		t.rewrites[ev.Label]++
 	case EvVerify:
 		t.verdicts[ev.Label]++
+	case EvRetry, EvPanic, EvTimeout:
+		t.faults[ev.Kind.String()]++
 	}
 	t.mu.Unlock()
+}
+
+// Faults returns the resilience counters keyed by event kind ("retry",
+// "panic", "timeout") — the numbers chaos tests reconcile against the
+// injected fault plan.
+func (t *Tally) Faults() map[string]int64 {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return cloneCounts(t.faults)
 }
 
 // Snapshot flattens the counters into "family/label" keys — the shape
@@ -67,6 +84,7 @@ func (t *Tally) Snapshot() map[string]int64 {
 		{"hazards", t.hazards},
 		{"rewrites", t.rewrites},
 		{"verifications", t.verdicts},
+		{"faults", t.faults},
 	} {
 		for label, n := range f.m {
 			out[f.name+"/"+label] = n
@@ -96,18 +114,27 @@ func promFamily(w io.Writer, name, help, label string, m map[string]int64) error
 
 // WritePrometheus renders the tally — and, when m is non-nil, the
 // per-stage latency histograms — in Prometheus text exposition format.
+// A nil *Tally is valid: the counter families are skipped and only the
+// metrics sections (when m is non-nil) are written.
 func (t *Tally) WritePrometheus(w io.Writer, m *Metrics) error {
-	t.mu.Lock()
-	families := []struct {
+	var families []struct {
 		name, help, label string
 		m                 map[string]int64
-	}{
-		{"progconv_programs_total", "Programs by conversion disposition.", "disposition", cloneCounts(t.dispositions)},
-		{"progconv_hazards_total", "Hazard findings by kind.", "kind", cloneCounts(t.hazards)},
-		{"progconv_dml_rewrites_total", "DML statements rewritten by verb.", "verb", cloneCounts(t.rewrites)},
-		{"progconv_verifications_total", "Equivalence verdicts by result.", "result", cloneCounts(t.verdicts)},
 	}
-	t.mu.Unlock()
+	if t != nil {
+		t.mu.Lock()
+		families = []struct {
+			name, help, label string
+			m                 map[string]int64
+		}{
+			{"progconv_programs_total", "Programs by conversion disposition.", "disposition", cloneCounts(t.dispositions)},
+			{"progconv_hazards_total", "Hazard findings by kind.", "kind", cloneCounts(t.hazards)},
+			{"progconv_dml_rewrites_total", "DML statements rewritten by verb.", "verb", cloneCounts(t.rewrites)},
+			{"progconv_verifications_total", "Equivalence verdicts by result.", "result", cloneCounts(t.verdicts)},
+			{"progconv_faults_total", "Resilience faults by kind (retry, panic, timeout).", "kind", cloneCounts(t.faults)},
+		}
+		t.mu.Unlock()
+	}
 	for _, f := range families {
 		if err := promFamily(w, f.name, f.help, f.label, f.m); err != nil {
 			return err

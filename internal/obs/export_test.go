@@ -108,6 +108,74 @@ func TestWritePrometheusFormat(t *testing.T) {
 	}
 }
 
+// TestTallyFaultCounters: retry/panic/timeout events fold into the
+// faults family, surfaced by Faults(), Snapshot() and the Prometheus
+// exporter.
+func TestTallyFaultCounters(t *testing.T) {
+	tally := NewTally()
+	e := NewEmitter(tally)
+	e.Retry("A", "analyze", 1, 50*time.Millisecond, "transient: boom")
+	e.Retry("B", "generate", 1, 50*time.Millisecond, "transient: boom")
+	e.Panic("C", "convert", "injected")
+	e.Timeout("D", "analyze", 25*time.Millisecond)
+	e.Timeout("E", "program", time.Second)
+
+	faults := tally.Faults()
+	for kind, want := range map[string]int64{"retry": 2, "panic": 1, "timeout": 2} {
+		if faults[kind] != want {
+			t.Errorf("Faults()[%q] = %d, want %d", kind, faults[kind], want)
+		}
+	}
+	snap := tally.Snapshot()
+	if snap["faults/retry"] != 2 || snap["faults/panic"] != 1 || snap["faults/timeout"] != 2 {
+		t.Errorf("snapshot faults = %v", snap)
+	}
+	var buf bytes.Buffer
+	if err := tally.WritePrometheus(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`progconv_faults_total{kind="retry"} 2`,
+		`progconv_faults_total{kind="panic"} 1`,
+		`progconv_faults_total{kind="timeout"} 2`,
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, buf.String())
+		}
+	}
+	if (*Tally)(nil).Faults() != nil {
+		t.Error("nil tally returned counters")
+	}
+}
+
+// TestWritePrometheusNilTally: a nil *Tally writes only the metrics
+// sections instead of panicking — the facade's constructor-symmetry
+// guarantee.
+func TestWritePrometheusNilTally(t *testing.T) {
+	r := NewRecorder()
+	r.Observe("A", StageAnalyze, time.Now(), 3*time.Microsecond)
+	var buf bytes.Buffer
+	if err := (*Tally)(nil).WritePrometheus(&buf, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "progconv_programs_total") {
+		t.Error("nil tally rendered counter families")
+	}
+	for _, want := range []string{"progconv_stage_duration_seconds", "progconv_run_wall_seconds"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics-only output missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	if err := (*Tally)(nil).WritePrometheus(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("nil tally, nil metrics wrote %q", buf.String())
+	}
+}
+
 // TestWriteChromeTrace is the ISSUE's trace acceptance criterion: the
 // exporter's output parses as valid JSON, with one named thread per
 // program and one complete event per span.

@@ -14,16 +14,51 @@
 //     diff is not explained by the transformation catalogue — a
 //     Conversion Analyst must author the plan;
 //   - ErrNotInvertible from plan-inversion helpers (InversePlan) when a
-//     step loses information (Housel's restriction).
+//     step loses information (Housel's restriction);
+//   - ErrFailureBudget when the failure policy's tolerance is exhausted
+//     — under the default FailFast policy, on the first program whose
+//     pipeline broke (panic, expired budget, or retries-exhausted
+//     error).
 //
 // All other errors wrap the failing stage's error via %w with the
 // program name in the message.
+//
+// # Options
+//
+// Convert is configured by functional options:
+//
+//	WithAnalyst(a)         who answers qualified-conversion questions
+//	WithParallelism(n)     worker pool bound (0 = GOMAXPROCS)
+//	WithVerifyDB(db)       migrate db and verify automatic conversions
+//	WithMetrics()          time stages into Report.Metrics
+//	WithRecorder(r)        like WithMetrics, but into a caller-owned
+//	                       recorder (for WriteChromeTrace); when both
+//	                       are given the recorder wins and Metrics is
+//	                       snapshotted from it, so the two compose
+//	WithEventSink(s)       stream the structured event log to s
+//	WithProgramTimeout(d)  budget one program's whole pipeline
+//	WithStageTimeout(d)    budget each stage attempt
+//	WithAnalystTimeout(d)  budget each Analyst.Decide call
+//	WithRetries(n, base)   retry Transient stage errors
+//	WithFailurePolicy(p)   FailFast, CollectErrors, or Budget(n)
+//
+// # Resilience
+//
+// The supervisor isolates per-program faults: a panicking stage, an
+// expired budget, or an error outlasting its retry allowance becomes a
+// Failed outcome whose Audit.Failure records the evidence — under
+// CollectErrors (or within Budget(n)'s tolerance) the rest of the batch
+// still converts, and the Report stays byte-deterministic at any
+// parallelism. Custom pipeline extensions signal retryable errors by
+// wrapping them with Transient.
 package progconv
 
 import (
 	"context"
 	"io"
+	"time"
 
+	"progconv/internal/analyzer"
 	"progconv/internal/core"
 	"progconv/internal/dbprog"
 	"progconv/internal/netstore"
@@ -41,9 +76,21 @@ type (
 	Disposition = core.Disposition
 
 	// Analyst answers the questions automation cannot; Policy is the
-	// replayable non-interactive analyst.
-	Analyst = core.Analyst
-	Policy  = core.Policy
+	// replayable non-interactive analyst. Issue (with its IssueKind
+	// constants below) is the finding a Decide call is asked about, so
+	// custom analysts are implementable without internal/ imports.
+	Analyst   = core.Analyst
+	Policy    = core.Policy
+	Issue     = analyzer.Issue
+	IssueKind = analyzer.IssueKind
+
+	// The resilience surface: FailurePolicy decides what a Failed
+	// program does to the batch; Failure and Retry are the audit
+	// evidence behind Failed outcomes and transient-error retries.
+	FailurePolicy = core.FailurePolicy
+	Failure       = core.Failure
+	FailureKind   = core.FailureKind
+	Retry         = core.Retry
 
 	// Metrics is the per-stage timing summary embedded in a Report when
 	// the run was instrumented with WithMetrics; Recorder collects it and
@@ -80,7 +127,37 @@ const (
 	Auto      = core.Auto
 	Qualified = core.Qualified
 	Manual    = core.Manual
+	Failed    = core.Failed
 )
+
+// The issue kinds an Analyst may be consulted about (§3.2's
+// automation-defeating features).
+const (
+	RunTimeVariability   = analyzer.RunTimeVariability
+	OrderDependence      = analyzer.OrderDependence
+	ProcessFirst         = analyzer.ProcessFirst
+	StatusCodeDependence = analyzer.StatusCodeDependence
+)
+
+// The failure kinds recorded in Audit.Failure.
+const (
+	FailError   = core.FailError
+	FailPanic   = core.FailPanic
+	FailTimeout = core.FailTimeout
+)
+
+// The failure policies; Budget(n) builds the bounded-tolerance one.
+var (
+	FailFast      = core.FailFast
+	CollectErrors = core.CollectErrors
+)
+
+// Budget returns a failure policy tolerating up to n-1 Failed programs
+// and aborting the batch on the nth.
+func Budget(n int) FailurePolicy { return core.Budget(n) }
+
+// Transient marks a stage error as retryable; see WithRetries.
+func Transient(err error) error { return core.Transient(err) }
 
 // The event kinds.
 const (
@@ -91,6 +168,9 @@ const (
 	EvDecision   = obs.EvDecision
 	EvVerify     = obs.EvVerify
 	EvOutcome    = obs.EvOutcome
+	EvRetry      = obs.EvRetry
+	EvPanic      = obs.EvPanic
+	EvTimeout    = obs.EvTimeout
 )
 
 // The sentinel errors; see the package error contract.
@@ -98,16 +178,24 @@ var (
 	ErrCanceled         = core.ErrCanceled
 	ErrNotInvertible    = xform.ErrNotInvertible
 	ErrHazardUnresolved = xform.ErrHazardUnresolved
+	ErrFailureBudget    = core.ErrFailureBudget
+	ErrTransient        = core.ErrTransient
 )
 
 // options collects functional-option state for Convert.
 type options struct {
-	analyst     Analyst
-	parallelism int
-	metrics     bool
-	verifyDB    *Database
-	recorder    *Recorder
-	sink        Sink
+	analyst        Analyst
+	parallelism    int
+	metrics        bool
+	verifyDB       *Database
+	recorder       *Recorder
+	sink           Sink
+	programTimeout time.Duration
+	stageTimeout   time.Duration
+	analystTimeout time.Duration
+	retries        int
+	retryBackoff   time.Duration
+	failurePolicy  FailurePolicy
 }
 
 // Option configures one Convert run.
@@ -152,9 +240,48 @@ func WithEventSink(s Sink) Option {
 
 // WithRecorder instruments the run with a caller-owned span recorder —
 // like WithMetrics, but the recorder outlives the run so its per-program
-// traces can feed WriteChromeTrace or span-level analysis.
+// traces can feed WriteChromeTrace or span-level analysis. When both
+// WithRecorder and WithMetrics are given, the recorder wins and
+// Report.Metrics is snapshotted from it.
 func WithRecorder(r *Recorder) Option {
 	return func(o *options) { o.recorder = r }
+}
+
+// WithProgramTimeout budgets one program's whole analyze → verify
+// chain; an expiry fails that program (Failed, FailTimeout evidence in
+// its Audit), never the batch. Zero (the default) means unbounded.
+func WithProgramTimeout(d time.Duration) Option {
+	return func(o *options) { o.programTimeout = d }
+}
+
+// WithStageTimeout budgets each pipeline stage attempt. Zero (the
+// default) means unbounded.
+func WithStageTimeout(d time.Duration) Option {
+	return func(o *options) { o.stageTimeout = d }
+}
+
+// WithAnalystTimeout budgets each Analyst.Decide call. An unresponsive
+// analyst degrades to the strict-policy fallback: the consultation is
+// recorded as a declined, timed-out Decision and the program routes to
+// Manual. Zero (the default) means unbounded.
+func WithAnalystTimeout(d time.Duration) Option {
+	return func(o *options) { o.analystTimeout = d }
+}
+
+// WithRetries retries stage errors wrapped with Transient up to n
+// times, pausing with capped exponential backoff starting at base (0 =
+// the 50ms default). Backoff is deliberately jitter-free so audit
+// trails and reports stay deterministic.
+func WithRetries(n int, base time.Duration) Option {
+	return func(o *options) { o.retries, o.retryBackoff = n, base }
+}
+
+// WithFailurePolicy decides what a Failed program does to the rest of
+// the batch: FailFast (the default) aborts with ErrFailureBudget,
+// CollectErrors completes the run around broken programs, Budget(n)
+// tolerates n-1 failures.
+func WithFailurePolicy(p FailurePolicy) Option {
+	return func(o *options) { o.failurePolicy = p }
 }
 
 // Convert converts a database application system: it classifies the
@@ -181,6 +308,12 @@ func Convert(ctx context.Context, src, dst *Schema, plan *Plan,
 	}
 	sup.Metrics = rec
 	sup.Events = o.sink
+	sup.ProgramTimeout = o.programTimeout
+	sup.StageTimeout = o.stageTimeout
+	sup.AnalystTimeout = o.analystTimeout
+	sup.Retries = o.retries
+	sup.RetryBackoff = o.retryBackoff
+	sup.FailurePolicy = o.failurePolicy
 	return sup.Run(ctx, src, dst, plan, o.verifyDB, programs)
 }
 
@@ -213,7 +346,9 @@ func WriteChromeTrace(w io.Writer, r *Recorder) error {
 }
 
 // WritePrometheus renders a tally (and optionally a Report's Metrics)
-// in Prometheus text exposition format.
+// in Prometheus text exposition format. A nil tally is valid — only the
+// metrics sections are written — so runs instrumented with WithMetrics
+// alone export without constructing a Tally.
 func WritePrometheus(w io.Writer, t *Tally, m *Metrics) error {
 	return t.WritePrometheus(w, m)
 }
@@ -224,6 +359,10 @@ func ParseProgram(src string) (*Program, error) { return dbprog.Parse(src) }
 
 // FormatProgram renders a (converted) program back to source text.
 func FormatProgram(p *Program) string { return dbprog.Format(p) }
+
+// NewDatabase returns an empty network database instance over s, ready
+// to populate and hand to WithVerifyDB.
+func NewDatabase(s *Schema) *Database { return netstore.NewDB(s) }
 
 // ParseNetworkSchema parses Figure 4.3-style network DDL.
 func ParseNetworkSchema(src string) (*Schema, error) { return ddl.ParseNetwork(src) }
