@@ -1,0 +1,33 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"progconv/internal/fault"
+	"progconv/internal/schema"
+)
+
+func TestProbeParallelFailFastTimeout(t *testing.T) {
+	progs := chaosCorpus(t)
+	inj := fault.New(1,
+		fault.Rule{Kind: fault.Delay, Prog: progs[10].Name, Stage: "analyze", Delay: 10 * time.Second},
+	)
+	for _, par := range []int{1, 8} {
+		sup := &Supervisor{
+			Analyst:       Policy{},
+			Parallelism:   par,
+			StageTimeout:  100 * time.Millisecond,
+			FailurePolicy: FailFast,
+		}
+		ctx := fault.With(context.Background(), inj)
+		_, err := sup.Run(ctx, schema.CompanyV1(), nil, planFigure(), nil, progs)
+		t.Logf("parallelism=%d err=%v  Is(ErrFailureBudget)=%v  Is(ErrCanceled)=%v",
+			par, err, errors.Is(err, ErrFailureBudget), errors.Is(err, ErrCanceled))
+		if !errors.Is(err, ErrFailureBudget) {
+			t.Errorf("parallelism=%d: want ErrFailureBudget, got %v", par, err)
+		}
+	}
+}
