@@ -25,6 +25,7 @@ import (
 	"progconv/internal/mdml"
 	"progconv/internal/netstore"
 	"progconv/internal/optimizer"
+	"progconv/internal/plancache"
 	"progconv/internal/relstore"
 	"progconv/internal/schema"
 	"progconv/internal/semantic"
@@ -220,6 +221,45 @@ func BenchmarkCorpusConversion(b *testing.B) {
 		if _, err := sup.Run(context.Background(), src, nil, plan, nil, progs); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkCachedReconversion backs EXP-C5: re-converting the EXP-C1
+// corpus with a shared conversion cache, cold (fresh cache every
+// iteration) vs warm (cache primed once), across cache sizes.
+func BenchmarkCachedReconversion(b *testing.B) {
+	members, err := corpus.Programs(corpus.PeriodProfile(42))
+	if err != nil {
+		b.Fatal(err)
+	}
+	progs := make([]*dbprog.Program, len(members))
+	for i, m := range members {
+		progs[i] = m.Program
+	}
+	src := schema.CompanyV1()
+	plan := figurePlan()
+	run := func(b *testing.B, cache *plancache.Cache) {
+		sup := core.NewSupervisor()
+		sup.Verify = false
+		sup.Cache = cache
+		if _, err := sup.Run(context.Background(), src, nil, plan, nil, progs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, size := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("cold/pairs=%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				run(b, plancache.New(size))
+			}
+		})
+		b.Run(fmt.Sprintf("warm/pairs=%d", size), func(b *testing.B) {
+			cache := plancache.New(size)
+			run(b, cache) // prime
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				run(b, cache)
+			}
+		})
 	}
 }
 

@@ -4,7 +4,7 @@
 // resilience demonstration (EXP-R1). Run with no arguments for all
 // experiments, or name them:
 //
-//	exper [f3.1] [f4.1] [f4.3] [f4.4] [s4.1a] [s4.1b] [c1] [c2] [c3] [c4] [h1] [r1]
+//	exper [f3.1] [f4.1] [f4.3] [f4.4] [s4.1a] [s4.1b] [c1] [c2] [c3] [c4] [c5] [h1] [r1]
 package main
 
 import (
@@ -23,14 +23,15 @@ import (
 	"progconv/internal/corpus"
 	"progconv/internal/dbprog"
 	"progconv/internal/emulate"
-	"progconv/internal/fault"
 	"progconv/internal/equiv"
+	"progconv/internal/fault"
 	"progconv/internal/generator"
 	"progconv/internal/hierstore"
 	"progconv/internal/mdml"
 	"progconv/internal/netstore"
 	"progconv/internal/obs"
 	"progconv/internal/optimizer"
+	"progconv/internal/plancache"
 	"progconv/internal/relstore"
 	"progconv/internal/schema"
 	"progconv/internal/schema/ddl"
@@ -44,10 +45,10 @@ func main() {
 	all := map[string]func(){
 		"f3.1": expF31, "f4.1": expF41, "f4.3": expF43, "f4.4": expF44,
 		"s4.1a": expS41a, "s4.1b": expS41b,
-		"c1": expC1, "c2": expC2, "c3": expC3, "c4": expC4, "h1": expH1,
-		"r1": expR1,
+		"c1": expC1, "c2": expC2, "c3": expC3, "c4": expC4, "c5": expC5,
+		"h1": expH1, "r1": expR1,
 	}
-	order := []string{"f3.1", "f4.1", "f4.3", "f4.4", "s4.1a", "s4.1b", "c1", "c2", "c3", "c4", "h1", "r1"}
+	order := []string{"f3.1", "f4.1", "f4.3", "f4.4", "s4.1a", "s4.1b", "c1", "c2", "c3", "c4", "c5", "h1", "r1"}
 	args := os.Args[1:]
 	if len(args) == 0 {
 		args = order
@@ -697,6 +698,64 @@ func expC4() {
 	fmt.Printf("\n%d of %d catalogued transformations admit inverse data mappings;\n",
 		invertibleCount, len(catalog))
 	fmt.Println("bridge programs (and Housel-style substitution) are confined to those.")
+}
+
+// ---- EXP-C5 ----
+
+func expC5() {
+	banner("EXP-C5", "pair-scoped conversion cache: cold vs warm re-conversion across cache sizes")
+	members, err := corpus.Programs(corpus.PeriodProfile(42))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	progs := make([]*dbprog.Program, len(members))
+	for i, m := range members {
+		progs[i] = m.Program
+	}
+	// Three distinct schema pairs over the same source: a batch shop
+	// cycling through plan variants, the workload the pair cache exists
+	// for.
+	jobs := []core.Job{
+		{Src: schema.CompanyV1(), Plan: figurePlan(), Programs: progs},
+		{Src: schema.CompanyV1(), Plan: &xform.Plan{Steps: []xform.Transformation{
+			xform.RenameField{Record: "EMP", Old: "AGE", New: "YEARS"},
+		}}, Programs: progs},
+		{Src: schema.CompanyV1(), Plan: &xform.Plan{Steps: []xform.Transformation{
+			xform.RenameSet{Old: "DIV-EMP", New: "DIV-STAFF"},
+		}}, Programs: progs},
+	}
+	fmt.Printf("\ncorpus: %d programs × %d plan variants, two conversion rounds per cache\n",
+		len(progs), len(jobs))
+	fmt.Printf("\n%-10s %10s %10s %8s %8s %8s %8s\n",
+		"cache", "cold", "warm", "speedup", "hits", "misses", "evicted")
+	for _, size := range []int{1, 2, 8} {
+		cache := plancache.New(size)
+		round := func() time.Duration {
+			start := time.Now()
+			sup := core.NewSupervisor()
+			sup.Verify = false
+			sup.Cache = cache
+			if _, err := sup.RunJobs(context.Background(), jobs); err != nil {
+				panic(err)
+			}
+			return time.Since(start)
+		}
+		cold := round()
+		warm := round()
+		s := cache.Stats()
+		hits := s.PairHits + s.AnalysisHits + s.ConversionHits + s.CodegenHits
+		misses := s.PairMisses + s.AnalysisMisses + s.ConversionMisses + s.CodegenMisses
+		evicted := s.PairEvictions + s.AnalysisEvictions + s.ConversionEvictions + s.CodegenEvictions
+		fmt.Printf("%-10s %10s %10s %7.1fx %8d %8d %8d\n",
+			fmt.Sprintf("pairs=%d", size),
+			cold.Round(time.Microsecond), warm.Round(time.Microsecond),
+			float64(cold)/float64(warm), hits, misses, evicted)
+	}
+	fmt.Println("\n(cold = first round, every pair built and every program analyzed,")
+	fmt.Println(" converted and generated; warm = second round over the same cache.")
+	fmt.Println(" pairs=1 thrashes: three variants round-robin through one slot, so")
+	fmt.Println(" warm pair lookups still miss; pairs>=3 makes the warm round all hits.)")
 }
 
 // ---- EXP-H1 ----

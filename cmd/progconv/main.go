@@ -9,6 +9,7 @@
 //	                 [-trace f.json] [-metrics-out f.prom] [-debug-addr :6060]
 //	                 [-timeout d] [-stage-timeout d] [-analyst-timeout d]
 //	                 [-retries N] [-on-failure fail-fast|collect|budget:N]
+//	                 [-cache] [-cache-size N]
 //	                 [-inject spec] [-fail-on manual|qualified]
 //	                 <source.ddl> <target.ddl> <program.prog>...
 //	progconv run [-init <program.prog>] [-input line]... <schema.ddl> <program.prog>
@@ -89,6 +90,7 @@ func usage() {
                    [-trace f.json] [-metrics-out f.prom] [-debug-addr :6060]
                    [-timeout d] [-stage-timeout d] [-analyst-timeout d]
                    [-retries N] [-on-failure fail-fast|collect|budget:N]
+                   [-cache] [-cache-size N]
                    [-inject spec] [-fail-on manual|qualified]
                    <source.ddl> <target.ddl> <program.prog>...
   progconv run [-init <program.prog>] [-input line]... <schema.ddl> <program.prog>`)
@@ -238,6 +240,11 @@ func cmdConvert(args []string) error {
 	onFailure := fs.String("on-failure", "fail-fast",
 		"what a failed program does to the batch: fail-fast aborts,\n"+
 			"collect completes around failures (exit 4), budget:N tolerates N-1")
+	useCache := fs.Bool("cache", false,
+		"memoize pair-scoped artifacts and per-program results in a\n"+
+			"content-addressed conversion cache (repeated programs convert once)")
+	cacheSize := fs.Int("cache-size", 0,
+		"with -cache: retained pair contexts (0 = the default 64)")
 	inject := fs.String("inject", "",
 		"arm the deterministic fault injector (debugging/chaos drills);\n"+
 			"spec: [seed=S,]kind[=dur]@prog-glob/stage[:count][~rate],...\n"+
@@ -297,6 +304,11 @@ func cmdConvert(args []string) error {
 		progconv.WithRetries(*retries, 0),
 		progconv.WithFailurePolicy(policy),
 	}
+	var cache *progconv.Cache
+	if *useCache {
+		cache = progconv.NewCache(*cacheSize)
+		opts = append(opts, progconv.WithCache(cache))
+	}
 
 	// Event sinks: a streaming JSONL file and/or a counter tally feeding
 	// the Prometheus file and the live expvar endpoint.
@@ -348,6 +360,14 @@ func cmdConvert(args []string) error {
 	}
 	if *stats {
 		fmt.Printf("\n%s", report.Metrics)
+	}
+	if *stats && cache != nil {
+		s := cache.Stats()
+		fmt.Printf("\ncache: %d pairs, %d memos\n", s.Pairs, s.Memos)
+		fmt.Printf("  pair       %d hits / %d misses / %d evictions\n", s.PairHits, s.PairMisses, s.PairEvictions)
+		fmt.Printf("  analysis   %d hits / %d misses / %d evictions\n", s.AnalysisHits, s.AnalysisMisses, s.AnalysisEvictions)
+		fmt.Printf("  conversion %d hits / %d misses / %d evictions\n", s.ConversionHits, s.ConversionMisses, s.ConversionEvictions)
+		fmt.Printf("  codegen    %d hits / %d misses / %d evictions\n", s.CodegenHits, s.CodegenMisses, s.CodegenEvictions)
 	}
 	if jsonl != nil {
 		if err := jsonl.Err(); err != nil {

@@ -41,6 +41,19 @@ type Result struct {
 	// converter-raised findings ("" when none was attributable) — the
 	// audit trail's answer to "which restructuring caused this".
 	PlanStep string
+	// Trail is the converter's event stream — the hazards it raised and
+	// the DML rewrites it performed, in statement order. A supervisor
+	// serving this Result from a cache replays the trail so the observed
+	// per-program event sequence matches a cold conversion.
+	Trail []TrailEntry
+}
+
+// TrailEntry is one replayable converter event.
+type TrailEntry struct {
+	// Rewrite distinguishes a DML rewrite from a converter-raised hazard.
+	Rewrite bool
+	Label   string // hazard kind, or rewrite verb
+	Detail  string // hazard message, or rewrite detail
 }
 
 // Convert rewrites a program for a transformation plan over its source
@@ -58,13 +71,22 @@ func Convert(ctx context.Context, p *dbprog.Program, src *schema.Network, plan *
 // stages do not pay for the analysis twice. abs must come from
 // analyzer.Analyze over the same program and schema.
 func ConvertAnalyzed(ctx context.Context, abs *analyzer.Abstract, src *schema.Network, plan *xform.Plan) (*Result, error) {
-	p := abs.Prog
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("convert: %s: %w", p.Name, err)
-	}
 	rewriters, err := plan.Rewriters(src)
 	if err != nil {
 		return nil, err
+	}
+	return ConvertPrepared(ctx, abs, src, rewriters)
+}
+
+// ConvertPrepared converts with the plan's rewrite rules already
+// composed. Composing rewriters is pair-scoped work — it depends only on
+// (plan, source schema) — so the supervisor's pair context computes it
+// once per schema pair instead of once per program; rewriters must come
+// from plan.Rewriters over the same source schema.
+func ConvertPrepared(ctx context.Context, abs *analyzer.Abstract, src *schema.Network, rewriters []*xform.Rewriter) (*Result, error) {
+	p := abs.Prog
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("convert: %s: %w", p.Name, err)
 	}
 	res := &Result{Auto: true}
 	for _, r := range rewriters {
@@ -115,6 +137,7 @@ func (c *converter) flag(kind analyzer.IssueKind, format string, args ...any) {
 	msg := fmt.Sprintf(format, args...)
 	c.failed = true
 	c.res.Issues = append(c.res.Issues, analyzer.Issue{Kind: kind, Msg: msg})
+	c.res.Trail = append(c.res.Trail, TrailEntry{Label: kind.String(), Detail: msg})
 	c.em.Hazard(c.prog, kind.String(), msg)
 }
 
@@ -130,6 +153,7 @@ func (c *converter) flagAt(step string, kind analyzer.IssueKind, format string, 
 
 // rewrote logs one DML statement mapped to the target schema.
 func (c *converter) rewrote(verb, detail string) {
+	c.res.Trail = append(c.res.Trail, TrailEntry{Rewrite: true, Label: verb, Detail: detail})
 	c.em.Rewrite(c.prog, verb, detail)
 }
 

@@ -56,9 +56,11 @@ import (
 	"progconv/internal/dbprog"
 	"progconv/internal/equiv"
 	"progconv/internal/fault"
+	"progconv/internal/fingerprint"
 	"progconv/internal/netstore"
 	"progconv/internal/obs"
 	"progconv/internal/optimizer"
+	"progconv/internal/plancache"
 	"progconv/internal/schema"
 	"progconv/internal/xform"
 )
@@ -179,6 +181,11 @@ type Decision struct {
 type Audit struct {
 	// Reason is the one-line explanation of the disposition.
 	Reason string
+	// Pair is the content fingerprint of the schema pair (source schema
+	// plus plan) whose artifacts converted this program, so the trail
+	// identifies which cached plan produced a rewrite even when the pair
+	// context came from a shared cache.
+	Pair string
 	// Hazards lists the issue kinds found, in report order.
 	Hazards []string
 	// PlanStep is the catalogue name of the plan step implicated by
@@ -347,6 +354,12 @@ type Supervisor struct {
 	// FailurePolicy decides what a Failed program does to the rest of
 	// the batch; the zero value is FailFast.
 	FailurePolicy FailurePolicy
+
+	// Cache, when non-nil, memoizes the pair-scoped artifacts (classified
+	// plan, target schema, rewrite rules, access-path graph, cost tables)
+	// and per-program analysis/conversion results across runs. One cache
+	// is safe to share between concurrent supervisors; see plancache.
+	Cache *plancache.Cache
 }
 
 // NewSupervisor returns a supervisor with the default strict policy.
@@ -368,18 +381,48 @@ func (s *Supervisor) workers(n int) int {
 	return w
 }
 
-// runState is the read-only context a conversion run shares across
-// workers, plus the one serialization point (the Analyst).
+// runState is the read-only context one job shares across workers, plus
+// the batch-wide serialization point (the Analyst). In a multi-pair
+// batch each job gets its own runState but all share one analyst mutex
+// and one emitter.
 type runState struct {
-	src      *schema.Network
-	target   *schema.Network
-	plan     *xform.Plan
+	pair     *PairContext
 	srcDB    *netstore.DB
 	targetDB *netstore.DB
 	em       *obs.Emitter    // nil when the run is unobserved
 	inj      *fault.Injector // nil unless a chaos harness armed the context
 
-	analystMu sync.Mutex
+	analystMu *sync.Mutex
+}
+
+// PairContext is the immutable pair-scoped layer of the pipeline:
+// every artifact derived from (source schema, plan) alone, computed
+// once per pair — and, through a Cache, shared across runs. Workers
+// only read it.
+type PairContext = plancache.Pair
+
+// PreparePair assembles the pair context for one schema pair, serving
+// it from the supervisor's Cache when one is installed (building and
+// memoizing on miss) and building it cold otherwise.
+func (s *Supervisor) PreparePair(ctx context.Context, src, dst *schema.Network, plan *xform.Plan) (*PairContext, error) {
+	if s.Cache != nil {
+		return s.Cache.Pair(ctx, src, dst, plan)
+	}
+	return plancache.BuildPair(src, dst, plan)
+}
+
+// Job is one schema pair's conversion workload within a RunJobs batch.
+type Job struct {
+	// Src is the source schema and Dst the target; Dst may be nil when
+	// an explicit Plan is given.
+	Src, Dst *schema.Network
+	// Plan, when non-nil, overrides classification of the schema diff.
+	Plan *xform.Plan
+	// DB, when non-nil, is migrated through the plan and used to verify
+	// automatic conversions.
+	DB *netstore.DB
+	// Programs is the pair's program inventory.
+	Programs []*dbprog.Program
 }
 
 // Run converts a database application system: it classifies the schema
@@ -390,91 +433,101 @@ type runState struct {
 // worker pool; ctx cancels the batch (Run then fails with ErrCanceled).
 func (s *Supervisor) Run(ctx context.Context, src, dst *schema.Network, plan *xform.Plan,
 	db *netstore.DB, progs []*dbprog.Program) (*Report, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, canceledErr(context.Cause(ctx))
-	}
-	if plan == nil {
-		var err error
-		plan, err = xform.Classify(src, dst)
-		if err != nil {
-			if db != nil {
-				// The caller supplied a verification database; make clear
-				// that the failure struck before any data was touched.
-				return nil, fmt.Errorf("core: conversion analyzer: %w (the verify database was never migrated)", err)
-			}
-			return nil, fmt.Errorf("core: conversion analyzer: %w", err)
-		}
-	}
-	target, err := plan.ApplySchema(src)
+	reports, err := s.RunJobs(ctx, []Job{{Src: src, Dst: dst, Plan: plan, DB: db, Programs: progs}})
 	if err != nil {
 		return nil, err
 	}
-	report := &Report{
-		PlanDescription: plan.Describe(),
-		Invertible:      plan.Invertible(),
-		TargetSchema:    target,
-	}
-	if db != nil {
-		migrated, err := plan.MigrateData(db)
-		if err != nil {
-			return nil, fmt.Errorf("core: data translation: %w", err)
-		}
-		report.TargetDB = migrated
-	}
-
-	run := &runState{src: src, target: target, plan: plan,
-		srcDB: db, targetDB: report.TargetDB,
-		em: obs.NewEmitter(s.Events), inj: fault.From(ctx)}
-	// The emitter travels by context into the deeper layers (analyzer,
-	// converter, equivalence checker); WithEmitter is the identity for a
-	// nil emitter, so unobserved runs pay nothing.
-	ctx = obs.WithEmitter(ctx, run.em)
-	outcomes := make([]Outcome, len(progs))
-	if err := s.convertAll(ctx, run, progs, outcomes); err != nil {
-		return nil, err
-	}
-	report.Outcomes = outcomes
+	report := reports[0]
 	report.Metrics = s.Metrics.Snapshot()
 	return report, nil
 }
 
-// convertAll fans the inventory out over the worker pool, writing each
-// program's outcome at its submission index so the report order never
-// depends on scheduling.
-func (s *Supervisor) convertAll(ctx context.Context, run *runState,
-	progs []*dbprog.Program, outcomes []Outcome) error {
-	if len(progs) == 0 {
+// RunJobs converts the program inventories of many schema pairs in one
+// batch: each job's pair context is prepared (or served from the
+// Cache) and its data migrated up front, then every program from every
+// job is interleaved on one shared worker pool. Sub-reports are
+// assembled at submission order — reports[i] belongs to jobs[i] and is
+// byte-identical at any parallelism. The failure-policy budget and the
+// analyst serialization span the whole batch. Job reports carry no
+// Metrics snapshot; a caller-held Recorder aggregates across the batch
+// (Run, the single-job form, attaches the snapshot itself).
+func (s *Supervisor) RunJobs(ctx context.Context, jobs []Job) ([]*Report, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, canceledErr(context.Cause(ctx))
+	}
+	em := obs.NewEmitter(s.Events)
+	// The emitter travels by context into the deeper layers (analyzer,
+	// converter, equivalence checker, cache); WithEmitter is the identity
+	// for a nil emitter, so unobserved runs pay nothing.
+	ctx = obs.WithEmitter(ctx, em)
+	inj := fault.From(ctx)
+	analystMu := &sync.Mutex{}
+
+	reports := make([]*Report, len(jobs))
+	var items []workItem
+	for ji := range jobs {
+		j := &jobs[ji]
+		pair, err := s.PreparePair(ctx, j.Src, j.Dst, j.Plan)
+		if err != nil {
+			var be *plancache.BuildError
+			if errors.As(err, &be) && be.Phase == plancache.PhaseClassify {
+				if j.DB != nil {
+					// The caller supplied a verification database; make clear
+					// that the failure struck before any data was touched.
+					return nil, fmt.Errorf("core: conversion analyzer: %w (the verify database was never migrated)", be.Err)
+				}
+				return nil, fmt.Errorf("core: conversion analyzer: %w", be.Err)
+			}
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return nil, canceledErr(context.Cause(ctx))
+			}
+			return nil, err
+		}
+		report := &Report{
+			PlanDescription: pair.Description,
+			Invertible:      pair.Invertible,
+			TargetSchema:    pair.Target,
+		}
+		if j.DB != nil {
+			migrated, err := pair.Plan.MigrateData(j.DB)
+			if err != nil {
+				return nil, fmt.Errorf("core: data translation: %w", err)
+			}
+			report.TargetDB = migrated
+		}
+		run := &runState{pair: pair, srcDB: j.DB, targetDB: report.TargetDB,
+			em: em, inj: inj, analystMu: analystMu}
+		report.Outcomes = make([]Outcome, len(j.Programs))
+		for pi, p := range j.Programs {
+			items = append(items, workItem{run: run, prog: p, out: &report.Outcomes[pi]})
+		}
+		reports[ji] = report
+	}
+	if err := s.convertItems(ctx, items); err != nil {
+		return nil, err
+	}
+	return reports, nil
+}
+
+// workItem is one program's slot in a batch: the pair-scoped state it
+// reads and the outcome cell it writes. Cells are pre-allocated at
+// submission order, so scheduling can never move a result.
+type workItem struct {
+	run  *runState
+	prog *dbprog.Program
+	out  *Outcome
+}
+
+// convertItems drains the batch over the worker pool, writing each
+// program's outcome into its submission-order cell. Serial and parallel
+// runs share this one code path — a serial run is simply a pool of one
+// worker — so failure-policy accounting cannot drift between them.
+func (s *Supervisor) convertItems(ctx context.Context, items []workItem) error {
+	if len(items) == 0 {
 		return ctx.Err()
 	}
-	workers := s.workers(len(progs))
+	workers := s.workers(len(items))
 	threshold := s.FailurePolicy.threshold()
-	if workers == 1 {
-		failures := 0
-		for i, p := range progs {
-			o, err := s.convertProgram(ctx, run, p)
-			if err != nil {
-				var f *Failure
-				if errors.As(err, &f) {
-					// The pipeline broke on this program alone: land it at
-					// Failed and let the policy decide the batch's fate.
-					s.failProgram(run, &o, f)
-					outcomes[i] = o
-					failures++
-					if threshold > 0 && failures >= threshold {
-						return &batchAbort{name: p.Name, f: f}
-					}
-					continue
-				}
-				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-					return canceledErr(context.Cause(ctx))
-				}
-				return err
-			}
-			outcomes[i] = o
-		}
-		return nil
-	}
-
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	var (
@@ -488,11 +541,17 @@ func (s *Supervisor) convertAll(ctx context.Context, run *runState,
 	)
 	fail := func(i int, err error) {
 		mu.Lock()
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		var abort *batchAbort
+		switch {
+		case !errors.As(err, &abort) &&
+			(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)):
 			// A worker observing the pool shutting down is not the root
-			// cause; remember only that cancellation happened.
+			// cause; remember only that cancellation happened. A batch
+			// abort is never reclassified this way — the failure that
+			// exhausted the budget may itself carry a timeout's context
+			// error, and it must still surface as ErrFailureBudget.
 			canceled = true
-		} else if failIdx < 0 || i < failIdx {
+		case failIdx < 0 || i < failIdx:
 			// The lowest submission index with a genuine failure wins, so
 			// the reported error matches what a serial run would surface.
 			failIdx, failErr = i, err
@@ -506,15 +565,18 @@ func (s *Supervisor) convertAll(ctx context.Context, run *runState,
 		go func() {
 			defer wg.Done()
 			for i := range idxs {
-				o, err := s.convertProgram(runCtx, run, progs[i])
+				it := items[i]
+				o, err := s.convertProgram(runCtx, it.run, it.prog)
 				if err != nil {
 					var f *Failure
 					if !errors.As(err, &f) {
 						fail(i, err)
 						continue
 					}
-					s.failProgram(run, &o, f)
-					outcomes[i] = o
+					// The pipeline broke on this program alone: land it at
+					// Failed and let the policy decide the batch's fate.
+					s.failProgram(it.run, &o, f)
+					*it.out = o
 					mu.Lock()
 					failures++
 					crossed := threshold > 0 && failures >= threshold && !aborted
@@ -523,16 +585,16 @@ func (s *Supervisor) convertAll(ctx context.Context, run *runState,
 					}
 					mu.Unlock()
 					if crossed {
-						fail(i, &batchAbort{name: progs[i].Name, f: f})
+						fail(i, &batchAbort{name: it.prog.Name, f: f})
 					}
 					continue
 				}
-				outcomes[i] = o
+				*it.out = o
 			}
 		}()
 	}
 feed:
-	for i := range progs {
+	for i := range items {
 		select {
 		case idxs <- i:
 		case <-runCtx.Done():
@@ -566,14 +628,26 @@ feed:
 // is ending.
 func (s *Supervisor) convertOne(ctx context.Context, run *runState, p *dbprog.Program) (Outcome, error) {
 	o := Outcome{Name: p.Name}
+	o.Audit.Pair = string(run.pair.Key)
 	if err := ctx.Err(); err != nil {
 		return o, s.classifyCtxErr(ctx, err)
+	}
+
+	// The program's content hash keys every program-scoped memo; compute
+	// it once, only when a cache is installed.
+	var ph fingerprint.Hash
+	if s.Cache != nil {
+		ph = fingerprint.Program(p)
 	}
 
 	em := run.em
 	var abs *analyzer.Abstract
 	if err := s.stage(ctx, run, p.Name, obs.StageAnalyze, &o, func(ctx context.Context) error {
-		abs = analyzer.Analyze(ctx, p, run.src)
+		if s.Cache != nil {
+			abs = s.Cache.Analyze(ctx, ph, p, run.pair)
+			return nil
+		}
+		abs = analyzer.Analyze(ctx, p, run.pair.Src)
 		return nil
 	}); err != nil {
 		return o, err
@@ -582,7 +656,11 @@ func (s *Supervisor) convertOne(ctx context.Context, run *runState, p *dbprog.Pr
 	var res *convert.Result
 	if err := s.stage(ctx, run, p.Name, obs.StageConvert, &o, func(ctx context.Context) error {
 		var err error
-		res, err = convert.ConvertAnalyzed(ctx, abs, run.src, run.plan)
+		if s.Cache != nil {
+			res, err = s.Cache.Convert(ctx, ph, abs, run.pair)
+			return err
+		}
+		res, err = convert.ConvertPrepared(ctx, abs, run.pair.Src, run.pair.Rewriters)
 		return err
 	}); err != nil {
 		return o, err
@@ -614,8 +692,18 @@ func (s *Supervisor) convertOne(ctx context.Context, run *runState, p *dbprog.Pr
 		o.Audit.Reason = "a blocking hazard stopped conversion"
 	}
 	if o.Converted != nil {
+		var generated string
 		if err := s.stage(ctx, run, p.Name, obs.StageOptimize, &o, func(ctx context.Context) error {
-			opt, applied := optimizer.Optimize(ctx, o.Converted, run.target)
+			if s.Cache != nil {
+				// One memo covers optimize and generate; the rendering is
+				// kept aside for the generate stage.
+				opt, applied, gen := s.Cache.Codegen(ctx, ph, p.Name, o.Converted, run.pair)
+				o.Converted = opt
+				o.Optimizations = applied
+				generated = gen
+				return nil
+			}
+			opt, applied := optimizer.OptimizeWith(ctx, o.Converted, run.pair.Target, run.pair.Cost)
 			o.Converted = opt
 			o.Optimizations = applied
 			return nil
@@ -624,6 +712,10 @@ func (s *Supervisor) convertOne(ctx context.Context, run *runState, p *dbprog.Pr
 		}
 
 		if err := s.stage(ctx, run, p.Name, obs.StageGenerate, &o, func(ctx context.Context) error {
+			if generated != "" {
+				o.Generated = generated
+				return nil
+			}
 			o.Generated = dbprog.Format(o.Converted)
 			return nil
 		}); err != nil {

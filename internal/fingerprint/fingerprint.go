@@ -1,0 +1,89 @@
+// Package fingerprint computes canonical content hashes for the
+// conversion pipeline's cacheable inputs: schemas, transformation
+// plans, and programs. A hash identifies content, not identity — two
+// structurally identical schemas parsed from different sources share a
+// fingerprint — which is what lets the pair-scoped conversion cache
+// (internal/plancache) be shared safely across runs, supervisors, and
+// processes that happen to reload the same inputs.
+//
+// Every hash is SHA-256 over a domain-separated, length-prefixed
+// serialization, so hashes of different kinds (or of concatenated
+// parts) can never collide by construction. The serializations are the
+// repository's existing canonical renderings: Figure 4.3 DDL for
+// schemas, the plan's Describe listing, and the Program Generator's
+// source text for programs.
+package fingerprint
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"io"
+
+	"progconv/internal/dbprog"
+	"progconv/internal/schema"
+	"progconv/internal/xform"
+)
+
+// Hash is a lowercase-hex SHA-256 digest of a canonical serialization.
+type Hash string
+
+// Short returns the leading 12 hex digits — the display form used in
+// audit trails and cache events, long enough to be unambiguous in any
+// realistic cache and short enough to read.
+func (h Hash) Short() string {
+	if len(h) <= 12 {
+		return string(h)
+	}
+	return string(h[:12])
+}
+
+// sum hashes domain-separated, length-prefixed parts.
+func sum(domain string, parts ...string) Hash {
+	d := sha256.New()
+	io.WriteString(d, domain)
+	var n [8]byte
+	for _, p := range parts {
+		binary.BigEndian.PutUint64(n[:], uint64(len(p)))
+		d.Write(n[:])
+		io.WriteString(d, p)
+	}
+	return Hash(hex.EncodeToString(d.Sum(nil)))
+}
+
+// Schema fingerprints a network schema via its canonical DDL rendering.
+// A nil schema has the (stable) empty fingerprint domain.
+func Schema(n *schema.Network) Hash {
+	if n == nil {
+		return sum("schema")
+	}
+	return sum("schema", n.DDL())
+}
+
+// Plan fingerprints a transformation plan via its Describe listing,
+// which names every step and its parameters in order. A nil plan has a
+// stable empty fingerprint.
+func Plan(p *xform.Plan) Hash {
+	if p == nil {
+		return sum("plan")
+	}
+	return sum("plan", p.Describe())
+}
+
+// Program fingerprints a parsed program via the Program Generator's
+// canonical source rendering (name, dialect, and statements).
+func Program(p *dbprog.Program) Hash {
+	return sum("program", dbprog.Format(p))
+}
+
+// PairKey identifies one conversion pair — the unit the pair-scoped
+// cache is keyed on. With an explicit plan the pair is (source schema,
+// plan) and dst contributes nothing (it may be nil); with a nil plan
+// the pair is (source schema, target schema), since classification is
+// a pure function of the two.
+func PairKey(src, dst *schema.Network, plan *xform.Plan) Hash {
+	if plan != nil {
+		return sum("pair", string(Schema(src)), "plan", string(Plan(plan)))
+	}
+	return sum("pair", string(Schema(src)), "schema", string(Schema(dst)))
+}

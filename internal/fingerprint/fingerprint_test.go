@@ -1,0 +1,87 @@
+package fingerprint
+
+import (
+	"strings"
+	"testing"
+
+	"progconv/internal/dbprog"
+	"progconv/internal/schema"
+	"progconv/internal/xform"
+)
+
+func TestSchemaHashIsContentAddressed(t *testing.T) {
+	a, b := Schema(schema.CompanyV1()), Schema(schema.CompanyV1())
+	if a != b {
+		t.Errorf("two fresh CompanyV1 values hash differently: %s vs %s", a, b)
+	}
+	if Schema(schema.CompanyV1()) == Schema(schema.CompanyV2()) {
+		t.Error("CompanyV1 and CompanyV2 share a fingerprint")
+	}
+	mutated := schema.CompanyV1()
+	mutated.Records[1].Fields[2].Name = "YEARS"
+	if Schema(schema.CompanyV1()) == Schema(mutated) {
+		t.Error("field rename did not change the schema fingerprint")
+	}
+	if Schema(nil) == Schema(schema.CompanyV1()) {
+		t.Error("nil schema collides with a real one")
+	}
+}
+
+func TestProgramAndPlanHashes(t *testing.T) {
+	p1, err := dbprog.Parse("PROGRAM A DIALECT NETWORK. PRINT 'X'. END PROGRAM.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := dbprog.Parse("PROGRAM A DIALECT NETWORK. PRINT 'X'. END PROGRAM.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Program(p1) != Program(p2) {
+		t.Error("identical program text hashes differently")
+	}
+	p3, err := dbprog.Parse("PROGRAM A DIALECT NETWORK. PRINT 'Y'. END PROGRAM.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Program(p1) == Program(p3) {
+		t.Error("distinct program text shares a fingerprint")
+	}
+
+	plan := &xform.Plan{Steps: []xform.Transformation{
+		xform.RenameField{Record: "EMP", Old: "AGE", New: "YEARS"},
+	}}
+	other := &xform.Plan{Steps: []xform.Transformation{
+		xform.RenameField{Record: "EMP", Old: "AGE", New: "Y"},
+	}}
+	if Plan(plan) == Plan(other) {
+		t.Error("distinct plans share a fingerprint")
+	}
+	if Plan(plan) != Plan(plan) {
+		t.Error("plan hash unstable")
+	}
+}
+
+func TestPairKeyDistinguishesKeyingModes(t *testing.T) {
+	src, dst := schema.CompanyV1(), schema.CompanyV2()
+	plan := &xform.Plan{Steps: []xform.Transformation{
+		xform.RenameField{Record: "EMP", Old: "AGE", New: "YEARS"},
+	}}
+	withPlan := PairKey(src, dst, plan)
+	// With an explicit plan, dst contributes nothing.
+	if withPlan != PairKey(src, nil, plan) {
+		t.Error("explicit-plan pair key depends on dst")
+	}
+	if withPlan == PairKey(src, dst, nil) {
+		t.Error("plan-keyed and schema-diff-keyed pairs collide")
+	}
+	if PairKey(src, dst, nil) == PairKey(dst, src, nil) {
+		t.Error("pair key is direction-insensitive")
+	}
+}
+
+func TestShort(t *testing.T) {
+	h := Schema(schema.CompanyV1())
+	if len(h) != 64 || !strings.HasPrefix(string(h), h.Short()) || len(h.Short()) != 12 {
+		t.Errorf("hash %q short %q", h, h.Short())
+	}
+}

@@ -270,10 +270,11 @@ func (e *Evaluator) Eval(f *Find) ([]netstore.RecordID, error) {
 		return nil, fmt.Errorf("mdml: empty access path")
 	}
 	sch := e.db.Schema()
-	if err := f.Classify(
+	f, err := f.Classified(
 		func(n string) bool { return sch.Set(n) != nil },
 		func(n string) bool { return sch.Record(n) != nil },
-	); err != nil {
+	)
+	if err != nil {
 		return nil, err
 	}
 	var current []netstore.RecordID

@@ -177,6 +177,19 @@ func (f *Find) Classify(isSet func(string) bool, isRecord func(string) bool) err
 	return nil
 }
 
+// Classified returns a copy of the path with step kinds resolved by
+// Classify, leaving the receiver untouched. Evaluation and optimization
+// classify through this copy because a parsed program may be shared —
+// the conversion cache hands one parse tree to many concurrent runs —
+// so resolved kinds must never be written back into the shared tree.
+func (f *Find) Classified(isSet func(string) bool, isRecord func(string) bool) (*Find, error) {
+	c := &Find{Target: f.Target, Steps: append([]Step(nil), f.Steps...)}
+	if err := c.Classify(isSet, isRecord); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
 // ClassifyError reports a path name that fits no schema vocabulary.
 type ClassifyError struct {
 	Name   string

@@ -56,11 +56,21 @@ const (
 	// EvTimeout is one expired budget; Label is the stage name,
 	// "program", or "analyst", Detail the budget.
 	EvTimeout
+	// EvCacheHit/EvCacheMiss record one conversion-cache lookup; Label is
+	// the cache scope ("pair", "analysis", "conversion", "codegen"),
+	// Detail the short content fingerprint. Prog is empty for pair-scoped
+	// lookups, which belong to no single program.
+	EvCacheHit
+	EvCacheMiss
+	// EvCacheEvict records one LRU eviction; Label is the scope, Detail
+	// the evicted entry's short fingerprint.
+	EvCacheEvict
 )
 
 var eventKindNames = [...]string{
 	"stage-start", "stage-end", "hazard", "rewrite",
 	"decision", "verify", "outcome", "retry", "panic", "timeout",
+	"cache-hit", "cache-miss", "cache-evict",
 }
 
 // String implements fmt.Stringer.
@@ -189,6 +199,22 @@ func (e *Emitter) Panic(prog, stage, value string) {
 func (e *Emitter) Timeout(prog, scope string, budget time.Duration) {
 	e.emit(Event{Prog: prog, Kind: EvTimeout, Label: scope,
 		Detail: fmt.Sprintf("exceeded %s budget", budget)})
+}
+
+// CacheHit records one conversion-cache hit; prog is "" for pair-scoped
+// lookups and key the short content fingerprint.
+func (e *Emitter) CacheHit(prog, scope, key string) {
+	e.emit(Event{Prog: prog, Kind: EvCacheHit, Label: scope, Detail: key})
+}
+
+// CacheMiss records one conversion-cache miss.
+func (e *Emitter) CacheMiss(prog, scope, key string) {
+	e.emit(Event{Prog: prog, Kind: EvCacheMiss, Label: scope, Detail: key})
+}
+
+// CacheEvict records one LRU eviction from a cache scope.
+func (e *Emitter) CacheEvict(scope, key string) {
+	e.emit(Event{Kind: EvCacheEvict, Label: scope, Detail: key})
 }
 
 // emitterKey carries an Emitter through a context into the deeper

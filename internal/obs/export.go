@@ -27,6 +27,9 @@ type Tally struct {
 	rewrites     map[string]int64
 	verdicts     map[string]int64
 	faults       map[string]int64
+	cacheHits    map[string]int64
+	cacheMisses  map[string]int64
+	cacheEvicts  map[string]int64
 }
 
 // NewTally returns an empty counter collector.
@@ -37,6 +40,9 @@ func NewTally() *Tally {
 		rewrites:     map[string]int64{},
 		verdicts:     map[string]int64{},
 		faults:       map[string]int64{},
+		cacheHits:    map[string]int64{},
+		cacheMisses:  map[string]int64{},
+		cacheEvicts:  map[string]int64{},
 	}
 }
 
@@ -54,6 +60,12 @@ func (t *Tally) Emit(ev Event) {
 		t.verdicts[ev.Label]++
 	case EvRetry, EvPanic, EvTimeout:
 		t.faults[ev.Kind.String()]++
+	case EvCacheHit:
+		t.cacheHits[ev.Label]++
+	case EvCacheMiss:
+		t.cacheMisses[ev.Label]++
+	case EvCacheEvict:
+		t.cacheEvicts[ev.Label]++
 	}
 	t.mu.Unlock()
 }
@@ -85,6 +97,9 @@ func (t *Tally) Snapshot() map[string]int64 {
 		{"rewrites", t.rewrites},
 		{"verifications", t.verdicts},
 		{"faults", t.faults},
+		{"cache_hits", t.cacheHits},
+		{"cache_misses", t.cacheMisses},
+		{"cache_evictions", t.cacheEvicts},
 	} {
 		for label, n := range f.m {
 			out[f.name+"/"+label] = n
@@ -132,6 +147,9 @@ func (t *Tally) WritePrometheus(w io.Writer, m *Metrics) error {
 			{"progconv_dml_rewrites_total", "DML statements rewritten by verb.", "verb", cloneCounts(t.rewrites)},
 			{"progconv_verifications_total", "Equivalence verdicts by result.", "result", cloneCounts(t.verdicts)},
 			{"progconv_faults_total", "Resilience faults by kind (retry, panic, timeout).", "kind", cloneCounts(t.faults)},
+			{"progconv_cache_hits_total", "Conversion-cache hits by scope.", "scope", cloneCounts(t.cacheHits)},
+			{"progconv_cache_misses_total", "Conversion-cache misses by scope.", "scope", cloneCounts(t.cacheMisses)},
+			{"progconv_cache_evictions_total", "Conversion-cache LRU evictions by scope.", "scope", cloneCounts(t.cacheEvicts)},
 		}
 		t.mu.Unlock()
 	}

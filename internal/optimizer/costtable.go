@@ -1,0 +1,90 @@
+package optimizer
+
+import (
+	"progconv/internal/schema"
+	"progconv/internal/semantic"
+)
+
+// CostTable is the Optimizer's pair-scoped cost model: for every
+// ordered pair of record types in one schema, the minimal set route
+// access-path selection could substitute, with the properties the
+// substitution rule tests (cost, uniqueness among minimal routes,
+// all-downward traversal). Built once per schema pair — typically
+// through internal/plancache — it makes per-program optimization free
+// of path search. A CostTable is immutable and safe for concurrent
+// readers.
+type CostTable struct {
+	routes map[[2]string]Route
+}
+
+// Route is one CostTable entry.
+type Route struct {
+	Hops   []semantic.Hop
+	Cost   int
+	Unique bool
+	// Down reports whether every hop runs owner→member, the only
+	// direction a FIND path can traverse.
+	Down bool
+}
+
+// NewCostTable precomputes the table for a schema from its access-path
+// graph (a nil graph is built on the spot).
+func NewCostTable(net *schema.Network, g *semantic.PathGraph) *CostTable {
+	if g == nil {
+		g = semantic.NewPathGraph(net)
+	}
+	t := &CostTable{routes: make(map[[2]string]Route)}
+	bound := len(net.Sets)
+	for _, from := range net.Records {
+		for _, to := range net.Records {
+			p, unique, err := g.Shortest(from.Name, to.Name, bound)
+			if err != nil {
+				continue
+			}
+			down := true
+			for _, h := range p.Hops {
+				if !h.Down {
+					down = false
+				}
+			}
+			t.routes[[2]string{from.Name, to.Name}] = Route{
+				Hops:   p.Hops,
+				Cost:   p.Cost(),
+				Unique: unique,
+				Down:   down,
+			}
+		}
+	}
+	return t
+}
+
+// Lookup returns the minimal route between two record types, if any.
+func (t *CostTable) Lookup(from, to string) (Route, bool) {
+	r, ok := t.routes[[2]string{from, to}]
+	return r, ok
+}
+
+// route returns a substitute set chain from→to that access-path
+// selection may splice in: strictly shorter than hops, unique among
+// minimal routes, and all-downward. It consults the precomputed cost
+// table when one was supplied, else runs the bounded search; the
+// verdicts are identical (see semantic.PathGraph.Shortest).
+func (o *optimizer) route(from, to string, hops int) ([]semantic.Hop, int, bool) {
+	if o.cost != nil {
+		r, ok := o.cost.Lookup(from, to)
+		if !ok || r.Cost >= hops || !r.Unique || !r.Down {
+			return nil, 0, false
+		}
+		return r.Hops, r.Cost, true
+	}
+	short, unique, err := semantic.ShortestNetworkPath(o.net, from, to, hops)
+	if err != nil || !unique || short.Cost() >= hops {
+		return nil, 0, false
+	}
+	for _, h := range short.Hops {
+		if !h.Down {
+			return nil, 0, false
+		}
+	}
+	return short.Hops, short.Cost(), true
+}

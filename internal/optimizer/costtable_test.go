@@ -1,0 +1,111 @@
+package optimizer
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"progconv/internal/dbprog"
+	"progconv/internal/schema"
+)
+
+// shortcutSchema is CompanyV2 plus a unique DIV→EMP shortcut, the shape
+// access-path selection fires on.
+func shortcutSchema() *schema.Network {
+	sch := schema.CompanyV2()
+	sch.Sets = append(sch.Sets, &schema.SetType{
+		Name: "DIV-EMP-X", Owner: "DIV", Member: "EMP", Keys: []string{"EMP-NAME"},
+		Insertion: schema.Manual, Retention: schema.Optional,
+	})
+	return sch
+}
+
+// TestOptimizeWithCostTableMatches: OptimizeWith over a precomputed
+// CostTable produces exactly the program and rewrite list Optimize
+// produces by on-the-fly search, on schemas with and without viable
+// shortcuts.
+func TestOptimizeWithCostTableMatches(t *testing.T) {
+	srcs := []string{
+		`
+PROGRAM AP DIALECT MARYLAND.
+  FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'MACHINERY'), DIV-DEPT, DEPT, DEPT-EMP, EMP(AGE > 30)) INTO C.
+  FOR EACH E IN C
+    PRINT EMP-NAME IN E.
+  END-FOR.
+END PROGRAM.
+`,
+		`
+PROGRAM SE DIALECT MARYLAND.
+  SORT(FIND(DIV: SYSTEM, ALL-DIV, DIV)) ON (DIV-NAME) INTO C.
+  FOR EACH D IN C
+    PRINT DIV-NAME IN D.
+  END-FOR.
+END PROGRAM.
+`,
+	}
+	for _, sch := range []*schema.Network{schema.CompanyV2(), shortcutSchema()} {
+		ct := NewCostTable(sch, nil)
+		for _, src := range srcs {
+			p := parse(t, src)
+			wantProg, wantOpts := Optimize(context.Background(), p, sch)
+			gotProg, gotOpts := OptimizeWith(context.Background(), p, sch, ct)
+			if dbprog.Format(wantProg) != dbprog.Format(gotProg) {
+				t.Errorf("programs diverge:\n%s\nvs\n%s", dbprog.Format(wantProg), dbprog.Format(gotProg))
+			}
+			if !reflect.DeepEqual(wantOpts, gotOpts) {
+				t.Errorf("optimizations diverge: %v vs %v", wantOpts, gotOpts)
+			}
+		}
+	}
+}
+
+// TestCostTableShortcutChosen: the table-driven path still performs the
+// access-path-selection rewrite.
+func TestCostTableShortcutChosen(t *testing.T) {
+	sch := shortcutSchema()
+	p := parse(t, `
+PROGRAM AP DIALECT MARYLAND.
+  FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'MACHINERY'), DIV-DEPT, DEPT, DEPT-EMP, EMP(AGE > 30)) INTO C.
+END PROGRAM.
+`)
+	out, opts := OptimizeWith(context.Background(), p, sch, NewCostTable(sch, nil))
+	if !strings.Contains(dbprog.Format(out), "DIV-EMP-X") {
+		t.Errorf("shortcut not chosen:\n%s", dbprog.Format(out))
+	}
+	found := false
+	for _, o := range opts {
+		if o.Rule == "access-path-selection" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("opts = %v", opts)
+	}
+}
+
+// TestOptimizeDoesNotMutateInput: classification happens on a copy, so
+// a shared parse tree keeps its provisional step kinds — the invariant
+// that makes cached programs safe to optimize concurrently.
+func TestOptimizeDoesNotMutateInput(t *testing.T) {
+	p := parse(t, `
+PROGRAM M DIALECT MARYLAND.
+  FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-DEPT, DEPT, DEPT-EMP, EMP(AGE > 30)) INTO C.
+END PROGRAM.
+`)
+	before := dbprog.Format(p)
+	mf := p.Stmts[0].(dbprog.MFind)
+	var beforeKinds []int
+	for _, st := range mf.Find.Steps {
+		beforeKinds = append(beforeKinds, int(st.Kind))
+	}
+	Optimize(context.Background(), p, schema.CompanyV2())
+	if dbprog.Format(p) != before {
+		t.Error("Optimize mutated the input program text")
+	}
+	for i, st := range mf.Find.Steps {
+		if int(st.Kind) != beforeKinds[i] {
+			t.Errorf("step %d kind mutated in place: %d → %d", i, beforeKinds[i], st.Kind)
+		}
+	}
+}

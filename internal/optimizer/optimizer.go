@@ -22,7 +22,6 @@ import (
 	"progconv/internal/dbprog"
 	"progconv/internal/mdml"
 	"progconv/internal/schema"
-	"progconv/internal/semantic"
 )
 
 // Optimization names one applied rewrite, for the conversion report.
@@ -40,10 +39,18 @@ type Optimization struct {
 // skipping it preserves correctness). Callers wanting cancellation
 // semantics should check ctx.Err() afterwards, as the supervisor does.
 func Optimize(ctx context.Context, p *dbprog.Program, net *schema.Network) (*dbprog.Program, []Optimization) {
+	return OptimizeWith(ctx, p, net, nil)
+}
+
+// OptimizeWith is Optimize with a precomputed pair-scoped CostTable for
+// access-path selection. A nil table falls back to on-the-fly bounded
+// path search; the refined program and applied rewrites are identical
+// either way.
+func OptimizeWith(ctx context.Context, p *dbprog.Program, net *schema.Network, ct *CostTable) (*dbprog.Program, []Optimization) {
 	if ctx.Err() != nil {
 		return p, nil
 	}
-	o := &optimizer{net: net}
+	o := &optimizer{net: net, cost: ct}
 	out := &dbprog.Program{Name: p.Name, Dialect: p.Dialect}
 	switch p.Dialect {
 	case dbprog.Maryland:
@@ -58,6 +65,7 @@ func Optimize(ctx context.Context, p *dbprog.Program, net *schema.Network) (*dbp
 
 type optimizer struct {
 	net     *schema.Network
+	cost    *CostTable
 	applied []Optimization
 }
 
@@ -90,12 +98,14 @@ func (o *optimizer) optimizeMFind(s dbprog.MFind) dbprog.Stmt {
 		find = s.Sort.Inner
 	}
 	// Parsed paths carry provisional step kinds; resolve them against the
-	// schema before structural rewriting. An unclassifiable path is left
-	// untouched (it will fail at run time with its own diagnostic).
-	if err := find.Classify(
+	// schema before structural rewriting — on a copy, since the parse
+	// tree may be shared with concurrent runs. An unclassifiable path is
+	// left untouched (it will fail at run time with its own diagnostic).
+	find, err := find.Classified(
 		func(n string) bool { return o.net.Set(n) != nil },
 		func(n string) bool { return o.net.Record(n) != nil },
-	); err != nil {
+	)
+	if err != nil {
 		return s
 	}
 	find = o.pushdown(find)
@@ -281,28 +291,18 @@ func (o *optimizer) shortenPath(f *mdml.Find) *mdml.Find {
 			continue
 		}
 		from, to := steps[start].Name, steps[end].Name
-		short, unique, err := semantic.ShortestNetworkPath(o.net, from, to, hops)
-		if err != nil || !unique || short.Cost() >= hops {
-			continue
-		}
-		// All hops must be downward (FIND paths traverse owner→member).
-		down := true
-		for _, h := range short.Hops {
-			if !h.Down {
-				down = false
-			}
-		}
-		if !down {
+		route, cost, ok := o.route(from, to, hops)
+		if !ok {
 			continue
 		}
 		var repl []mdml.Step
 		repl = append(repl, steps[:start+1]...)
 		cur := from
-		for _, h := range short.Hops {
+		for _, h := range route {
 			set := o.net.Set(h.Set)
 			repl = append(repl, mdml.Step{Kind: mdml.SetStep, Name: h.Set})
 			cur = set.Member
-			last := h == short.Hops[len(short.Hops)-1]
+			last := h == route[len(route)-1]
 			step := mdml.Step{Kind: mdml.RecordStep, Name: cur}
 			if last {
 				step.Qual = steps[end].Qual
@@ -311,7 +311,7 @@ func (o *optimizer) shortenPath(f *mdml.Find) *mdml.Find {
 		}
 		repl = append(repl, steps[end+1:]...)
 		o.note("access-path-selection",
-			"chain "+from+"→"+to+" shortened from "+strconv.Itoa(hops)+" to "+strconv.Itoa(short.Cost())+" sets")
+			"chain "+from+"→"+to+" shortened from "+strconv.Itoa(hops)+" to "+strconv.Itoa(cost)+" sets")
 		return &mdml.Find{Target: f.Target, Steps: repl}
 	}
 	return f

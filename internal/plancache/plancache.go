@@ -1,0 +1,422 @@
+// Package plancache is the pair-scoped layer of the Figure 4.1
+// pipeline, made explicit: everything the Conversion Analyzer derives
+// from the schema pair alone — the classified transformation plan, the
+// target schema, the composed rewrite rules, the access-path graph, and
+// the optimizer's cost tables — is bundled into an immutable Pair and
+// memoized behind a content-addressed cache, so the work is paid once
+// per pair instead of once per Run.
+//
+// The Cache also carries program-scoped memos keyed by content hash:
+// analysis results by (program, source schema), conversion and
+// optimize/generate results by (program, pair). Memoized results replay
+// their event trails on hits, so an observed warm run emits the same
+// per-program hazard and rewrite events as a cold one.
+//
+// One Cache may serve many supervisors concurrently: pair builds are
+// deduplicated (concurrent requests for one key share a single build),
+// every layer is LRU-bounded, and all lookups are observable through
+// cache-hit/miss/evict events and the progconv_cache_* counters.
+// Everything a Cache hands out is treated as immutable by the pipeline;
+// callers must not mutate schemas, plans, or programs after submitting
+// them.
+package plancache
+
+import (
+	"container/list"
+	"context"
+
+	"progconv/internal/analyzer"
+	"progconv/internal/convert"
+	"progconv/internal/dbprog"
+	"progconv/internal/fingerprint"
+	"progconv/internal/obs"
+	"progconv/internal/optimizer"
+	"progconv/internal/schema"
+	"progconv/internal/semantic"
+	"progconv/internal/xform"
+	"sync"
+)
+
+// Cache scopes, as they appear in events and exported counters.
+const (
+	ScopePair       = "pair"
+	ScopeAnalysis   = "analysis"
+	ScopeConversion = "conversion"
+	ScopeCodegen    = "codegen"
+)
+
+// Pair is the immutable pair-scoped context of one conversion: every
+// artifact that depends only on (source schema, transformation plan).
+// Workers only read it, so one Pair is safely shared by any number of
+// concurrent program conversions.
+type Pair struct {
+	// Key is the content-addressed cache key: hash of (source schema,
+	// plan) — or (source schema, target schema) when the plan is
+	// classified from the schema diff.
+	Key fingerprint.Hash
+	// SrcHash and PlanHash fingerprint the ingredients individually
+	// (analysis memos key on SrcHash alone, since analysis is
+	// plan-independent).
+	SrcHash  fingerprint.Hash
+	PlanHash fingerprint.Hash
+
+	Src    *schema.Network
+	Plan   *xform.Plan
+	Target *schema.Network
+	// Description and Invertible are the plan's report-facing summary,
+	// rendered once.
+	Description string
+	Invertible  bool
+	// Rewriters are the plan's composed rewrite rules over Src.
+	Rewriters []*xform.Rewriter
+	// Paths is the target schema's precomputed access-path graph and
+	// Cost the optimizer's cost table derived from it.
+	Paths *semantic.PathGraph
+	Cost  *optimizer.CostTable
+}
+
+// Phases a pair build can fail in.
+const (
+	PhaseClassify  = "classify"
+	PhaseApply     = "apply-schema"
+	PhaseRewriters = "rewriters"
+)
+
+// BuildError attributes a pair-build failure to its pipeline phase, so
+// the supervisor can keep its historical per-phase error wrapping. It
+// is transparent: Error and Unwrap defer to the underlying cause.
+type BuildError struct {
+	Phase string
+	Err   error
+}
+
+func (e *BuildError) Error() string { return e.Err.Error() }
+func (e *BuildError) Unwrap() error { return e.Err }
+
+// BuildPair computes every pair-scoped artifact cold, with no cache. A
+// nil plan is classified from the (src, dst) schema diff first.
+func BuildPair(src, dst *schema.Network, plan *xform.Plan) (*Pair, error) {
+	key := fingerprint.PairKey(src, dst, plan)
+	if plan == nil {
+		p, err := xform.Classify(src, dst)
+		if err != nil {
+			return nil, &BuildError{Phase: PhaseClassify, Err: err}
+		}
+		plan = p
+	}
+	target, err := plan.ApplySchema(src)
+	if err != nil {
+		return nil, &BuildError{Phase: PhaseApply, Err: err}
+	}
+	rewriters, err := plan.Rewriters(src)
+	if err != nil {
+		return nil, &BuildError{Phase: PhaseRewriters, Err: err}
+	}
+	paths := semantic.NewPathGraph(target)
+	return &Pair{
+		Key:         key,
+		SrcHash:     fingerprint.Schema(src),
+		PlanHash:    fingerprint.Plan(plan),
+		Src:         src,
+		Plan:        plan,
+		Target:      target,
+		Description: plan.Describe(),
+		Invertible:  plan.Invertible(),
+		Rewriters:   rewriters,
+		Paths:       paths,
+		Cost:        optimizer.NewCostTable(target, paths),
+	}, nil
+}
+
+// Stats are the cache's cumulative counters plus current sizes. A
+// joined in-flight build counts as a hit: the caller did not pay for
+// the build.
+type Stats struct {
+	PairHits, PairMisses, PairEvictions                   int64
+	AnalysisHits, AnalysisMisses, AnalysisEvictions       int64
+	ConversionHits, ConversionMisses, ConversionEvictions int64
+	CodegenHits, CodegenMisses, CodegenEvictions          int64
+	// Pairs and Memos are the current entry counts (memos across all
+	// three program-scoped layers).
+	Pairs, Memos int
+}
+
+// Cache is the shared, concurrency-safe conversion cache. The zero
+// value is not usable; construct with New.
+type Cache struct {
+	mu          sync.Mutex
+	pairs       lru
+	analyses    lru
+	conversions lru
+	codegens    lru
+	flights     map[fingerprint.Hash]*flight
+	stats       Stats
+}
+
+// flight is one in-progress pair build; joiners wait on done.
+type flight struct {
+	done chan struct{}
+	pair *Pair
+	err  error
+}
+
+// New returns a cache retaining up to maxPairs pair contexts (<= 0
+// means 64). The program-scoped memo layers are each bounded at 512
+// entries per retained pair, floored at 4096 — roomy enough that pair
+// eviction, not memo pressure, is the working-set limit.
+func New(maxPairs int) *Cache {
+	if maxPairs <= 0 {
+		maxPairs = 64
+	}
+	memoCap := maxPairs * 512
+	if memoCap < 4096 {
+		memoCap = 4096
+	}
+	return &Cache{
+		pairs:       newLRU(maxPairs),
+		analyses:    newLRU(memoCap),
+		conversions: newLRU(memoCap),
+		codegens:    newLRU(memoCap),
+		flights:     map[fingerprint.Hash]*flight{},
+	}
+}
+
+// Stats returns a snapshot of the counters and sizes.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Pairs = c.pairs.len()
+	s.Memos = c.analyses.len() + c.conversions.len() + c.codegens.len()
+	return s
+}
+
+// Pair returns the pair context for (src, dst, plan), building it at
+// most once per content key across all concurrent callers and retaining
+// up to maxPairs contexts LRU. Build errors are returned to every
+// waiter but never cached. Cache events go to the ctx emitter.
+func (c *Cache) Pair(ctx context.Context, src, dst *schema.Network, plan *xform.Plan) (*Pair, error) {
+	key := fingerprint.PairKey(src, dst, plan)
+	em := obs.EmitterFrom(ctx)
+	c.mu.Lock()
+	if v, ok := c.pairs.get(string(key)); ok {
+		c.stats.PairHits++
+		c.mu.Unlock()
+		em.CacheHit("", ScopePair, key.Short())
+		return v.(*Pair), nil
+	}
+	if f, ok := c.flights[key]; ok {
+		c.stats.PairHits++
+		c.mu.Unlock()
+		em.CacheHit("", ScopePair, key.Short())
+		select {
+		case <-f.done:
+			return f.pair, f.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	c.stats.PairMisses++
+	c.mu.Unlock()
+	em.CacheMiss("", ScopePair, key.Short())
+
+	f.pair, f.err = BuildPair(src, dst, plan)
+
+	c.mu.Lock()
+	delete(c.flights, key)
+	var evicted string
+	var didEvict bool
+	if f.err == nil {
+		evicted, didEvict = c.pairs.add(string(key), f.pair)
+		if didEvict {
+			c.stats.PairEvictions++
+		}
+	}
+	c.mu.Unlock()
+	close(f.done)
+	if didEvict {
+		em.CacheEvict(ScopePair, fingerprint.Hash(evicted).Short())
+	}
+	return f.pair, f.err
+}
+
+// Analyze returns the Program Analyzer's result for the program,
+// memoized by (program hash, source-schema hash) — analysis is
+// plan-independent, so one entry serves every plan over a source
+// schema. On a hit the analyzer's hazard events are replayed from the
+// memoized findings, so the observed per-program stream matches a cold
+// analysis. A result computed under a done ctx may be partial and is
+// never memoized.
+func (c *Cache) Analyze(ctx context.Context, prog fingerprint.Hash, p *dbprog.Program, pair *Pair) *analyzer.Abstract {
+	key := string(prog) + "\x00" + string(pair.SrcHash)
+	em := obs.EmitterFrom(ctx)
+	c.mu.Lock()
+	if v, ok := c.analyses.get(key); ok {
+		c.stats.AnalysisHits++
+		c.mu.Unlock()
+		em.CacheHit(p.Name, ScopeAnalysis, prog.Short())
+		abs := v.(*analyzer.Abstract)
+		for _, is := range abs.Issues {
+			em.Hazard(p.Name, is.Kind.String(), is.Msg)
+		}
+		return abs
+	}
+	c.stats.AnalysisMisses++
+	c.mu.Unlock()
+	em.CacheMiss(p.Name, ScopeAnalysis, prog.Short())
+
+	abs := analyzer.Analyze(ctx, p, pair.Src)
+	if ctx.Err() != nil {
+		return abs
+	}
+	c.store(&c.analyses, key, abs, &c.stats.AnalysisEvictions, ScopeAnalysis, em)
+	return abs
+}
+
+// Convert returns the Program Converter's result, memoized by (program
+// hash, pair key). On a hit the converter's hazards and rewrites are
+// replayed from the result's trail. Errors and results computed under a
+// done ctx are never memoized.
+func (c *Cache) Convert(ctx context.Context, prog fingerprint.Hash, abs *analyzer.Abstract, pair *Pair) (*convert.Result, error) {
+	key := string(prog) + "\x00" + string(pair.Key)
+	em := obs.EmitterFrom(ctx)
+	name := abs.Prog.Name
+	c.mu.Lock()
+	if v, ok := c.conversions.get(key); ok {
+		c.stats.ConversionHits++
+		c.mu.Unlock()
+		em.CacheHit(name, ScopeConversion, prog.Short())
+		res := v.(*convert.Result)
+		for _, t := range res.Trail {
+			if t.Rewrite {
+				em.Rewrite(name, t.Label, t.Detail)
+			} else {
+				em.Hazard(name, t.Label, t.Detail)
+			}
+		}
+		return res, nil
+	}
+	c.stats.ConversionMisses++
+	c.mu.Unlock()
+	em.CacheMiss(name, ScopeConversion, prog.Short())
+
+	res, err := convert.ConvertPrepared(ctx, abs, pair.Src, pair.Rewriters)
+	if err != nil || ctx.Err() != nil {
+		return res, err
+	}
+	c.store(&c.conversions, key, res, &c.stats.ConversionEvictions, ScopeConversion, em)
+	return res, nil
+}
+
+// codegen is one memoized optimize+generate result.
+type codegen struct {
+	prog      *dbprog.Program
+	applied   []optimizer.Optimization
+	generated string
+}
+
+// Codegen returns the Optimizer's refinement and the Program
+// Generator's rendering of a converted program, memoized by (program
+// hash, pair key); converted must be the pair's conversion of that
+// program (which is itself content-determined, making the key sound).
+// A result computed under a done ctx may be unrefined and is never
+// memoized.
+func (c *Cache) Codegen(ctx context.Context, prog fingerprint.Hash, name string, converted *dbprog.Program, pair *Pair) (*dbprog.Program, []optimizer.Optimization, string) {
+	key := string(prog) + "\x00" + string(pair.Key)
+	em := obs.EmitterFrom(ctx)
+	c.mu.Lock()
+	if v, ok := c.codegens.get(key); ok {
+		c.stats.CodegenHits++
+		c.mu.Unlock()
+		em.CacheHit(name, ScopeCodegen, prog.Short())
+		cg := v.(*codegen)
+		return cg.prog, cg.applied, cg.generated
+	}
+	c.stats.CodegenMisses++
+	c.mu.Unlock()
+	em.CacheMiss(name, ScopeCodegen, prog.Short())
+
+	opt, applied := optimizer.OptimizeWith(ctx, converted, pair.Target, pair.Cost)
+	generated := dbprog.Format(opt)
+	if ctx.Err() != nil {
+		return opt, applied, generated
+	}
+	c.store(&c.codegens, key, &codegen{prog: opt, applied: applied, generated: generated},
+		&c.stats.CodegenEvictions, ScopeCodegen, em)
+	return opt, applied, generated
+}
+
+// store inserts one memo entry, accounting and announcing any eviction.
+// Losing a concurrent insert race for the same key is harmless: both
+// values are content-determined, so either copy answers future hits.
+func (c *Cache) store(l *lru, key string, v any, evictions *int64, scope string, em *obs.Emitter) {
+	c.mu.Lock()
+	evicted, didEvict := l.add(key, v)
+	if didEvict {
+		*evictions++
+	}
+	c.mu.Unlock()
+	if didEvict {
+		em.CacheEvict(scope, memoShort(evicted))
+	}
+}
+
+// memoShort renders an evicted memo key (progHash \x00 scopeHash) as
+// the program hash's short form.
+func memoShort(key string) string {
+	for i := 0; i < len(key); i++ {
+		if key[i] == 0 {
+			return fingerprint.Hash(key[:i]).Short()
+		}
+	}
+	return fingerprint.Hash(key).Short()
+}
+
+// lru is a minimal LRU map: container/list for recency, at most one
+// eviction per insert. Callers hold the cache mutex.
+type lru struct {
+	cap int
+	ll  *list.List
+	idx map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	val any
+}
+
+func newLRU(capacity int) lru {
+	return lru{cap: capacity, ll: list.New(), idx: map[string]*list.Element{}}
+}
+
+func (l *lru) len() int { return l.ll.Len() }
+
+func (l *lru) get(key string) (any, bool) {
+	el, ok := l.idx[key]
+	if !ok {
+		return nil, false
+	}
+	l.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// add inserts (or refreshes) key and returns the evicted key, if the
+// bound forced one out.
+func (l *lru) add(key string, v any) (evicted string, didEvict bool) {
+	if el, ok := l.idx[key]; ok {
+		el.Value.(*lruEntry).val = v
+		l.ll.MoveToFront(el)
+		return "", false
+	}
+	l.idx[key] = l.ll.PushFront(&lruEntry{key: key, val: v})
+	if l.ll.Len() <= l.cap {
+		return "", false
+	}
+	oldest := l.ll.Back()
+	ent := oldest.Value.(*lruEntry)
+	l.ll.Remove(oldest)
+	delete(l.idx, ent.key)
+	return ent.key, true
+}

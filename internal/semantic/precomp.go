@@ -1,0 +1,69 @@
+package semantic
+
+import (
+	"fmt"
+
+	"progconv/internal/schema"
+)
+
+// PathGraph is the precomputed access-path graph of one network schema:
+// the minimal route (and whether it is unique among minimal routes) for
+// every ordered pair of record types. The pair-scoped conversion cache
+// builds one per target schema so the bounded breadth-first search that
+// ShortestNetworkPath runs per query is paid once per schema instead of
+// once per program statement. A PathGraph is immutable after
+// construction and safe for concurrent readers.
+type PathGraph struct {
+	records map[string]bool
+	routes  map[[2]string]graphRoute
+}
+
+type graphRoute struct {
+	path   NetPath
+	unique bool
+}
+
+// NewPathGraph precomputes minimal routes between every ordered pair of
+// record types. The exploration bound is len(n.Sets): routes never
+// revisit a set, so no route — minimal or otherwise — is longer.
+func NewPathGraph(n *schema.Network) *PathGraph {
+	g := &PathGraph{
+		records: make(map[string]bool, len(n.Records)),
+		routes:  make(map[[2]string]graphRoute),
+	}
+	for _, r := range n.Records {
+		g.records[r.Name] = true
+	}
+	bound := len(n.Sets)
+	for _, from := range n.Records {
+		for _, to := range n.Records {
+			paths, err := NetworkPaths(n, from.Name, to.Name, bound)
+			if err != nil || len(paths) == 0 {
+				continue
+			}
+			unique := len(paths) == 1 || paths[1].Cost() > paths[0].Cost()
+			g.routes[[2]string{from.Name, to.Name}] = graphRoute{path: paths[0], unique: unique}
+		}
+	}
+	return g
+}
+
+// Shortest answers exactly as ShortestNetworkPath would for the same
+// schema: the same route, the same uniqueness verdict, and the same
+// errors. A bound tighter than the minimal route's cost reports "no
+// path", just as the bounded search does; a looser bound cannot change
+// the verdict because minimal routes (and any equal-cost rivals) always
+// fall inside the precomputation bound.
+func (g *PathGraph) Shortest(from, to string, maxHops int) (NetPath, bool, error) {
+	if !g.records[from] {
+		return NetPath{}, false, fmt.Errorf("semantic: unknown record type %s", from)
+	}
+	if !g.records[to] {
+		return NetPath{}, false, fmt.Errorf("semantic: unknown record type %s", to)
+	}
+	r, ok := g.routes[[2]string{from, to}]
+	if !ok || r.path.Cost() > maxHops {
+		return NetPath{}, false, fmt.Errorf("semantic: no path from %s to %s", from, to)
+	}
+	return r.path, r.unique, nil
+}

@@ -1,0 +1,54 @@
+package semantic
+
+import (
+	"testing"
+
+	"progconv/internal/schema"
+)
+
+// TestPathGraphMatchesSearch: the precomputed graph answers exactly as
+// the bounded breadth-first search for every record pair and bound —
+// same route, same uniqueness, same error cases — including on a schema
+// with ambiguous parallel shortcuts.
+func TestPathGraphMatchesSearch(t *testing.T) {
+	ambiguous := schema.CompanyV2()
+	ambiguous.Sets = append(ambiguous.Sets,
+		&schema.SetType{Name: "DIV-EMP-X", Owner: "DIV", Member: "EMP", Insertion: schema.Manual},
+		&schema.SetType{Name: "DIV-EMP-Y", Owner: "DIV", Member: "EMP", Insertion: schema.Manual},
+	)
+	for _, n := range []*schema.Network{schema.CompanyV1(), schema.CompanyV2(), ambiguous} {
+		g := NewPathGraph(n)
+		for _, from := range n.Records {
+			for _, to := range n.Records {
+				for maxHops := 0; maxHops <= len(n.Sets)+1; maxHops++ {
+					want, wantUnique, wantErr := ShortestNetworkPath(n, from.Name, to.Name, maxHops)
+					got, gotUnique, gotErr := g.Shortest(from.Name, to.Name, maxHops)
+					if (wantErr == nil) != (gotErr == nil) {
+						t.Fatalf("%s→%s maxHops=%d: err %v vs %v", from.Name, to.Name, maxHops, wantErr, gotErr)
+					}
+					if wantErr != nil {
+						if wantErr.Error() != gotErr.Error() {
+							t.Fatalf("%s→%s maxHops=%d: error text %q vs %q",
+								from.Name, to.Name, maxHops, wantErr, gotErr)
+						}
+						continue
+					}
+					if want.String() != got.String() || wantUnique != gotUnique {
+						t.Fatalf("%s→%s maxHops=%d: (%s, %v) vs (%s, %v)",
+							from.Name, to.Name, maxHops, want, wantUnique, got, gotUnique)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPathGraphUnknownRecord(t *testing.T) {
+	g := NewPathGraph(schema.CompanyV1())
+	if _, _, err := g.Shortest("NOPE", "EMP", 3); err == nil {
+		t.Error("unknown from record: no error")
+	}
+	if _, _, err := g.Shortest("EMP", "NOPE", 3); err == nil {
+		t.Error("unknown to record: no error")
+	}
+}

@@ -63,6 +63,7 @@ import (
 	"progconv/internal/dbprog"
 	"progconv/internal/netstore"
 	"progconv/internal/obs"
+	"progconv/internal/plancache"
 	"progconv/internal/schema"
 	"progconv/internal/schema/ddl"
 	"progconv/internal/xform"
@@ -120,6 +121,14 @@ type (
 	Plan     = xform.Plan
 	Program  = dbprog.Program
 	Database = netstore.DB
+
+	// Cache is the shared conversion cache installed with WithCache:
+	// pair-scoped artifacts plus per-program memos, content-addressed
+	// and safe for concurrent Convert calls. CacheStats is its counter
+	// snapshot. Job is one schema pair's workload for ConvertJobs.
+	Cache      = plancache.Cache
+	CacheStats = plancache.Stats
+	Job        = core.Job
 )
 
 // The dispositions.
@@ -171,6 +180,9 @@ const (
 	EvRetry      = obs.EvRetry
 	EvPanic      = obs.EvPanic
 	EvTimeout    = obs.EvTimeout
+	EvCacheHit   = obs.EvCacheHit
+	EvCacheMiss  = obs.EvCacheMiss
+	EvCacheEvict = obs.EvCacheEvict
 )
 
 // The sentinel errors; see the package error contract.
@@ -196,6 +208,7 @@ type options struct {
 	retries        int
 	retryBackoff   time.Duration
 	failurePolicy  FailurePolicy
+	cache          *Cache
 }
 
 // Option configures one Convert run.
@@ -284,6 +297,16 @@ func WithFailurePolicy(p FailurePolicy) Option {
 	return func(o *options) { o.failurePolicy = p }
 }
 
+// WithCache installs a shared conversion cache: the pair-scoped
+// artifacts (classified plan, target schema, rewrite rules, path
+// graph, cost tables) and per-program analysis/conversion memos are
+// computed once per content fingerprint and reused across Convert and
+// ConvertJobs calls. Reports are byte-identical with or without a
+// cache. A nil cache leaves conversion uncached.
+func WithCache(c *Cache) Option {
+	return func(o *options) { o.cache = c }
+}
+
 // Convert converts a database application system: it classifies the
 // src → dst schema change (or follows plan when non-nil, in which case
 // dst may be nil), restructures the data given via WithVerifyDB, and
@@ -296,12 +319,37 @@ func Convert(ctx context.Context, src, dst *Schema, plan *Plan,
 	for _, opt := range opts {
 		opt(&o)
 	}
+	sup := o.supervisor()
+	sup.Verify = o.verifyDB != nil
+	return sup.Run(ctx, src, dst, plan, o.verifyDB, programs)
+}
+
+// ConvertJobs converts the inventories of many schema pairs in one
+// batch on one shared worker pool: reports[i] belongs to jobs[i], is
+// assembled at submission order, and is byte-identical at any
+// parallelism. Jobs carrying a DB are migrated and their automatic
+// conversions verified; the failure policy budget spans the whole
+// batch. Combine with WithCache to reuse pair-scoped work across jobs
+// and batches. WithVerifyDB is ignored here — each Job carries its own
+// database.
+func ConvertJobs(ctx context.Context, jobs []Job, opts ...Option) ([]*Report, error) {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	sup := o.supervisor()
+	sup.Verify = true // per-job: only jobs with a DB verify
+	return sup.RunJobs(ctx, jobs)
+}
+
+// supervisor builds the configured core.Supervisor shared by Convert
+// and ConvertJobs.
+func (o *options) supervisor() *core.Supervisor {
 	sup := core.NewSupervisor()
 	if o.analyst != nil {
 		sup.Analyst = o.analyst
 	}
 	sup.Parallelism = o.parallelism
-	sup.Verify = o.verifyDB != nil
 	rec := o.recorder
 	if rec == nil && o.metrics {
 		rec = obs.NewRecorder()
@@ -314,8 +362,15 @@ func Convert(ctx context.Context, src, dst *Schema, plan *Plan,
 	sup.Retries = o.retries
 	sup.RetryBackoff = o.retryBackoff
 	sup.FailurePolicy = o.failurePolicy
-	return sup.Run(ctx, src, dst, plan, o.verifyDB, programs)
+	sup.Cache = o.cache
+	return sup
 }
+
+// NewCache returns a conversion cache retaining up to maxPairs pair
+// contexts (<= 0 means 64), plus generously bounded per-program memos.
+// Install it with WithCache; one cache may serve any number of
+// concurrent Convert and ConvertJobs calls.
+func NewCache(maxPairs int) *Cache { return plancache.New(maxPairs) }
 
 // NewRecorder returns a span recorder for WithRecorder.
 func NewRecorder() *Recorder { return obs.NewRecorder() }
