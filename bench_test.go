@@ -399,6 +399,57 @@ func BenchmarkHierReorder(b *testing.B) {
 	})
 }
 
+// BenchmarkIndexedFind backs EXP-C6: exact-key FIND ANY over 1000
+// employees with the keyed record indexes on vs off. The match shape
+// (EMP-NAME alone) is exactly the DIV-EMP set key, so the indexed run
+// answers with a probe; the scan run walks byType order until the hit.
+func BenchmarkIndexedFind(b *testing.B) {
+	db := corpus.Database(corpus.Profile{Seed: 7, Divisions: 10, DeptsPerDiv: 10, EmpsPerDept: 10})
+	match := value.FromPairs("EMP-NAME", "E-00500")
+	run := func(b *testing.B) {
+		b.Helper()
+		b.ReportAllocs()
+		s := netstore.NewSession(db)
+		for i := 0; i < b.N; i++ {
+			st, err := s.FindAny("EMP", match)
+			if err != nil || st != netstore.OK {
+				b.Fatal(st, err)
+			}
+		}
+	}
+	b.Run("Indexed", func(b *testing.B) { db.SetIndexing(true); run(b) })
+	b.Run("Scan", func(b *testing.B) { db.SetIndexing(false); run(b) })
+	db.SetIndexing(true)
+}
+
+// BenchmarkFusedMigration backs EXP-C6: a four-step fusible plan over a
+// 1000-employee database as one fused pass vs four stepwise passes.
+func BenchmarkFusedMigration(b *testing.B) {
+	db := corpus.Database(corpus.Profile{Seed: 7, Divisions: 8, DeptsPerDiv: 5, EmpsPerDept: 25})
+	plan := &xform.Plan{Steps: []xform.Transformation{
+		xform.RenameRecord{Old: "EMP", New: "EMPLOYEE"},
+		xform.RenameField{Record: "DIV", Old: "DIV-LOC", New: "LOCATION"},
+		xform.AddField{Record: "EMPLOYEE", Field: "STATUS", Kind: value.String, Default: value.Str("ACTIVE")},
+		xform.RenameSet{Old: "DIV-EMP", New: "DIV-EMPLOYEE"},
+	}}
+	b.Run("Fused", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := plan.MigrateDataFused(db); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Stepwise", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := plan.MigrateDataStepwise(db); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkInvertibility backs EXP-C4: auditing and inverting a plan.
 func BenchmarkInvertibility(b *testing.B) {
 	src := schema.CompanyV1()

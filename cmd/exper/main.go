@@ -4,15 +4,22 @@
 // resilience demonstration (EXP-R1). Run with no arguments for all
 // experiments, or name them:
 //
-//	exper [f3.1] [f4.1] [f4.3] [f4.4] [s4.1a] [s4.1b] [c1] [c2] [c3] [c4] [c5] [h1] [r1]
+//	exper [f3.1] [f4.1] [f4.3] [f4.4] [s4.1a] [s4.1b] [c1] [c2] [c3] [c4] [c5] [c6] [h1] [r1]
+//
+// The bench-json subcommand measures the data-plane benchmarks with
+// testing.Benchmark and writes machine-readable results:
+//
+//	exper bench-json [out.json]   (default BENCH_PR5.json)
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"os"
 	"sort"
 	"strings"
+	"testing"
 	"time"
 
 	"progconv/internal/analyzer"
@@ -45,11 +52,23 @@ func main() {
 	all := map[string]func(){
 		"f3.1": expF31, "f4.1": expF41, "f4.3": expF43, "f4.4": expF44,
 		"s4.1a": expS41a, "s4.1b": expS41b,
-		"c1": expC1, "c2": expC2, "c3": expC3, "c4": expC4, "c5": expC5,
+		"c1": expC1, "c2": expC2, "c3": expC3, "c4": expC4, "c5": expC5, "c6": expC6,
 		"h1": expH1, "r1": expR1,
 	}
-	order := []string{"f3.1", "f4.1", "f4.3", "f4.4", "s4.1a", "s4.1b", "c1", "c2", "c3", "c4", "c5", "h1", "r1"}
+	order := []string{"f3.1", "f4.1", "f4.3", "f4.4", "s4.1a", "s4.1b", "c1", "c2", "c3", "c4", "c5", "c6", "h1", "r1"}
 	args := os.Args[1:]
+	if len(args) > 0 && args[0] == "bench-json" {
+		out := "BENCH_PR5.json"
+		if len(args) > 1 {
+			out = args[1]
+		}
+		if err := benchJSON(out); err != nil {
+			fmt.Fprintln(os.Stderr, "bench-json:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", out)
+		return
+	}
 	if len(args) == 0 {
 		args = order
 	}
@@ -756,6 +775,213 @@ func expC5() {
 	fmt.Println(" converted and generated; warm = second round over the same cache.")
 	fmt.Println(" pairs=1 thrashes: three variants round-robin through one slot, so")
 	fmt.Println(" warm pair lookups still miss; pairs>=3 makes the warm round all hits.)")
+}
+
+// ---- EXP-C6 ----
+
+// fourStepPlan is the fusible migration fixture shared with the root
+// BenchmarkFusedMigration: four per-record mapping steps over CompanyV1.
+func fourStepPlan() *xform.Plan {
+	return &xform.Plan{Steps: []xform.Transformation{
+		xform.RenameRecord{Old: "EMP", New: "EMPLOYEE"},
+		xform.RenameField{Record: "DIV", Old: "DIV-LOC", New: "LOCATION"},
+		xform.AddField{Record: "EMPLOYEE", Field: "STATUS", Kind: value.String, Default: value.Str("ACTIVE")},
+		xform.RenameSet{Old: "DIV-EMP", New: "DIV-EMPLOYEE"},
+	}}
+}
+
+func expC6() {
+	banner("EXP-C6", "data-plane fast path: keyed indexes, fused migration, parallel verification")
+
+	// (a) Exact-key FIND over 1000 employees: index probe vs full scan.
+	db := corpus.Database(corpus.Profile{Seed: 7, Divisions: 10, DeptsPerDiv: 10, EmpsPerDept: 10})
+	match := value.FromPairs("EMP-NAME", "E-00500")
+	const reps = 5000
+	sess := netstore.NewSession(db)
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		sess.FindAny("EMP", match)
+	}
+	indexed := time.Since(start)
+	db.SetIndexing(false)
+	start = time.Now()
+	for i := 0; i < reps; i++ {
+		sess.FindAny("EMP", match)
+	}
+	scanned := time.Since(start)
+	db.SetIndexing(true)
+	probes, scans := db.IndexStatsOf().Snapshot()
+	fmt.Printf("\n(a) FIND ANY EMP by EMP-NAME (the DIV-EMP set key) over %d employees, %d calls each way:\n",
+		db.Count("EMP"), reps)
+	fmt.Printf("    indexed %.2fµs/call vs scan %.2fµs/call — x%.1f; counters: %d probes, %d scans\n",
+		us(indexed, reps), us(scanned, reps), float64(scanned)/float64(indexed), probes, scans)
+
+	// (b) Four fusible steps as one pass vs four passes.
+	mdb := corpus.Database(corpus.Profile{Seed: 7, Divisions: 8, DeptsPerDiv: 5, EmpsPerDept: 25})
+	plan4 := fourStepPlan()
+	const mreps = 20
+	var fuse xform.FuseStats
+	start = time.Now()
+	for i := 0; i < mreps; i++ {
+		var err error
+		if _, fuse, err = plan4.MigrateDataFused(mdb); err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+	}
+	fused := time.Since(start)
+	start = time.Now()
+	for i := 0; i < mreps; i++ {
+		if _, err := plan4.MigrateDataStepwise(mdb); err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+	}
+	stepwise := time.Since(start)
+	fmt.Printf("\n(b) 4-step fusible migration of %d records, %d runs each way:\n",
+		mdb.Count("DIV")+mdb.Count("EMP"), mreps)
+	fmt.Printf("    fused %.0fµs/run (%d steps in %d pass) vs stepwise %.0fµs/run (%d passes) — x%.1f\n",
+		us(fused, mreps), fuse.FusedSteps, fuse.Passes,
+		us(stepwise, mreps), len(plan4.Steps), float64(stepwise)/float64(fused))
+
+	// (c) A verified conversion batch: source and converted programs run
+	// concurrently per check, the report surfaces the data-plane counters,
+	// and the rendered report is byte-identical at parallelism 1 and 8,
+	// with the verify database's indexes on and off.
+	members, err := corpus.Programs(corpus.PeriodProfile(42))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	progs := make([]*dbprog.Program, len(members))
+	for i, m := range members {
+		progs[i] = m.Program
+	}
+	run := func(parallelism int, indexes bool) *core.Report {
+		vdb := corpus.Database(corpus.Profile{Seed: 42, Divisions: 3, DeptsPerDiv: 3, EmpsPerDept: 4})
+		vdb.SetIndexing(indexes)
+		sup := core.NewSupervisor()
+		sup.Parallelism = parallelism
+		report, err := sup.Run(context.Background(), schema.CompanyV1(), nil, figurePlan(), vdb, progs)
+		if err != nil {
+			fmt.Println("error:", err)
+			os.Exit(1)
+		}
+		return report
+	}
+	r1 := run(1, true)
+	r8 := run(8, true)
+	n1 := run(1, false)
+	n8 := run(8, false)
+	fmt.Printf("\n(c) verified conversion batch, %d programs:\n", len(progs))
+	dp, ndp := r8.DataPlane, n8.DataPlane
+	fmt.Printf("    indexed verify DB: %d index probes, %d scans; migration %d fused / %d stepwise steps\n",
+		dp.IndexProbes, dp.IndexScans, dp.FusedSteps, dp.StepwiseSteps)
+	fmt.Printf("    scan-only verify DB: %d index probes, %d scans\n", ndp.IndexProbes, ndp.IndexScans)
+	same := r1.String() == r8.String() && r1.String() == n1.String() && n1.String() == n8.String()
+	fmt.Printf("    report byte-identical at parallelism 1 and 8, indexes on and off: %v\n", same)
+}
+
+// benchJSON measures the data-plane benchmarks with testing.Benchmark
+// and writes name/ns-per-op/allocs-per-op rows as JSON.
+func benchJSON(out string) error {
+	type row struct {
+		Name        string  `json:"name"`
+		NsPerOp     float64 `json:"ns_per_op"`
+		AllocsPerOp int64   `json:"allocs_per_op"`
+	}
+	bench := func(name string, fn func(b *testing.B)) row {
+		r := testing.Benchmark(fn)
+		return row{Name: name, NsPerOp: float64(r.NsPerOp()), AllocsPerOp: r.AllocsPerOp()}
+	}
+
+	pipeProgs := []*dbprog.Program{
+		mustParse(`
+PROGRAM LIST-OLD DIALECT MARYLAND.
+  FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(AGE > 30)) INTO OLD.
+  FOR EACH E IN OLD
+    PRINT EMP-NAME IN E, AGE IN E.
+  END-FOR.
+END PROGRAM.
+`),
+		mustParse(`
+PROGRAM COUNT DIALECT NETWORK.
+  LET N = 0.
+  MOVE 'DIV-00' TO DIV-NAME IN DIV.
+  FIND ANY DIV USING DIV-NAME.
+  PERFORM UNTIL DB-STATUS <> 'OK'
+    FIND NEXT EMP WITHIN DIV-EMP.
+    IF DB-STATUS = 'OK'
+      GET EMP.
+      LET N = N + 1.
+    END-IF.
+  END-PERFORM.
+  PRINT N.
+END PROGRAM.
+`),
+	}
+	pipeDB := corpus.Database(corpus.Profile{Seed: 1, Divisions: 2, DeptsPerDiv: 2, EmpsPerDept: 3})
+	findDB := corpus.Database(corpus.Profile{Seed: 7, Divisions: 10, DeptsPerDiv: 10, EmpsPerDept: 10})
+	match := value.FromPairs("EMP-NAME", "E-00500")
+	migDB := corpus.Database(corpus.Profile{Seed: 7, Divisions: 8, DeptsPerDiv: 5, EmpsPerDept: 25})
+	plan4 := fourStepPlan()
+
+	rows := []row{
+		bench("pipeline", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sup := core.NewSupervisor()
+				if _, err := sup.Run(context.Background(), schema.CompanyV1(), schema.CompanyV2(),
+					nil, pipeDB.Clone(), pipeProgs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+		bench("find_indexed", func(b *testing.B) {
+			findDB.SetIndexing(true)
+			s := netstore.NewSession(findDB)
+			for i := 0; i < b.N; i++ {
+				if st, err := s.FindAny("EMP", match); err != nil || st != netstore.OK {
+					b.Fatal(st, err)
+				}
+			}
+		}),
+		bench("find_scan", func(b *testing.B) {
+			findDB.SetIndexing(false)
+			s := netstore.NewSession(findDB)
+			for i := 0; i < b.N; i++ {
+				if st, err := s.FindAny("EMP", match); err != nil || st != netstore.OK {
+					b.Fatal(st, err)
+				}
+			}
+		}),
+		bench("migration_fused", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := plan4.MigrateDataFused(migDB); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+		bench("migration_stepwise", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := plan4.MigrateDataStepwise(migDB); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+	}
+
+	doc := struct {
+		Note       string `json:"note"`
+		Benchmarks []row  `json:"benchmarks"`
+	}{
+		Note:       "generated by `exper bench-json`: ns/op and allocs/op for the data-plane fast-path benchmarks (see EXPERIMENTS.md EXP-C6)",
+		Benchmarks: rows,
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(out, append(b, '\n'), 0o644)
 }
 
 // ---- EXP-H1 ----

@@ -9,7 +9,7 @@
 //	                 [-trace f.json] [-metrics-out f.prom] [-debug-addr :6060]
 //	                 [-timeout d] [-stage-timeout d] [-analyst-timeout d]
 //	                 [-retries N] [-on-failure fail-fast|collect|budget:N]
-//	                 [-cache] [-cache-size N]
+//	                 [-cache] [-cache-size N] [-verify-init prog]
 //	                 [-inject spec] [-fail-on manual|qualified]
 //	                 <source.ddl> <target.ddl> <program.prog>...
 //	progconv run [-init <program.prog>] [-input line]... <schema.ddl> <program.prog>
@@ -90,7 +90,7 @@ func usage() {
                    [-trace f.json] [-metrics-out f.prom] [-debug-addr :6060]
                    [-timeout d] [-stage-timeout d] [-analyst-timeout d]
                    [-retries N] [-on-failure fail-fast|collect|budget:N]
-                   [-cache] [-cache-size N]
+                   [-cache] [-cache-size N] [-verify-init prog]
                    [-inject spec] [-fail-on manual|qualified]
                    <source.ddl> <target.ddl> <program.prog>...
   progconv run [-init <program.prog>] [-input line]... <schema.ddl> <program.prog>`)
@@ -249,6 +249,10 @@ func cmdConvert(args []string) error {
 		"arm the deterministic fault injector (debugging/chaos drills);\n"+
 			"spec: [seed=S,]kind[=dur]@prog-glob/stage[:count][~rate],...\n"+
 			"kinds: panic, transient, delay (e.g. 'panic@P-0*/convert,delay=2s@*/analyze')")
+	verifyInit := fs.String("verify-init", "",
+		"program run against an empty source database to populate it;\n"+
+			"the populated database is migrated through the plan and every\n"+
+			"automatic conversion is verified I/O-equivalent against it")
 	fs.Parse(args)
 	switch *failOn {
 	case "", "manual", "qualified":
@@ -309,6 +313,17 @@ func cmdConvert(args []string) error {
 		cache = progconv.NewCache(*cacheSize)
 		opts = append(opts, progconv.WithCache(cache))
 	}
+	if *verifyInit != "" {
+		ip, err := loadProgram(*verifyInit)
+		if err != nil {
+			return err
+		}
+		db := netstore.NewDB(src)
+		if _, err := dbprog.Run(ip, dbprog.Config{Net: db}); err != nil {
+			return fmt.Errorf("verify-init program: %w", err)
+		}
+		opts = append(opts, progconv.WithVerifyDB(db))
+	}
 
 	// Event sinks: a streaming JSONL file and/or a counter tally feeding
 	// the Prometheus file and the live expvar endpoint.
@@ -361,6 +376,11 @@ func cmdConvert(args []string) error {
 	if *stats {
 		fmt.Printf("\n%s", report.Metrics)
 	}
+	if *stats && !report.DataPlane.Zero() {
+		dp := report.DataPlane
+		fmt.Printf("\ndata plane: %d index probes / %d scans, %d fused / %d stepwise migration steps\n",
+			dp.IndexProbes, dp.IndexScans, dp.FusedSteps, dp.StepwiseSteps)
+	}
 	if *stats && cache != nil {
 		s := cache.Stats()
 		fmt.Printf("\ncache: %d pairs, %d memos\n", s.Pairs, s.Memos)
@@ -388,6 +408,7 @@ func cmdConvert(args []string) error {
 		}
 	}
 	if *metricsOut != "" {
+		tally.AddDataPlane(report.DataPlane)
 		if err := writeFileWith(*metricsOut, func(w *bufio.Writer) error {
 			return progconv.WritePrometheus(w, tally, report.Metrics)
 		}); err != nil {

@@ -230,11 +230,11 @@ type netInstance struct{ db *netstore.DB }
 func FromNetwork(db *netstore.DB) Instance { return netInstance{db} }
 
 func (n netInstance) Entities(name string) []*value.Record {
-	ids := n.db.AllOf(name)
-	out := make([]*value.Record, 0, len(ids))
-	for _, id := range ids {
+	var out []*value.Record
+	n.db.EachOf(name, func(id netstore.RecordID) bool {
 		out = append(out, n.db.Data(id))
-	}
+		return true
+	})
 	return out
 }
 

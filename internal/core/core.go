@@ -231,6 +231,12 @@ type Report struct {
 	// a metrics recorder (nil otherwise). It is rendered separately from
 	// String so serial and parallel reports stay byte-identical.
 	Metrics *obs.Metrics
+	// DataPlane counts how the run's data-plane work executed: FIND
+	// index probes vs scans across this run (migration + verification)
+	// and fused vs stepwise migration steps. Like Metrics it is not part
+	// of String(): the totals are deterministic at any parallelism, but
+	// reports predating the fast path must stay byte-identical.
+	DataPlane obs.DataPlane
 }
 
 // Counts returns (auto, qualified, manual).
@@ -464,6 +470,11 @@ func (s *Supervisor) RunJobs(ctx context.Context, jobs []Job) ([]*Report, error)
 	analystMu := &sync.Mutex{}
 
 	reports := make([]*Report, len(jobs))
+	// Index-stat baselines per job, so each report's DataPlane counts
+	// only this run's probes/scans (callers may have exercised the
+	// database before handing it over).
+	type statBase struct{ srcProbes, srcScans, tgtProbes, tgtScans int64 }
+	bases := make([]statBase, len(jobs))
 	var items []workItem
 	for ji := range jobs {
 		j := &jobs[ji]
@@ -489,11 +500,15 @@ func (s *Supervisor) RunJobs(ctx context.Context, jobs []Job) ([]*Report, error)
 			TargetSchema:    pair.Target,
 		}
 		if j.DB != nil {
-			migrated, err := pair.Plan.MigrateData(j.DB)
+			migrated, fuse, err := pair.Plan.MigrateDataFused(j.DB)
 			if err != nil {
 				return nil, fmt.Errorf("core: data translation: %w", err)
 			}
 			report.TargetDB = migrated
+			report.DataPlane.FusedSteps = int64(fuse.FusedSteps)
+			report.DataPlane.StepwiseSteps = int64(fuse.StepwiseSteps)
+			bases[ji].srcProbes, bases[ji].srcScans = j.DB.IndexStatsOf().Snapshot()
+			bases[ji].tgtProbes, bases[ji].tgtScans = migrated.IndexStatsOf().Snapshot()
 		}
 		run := &runState{pair: pair, srcDB: j.DB, targetDB: report.TargetDB,
 			em: em, inj: inj, analystMu: analystMu}
@@ -505,6 +520,24 @@ func (s *Supervisor) RunJobs(ctx context.Context, jobs []Job) ([]*Report, error)
 	}
 	if err := s.convertItems(ctx, items); err != nil {
 		return nil, err
+	}
+	// Fold in the index activity of this run: clones used by the verify
+	// stage share their origin database's counters, so the deltas cover
+	// every FIND the batch issued. The work per program is identical at
+	// any parallelism, so the totals are deterministic.
+	for ji := range jobs {
+		j := &jobs[ji]
+		if j.DB == nil {
+			continue
+		}
+		p1, s1 := j.DB.IndexStatsOf().Snapshot()
+		reports[ji].DataPlane.IndexProbes += p1 - bases[ji].srcProbes
+		reports[ji].DataPlane.IndexScans += s1 - bases[ji].srcScans
+		if reports[ji].TargetDB != nil {
+			p1, s1 = reports[ji].TargetDB.IndexStatsOf().Snapshot()
+			reports[ji].DataPlane.IndexProbes += p1 - bases[ji].tgtProbes
+			reports[ji].DataPlane.IndexScans += s1 - bases[ji].tgtScans
+		}
 	}
 	return reports, nil
 }

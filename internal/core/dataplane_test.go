@@ -1,0 +1,74 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"progconv/internal/obs"
+	"progconv/internal/schema"
+)
+
+// TestDataPlaneDeterministicReports: the rendered report is byte-identical
+// at parallelism 1 and 8, with the verify database's keyed indexes on and
+// off — the data-plane fast path changes how FINDs are answered, never
+// what they answer — and the Report.DataPlane counters are themselves
+// deterministic per configuration at any parallelism.
+func TestDataPlaneDeterministicReports(t *testing.T) {
+	type result struct {
+		text string
+		dp   obs.DataPlane
+	}
+	run := func(par int, indexes bool) result {
+		t.Helper()
+		db := companyV1DB(t)
+		db.SetIndexing(indexes)
+		sup := NewSupervisor()
+		sup.Parallelism = par
+		report, err := sup.Run(context.Background(),
+			schema.CompanyV1(), schema.CompanyV2(), nil, db, applicationSystem(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return result{report.String(), report.DataPlane}
+	}
+
+	base := run(1, true)
+	if base.dp.Zero() {
+		t.Fatal("verified run recorded no data-plane activity")
+	}
+	for _, c := range []struct {
+		par     int
+		indexes bool
+	}{{8, true}, {1, false}, {8, false}} {
+		got := run(c.par, c.indexes)
+		if got.text != base.text {
+			t.Errorf("report at parallelism=%d indexes=%v differs from parallelism=1 indexes=true:\n%s\nvs\n%s",
+				c.par, c.indexes, got.text, base.text)
+		}
+	}
+
+	// The counters must agree across parallelism within one index setting.
+	for _, indexes := range []bool{true, false} {
+		t.Run(fmt.Sprintf("indexes=%v", indexes), func(t *testing.T) {
+			serial := run(1, indexes)
+			parallel := run(8, indexes)
+			if serial.dp != parallel.dp {
+				t.Errorf("data-plane counters differ across parallelism: serial %+v vs parallel %+v",
+					serial.dp, parallel.dp)
+			}
+		})
+	}
+
+	// With the verify DB's indexes off, the source side of every check
+	// scans; with them on, those same FINDs probe instead.
+	plain := run(1, false)
+	if plain.dp.IndexScans <= base.dp.IndexScans {
+		t.Errorf("disabling indexes should shift FINDs to scans: indexed %+v vs plain %+v",
+			base.dp, plain.dp)
+	}
+	if base.dp.IndexProbes <= plain.dp.IndexProbes {
+		t.Errorf("enabling indexes should shift FINDs to probes: indexed %+v vs plain %+v",
+			base.dp, plain.dp)
+	}
+}

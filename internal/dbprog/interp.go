@@ -1,6 +1,7 @@
 package dbprog
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -92,6 +93,11 @@ type Config struct {
 	// MaxSteps bounds statement executions (0 = 1,000,000); programs with
 	// runaway loops — hazardous corpus members — terminate with ErrSteps.
 	MaxSteps int
+
+	// Ctx, when non-nil, is polled periodically by the interpreter so a
+	// canceled context aborts the run with ctx.Err(). The verifier uses
+	// this to cancel the concurrent source/target runs together.
+	Ctx context.Context
 }
 
 // ErrSteps reports that a run exceeded its statement budget.
@@ -165,6 +171,11 @@ type interp struct {
 
 	steps    int
 	maxSteps int
+
+	// matchBuf is the pooled FIND match record: one allocation per run
+	// instead of one per FIND. Safe because netstore only reads a match
+	// during the call.
+	matchBuf *value.Record
 }
 
 func (in *interp) emit(e Event) { in.trace.Events = append(in.trace.Events, e) }
@@ -182,6 +193,11 @@ func (in *interp) exec(st Stmt) error {
 	in.steps++
 	if in.steps > in.maxSteps {
 		return ErrSteps
+	}
+	if in.cfg.Ctx != nil && in.steps&255 == 0 {
+		if err := in.cfg.Ctx.Err(); err != nil {
+			return err
+		}
 	}
 	switch s := st.(type) {
 	case Let:
@@ -307,9 +323,12 @@ func (in *interp) exec(st Stmt) error {
 		if !ok {
 			return fmt.Errorf("dbprog: unknown collection %s", s.Coll)
 		}
+		// One pooled record per loop execution (not per iteration): each
+		// iteration overwrote the binding anyway, so refilling in place
+		// is observationally identical. Nested loops get their own.
+		rec := value.NewRecord()
 		for _, id := range ids {
-			rec := in.cfg.Net.Data(id)
-			if rec == nil {
+			if !in.cfg.Net.DataInto(id, rec) {
 				continue
 			}
 			in.bufs[s.Var] = rec
@@ -404,7 +423,11 @@ func (in *interp) execMove(s Move) error {
 // buffer, or every non-null buffer field when USING is absent.
 func (in *interp) matchFromBuffer(rec string, using []string) (*value.Record, error) {
 	buf := in.buffer(rec)
-	match := value.NewRecord()
+	if in.matchBuf == nil {
+		in.matchBuf = value.NewRecord()
+	}
+	match := in.matchBuf
+	match.Reset()
 	if len(using) == 0 {
 		for _, n := range buf.Names() {
 			if v := buf.MustGet(n); !v.IsNull() {

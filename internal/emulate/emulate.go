@@ -32,8 +32,28 @@ type Session struct {
 	src       *schema.Network
 	target    *netstore.Session
 	rewriters []*xform.Rewriter
+	// Precomposed mapping tables: the rewriter chain collapsed into O(1)
+	// lookups for every name the source schema can produce. Names outside
+	// the schema fall back to walking the rewriters, preserving the
+	// original per-call semantics exactly.
+	recMap   map[string]string
+	fieldMap map[[2]string][2]string
+	dropped  map[[2]string]bool
+	setMap   map[string]setMapping
+	splits   map[string]xform.PathSplit
+	// matchBuf is the reusable translated-match record; netstore reads a
+	// match only for the duration of the call, so one buffer per session
+	// suffices.
+	matchBuf *value.Record
 	// sweep state per split source set: the emulated currency.
 	sweeps map[string]*splitSweep
+}
+
+// setMapping is a precomposed MapSet outcome: the final target set name,
+// or ok=false when some step cannot represent the set.
+type setMapping struct {
+	name string
+	ok   bool
 }
 
 type splitSweep struct {
@@ -49,12 +69,72 @@ func NewSession(src *schema.Network, target *netstore.DB, plan *xform.Plan) (*Se
 	if err != nil {
 		return nil, err
 	}
-	return &Session{
+	s := &Session{
 		src:       src,
 		target:    netstore.NewSession(target),
 		rewriters: rewriters,
+		recMap:    map[string]string{},
+		fieldMap:  map[[2]string][2]string{},
+		dropped:   map[[2]string]bool{},
+		setMap:    map[string]setMapping{},
+		splits:    map[string]xform.PathSplit{},
 		sweeps:    map[string]*splitSweep{},
-	}, nil
+	}
+	s.precompose()
+	return s, nil
+}
+
+// precompose walks the rewriter chain once per source-schema name and
+// caches the outcome, so intercepted calls pay a map lookup instead of
+// re-consulting every rewriter ("run time descriptions and tables" are
+// still consulted — just once, at session open).
+func (s *Session) precompose() {
+	for _, rt := range s.src.Records {
+		name := rt.Name
+		for _, r := range s.rewriters {
+			name = r.MapRecord(name)
+		}
+		s.recMap[rt.Name] = name
+		for _, f := range rt.Fields {
+			rec, field := rt.Name, f.Name
+			drop := false
+			for _, r := range s.rewriters {
+				if r.IsDropped(rec, field) {
+					drop = true
+					break
+				}
+				rec, field = r.MapField(rec, field)
+			}
+			key := [2]string{rt.Name, f.Name}
+			if drop {
+				s.dropped[key] = true
+			} else {
+				s.fieldMap[key] = [2]string{rec, field}
+			}
+		}
+	}
+	for _, st := range s.src.Sets {
+		name, ok := st.Name, true
+		for _, r := range s.rewriters {
+			n, o := r.MapSet(name)
+			if !o {
+				ok = false
+				break
+			}
+			name = n
+		}
+		s.setMap[st.Name] = setMapping{name: name, ok: ok}
+	}
+	// Splits are keyed by the set name as the program spells it; the
+	// first rewriter that records a split for that spelling wins, matching
+	// the per-call walk order.
+	for _, r := range s.rewriters {
+		for set, sp := range r.Splits {
+			if _, exists := s.splits[set]; !exists {
+				s.splits[set] = sp
+			}
+		}
+	}
 }
 
 // Status returns the target run-unit's DB-STATUS (the emulator forwards
@@ -66,40 +146,63 @@ func (s *Session) Status() netstore.Status { return s.target.Status() }
 // overhead the paper describes.
 
 func (s *Session) mapRecord(name string) string {
+	if mapped, ok := s.recMap[name]; ok {
+		return mapped
+	}
 	for _, r := range s.rewriters {
 		name = r.MapRecord(name)
 	}
 	return name
 }
 
+// mapFieldSlow is the fallback walk for (record, field) pairs outside the
+// source schema — the pre-table per-call path, verbatim.
+func (s *Session) mapFieldSlow(srcType, name string) ([2]string, error) {
+	rec, field := srcType, name
+	for _, r := range s.rewriters {
+		if r.IsDropped(rec, field) {
+			return [2]string{}, fmt.Errorf("emulate: field %s.%s no longer exists", srcType, name)
+		}
+		rec, field = r.MapField(rec, field)
+	}
+	return [2]string{rec, field}, nil
+}
+
 func (s *Session) mapMatch(srcType string, match *value.Record) (*value.Record, error) {
 	if match == nil {
 		return nil, nil
 	}
-	out := value.NewRecord()
+	if s.matchBuf == nil {
+		s.matchBuf = value.NewRecord()
+	}
+	out := s.matchBuf
+	out.Reset()
 	for _, n := range match.Names() {
-		rec, field := srcType, n
-		for _, r := range s.rewriters {
-			if r.IsDropped(rec, field) {
-				return nil, fmt.Errorf("emulate: field %s.%s no longer exists", srcType, n)
-			}
-			rec, field = r.MapField(rec, field)
+		key := [2]string{srcType, n}
+		if s.dropped[key] {
+			return nil, fmt.Errorf("emulate: field %s.%s no longer exists", srcType, n)
 		}
-		out.Set(field, match.MustGet(n))
+		mapped, ok := s.fieldMap[key]
+		if !ok {
+			var err error
+			if mapped, err = s.mapFieldSlow(srcType, n); err != nil {
+				return nil, err
+			}
+		}
+		out.Set(mapped[1], match.MustGet(n))
 	}
 	return out, nil
 }
 
 func (s *Session) splitFor(set string) (xform.PathSplit, bool) {
-	for _, r := range s.rewriters {
-		if sp, ok := r.Splits[set]; ok {
-			return sp, true
-		}
-	}
-	return xform.PathSplit{}, false
+	sp, ok := s.splits[set]
+	return sp, ok
 }
 
 func (s *Session) mapSet(name string) (string, bool) {
+	if m, ok := s.setMap[name]; ok {
+		return m.name, m.ok
+	}
 	for _, r := range s.rewriters {
 		n, ok := r.MapSet(name)
 		if !ok {
@@ -122,11 +225,15 @@ func (s *Session) unmapRecord(srcType string, rec *value.Record) *value.Record {
 	}
 	out := value.NewRecord()
 	for _, f := range srcRec.Fields {
-		nr, nf := srcType, f.Name
-		for _, r := range s.rewriters {
-			nr, nf = r.MapField(nr, nf)
+		mapped, ok := s.fieldMap[[2]string{srcType, f.Name}]
+		if !ok {
+			nr, nf := srcType, f.Name
+			for _, r := range s.rewriters {
+				nr, nf = r.MapField(nr, nf)
+			}
+			mapped = [2]string{nr, nf}
 		}
-		out.Set(f.Name, rec.MustGet(nf))
+		out.Set(f.Name, rec.MustGet(mapped[1]))
 	}
 	return out
 }

@@ -51,15 +51,34 @@ func (v Verdict) Diff() string {
 
 // Check runs the source program under its configuration and the target
 // program under its configuration and compares the observable traces.
-// A done ctx yields a non-Equal verdict carrying ctx.Err() in both
-// error slots, so canceled checks are never mistaken for divergence-free
-// runs.
+// The two runs execute concurrently — they share nothing (each run gets
+// its own database clone from the caller) — and both poll ctx, so a
+// canceled check aborts promptly on both sides. The verdict and the
+// emitted Verify event are built after both runs join, on the calling
+// goroutine, keeping the event stream deterministic. A done ctx yields
+// a non-Equal verdict carrying ctx.Err() in both error slots, so
+// canceled checks are never mistaken for divergence-free runs.
 func Check(ctx context.Context, src *dbprog.Program, srcCfg dbprog.Config, dst *dbprog.Program, dstCfg dbprog.Config) Verdict {
 	if err := ctx.Err(); err != nil {
 		return Verdict{SourceErr: err, TargetErr: err}
 	}
+	if srcCfg.Ctx == nil {
+		srcCfg.Ctx = ctx
+	}
+	if dstCfg.Ctx == nil {
+		dstCfg.Ctx = ctx
+	}
+	var (
+		tb   *dbprog.Trace
+		eb   error
+		done = make(chan struct{})
+	)
+	go func() {
+		defer close(done)
+		tb, eb = dbprog.Run(dst, dstCfg)
+	}()
 	ta, ea := dbprog.Run(src, srcCfg)
-	tb, eb := dbprog.Run(dst, dstCfg)
+	<-done
 	v := Verdict{Source: ta, Target: tb, SourceErr: ea, TargetErr: eb}
 	v.Equal = ea == nil && eb == nil && ta.Equal(tb)
 	if em := obs.EmitterFrom(ctx); em.Enabled() {

@@ -314,12 +314,13 @@ func (e *Evaluator) Eval(f *Find) ([]netstore.RecordID, error) {
 					return nil, fmt.Errorf("mdml: set %s cannot be traversed from %s records",
 						step.Name, e.db.TypeOf(owner))
 				}
-				for _, m := range e.db.Members(step.Name, owner) {
+				e.db.EachMember(step.Name, owner, func(m netstore.RecordID) bool {
 					if !seen[m] {
 						seen[m] = true
 						next = append(next, m)
 					}
-				}
+					return true
+				})
 			}
 			current = next
 		case RecordStep:

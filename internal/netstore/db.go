@@ -34,6 +34,11 @@ type DB struct {
 	// members maps set type -> owner occurrence -> ordered member IDs.
 	members map[string]map[RecordID][]RecordID
 	nextID  RecordID
+	// indexes maps record type -> hash indexes over its schema key
+	// fields, maintained incrementally by every mutation path. nil when
+	// indexing is disabled (SetIndexing(false)).
+	indexes map[string][]*typeIndex
+	stats   *IndexStats // shared with clones; see IndexStats
 }
 
 // NewDB creates an empty database for the schema. The schema must be
@@ -48,6 +53,8 @@ func NewDB(s *schema.Network) *DB {
 		byType:  make(map[string][]RecordID),
 		members: make(map[string]map[RecordID][]RecordID),
 		nextID:  1,
+		indexes: buildIndexes(s),
+		stats:   &IndexStats{},
 	}
 	for _, t := range s.Sets {
 		db.members[t.Name] = make(map[RecordID][]RecordID)
@@ -65,6 +72,35 @@ func (db *DB) Count(recType string) int { return len(db.byType[recType]) }
 // The returned slice is a copy.
 func (db *DB) AllOf(recType string) []RecordID {
 	return append([]RecordID(nil), db.byType[recType]...)
+}
+
+// EachOf visits the occurrence IDs of a record type in insertion order,
+// stopping early when fn returns false. It is the allocation-free
+// counterpart of AllOf: the database must not be mutated during the
+// visit (use AllOf to take a snapshot when the loop body stores,
+// erases, or reconnects records).
+func (db *DB) EachOf(recType string, fn func(RecordID) bool) {
+	for _, id := range db.byType[recType] {
+		if !fn(id) {
+			return
+		}
+	}
+}
+
+// EachMember visits the ordered member IDs of the set occurrence owned
+// by owner, stopping early when fn returns false. Allocation-free
+// counterpart of Members; the same no-mutation-during-visit contract as
+// EachOf applies.
+func (db *DB) EachMember(set string, owner RecordID, fn func(RecordID) bool) {
+	occ, ok := db.members[set]
+	if !ok {
+		return
+	}
+	for _, id := range occ[owner] {
+		if !fn(id) {
+			return
+		}
+	}
 }
 
 // TypeOf returns the record type name of an occurrence, or "" if the ID
@@ -110,6 +146,26 @@ func (db *DB) Data(id RecordID) *value.Record {
 		}
 	}
 	return out
+}
+
+// DataInto resolves the occurrence's record into out (resetting it
+// first), the allocation-free counterpart of Data for loops that reuse
+// one buffer. It reports whether the occurrence exists; out is left
+// reset when it does not.
+func (db *DB) DataInto(id RecordID, out *value.Record) bool {
+	o, ok := db.recs[id]
+	out.Reset()
+	if !ok {
+		return false
+	}
+	for _, f := range o.typ.Fields {
+		if f.Virtual == nil {
+			out.Set(f.Name, o.data.MustGet(f.Name))
+		} else {
+			out.Set(f.Name, db.resolveVirtual(o, &f))
+		}
+	}
+	return true
 }
 
 func (db *DB) resolveVirtual(o *occurrence, f *schema.Field) value.Value {
@@ -181,7 +237,9 @@ func (db *DB) removeMember(set string, owner RecordID, id RecordID) {
 	lst := db.members[set][owner]
 	for i, m := range lst {
 		if m == id {
-			db.members[set][owner] = append(lst[:i], lst[i+1:]...)
+			copy(lst[i:], lst[i+1:])
+			lst[len(lst)-1] = 0 // clear the tail so the backing array can't alias
+			db.members[set][owner] = lst[:len(lst)-1]
 			return
 		}
 	}
@@ -256,10 +314,13 @@ func (db *DB) eraseOccurrence(o *occurrence) {
 	lst := db.byType[o.typ.Name]
 	for i, id := range lst {
 		if id == o.id {
-			db.byType[o.typ.Name] = append(lst[:i], lst[i+1:]...)
+			copy(lst[i:], lst[i+1:])
+			lst[len(lst)-1] = 0 // clear the tail so the backing array can't alias
+			db.byType[o.typ.Name] = lst[:len(lst)-1]
 			break
 		}
 	}
+	db.indexRemove(o)
 	delete(db.recs, o.id)
 }
 
@@ -331,6 +392,7 @@ func (db *DB) StoreWith(recType string, rec *value.Record, memberships map[strin
 	db.nextID++
 	db.recs[o.id] = o
 	db.byType[recType] = append(db.byType[recType], o.id)
+	db.indexAdd(o)
 	for _, tg := range targets {
 		db.insertOrdered(tg.set, tg.owner, o)
 		o.memberOf[tg.set.Name] = tg.owner
@@ -362,5 +424,10 @@ func (db *DB) Clone() *DB {
 			c.members[s][owner] = append([]RecordID(nil), lst...)
 		}
 	}
+	// Rebuild rather than deep-copy the indexes (same result, simpler),
+	// and share the stats counters so probes on clones — the verify
+	// runs execute on clones — aggregate with the original's.
+	c.SetIndexing(db.indexes != nil)
+	c.stats = db.stats
 	return c
 }

@@ -16,9 +16,12 @@ import (
 //  2. every set occurrence is ordered by the set's keys;
 //  3. no duplicate set-key values inside one occurrence;
 //  4. AUTOMATIC+MANDATORY members of non-SYSTEM sets are always connected
-//     (they cannot be stored without an owner or disconnected later).
+//     (they cannot be stored without an owner or disconnected later);
+//  5. every hash index is exactly the partition of byType by key value,
+//     with buckets in ascending (= scan) order.
 func checkInvariants(t *testing.T, db *DB) {
 	t.Helper()
+	checkIndexStructure(t, db)
 	sch := db.Schema()
 	for _, set := range sch.Sets {
 		// Collect owner → members as recorded in the occurrence lists.
@@ -65,6 +68,109 @@ func checkInvariants(t *testing.T, db *DB) {
 				t.Fatalf("set %s: AUTOMATIC MANDATORY member %d is disconnected", set.Name, m)
 			}
 		}
+	}
+}
+
+// checkIndexStructure rebuilds every index's expected buckets from the
+// byType lists and compares them with the incrementally maintained ones.
+func checkIndexStructure(t *testing.T, db *DB) {
+	t.Helper()
+	for typ, idxs := range db.indexes {
+		for _, ix := range idxs {
+			want := map[string][]RecordID{}
+			for _, id := range db.byType[typ] {
+				k := db.recs[id].data.KeyOf(ix.fields)
+				want[k] = append(want[k], id)
+			}
+			if len(want) != len(ix.buckets) {
+				t.Fatalf("index %s%v: %d buckets, want %d", typ, ix.fields, len(ix.buckets), len(want))
+			}
+			for k, ids := range want {
+				got := ix.buckets[k]
+				if len(got) != len(ids) {
+					t.Fatalf("index %s%v bucket %q: %v, want %v", typ, ix.fields, k, got, ids)
+				}
+				for i := range ids {
+					if got[i] != ids[i] {
+						t.Fatalf("index %s%v bucket %q: %v, want %v", typ, ix.fields, k, got, ids)
+					}
+				}
+			}
+		}
+	}
+}
+
+// oracleFind is an independent reimplementation of the FIND scan used as
+// ground truth: first occurrence after `after` in insertion order whose
+// resolved record agrees with every non-null match field.
+func oracleFind(db *DB, recType string, match *value.Record, after RecordID) RecordID {
+	skipping := after != 0
+	for _, id := range db.AllOf(recType) {
+		if skipping {
+			if id == after {
+				skipping = false
+			}
+			continue
+		}
+		ok := true
+		if match != nil {
+			rec := db.Data(id)
+			for _, n := range match.Names() {
+				want := match.MustGet(n)
+				if want.IsNull() {
+					continue
+				}
+				if !rec.MustGet(n).Equal(want) {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			return id
+		}
+	}
+	return 0
+}
+
+// checkFindAgainstOracle runs FindAny and the full FindDuplicate chain on
+// a fresh session and asserts each step lands exactly where the oracle
+// scan says it must — regardless of whether the index or the scan path
+// answered.
+func checkFindAgainstOracle(t *testing.T, db *DB, recType string, match *value.Record) {
+	t.Helper()
+	s := NewSession(db)
+	st, err := s.FindAny(recType, match)
+	if err != nil {
+		t.Fatalf("FindAny %s %v: %v", recType, match, err)
+	}
+	cur := oracleFind(db, recType, match, 0)
+	if cur == 0 {
+		if st != NotFound {
+			t.Fatalf("FindAny %s %v: status %v, oracle found nothing", recType, match, st)
+		}
+		return
+	}
+	if st != OK || s.Current() != cur {
+		t.Fatalf("FindAny %s %v: got (%v, %d), oracle %d", recType, match, st, s.Current(), cur)
+	}
+	for {
+		st, err = s.FindDuplicate(recType, match)
+		if err != nil {
+			t.Fatalf("FindDuplicate %s %v: %v", recType, match, err)
+		}
+		next := oracleFind(db, recType, match, cur)
+		if next == 0 {
+			if st != NotFound {
+				t.Fatalf("FindDuplicate %s %v after %d: status %v, oracle exhausted", recType, match, cur, st)
+			}
+			return
+		}
+		if st != OK || s.Current() != next {
+			t.Fatalf("FindDuplicate %s %v after %d: got (%v, %d), oracle %d",
+				recType, match, cur, st, s.Current(), next)
+		}
+		cur = next
 	}
 }
 
@@ -126,6 +232,12 @@ func TestRandomOperationSequencesPreserveInvariants(t *testing.T) {
 				s.FindInSet("DIV-EMP", Next, nil)
 				s.FindOwner("DIV-EMP")
 			}
+			// Indexed FIND agrees with the scan oracle after every op.
+			recType := "EMP"
+			if rng.Intn(3) == 0 {
+				recType = "DIV"
+			}
+			checkFindAgainstOracle(t, db, recType, randomMatch(rng, recType))
 			if op%50 == 0 {
 				checkInvariants(t, db)
 			}
@@ -178,6 +290,10 @@ func TestRandomSequencesWithManualOptionalSets(t *testing.T) {
 				s.Position(ids[rng.Intn(len(ids))])
 				s.Erase("EMP")
 			}
+			// CONNECT/DISCONNECT don't change stored keys, but the index
+			// must still agree with the oracle after every interleaving.
+			checkFindAgainstOracle(t, db, "EMP",
+				value.FromPairs("EMP-NAME", fmt.Sprintf("E-%04d", rng.Intn(500))))
 			if op%40 == 0 {
 				checkInvariants(t, db)
 			}

@@ -2,6 +2,7 @@ package netstore
 
 import (
 	"fmt"
+	"sort"
 
 	"progconv/internal/schema"
 	"progconv/internal/value"
@@ -215,6 +216,7 @@ func (s *Session) Store(recType string, rec *value.Record) (RecordID, Status, er
 	s.db.nextID++
 	s.db.recs[o.id] = o
 	s.db.byType[recType] = append(s.db.byType[recType], o.id)
+	s.db.indexAdd(o)
 	for _, tg := range targets {
 		s.db.insertOrdered(tg.set, tg.owner, o)
 		o.memberOf[tg.set.Name] = tg.owner
@@ -280,6 +282,20 @@ func (s *Session) findScan(recType string, match *value.Record, after RecordID) 
 	if err := matchShape(typ, match); err != nil {
 		return s.status, err
 	}
+	// Fast path: when the match's non-null fields are exactly an indexed
+	// key combination, probe the hash index. Buckets are in ascending ID
+	// order — the byType scan order — so the first bucket entry beyond
+	// `after` is precisely the record the scan below would surface.
+	if bucket, ok := s.db.probeIndex(typ, match); ok {
+		s.db.stats.probes.Add(1)
+		pos := sort.Search(len(bucket), func(i int) bool { return bucket[i] > after })
+		if pos < len(bucket) {
+			s.setCurrency(s.db.recs[bucket[pos]])
+			return s.fail(OK), nil
+		}
+		return s.fail(NotFound), nil
+	}
+	s.db.stats.scans.Add(1)
 	skipping := after != 0
 	for _, id := range s.db.byType[recType] {
 		if skipping {
@@ -459,7 +475,9 @@ func (s *Session) Modify(recType string, rec *value.Record) (Status, error) {
 	for setName, owner := range o.memberOf {
 		s.db.removeMember(setName, owner, o.id)
 	}
+	s.db.indexRemove(o) // keyed by the old data; re-add under the new below
 	o.data = newData
+	s.db.indexAdd(o)
 	for setName, owner := range o.memberOf {
 		s.db.insertOrdered(s.db.schema.Set(setName), owner, o)
 	}

@@ -30,6 +30,10 @@ type Tally struct {
 	cacheHits    map[string]int64
 	cacheMisses  map[string]int64
 	cacheEvicts  map[string]int64
+	// dataplane holds report-level counters folded in via AddDataPlane
+	// (not event-derived: reports carry totals, the stream carries
+	// occurrences).
+	dataplane DataPlane
 }
 
 // NewTally returns an empty counter collector.
@@ -105,6 +109,14 @@ func (t *Tally) Snapshot() map[string]int64 {
 			out[f.name+"/"+label] = n
 		}
 	}
+	// Data-plane totals appear only once recorded, so pre-existing
+	// snapshot shapes are unchanged.
+	if !t.dataplane.Zero() {
+		out["dataplane/index_probes"] = t.dataplane.IndexProbes
+		out["dataplane/index_scans"] = t.dataplane.IndexScans
+		out["dataplane/migration_fused_steps"] = t.dataplane.FusedSteps
+		out["dataplane/migration_stepwise_steps"] = t.dataplane.StepwiseSteps
+	}
 	return out
 }
 
@@ -136,8 +148,10 @@ func (t *Tally) WritePrometheus(w io.Writer, m *Metrics) error {
 		name, help, label string
 		m                 map[string]int64
 	}
+	var dp DataPlane
 	if t != nil {
 		t.mu.Lock()
+		dp = t.dataplane
 		families = []struct {
 			name, help, label string
 			m                 map[string]int64
@@ -156,6 +170,24 @@ func (t *Tally) WritePrometheus(w io.Writer, m *Metrics) error {
 	for _, f := range families {
 		if err := promFamily(w, f.name, f.help, f.label, f.m); err != nil {
 			return err
+		}
+	}
+	// Data-plane counters are label-free totals, written only once any
+	// activity was recorded so pre-existing exports stay byte-stable.
+	if !dp.Zero() {
+		for _, c := range []struct {
+			name, help string
+			v          int64
+		}{
+			{"progconv_index_probes_total", "FIND requests answered by an exact-key index probe.", dp.IndexProbes},
+			{"progconv_index_scans_total", "FIND requests answered by a full occurrence scan.", dp.IndexScans},
+			{"progconv_migration_fused_steps_total", "Migration steps executed inside fused single-pass runs.", dp.FusedSteps},
+			{"progconv_migration_stepwise_steps_total", "Migration steps executed as their own full-database pass.", dp.StepwiseSteps},
+		} {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+				c.name, c.help, c.name, c.name, c.v); err != nil {
+				return err
+			}
 		}
 	}
 	if m == nil {

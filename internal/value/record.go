@@ -87,7 +87,9 @@ func (r *Record) Delete(name string) {
 	delete(r.fields, name)
 	for i, n := range r.names {
 		if n == name {
-			r.names = append(r.names[:i], r.names[i+1:]...)
+			copy(r.names[i:], r.names[i+1:])
+			r.names[len(r.names)-1] = "" // clear the tail: no aliasing, no pinned string
+			r.names = r.names[:len(r.names)-1]
 			break
 		}
 	}
@@ -115,6 +117,13 @@ func (r *Record) Names() []string { return r.names }
 
 // Len returns the number of fields.
 func (r *Record) Len() int { return len(r.names) }
+
+// Reset removes every field while keeping the allocated capacity, so
+// hot paths can refill one record per call instead of allocating.
+func (r *Record) Reset() {
+	r.names = r.names[:0]
+	clear(r.fields)
+}
 
 // Clone returns a deep copy of the record.
 func (r *Record) Clone() *Record {

@@ -35,7 +35,10 @@ func rebuild(src *netstore.DB, dst *schema.Network, f rebuildFns) (*netstore.DB,
 			continue
 		}
 		memberSets := srcSchema.SetsWithMember(srcType)
-		for _, id := range src.AllOf(srcType) {
+		var visitErr error
+		// EachOf iterates src without copying; only out is mutated here,
+		// so the no-mutation-during-visit contract holds.
+		src.EachOf(srcType, func(id netstore.RecordID) bool {
 			data := src.StoredData(id)
 			if f.mapData != nil {
 				data = f.mapData(srcType, data)
@@ -58,16 +61,22 @@ func rebuild(src *netstore.DB, dst *schema.Network, f rebuildFns) (*netstore.DB,
 				} else {
 					dstOwner, ok := idMap[owner]
 					if !ok {
-						return nil, fmt.Errorf("xform: %s occurrence's owner in %s not yet migrated", srcType, set.Name)
+						visitErr = fmt.Errorf("xform: %s occurrence's owner in %s not yet migrated", srcType, set.Name)
+						return false
 					}
 					memberships[dstSet] = dstOwner
 				}
 			}
 			nid, err := out.StoreWith(dstType, data, memberships)
 			if err != nil {
-				return nil, err
+				visitErr = err
+				return false
 			}
 			idMap[id] = nid
+			return true
+		})
+		if visitErr != nil {
+			return nil, visitErr
 		}
 	}
 	return out, nil
@@ -108,14 +117,19 @@ func (t RenameRecord) ApplySchema(src *schema.Network) (*schema.Network, error) 
 	return out, out.Validate()
 }
 
-// MigrateData implements Transformation.
-func (t RenameRecord) MigrateData(src *netstore.DB, dst *schema.Network) (*netstore.DB, error) {
-	return rebuild(src, dst, rebuildFns{mapType: func(s string) string {
+// fuseFns implements fusible.
+func (t RenameRecord) fuseFns() rebuildFns {
+	return rebuildFns{mapType: func(s string) string {
 		if s == t.Old {
 			return t.New
 		}
 		return s
-	}})
+	}}
+}
+
+// MigrateData implements Transformation.
+func (t RenameRecord) MigrateData(src *netstore.DB, dst *schema.Network) (*netstore.DB, error) {
+	return rebuild(src, dst, t.fuseFns())
 }
 
 // Rewriter implements Transformation.
@@ -180,14 +194,19 @@ func (t RenameField) ApplySchema(src *schema.Network) (*schema.Network, error) {
 	return out, out.Validate()
 }
 
-// MigrateData implements Transformation.
-func (t RenameField) MigrateData(src *netstore.DB, dst *schema.Network) (*netstore.DB, error) {
-	return rebuild(src, dst, rebuildFns{mapData: func(typ string, data *value.Record) *value.Record {
+// fuseFns implements fusible.
+func (t RenameField) fuseFns() rebuildFns {
+	return rebuildFns{mapData: func(typ string, data *value.Record) *value.Record {
 		if typ == t.Record {
 			data.Rename(t.Old, t.New)
 		}
 		return data
-	}})
+	}}
+}
+
+// MigrateData implements Transformation.
+func (t RenameField) MigrateData(src *netstore.DB, dst *schema.Network) (*netstore.DB, error) {
+	return rebuild(src, dst, t.fuseFns())
 }
 
 // Rewriter implements Transformation.
@@ -231,14 +250,19 @@ func (t RenameSet) ApplySchema(src *schema.Network) (*schema.Network, error) {
 	return out, out.Validate()
 }
 
-// MigrateData implements Transformation.
-func (t RenameSet) MigrateData(src *netstore.DB, dst *schema.Network) (*netstore.DB, error) {
-	return rebuild(src, dst, rebuildFns{mapSet: func(s string) string {
+// fuseFns implements fusible.
+func (t RenameSet) fuseFns() rebuildFns {
+	return rebuildFns{mapSet: func(s string) string {
 		if s == t.Old {
 			return t.New
 		}
 		return s
-	}})
+	}}
+}
+
+// MigrateData implements Transformation.
+func (t RenameSet) MigrateData(src *netstore.DB, dst *schema.Network) (*netstore.DB, error) {
+	return rebuild(src, dst, t.fuseFns())
 }
 
 // Rewriter implements Transformation.
@@ -286,14 +310,19 @@ func (t AddField) ApplySchema(src *schema.Network) (*schema.Network, error) {
 	return out, out.Validate()
 }
 
-// MigrateData implements Transformation.
-func (t AddField) MigrateData(src *netstore.DB, dst *schema.Network) (*netstore.DB, error) {
-	return rebuild(src, dst, rebuildFns{mapData: func(typ string, data *value.Record) *value.Record {
+// fuseFns implements fusible.
+func (t AddField) fuseFns() rebuildFns {
+	return rebuildFns{mapData: func(typ string, data *value.Record) *value.Record {
 		if typ == t.Record {
 			data.Set(t.Field, t.Default)
 		}
 		return data
-	}})
+	}}
+}
+
+// MigrateData implements Transformation.
+func (t AddField) MigrateData(src *netstore.DB, dst *schema.Network) (*netstore.DB, error) {
+	return rebuild(src, dst, t.fuseFns())
 }
 
 // Rewriter implements Transformation.
@@ -358,14 +387,19 @@ func (t DropField) ApplySchema(src *schema.Network) (*schema.Network, error) {
 	return out, out.Validate()
 }
 
-// MigrateData implements Transformation.
-func (t DropField) MigrateData(src *netstore.DB, dst *schema.Network) (*netstore.DB, error) {
-	return rebuild(src, dst, rebuildFns{mapData: func(typ string, data *value.Record) *value.Record {
+// fuseFns implements fusible.
+func (t DropField) fuseFns() rebuildFns {
+	return rebuildFns{mapData: func(typ string, data *value.Record) *value.Record {
 		if typ == t.Record {
 			data.Delete(t.Field)
 		}
 		return data
-	}})
+	}}
+}
+
+// MigrateData implements Transformation.
+func (t DropField) MigrateData(src *netstore.DB, dst *schema.Network) (*netstore.DB, error) {
+	return rebuild(src, dst, t.fuseFns())
 }
 
 // Rewriter implements Transformation.
@@ -405,6 +439,11 @@ func (t ChangeSetKeys) ApplySchema(src *schema.Network) (*schema.Network, error)
 	out.Set(t.Set).Keys = append([]string(nil), t.Keys...)
 	return out, out.Validate()
 }
+
+// fuseFns implements fusible. The reordering itself happens in
+// StoreWith under the destination schema's keys, so the mapping is the
+// identity.
+func (t ChangeSetKeys) fuseFns() rebuildFns { return rebuildFns{} }
 
 // MigrateData implements Transformation.
 func (t ChangeSetKeys) MigrateData(src *netstore.DB, dst *schema.Network) (*netstore.DB, error) {
@@ -453,6 +492,10 @@ func (t ChangeRetention) ApplySchema(src *schema.Network) (*schema.Network, erro
 	out.Set(t.Set).Retention = t.Retention
 	return out, out.Validate()
 }
+
+// fuseFns implements fusible: retention is schema-only, the data
+// mapping is the identity.
+func (t ChangeRetention) fuseFns() rebuildFns { return rebuildFns{} }
 
 // MigrateData implements Transformation.
 func (t ChangeRetention) MigrateData(src *netstore.DB, dst *schema.Network) (*netstore.DB, error) {

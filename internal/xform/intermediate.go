@@ -150,7 +150,8 @@ func (t IntroduceIntermediate) MigrateData(src *netstore.DB, dst *schema.Network
 	srcSchema := src.Schema()
 	for _, srcType := range topoRecordOrder(srcSchema) {
 		memberSets := srcSchema.SetsWithMember(srcType)
-		for _, id := range src.AllOf(srcType) {
+		var visitErr error
+		src.EachOf(srcType, func(id netstore.RecordID) bool {
 			data := src.StoredData(id)
 			memberships := map[string]netstore.RecordID{}
 			for _, s := range memberSets {
@@ -164,7 +165,8 @@ func (t IntroduceIntermediate) MigrateData(src *netstore.DB, dst *schema.Network
 				}
 				dstOwner, ok := idMap[owner]
 				if !ok {
-					return nil, fmt.Errorf("xform: owner of %s in %s not yet migrated", srcType, s.Name)
+					visitErr = fmt.Errorf("xform: owner of %s in %s not yet migrated", srcType, s.Name)
+					return false
 				}
 				if srcType == memberType && s.Name == t.Set {
 					// Route through an intermediate for this group value.
@@ -174,10 +176,10 @@ func (t IntroduceIntermediate) MigrateData(src *netstore.DB, dst *schema.Network
 					if !have {
 						rec := value.NewRecord()
 						rec.Set(t.GroupField, gv)
-						interID, err = out.StoreWith(t.Inter, rec,
+						interID, visitErr = out.StoreWith(t.Inter, rec,
 							map[string]netstore.RecordID{t.Upper: dstOwner})
-						if err != nil {
-							return nil, err
+						if visitErr != nil {
+							return false
 						}
 						inters[k] = interID
 					}
@@ -191,9 +193,14 @@ func (t IntroduceIntermediate) MigrateData(src *netstore.DB, dst *schema.Network
 			}
 			nid, err := out.StoreWith(srcType, data, memberships)
 			if err != nil {
-				return nil, err
+				visitErr = err
+				return false
 			}
 			idMap[id] = nid
+			return true
+		})
+		if visitErr != nil {
+			return nil, visitErr
 		}
 	}
 	return out, nil
@@ -348,7 +355,8 @@ func (t CollapseIntermediate) MigrateData(src *netstore.DB, dst *schema.Network)
 			continue // intermediates vanish
 		}
 		memberSets := srcSchema.SetsWithMember(srcType)
-		for _, id := range src.AllOf(srcType) {
+		var visitErr error
+		src.EachOf(srcType, func(id netstore.RecordID) bool {
 			data := src.StoredData(id)
 			memberships := map[string]netstore.RecordID{}
 			for _, s := range memberSets {
@@ -367,26 +375,34 @@ func (t CollapseIntermediate) MigrateData(src *netstore.DB, dst *schema.Network)
 					data.Set(t.GroupField, gv)
 					grand, ok := src.OwnerOf(t.Upper, owner)
 					if !ok {
-						return nil, fmt.Errorf("xform: intermediate %d has no %s owner", owner, t.Upper)
+						visitErr = fmt.Errorf("xform: intermediate %d has no %s owner", owner, t.Upper)
+						return false
 					}
 					dstOwner, ok := idMap[grand]
 					if !ok {
-						return nil, fmt.Errorf("xform: owner of intermediate not yet migrated")
+						visitErr = fmt.Errorf("xform: owner of intermediate not yet migrated")
+						return false
 					}
 					memberships[t.NewSet] = dstOwner
 					continue
 				}
 				dstOwner, ok := idMap[owner]
 				if !ok {
-					return nil, fmt.Errorf("xform: owner of %s in %s not yet migrated", srcType, s.Name)
+					visitErr = fmt.Errorf("xform: owner of %s in %s not yet migrated", srcType, s.Name)
+					return false
 				}
 				memberships[s.Name] = dstOwner
 			}
 			nid, err := out.StoreWith(srcType, data, memberships)
 			if err != nil {
-				return nil, err
+				visitErr = err
+				return false
 			}
 			idMap[id] = nid
+			return true
+		})
+		if visitErr != nil {
+			return nil, visitErr
 		}
 	}
 	return out, nil

@@ -129,6 +129,11 @@ type (
 	Cache      = plancache.Cache
 	CacheStats = plancache.Stats
 	Job        = core.Job
+
+	// DataPlane is the data-plane fast-path counter block carried on a
+	// Report: index probes vs full scans answering FIND requests during
+	// verification, and fused vs stepwise migration passes.
+	DataPlane = obs.DataPlane
 )
 
 // The dispositions.
