@@ -1,10 +1,10 @@
 // Command exper regenerates every experiment in EXPERIMENTS.md: the
 // paper's figures and worked examples (EXP-F*, EXP-S*), its quantitative
-// claims (EXP-C*), the hazard-detector audit (EXP-H1), and the
-// resilience demonstration (EXP-R1). Run with no arguments for all
-// experiments, or name them:
+// claims (EXP-C*), the hazard-detector audit (EXP-H1), the resilience
+// demonstration (EXP-R1), and the conversion-service measurement
+// (EXP-S1). Run with no arguments for all experiments, or name them:
 //
-//	exper [f3.1] [f4.1] [f4.3] [f4.4] [s4.1a] [s4.1b] [c1] [c2] [c3] [c4] [c5] [c6] [h1] [r1]
+//	exper [f3.1] [f4.1] [f4.3] [f4.4] [s4.1a] [s4.1b] [c1] [c2] [c3] [c4] [c5] [c6] [h1] [r1] [s1]
 //
 // The bench-json subcommand measures the data-plane benchmarks with
 // testing.Benchmark and writes machine-readable results:
@@ -13,15 +13,20 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"sort"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
+	"progconv"
 	"progconv/internal/analyzer"
 	"progconv/internal/bridge"
 	"progconv/internal/constraint"
@@ -44,7 +49,9 @@ import (
 	"progconv/internal/schema/ddl"
 	"progconv/internal/semantic"
 	"progconv/internal/sequel"
+	"progconv/internal/serve"
 	"progconv/internal/value"
+	"progconv/internal/wire"
 	"progconv/internal/xform"
 )
 
@@ -53,9 +60,9 @@ func main() {
 		"f3.1": expF31, "f4.1": expF41, "f4.3": expF43, "f4.4": expF44,
 		"s4.1a": expS41a, "s4.1b": expS41b,
 		"c1": expC1, "c2": expC2, "c3": expC3, "c4": expC4, "c5": expC5, "c6": expC6,
-		"h1": expH1, "r1": expR1,
+		"h1": expH1, "r1": expR1, "s1": expS1,
 	}
-	order := []string{"f3.1", "f4.1", "f4.3", "f4.4", "s4.1a", "s4.1b", "c1", "c2", "c3", "c4", "c5", "c6", "h1", "r1"}
+	order := []string{"f3.1", "f4.1", "f4.3", "f4.4", "s4.1a", "s4.1b", "c1", "c2", "c3", "c4", "c5", "c6", "h1", "r1", "s1"}
 	args := os.Args[1:]
 	if len(args) > 0 && args[0] == "bench-json" {
 		out := "BENCH_PR5.json"
@@ -64,7 +71,7 @@ func main() {
 		}
 		if err := benchJSON(out); err != nil {
 			fmt.Fprintln(os.Stderr, "bench-json:", err)
-			os.Exit(1)
+			os.Exit(int(wire.ExitError))
 		}
 		fmt.Println("wrote", out)
 		return
@@ -76,7 +83,7 @@ func main() {
 		fn, ok := all[strings.ToLower(a)]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q; know %v\n", a, order)
-			os.Exit(2)
+			os.Exit(int(wire.ExitUsage))
 		}
 		fn()
 	}
@@ -865,7 +872,7 @@ func expC6() {
 		report, err := sup.Run(context.Background(), schema.CompanyV1(), nil, figurePlan(), vdb, progs)
 		if err != nil {
 			fmt.Println("error:", err)
-			os.Exit(1)
+			os.Exit(int(wire.ExitError))
 		}
 		return report
 	}
@@ -883,13 +890,10 @@ func expC6() {
 }
 
 // benchJSON measures the data-plane benchmarks with testing.Benchmark
-// and writes name/ns-per-op/allocs-per-op rows as JSON.
+// and writes name/ns-per-op/allocs-per-op rows as a wire-versioned
+// JSON document.
 func benchJSON(out string) error {
-	type row struct {
-		Name        string  `json:"name"`
-		NsPerOp     float64 `json:"ns_per_op"`
-		AllocsPerOp int64   `json:"allocs_per_op"`
-	}
+	type row = wire.BenchRow
 	bench := func(name string, fn func(b *testing.B)) row {
 		r := testing.Benchmark(fn)
 		return row{Name: name, NsPerOp: float64(r.NsPerOp()), AllocsPerOp: r.AllocsPerOp()}
@@ -970,10 +974,8 @@ END PROGRAM.
 		}),
 	}
 
-	doc := struct {
-		Note       string `json:"note"`
-		Benchmarks []row  `json:"benchmarks"`
-	}{
+	doc := wire.BenchDoc{
+		V:          wire.Version,
 		Note:       "generated by `exper bench-json`: ns/op and allocs/op for the data-plane fast-path benchmarks (see EXPERIMENTS.md EXP-C6)",
 		Benchmarks: rows,
 	}
@@ -1094,7 +1096,7 @@ func expR1() {
 		report, err := sup.Run(ctx, schema.CompanyV1(), nil, figurePlan(), nil, progs)
 		if err != nil {
 			fmt.Println("error:", err)
-			os.Exit(1)
+			os.Exit(int(wire.ExitError))
 		}
 		return report, tally
 	}
@@ -1146,4 +1148,256 @@ func indent(s string, n int) string {
 		lines[i] = pad + l
 	}
 	return strings.Join(lines, "\n") + "\n"
+}
+
+// ---- EXP-S1 ----
+
+// serveSpec is the wire-v1 job EXP-S1 submits repeatedly: the COMPANY
+// pair, a three-program inventory (two automatic, one qualified), and
+// a verify-init program that populates the source database so the
+// daemon verifies the automatic conversions it reports.
+func serveSpec() wire.JobSpec {
+	return wire.JobSpec{
+		V:         wire.Version,
+		SourceDDL: schema.CompanyV1().DDL(),
+		TargetDDL: schema.CompanyV2().DDL(),
+		Programs: []wire.ProgramSpec{
+			{Source: `
+PROGRAM LIST-OLD DIALECT MARYLAND.
+  FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(AGE > 30)) INTO OLD.
+  FOR EACH E IN OLD
+    PRINT EMP-NAME IN E, AGE IN E.
+  END-FOR.
+END PROGRAM.
+`},
+			{Source: `
+PROGRAM COUNT-SALES DIALECT NETWORK.
+  LET N = 0.
+  MOVE 'MACHINERY' TO DIV-NAME IN DIV.
+  FIND ANY DIV USING DIV-NAME.
+  MOVE 'SALES' TO DEPT-NAME IN EMP.
+  PERFORM UNTIL DB-STATUS <> 'OK'
+    FIND NEXT EMP WITHIN DIV-EMP USING DEPT-NAME.
+    IF DB-STATUS = 'OK'
+      GET EMP.
+      LET N = N + 1.
+    END-IF.
+  END-PERFORM.
+  PRINT 'SALES EMPLOYEES', N.
+END PROGRAM.
+`},
+			{Source: `
+PROGRAM ROSTER DIALECT NETWORK.
+  MOVE 'MACHINERY' TO DIV-NAME IN DIV.
+  FIND ANY DIV USING DIV-NAME.
+  PERFORM UNTIL DB-STATUS <> 'OK'
+    FIND NEXT EMP WITHIN DIV-EMP.
+    IF DB-STATUS = 'OK'
+      GET EMP.
+      PRINT EMP-NAME IN EMP.
+    END-IF.
+  END-PERFORM.
+END PROGRAM.
+`},
+		},
+		Options: wire.JobOptions{
+			Parallelism: 2,
+			VerifyInit: `
+PROGRAM INIT-DB DIALECT NETWORK.
+  MOVE 'MACHINERY' TO DIV-NAME IN DIV.
+  MOVE 'DETROIT' TO DIV-LOC IN DIV.
+  STORE DIV.
+  MOVE 'TEXTILES' TO DIV-NAME IN DIV.
+  MOVE 'ATLANTA' TO DIV-LOC IN DIV.
+  STORE DIV.
+  MOVE 'MACHINERY' TO DIV-NAME IN DIV.
+  FIND ANY DIV USING DIV-NAME.
+  MOVE 'ADAMS' TO EMP-NAME IN EMP.
+  MOVE 'SALES' TO DEPT-NAME IN EMP.
+  MOVE 45 TO AGE IN EMP.
+  STORE EMP.
+  MOVE 'BAKER' TO EMP-NAME IN EMP.
+  MOVE 'SALES' TO DEPT-NAME IN EMP.
+  MOVE 28 TO AGE IN EMP.
+  STORE EMP.
+  MOVE 'CLARK' TO EMP-NAME IN EMP.
+  MOVE 'WELDING' TO DEPT-NAME IN EMP.
+  MOVE 33 TO AGE IN EMP.
+  STORE EMP.
+  MOVE 'TEXTILES' TO DIV-NAME IN DIV.
+  FIND ANY DIV USING DIV-NAME.
+  MOVE 'DAVIS' TO EMP-NAME IN EMP.
+  MOVE 'SALES' TO DEPT-NAME IN EMP.
+  MOVE 51 TO AGE IN EMP.
+  STORE EMP.
+END PROGRAM.
+`,
+		},
+	}
+}
+
+// submitS1 posts one job and returns its id, or the non-202 response.
+func submitS1(base string, body []byte) (string, *http.Response, error) {
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		var ed wire.ErrorDoc
+		json.NewDecoder(resp.Body).Decode(&ed)
+		return "", resp, fmt.Errorf("HTTP %d: %s", resp.StatusCode, ed.Error)
+	}
+	var st wire.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return "", resp, err
+	}
+	return st.ID, resp, nil
+}
+
+// waitS1 polls a job until it reaches a terminal state.
+func waitS1(base, id string) wire.JobStatus {
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			time.Sleep(5 * time.Millisecond)
+			continue
+		}
+		var st wire.JobStatus
+		json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if st.ExitCode != nil {
+			return st
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// expS1 measures the conversion service end to end: job throughput
+// and latency through the shared pair cache, admission control under
+// a deliberately tiny queue, and a graceful drain.
+func expS1() {
+	banner("EXP-S1", "conversion service: throughput, admission control, graceful drain")
+	body, err := json.Marshal(serveSpec())
+	if err != nil {
+		panic(err)
+	}
+
+	// (a) Throughput: 24 identical jobs from 8 concurrent submitters on
+	// 4 runners sharing one conversion cache. The first jobs pay the
+	// plan search; the rest hit the pair cache.
+	srv := serve.New(serve.Config{QueueDepth: 32, Runners: 4, Cache: progconv.NewCache(0)})
+	ts := httptest.NewServer(srv.Handler())
+	const jobs = 24
+	var (
+		mu   sync.Mutex
+		lats []time.Duration
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, 8)
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			t0 := time.Now()
+			id, _, err := submitS1(ts.URL, body)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "  submit:", err)
+				return
+			}
+			waitS1(ts.URL, id)
+			mu.Lock()
+			lats = append(lats, time.Since(t0))
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	fmt.Printf("\n(a) %d jobs, 8 submitters, 4 runners, shared pair cache:\n", jobs)
+	fmt.Printf("    wall time %v, throughput %.1f jobs/s\n",
+		wall.Round(time.Millisecond), float64(len(lats))/wall.Seconds())
+	if n := len(lats); n > 0 {
+		fmt.Printf("    job latency min/median/max = %v / %v / %v\n",
+			lats[0].Round(10*time.Microsecond), lats[n/2].Round(10*time.Microsecond),
+			lats[n-1].Round(10*time.Microsecond))
+	}
+
+	// Every finished report must be byte-identical: same inputs, any
+	// submitter, any runner.
+	var list struct {
+		Jobs []wire.JobStatus `json:"jobs"`
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		panic(err)
+	}
+	json.NewDecoder(resp.Body).Decode(&list)
+	resp.Body.Close()
+	var first []byte
+	identical := true
+	for _, st := range list.Jobs {
+		r, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/report")
+		if err != nil {
+			panic(err)
+		}
+		b := new(bytes.Buffer)
+		b.ReadFrom(r.Body)
+		r.Body.Close()
+		if first == nil {
+			first = b.Bytes()
+		} else if !bytes.Equal(first, b.Bytes()) {
+			identical = false
+		}
+	}
+	fmt.Printf("    all %d reports byte-identical: %v\n", len(list.Jobs), identical)
+	ts.Close()
+	srv.Drain(context.Background())
+
+	// (b) Admission control: queue depth 1, one runner, jobs slowed by
+	// the fault injector. Back-to-back submissions overflow the queue
+	// and get 429 + Retry-After instead of unbounded buffering.
+	slow := serveSpec()
+	slow.Options.Inject = "delay=150ms@*/analyze"
+	slowBody, _ := json.Marshal(slow)
+	srv = serve.New(serve.Config{QueueDepth: 1, Runners: 1, RetryAfter: 2 * time.Second})
+	ts = httptest.NewServer(srv.Handler())
+	accepted, rejected, retryAfter := 0, 0, ""
+	var ids []string
+	for i := 0; i < 8; i++ {
+		id, resp, err := submitS1(ts.URL, slowBody)
+		if err == nil {
+			accepted++
+			ids = append(ids, id)
+		} else if resp != nil && resp.StatusCode == http.StatusTooManyRequests {
+			rejected++
+			retryAfter = resp.Header.Get("Retry-After")
+		}
+	}
+	fmt.Printf("\n(b) queue depth 1, 1 runner, 8 back-to-back submissions of slowed jobs:\n")
+	fmt.Printf("    accepted %d, rejected %d with 429 (Retry-After: %ss)\n", accepted, rejected, retryAfter)
+
+	// (c) Graceful drain: admitted jobs finish, new submissions get
+	// 503, and finished reports stay readable.
+	srv.StartDrain()
+	_, resp503, err := submitS1(ts.URL, slowBody)
+	code := 0
+	if err != nil && resp503 != nil {
+		code = resp503.StatusCode
+	}
+	if err := srv.Wait(context.Background()); err != nil {
+		panic(err)
+	}
+	done := 0
+	for _, id := range ids {
+		if st := waitS1(ts.URL, id); st.State == "done" {
+			done++
+		}
+	}
+	fmt.Printf("\n(c) drain: submission during drain answered %d; all %d admitted jobs finished (%d done)\n",
+		code, len(ids), done)
+	ts.Close()
 }

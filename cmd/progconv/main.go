@@ -9,7 +9,7 @@
 //	                 [-trace f.json] [-metrics-out f.prom] [-debug-addr :6060]
 //	                 [-timeout d] [-stage-timeout d] [-analyst-timeout d]
 //	                 [-retries N] [-on-failure fail-fast|collect|budget:N]
-//	                 [-cache] [-cache-size N] [-verify-init prog]
+//	                 [-cache] [-cache-size N] [-verify-init prog] [-report-json f.json]
 //	                 [-inject spec] [-fail-on manual|qualified]
 //	                 <source.ddl> <target.ddl> <program.prog>...
 //	progconv run [-init <program.prog>] [-input line]... <schema.ddl> <program.prog>
@@ -29,8 +29,6 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"strconv"
-	"strings"
 
 	"progconv"
 	"progconv/internal/analyzer"
@@ -41,6 +39,7 @@ import (
 	"progconv/internal/relstore"
 	"progconv/internal/schema"
 	"progconv/internal/schema/ddl"
+	"progconv/internal/wire"
 	"progconv/internal/xform"
 )
 
@@ -67,15 +66,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "progconv:", err)
 		var xe exitError
 		if errors.As(err, &xe) {
-			os.Exit(xe.code)
+			os.Exit(int(xe.code))
 		}
-		os.Exit(1)
+		os.Exit(int(wire.ExitError))
 	}
 }
 
-// exitError carries a specific process exit code (the -fail-on path).
+// exitError carries a specific process exit code from the shared
+// wire-schema table (the -fail-on and pipeline-failure paths).
 type exitError struct {
-	code int
+	code wire.ExitCode
 	msg  string
 }
 
@@ -90,11 +90,11 @@ func usage() {
                    [-trace f.json] [-metrics-out f.prom] [-debug-addr :6060]
                    [-timeout d] [-stage-timeout d] [-analyst-timeout d]
                    [-retries N] [-on-failure fail-fast|collect|budget:N]
-                   [-cache] [-cache-size N] [-verify-init prog]
+                   [-cache] [-cache-size N] [-verify-init prog] [-report-json f.json]
                    [-inject spec] [-fail-on manual|qualified]
                    <source.ddl> <target.ddl> <program.prog>...
   progconv run [-init <program.prog>] [-input line]... <schema.ddl> <program.prog>`)
-	os.Exit(2)
+	os.Exit(int(wire.ExitUsage))
 }
 
 func readFile(path string) (string, error) {
@@ -253,25 +253,16 @@ func cmdConvert(args []string) error {
 		"program run against an empty source database to populate it;\n"+
 			"the populated database is migrated through the plan and every\n"+
 			"automatic conversion is verified I/O-equivalent against it")
+	reportJSON := fs.String("report-json", "",
+		"write the report as a wire-versioned JSON document to this file\n"+
+			"('-' for stdout) — the same bytes progconvd serves for the job")
 	fs.Parse(args)
-	switch *failOn {
-	case "", "manual", "qualified":
-	default:
+	if !wire.ValidFailOn(*failOn) {
 		return fmt.Errorf("-fail-on must be \"manual\" or \"qualified\", got %q", *failOn)
 	}
-	policy := progconv.FailFast
-	switch {
-	case *onFailure == "fail-fast":
-	case *onFailure == "collect":
-		policy = progconv.CollectErrors
-	case strings.HasPrefix(*onFailure, "budget:"):
-		n, err := strconv.Atoi(strings.TrimPrefix(*onFailure, "budget:"))
-		if err != nil || n < 1 {
-			return fmt.Errorf("-on-failure budget:N needs a positive count, got %q", *onFailure)
-		}
-		policy = progconv.Budget(n)
-	default:
-		return fmt.Errorf("-on-failure must be \"fail-fast\", \"collect\" or \"budget:N\", got %q", *onFailure)
+	policy, err := wire.ParseFailurePolicy(*onFailure)
+	if err != nil {
+		return fmt.Errorf("-on-failure: %w", err)
 	}
 	rest := fs.Args()
 	if len(rest) < 3 {
@@ -415,23 +406,22 @@ func cmdConvert(args []string) error {
 			return fmt.Errorf("metrics: %w", err)
 		}
 	}
-	if failed := report.FailedCount(); failed > 0 {
-		// The tolerant policies let the batch complete around broken
-		// programs; the exit code still says the run was not clean.
-		return exitError{code: 4,
-			msg: fmt.Sprintf("%d of %d programs failed in the pipeline", failed, len(report.Outcomes))}
+	if *reportJSON != "" {
+		if *reportJSON == "-" {
+			if err := progconv.EncodeReportJSON(os.Stdout, report); err != nil {
+				return fmt.Errorf("report-json: %w", err)
+			}
+		} else if err := writeFileWith(*reportJSON, func(w *bufio.Writer) error {
+			return progconv.EncodeReportJSON(w, report)
+		}); err != nil {
+			return fmt.Errorf("report-json: %w", err)
+		}
 	}
-	if *failOn != "" {
-		_, qualified, manual := report.Counts()
-		bad := manual + report.FailedCount()
-		if *failOn == "qualified" {
-			bad += qualified
-		}
-		if bad > 0 {
-			return exitError{code: 3,
-				msg: fmt.Sprintf("fail-on %s: %d of %d programs were not converted automatically",
-					*failOn, bad, len(report.Outcomes))}
-		}
+	// The tolerant policies let the batch complete around broken
+	// programs; the shared exit-code table still says the run was not
+	// clean (pipeline failures outrank the -fail-on gate).
+	if code, msg := wire.ExitFor(report, *failOn); code != wire.ExitOK {
+		return exitError{code: code, msg: msg}
 	}
 	return nil
 }

@@ -1,0 +1,107 @@
+// Command progconvd is the conversion service daemon: the progconv
+// pipeline behind a versioned HTTP/JSON API.
+//
+//	progconvd [-addr :8080] [-queue N] [-runners N]
+//	          [-deadline d] [-max-deadline d] [-drain-timeout d]
+//	          [-cache] [-cache-size N]
+//
+// Endpoints (all documents are wire v1, see internal/wire):
+//
+//	POST   /v1/jobs             submit a job (wire.JobSpec); 202 with a
+//	                            status document and Location header,
+//	                            429 + Retry-After when the queue is
+//	                            full, 503 while draining
+//	GET    /v1/jobs             list submitted jobs
+//	GET    /v1/jobs/{id}        job status
+//	GET    /v1/jobs/{id}/report the finished report — byte-identical to
+//	                            progconv convert -report-json for the
+//	                            same inputs; HTTP status follows the
+//	                            shared exit-code table
+//	GET    /v1/jobs/{id}/events the job's structured event log as
+//	                            NDJSON (or SSE with Accept:
+//	                            text/event-stream); streams live while
+//	                            the job runs, replays when finished;
+//	                            ?omit_timing=1 drops wall-clock fields
+//	POST   /v1/jobs/{id}/cancel cancel a queued or running job
+//	GET    /healthz             liveness
+//	GET    /readyz              readiness (503 while draining)
+//	GET    /metrics             Prometheus text exposition
+//
+// On SIGTERM or SIGINT the daemon drains gracefully: new submissions
+// get 503, in-flight and queued jobs run to completion (bounded by
+// -drain-timeout), then the process exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"progconv"
+	"progconv/internal/serve"
+)
+
+func main() {
+	fs := flag.NewFlagSet("progconvd", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	queue := fs.Int("queue", 16, "admission queue depth; a full queue answers 429")
+	runners := fs.Int("runners", 2, "jobs converting concurrently")
+	deadline := fs.Duration("deadline", 0,
+		"default per-job deadline for jobs that request none (0 = unbounded)")
+	maxDeadline := fs.Duration("max-deadline", 0,
+		"clamp applied to requested job deadlines (0 = unclamped)")
+	drainTimeout := fs.Duration("drain-timeout", time.Minute,
+		"how long a SIGTERM drain waits for in-flight jobs before giving up")
+	useCache := fs.Bool("cache", true,
+		"share a content-addressed conversion cache across jobs")
+	cacheSize := fs.Int("cache-size", 0,
+		"with -cache: retained pair contexts (0 = the default 64)")
+	fs.Parse(os.Args[1:])
+
+	cfg := serve.Config{
+		QueueDepth:      *queue,
+		Runners:         *runners,
+		DefaultDeadline: *deadline,
+		MaxDeadline:     *maxDeadline,
+	}
+	if *useCache {
+		cfg.Cache = progconv.NewCache(*cacheSize)
+	}
+	srv := serve.New(cfg)
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "progconvd: serving wire v%d on %s\n", progconv.WireVersion, *addr)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "progconvd: %s: draining (new submissions get 503)\n", sig)
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "progconvd:", err)
+		os.Exit(1)
+	}
+
+	// Drain order matters: stop admitting first (handlers keep answering
+	// status/stream requests), let the runner pool finish every admitted
+	// job, then close the listeners.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "progconvd:", err)
+		hs.Close()
+		os.Exit(1)
+	}
+	if err := hs.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "progconvd: shutdown:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "progconvd: drained cleanly")
+}

@@ -10,8 +10,56 @@
 // catalogue with data restructuring, and the §2 baseline strategies (DML
 // emulation and bridge programs).
 //
+// # Options
+//
+// Convert and ConvertJobs accept functional options. This table is the
+// complete set; each option's own doc comment carries the details.
+//
+//	WithAnalyst(a)         who answers qualified-conversion questions
+//	                       (default: reject every proposal)
+//	WithParallelism(n)     worker-pool bound for the inventory
+//	                       (0 = GOMAXPROCS)
+//	WithVerifyDB(db)       migrate db through the plan and verify each
+//	                       automatic conversion against it
+//	WithMetrics()          time stages into Report.Metrics
+//	WithRecorder(r)        like WithMetrics, but into a caller-owned
+//	                       recorder (for WriteChromeTrace); when both
+//	                       are given the recorder wins and Metrics is
+//	                       snapshotted from it, so the two compose
+//	WithEventSink(s)       stream the structured event log to s
+//	                       (RingSink, JSONLSink, Tally, MultiSink)
+//	WithProgramTimeout(d)  budget one program's whole analyze → verify
+//	                       pipeline (0 = unbounded)
+//	WithStageTimeout(d)    budget each pipeline stage attempt
+//	WithAnalystTimeout(d)  budget each Analyst.Decide call; an
+//	                       unresponsive analyst rejects by timeout
+//	WithRetries(n, base)   retry Transient stage errors up to n times
+//	                       with deterministic backoff from base
+//	WithFailurePolicy(p)   what a Failed program does to the rest of
+//	                       the batch: FailFast, CollectErrors, Budget(n)
+//	WithCache(c)           share a conversion cache (NewCache) across
+//	                       calls: pair-scoped planning and per-program
+//	                       conversions are reused, never recomputed
+//
+// The run's context is a parameter, not an option: cancel it to stop
+// the batch with ErrCanceled.
+//
+// # Wire schema
+//
+// Every machine-readable artifact the toolchain emits — event-log JSONL
+// lines (EncodeJSONL, NewJSONLSink), report documents
+// (EncodeReportJSON), and the conversion daemon's job/status/error
+// bodies — is versioned: a leading "v" field holds WireVersion. The
+// bytes are deterministic for the same inputs at any parallelism, so
+// cmd/progconvd's report endpoint and the CLI's -report-json flag
+// produce identical documents. ExitCodeFor maps a finished Report onto
+// the shared process exit-code table (ExitOK, ExitFailOn,
+// ExitPipeline, ...) that the CLI exits with and the daemon translates
+// to HTTP statuses.
+//
 // See DESIGN.md for the system inventory, EXPERIMENTS.md for the
 // per-figure and per-claim reproduction record, cmd/exper for the
-// experiment harness, and bench_test.go (this directory) for the
-// testing.B benchmarks backing each experiment.
+// experiment harness, cmd/progconvd for the HTTP/JSON conversion
+// service, and bench_test.go (this directory) for the testing.B
+// benchmarks backing each experiment.
 package progconv

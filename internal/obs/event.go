@@ -3,9 +3,9 @@ package obs
 // The structured event log. Every decision the Conversion Supervisor
 // makes — stage boundaries, hazard findings, DML rewrites, Analyst
 // consultations, verification verdicts, final dispositions — is emitted
-// as a typed Event through a Sink. Sinks compose (MultiSink) and three
-// are provided: a bounded RingSink for in-memory capture, a streaming
-// JSONLSink, and the Tally counter collector in export.go.
+// as a typed Event through a Sink. Sinks compose (MultiSink); a bounded
+// RingSink for in-memory capture and the Tally counter collector in
+// export.go live here, the streaming wire.JSONLSink in internal/wire.
 //
 // Instrumented code holds an *Emitter, the nil-safe front door: a nil
 // Emitter (no sink installed) makes every method a no-op without a
@@ -17,9 +17,7 @@ package obs
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
-	"io"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -320,77 +318,7 @@ func MultiSink(sinks ...Sink) Sink {
 	return live
 }
 
-// eventJSON is the stable JSONL wire shape; field order is pinned by
-// golden-file tests.
-type eventJSON struct {
-	Seq      uint64 `json:"seq"`
-	TNs      int64  `json:"t_ns,omitempty"`
-	Prog     string `json:"prog"`
-	Kind     string `json:"kind"`
-	Stage    string `json:"stage,omitempty"`
-	DurNs    int64  `json:"dur_ns,omitempty"`
-	Label    string `json:"label,omitempty"`
-	Detail   string `json:"detail,omitempty"`
-	Accepted *bool  `json:"accepted,omitempty"`
-}
-
-func (ev Event) wire(omitTiming bool) eventJSON {
-	j := eventJSON{Seq: ev.Seq, Prog: ev.Prog, Kind: ev.Kind.String(),
-		Label: ev.Label, Detail: ev.Detail}
-	if !omitTiming {
-		j.TNs = int64(ev.T)
-		j.DurNs = int64(ev.Dur)
-	}
-	if ev.Kind == EvStageStart || ev.Kind == EvStageEnd {
-		j.Stage = ev.Stage.String()
-	}
-	if ev.Kind == EvDecision {
-		a := ev.Accepted
-		j.Accepted = &a
-	}
-	return j
-}
-
-// EncodeJSONL writes events one JSON object per line. omitTiming drops
-// the wall-clock fields (t_ns, dur_ns) so the output is byte-stable
-// across runs — the representation golden-file tests pin.
-func EncodeJSONL(w io.Writer, events []Event, omitTiming bool) error {
-	enc := json.NewEncoder(w) // Encode appends the newline
-	for _, ev := range events {
-		if err := enc.Encode(ev.wire(omitTiming)); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// JSONLSink streams events to a writer as JSON lines in arrival order.
-// The first write error sticks and silences the rest; check Err after
-// the run.
-type JSONLSink struct {
-	mu  sync.Mutex
-	enc *json.Encoder
-	err error
-}
-
-// NewJSONLSink returns a sink encoding onto w (wrap w in a bufio.Writer
-// for file output).
-func NewJSONLSink(w io.Writer) *JSONLSink {
-	return &JSONLSink{enc: json.NewEncoder(w)}
-}
-
-// Emit implements Sink.
-func (s *JSONLSink) Emit(ev Event) {
-	s.mu.Lock()
-	if s.err == nil {
-		s.err = s.enc.Encode(ev.wire(false))
-	}
-	s.mu.Unlock()
-}
-
-// Err returns the first write error, if any.
-func (s *JSONLSink) Err() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.err
-}
+// The JSON rendering of events lives in internal/wire (the versioned
+// wire schema shared by the CLIs and the daemon): wire.EncodeJSONL,
+// wire.EncodeEvent and wire.JSONLSink. This package defines only the
+// in-memory Event and the sinks that do not serialize.

@@ -1,10 +1,6 @@
 package obs
 
 import (
-	"bytes"
-	"encoding/json"
-	"errors"
-	"strings"
 	"testing"
 	"time"
 )
@@ -109,73 +105,6 @@ func TestMultiSink(t *testing.T) {
 	e.Hazard("P", "k", "m")
 	if one.Total() != 1 || two.Total() != 1 {
 		t.Errorf("fan-out totals = %d,%d, want 1,1", one.Total(), two.Total())
-	}
-}
-
-func TestEncodeJSONLShape(t *testing.T) {
-	events := []Event{
-		{Seq: 1, T: time.Second, Prog: "P", Kind: EvStageStart, Stage: StageAnalyze},
-		{Seq: 2, T: time.Second, Prog: "P", Kind: EvStageEnd, Stage: StageAnalyze, Dur: time.Millisecond},
-		{Seq: 3, T: time.Second, Prog: "P", Kind: EvDecision, Label: "order-dependence", Detail: "why", Accepted: true},
-		{Seq: 4, T: time.Second, Prog: "P", Kind: EvOutcome, Label: "auto", Detail: "reason"},
-	}
-	var buf bytes.Buffer
-	if err := EncodeJSONL(&buf, events, true); err != nil {
-		t.Fatal(err)
-	}
-	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
-	if len(lines) != 4 {
-		t.Fatalf("lines = %d, want 4", len(lines))
-	}
-	var m map[string]any
-	for i, line := range lines {
-		if err := json.Unmarshal([]byte(line), &m); err != nil {
-			t.Fatalf("line %d not JSON: %v", i, err)
-		}
-		if _, ok := m["t_ns"]; ok {
-			t.Errorf("line %d: omitTiming left t_ns", i)
-		}
-		if _, ok := m["dur_ns"]; ok {
-			t.Errorf("line %d: omitTiming left dur_ns", i)
-		}
-	}
-	if !strings.Contains(lines[0], `"stage":"analyze"`) {
-		t.Errorf("stage-start line missing stage: %s", lines[0])
-	}
-	if !strings.Contains(lines[2], `"accepted":true`) {
-		t.Errorf("decision line missing accepted: %s", lines[2])
-	}
-	if strings.Contains(lines[3], "accepted") || strings.Contains(lines[3], "stage") {
-		t.Errorf("outcome line carries fields of other kinds: %s", lines[3])
-	}
-
-	// With timing on, the wall-clock fields appear.
-	buf.Reset()
-	if err := EncodeJSONL(&buf, events[1:2], false); err != nil {
-		t.Fatal(err)
-	}
-	if !strings.Contains(buf.String(), `"t_ns"`) || !strings.Contains(buf.String(), `"dur_ns"`) {
-		t.Errorf("timed encoding missing wall-clock fields: %s", buf.String())
-	}
-}
-
-type failWriter struct{ n int }
-
-func (w *failWriter) Write(p []byte) (int, error) {
-	w.n++
-	return 0, errors.New("disk full")
-}
-
-func TestJSONLSinkStickyError(t *testing.T) {
-	w := &failWriter{}
-	s := NewJSONLSink(w)
-	s.Emit(Event{Prog: "P"})
-	s.Emit(Event{Prog: "P"})
-	if s.Err() == nil {
-		t.Fatal("write error not surfaced")
-	}
-	if w.n != 1 {
-		t.Errorf("writer called %d times after first error, want 1", w.n)
 	}
 }
 

@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"progconv"
+	"progconv/internal/dbprog"
+	"progconv/internal/netstore"
+)
+
+// directRun executes the testSpec workload through the public facade
+// exactly as cmd/progconv would — the reference the daemon's wire
+// output must match byte for byte.
+func directRun(t *testing.T, parallelism int) ([]byte, []progconv.Event) {
+	t.Helper()
+	spec := testSpec()
+	src, err := progconv.ParseNetworkSchema(spec.SourceDDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := progconv.ParseNetworkSchema(spec.TargetDDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var programs []*progconv.Program
+	for _, p := range spec.Programs {
+		prog, err := progconv.ParseProgram(p.Source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		programs = append(programs, prog)
+	}
+	init, err := progconv.ParseProgram(spec.Options.VerifyInit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := netstore.NewDB(src)
+	if _, err := dbprog.Run(init, dbprog.Config{Net: db}); err != nil {
+		t.Fatal(err)
+	}
+	ring := progconv.NewRingSink(4096)
+	report, err := progconv.Convert(context.Background(), src, dst, nil, programs,
+		progconv.WithParallelism(parallelism),
+		progconv.WithEventSink(ring),
+		progconv.WithVerifyDB(db))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := progconv.EncodeReportJSON(&buf, report); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), ring.Events()
+}
+
+// serverRun submits the same workload to a fresh daemon and returns
+// the served report and event-stream bytes.
+func serverRun(t *testing.T, parallelism int) (report, events []byte) {
+	t.Helper()
+	_, ts := newTestServer(t, Config{})
+	spec := testSpec()
+	spec.Options.Parallelism = parallelism
+	id := submitOK(t, ts.URL, spec)
+	if st := waitTerminal(t, ts.URL, id); st.State != "done" {
+		t.Fatalf("job ended %q: %s", st.State, st.Error)
+	}
+	code, report := getBody(t, ts.URL+"/v1/jobs/"+id+"/report")
+	if code != 200 {
+		t.Fatalf("report: HTTP %d", code)
+	}
+	code, events = getBody(t, ts.URL+"/v1/jobs/"+id+"/events?omit_timing=1")
+	if code != 200 {
+		t.Fatalf("events: HTTP %d", code)
+	}
+	return report, events
+}
+
+// TestServerReportMatchesCLI is the tentpole invariant: the daemon's
+// report endpoint serves exactly the bytes the CLI writes for the same
+// inputs, at any parallelism.
+func TestServerReportMatchesCLI(t *testing.T) {
+	cliReport, _ := directRun(t, 1)
+	for _, parallelism := range []int{1, 8} {
+		serverReport, _ := serverRun(t, parallelism)
+		if !bytes.Equal(cliReport, serverReport) {
+			t.Fatalf("parallelism %d: server report diverges from the CLI bytes\nCLI:    %.200s\nserver: %.200s",
+				parallelism, cliReport, serverReport)
+		}
+	}
+	// The direct run is itself parallelism-independent.
+	cliReport8, _ := directRun(t, 8)
+	if !bytes.Equal(cliReport, cliReport8) {
+		t.Fatal("direct runs diverge between parallelism 1 and 8")
+	}
+}
+
+// TestServerEventsMatchCLI checks the event stream against the CLI's
+// -events JSONL at parallelism 1, where the interleaving itself is
+// deterministic (timing fields omitted on both sides).
+func TestServerEventsMatchCLI(t *testing.T) {
+	_, cliEvents := directRun(t, 1)
+	var buf bytes.Buffer
+	if err := progconv.EncodeJSONL(&buf, cliEvents, true); err != nil {
+		t.Fatal(err)
+	}
+	_, serverEvents := serverRun(t, 1)
+	if !bytes.Equal(buf.Bytes(), serverEvents) {
+		t.Fatalf("server event stream diverges from CLI JSONL\nCLI:    %.200s\nserver: %.200s",
+			buf.Bytes(), serverEvents)
+	}
+}

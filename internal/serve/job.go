@@ -1,0 +1,276 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+
+	"progconv"
+	"progconv/internal/dbprog"
+	"progconv/internal/fault"
+	"progconv/internal/netstore"
+	"progconv/internal/wire"
+)
+
+// jobState is one job's lifecycle position.
+type jobState int
+
+const (
+	stateQueued jobState = iota
+	stateRunning
+	stateDone     // the conversion produced a report (exit 0, 3 or 4)
+	stateFailed   // the run itself errored (parse-time errors never queue)
+	stateCanceled // canceled by the client or the job deadline
+)
+
+func (s jobState) String() string {
+	switch s {
+	case stateQueued:
+		return "queued"
+	case stateRunning:
+		return "running"
+	case stateDone:
+		return "done"
+	case stateFailed:
+		return "failed"
+	case stateCanceled:
+		return "canceled"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// job is one admitted conversion: the parsed workload, its event hub,
+// and the terminal result.
+type job struct {
+	id   string
+	spec *wire.JobSpec
+	hub  *hub
+
+	// Parsed at submission so a malformed job is a 400, not a queued
+	// failure.
+	src, dst *progconv.Schema
+	programs []*progconv.Program
+	verifyDB *progconv.Database
+
+	mu         sync.Mutex
+	state      jobState
+	cancel     context.CancelFunc // non-nil while running
+	wantCancel bool               // cancel requested before the run started
+	exit       wire.ExitCode
+	errMsg     string
+	reportJSON []byte
+}
+
+// snapshotState is the consistent view handlers render from.
+type snapshotState struct {
+	state      jobState
+	exit       wire.ExitCode
+	errMsg     string
+	reportJSON []byte
+}
+
+func (j *job) snapshot() snapshotState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return snapshotState{j.state, j.exit, j.errMsg, j.reportJSON}
+}
+
+func (j *job) status() wire.JobStatus {
+	st := j.snapshot()
+	doc := wire.JobStatus{V: wire.Version, ID: j.id, State: st.state.String(), Error: st.errMsg}
+	if st.state == stateDone || st.state == stateFailed || st.state == stateCanceled {
+		code := int(st.exit)
+		doc.ExitCode = &code
+	}
+	return doc
+}
+
+// requestCancel cancels a running job or marks a queued one so the
+// runner skips it; terminal jobs are unaffected.
+func (j *job) requestCancel() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case stateQueued:
+		j.wantCancel = true
+	case stateRunning:
+		j.wantCancel = true
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+}
+
+// newJob parses a validated spec into a runnable job. Parse errors are
+// the caller's (HTTP 400); nothing is queued.
+func (s *Server) newJob(spec *wire.JobSpec) (*job, error) {
+	j := &job{spec: spec, hub: newHub()}
+	var err error
+	if j.src, err = progconv.ParseNetworkSchema(spec.SourceDDL); err != nil {
+		return nil, fmt.Errorf("source_ddl: %w", err)
+	}
+	if j.dst, err = progconv.ParseNetworkSchema(spec.TargetDDL); err != nil {
+		return nil, fmt.Errorf("target_ddl: %w", err)
+	}
+	for i, p := range spec.Programs {
+		prog, err := progconv.ParseProgram(p.Source)
+		if err != nil {
+			return nil, fmt.Errorf("programs[%d]: %w", i, err)
+		}
+		j.programs = append(j.programs, prog)
+	}
+	if spec.Options.VerifyInit != "" {
+		init, err := progconv.ParseProgram(spec.Options.VerifyInit)
+		if err != nil {
+			return nil, fmt.Errorf("verify_init: %w", err)
+		}
+		db := netstore.NewDB(j.src)
+		if _, err := dbprog.Run(init, dbprog.Config{Net: db}); err != nil {
+			return nil, fmt.Errorf("verify_init program: %w", err)
+		}
+		j.verifyDB = db
+	}
+	return j, nil
+}
+
+// options maps the wire job options onto the facade's functional
+// options — the same mapping cmd/progconv applies to its flags. The
+// spec was validated at submission, so the duration and policy parses
+// cannot fail here.
+func (s *Server) options(j *job) []progconv.Option {
+	o := j.spec.Options
+	timeout, _ := wire.Duration(o.Timeout)
+	stageTimeout, _ := wire.Duration(o.StageTimeout)
+	analystTimeout, _ := wire.Duration(o.AnalystTimeout)
+	policy, _ := wire.ParseFailurePolicy(o.OnFailure)
+	opts := []progconv.Option{
+		progconv.WithAnalyst(progconv.Policy{AcceptOrderChanges: o.AcceptOrder}),
+		progconv.WithParallelism(o.Parallelism),
+		progconv.WithProgramTimeout(timeout),
+		progconv.WithStageTimeout(stageTimeout),
+		progconv.WithAnalystTimeout(analystTimeout),
+		progconv.WithRetries(o.Retries, 0),
+		progconv.WithFailurePolicy(policy),
+		progconv.WithEventSink(progconv.MultiSink(j.hub, s.tally)),
+	}
+	if s.cfg.Cache != nil {
+		opts = append(opts, progconv.WithCache(s.cfg.Cache))
+	}
+	if j.verifyDB != nil {
+		opts = append(opts, progconv.WithVerifyDB(j.verifyDB))
+	}
+	return opts
+}
+
+// runJob executes one admitted job on a runner goroutine.
+func (s *Server) runJob(j *job) {
+	defer j.hub.finish()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	deadline, _ := wire.Duration(j.spec.Options.Deadline)
+	if deadline <= 0 {
+		deadline = s.cfg.DefaultDeadline
+	}
+	if max := s.cfg.MaxDeadline; max > 0 && (deadline <= 0 || deadline > max) {
+		deadline = max
+	}
+	if deadline > 0 {
+		var cancelT context.CancelFunc
+		ctx, cancelT = context.WithTimeoutCause(ctx, deadline,
+			fmt.Errorf("job deadline %s exceeded", deadline))
+		defer cancelT()
+	}
+	if j.spec.Options.Inject != "" {
+		if inj, err := fault.Parse(j.spec.Options.Inject); err == nil {
+			ctx = fault.With(ctx, inj)
+		}
+	}
+
+	j.mu.Lock()
+	if j.wantCancel {
+		j.state = stateCanceled
+		j.exit = wire.ExitError
+		j.errMsg = "canceled before the run started"
+		j.mu.Unlock()
+		return
+	}
+	j.state = stateRunning
+	j.cancel = cancel
+	j.mu.Unlock()
+
+	report, err := progconv.Convert(ctx, j.src, j.dst, nil, j.programs, s.options(j)...)
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.cancel = nil
+	if err != nil {
+		// A client cancel lands at canceled; everything else — including
+		// an expired job deadline, whose cause the error message names —
+		// is a failed run.
+		if j.wantCancel {
+			j.state = stateCanceled
+		} else {
+			j.state = stateFailed
+		}
+		j.exit = wire.ExitError
+		j.errMsg = err.Error()
+		return
+	}
+	var buf bytes.Buffer
+	if encErr := progconv.EncodeReportJSON(&buf, report); encErr != nil {
+		j.state = stateFailed
+		j.exit = wire.ExitError
+		j.errMsg = "encoding report: " + encErr.Error()
+		return
+	}
+	j.state = stateDone
+	j.reportJSON = buf.Bytes()
+	j.exit, j.errMsg = wire.ExitFor(report, j.spec.Options.FailOn)
+}
+
+// hub fans one job's event stream out to any number of followers: it
+// retains every event (jobs are batch-sized, not unbounded) and wakes
+// blocked followers on append and at end-of-stream.
+type hub struct {
+	mu      sync.Mutex
+	events  []progconv.Event
+	changed chan struct{}
+	closed  bool
+}
+
+func newHub() *hub {
+	return &hub{changed: make(chan struct{})}
+}
+
+// Emit implements progconv.Sink (obs.Sink).
+func (h *hub) Emit(ev progconv.Event) {
+	h.mu.Lock()
+	h.events = append(h.events, ev)
+	close(h.changed)
+	h.changed = make(chan struct{})
+	h.mu.Unlock()
+}
+
+// finish marks end-of-stream and releases every follower.
+func (h *hub) finish() {
+	h.mu.Lock()
+	if !h.closed {
+		h.closed = true
+		close(h.changed)
+	}
+	h.mu.Unlock()
+}
+
+// since returns the events at and after index from, a channel that
+// closes on the next append, and whether the stream has ended.
+func (h *hub) since(from int) ([]progconv.Event, <-chan struct{}, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var events []progconv.Event
+	if from < len(h.events) {
+		events = append(events, h.events[from:]...)
+	}
+	return events, h.changed, h.closed && from+len(events) >= len(h.events)
+}

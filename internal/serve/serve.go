@@ -1,0 +1,355 @@
+// Package serve is the conversion service behind cmd/progconvd: an
+// HTTP/JSON facade over the progconv pipeline that accepts conversion
+// jobs (schema pair + programs + options, the wire.JobSpec shape),
+// runs them on a shared runner pool through the conversion cache, and
+// streams each job's structured event log as NDJSON or SSE.
+//
+// The paper's Conversion Supervisor is an operator-facing facility,
+// not a one-shot batch tool; this package gives it the operational
+// contract such a facility needs:
+//
+//   - admission control: a bounded job queue; a full queue rejects the
+//     submission with 429 and a Retry-After hint instead of queueing
+//     unbounded work;
+//   - per-job deadlines clamped to a server maximum, mapped onto the
+//     supervisor's timeout/retry/failure-policy options;
+//   - observability: /healthz, /readyz, and the Prometheus text
+//     exporter at /metrics folding every job's event tally;
+//   - graceful drain: StartDrain (wired to SIGTERM in cmd/progconvd)
+//     stops admissions with 503 while in-flight and queued jobs run to
+//     completion, then the runner pool exits.
+//
+// Every response body is a versioned wire-v1 document, and a finished
+// job's report endpoint serves exactly the bytes the CLI's
+// -report-json flag writes for the same inputs at any parallelism.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"progconv"
+	"progconv/internal/wire"
+)
+
+// Config tunes a Server. The zero value serves with the documented
+// defaults.
+type Config struct {
+	// QueueDepth bounds the admission queue (jobs accepted but not yet
+	// running); 0 means 16. A full queue answers 429.
+	QueueDepth int
+	// Runners is how many jobs convert concurrently; 0 means 2.
+	Runners int
+	// DefaultDeadline bounds jobs that request no deadline; 0 means
+	// unbounded.
+	DefaultDeadline time.Duration
+	// MaxDeadline clamps the per-job deadline option; 0 means
+	// unclamped.
+	MaxDeadline time.Duration
+	// RetryAfter is the hint returned with 429 responses; 0 means 1s.
+	RetryAfter time.Duration
+	// Cache, when non-nil, is the shared conversion cache every job
+	// runs through, so repeated pairs and programs convert once.
+	Cache *progconv.Cache
+}
+
+func (c Config) queueDepth() int {
+	if c.QueueDepth <= 0 {
+		return 16
+	}
+	return c.QueueDepth
+}
+
+func (c Config) runners() int {
+	if c.Runners <= 0 {
+		return 2
+	}
+	return c.Runners
+}
+
+func (c Config) retryAfter() time.Duration {
+	if c.RetryAfter <= 0 {
+		return time.Second
+	}
+	return c.RetryAfter
+}
+
+// Server is the conversion service. Create with New, mount Handler,
+// and call StartDrain/Wait (or Drain) to shut down gracefully.
+type Server struct {
+	cfg   Config
+	tally *progconv.Tally
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string // submission order, for deterministic listings
+	nextID   int
+	draining bool
+	queue    chan *job
+
+	runnersDone chan struct{}
+}
+
+// New returns a Server with its runner pool started.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:         cfg,
+		tally:       progconv.NewTally(),
+		jobs:        make(map[string]*job),
+		queue:       make(chan *job, cfg.queueDepth()),
+		runnersDone: make(chan struct{}),
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.runners(); i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range s.queue {
+				s.runJob(j)
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(s.runnersDone)
+	}()
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/report", s.handleReport)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.isDraining() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := progconv.WritePrometheus(w, s.tally, nil); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	return mux
+}
+
+// StartDrain stops admissions: new submissions answer 503 while
+// in-flight and queued jobs run to completion. Safe to call more than
+// once.
+func (s *Server) StartDrain() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return
+	}
+	s.draining = true
+	// Submissions check the flag under the same lock before sending, so
+	// nothing can race this close.
+	close(s.queue)
+}
+
+// Wait blocks until every admitted job has finished and the runner
+// pool has exited, or ctx ends. Call StartDrain first.
+func (s *Server) Wait(ctx context.Context) error {
+	select {
+	case <-s.runnersDone:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain interrupted with jobs still in flight")
+	}
+}
+
+// Drain is StartDrain followed by Wait.
+func (s *Server) Drain(ctx context.Context) error {
+	s.StartDrain()
+	return s.Wait(ctx)
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+func writeJSON(w http.ResponseWriter, status int, doc any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(doc)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, wire.ErrorDoc{V: wire.Version, Error: msg})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec wire.JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding job: "+err.Error())
+		return
+	}
+	if err := spec.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	j, err := s.newJob(&spec)
+	if err != nil {
+		// The schemas or programs do not parse: a client error, found
+		// before the job consumes a queue slot.
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "server is draining; not accepting jobs")
+		return
+	}
+	// Register before enqueueing so a runner can never observe a job the
+	// status endpoints do not know; the send is under the same lock that
+	// guards draining, so it cannot race StartDrain's close.
+	s.nextID++
+	j.id = fmt.Sprintf("j-%06d", s.nextID)
+	select {
+	case s.queue <- j:
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+	default:
+		s.nextID--
+		s.mu.Unlock()
+		w.Header().Set("Retry-After",
+			strconv.Itoa(int((s.cfg.retryAfter()+time.Second-1)/time.Second)))
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("job queue is full (%d queued); retry later", s.cfg.queueDepth()))
+		return
+	}
+	s.mu.Unlock()
+
+	w.Header().Set("Location", "/v1/jobs/"+j.id)
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+func (s *Server) job(w http.ResponseWriter, r *http.Request) *job {
+	s.mu.Lock()
+	j := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job")
+	}
+	return j
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	docs := make([]wire.JobStatus, 0, len(s.order))
+	for _, id := range s.order {
+		docs = append(docs, s.jobs[id].status())
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, struct {
+		V    int              `json:"v"`
+		Jobs []wire.JobStatus `json:"jobs"`
+	}{wire.Version, docs})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j := s.job(w, r); j != nil {
+		writeJSON(w, http.StatusOK, j.status())
+	}
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	j := s.job(w, r)
+	if j == nil {
+		return
+	}
+	st := j.snapshot()
+	switch st.state {
+	case stateQueued, stateRunning:
+		writeJSON(w, http.StatusAccepted, j.status())
+	case stateDone:
+		// The body is exactly what the CLI's -report-json writes for the
+		// same inputs; the HTTP status comes from the shared exit table.
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(st.exit.HTTPStatus())
+		w.Write(st.reportJSON)
+	default: // failed, canceled
+		writeError(w, st.exit.HTTPStatus(), st.errMsg)
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.job(w, r)
+	if j == nil {
+		return
+	}
+	j.requestCancel()
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.job(w, r)
+	if j == nil {
+		return
+	}
+	omitTiming := r.URL.Query().Get("omit_timing") != ""
+	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	from := 0
+	for {
+		events, changed, closed := j.hub.since(from)
+		for _, ev := range events {
+			if sse {
+				fmt.Fprint(w, "data: ")
+			}
+			if err := wire.EncodeEvent(w, ev, omitTiming); err != nil {
+				return
+			}
+			if sse {
+				fmt.Fprint(w, "\n")
+			}
+		}
+		from += len(events)
+		if flusher != nil && len(events) > 0 {
+			flusher.Flush()
+		}
+		if closed {
+			return
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

@@ -1,0 +1,18 @@
+package wire
+
+// BenchDoc is the versioned machine-readable benchmark document
+// written by `exper bench-json` (BENCH_PR5.json) — part of the v1 wire
+// schema so downstream tooling can dispatch on the same "v" field as
+// every other artifact.
+type BenchDoc struct {
+	V          int        `json:"v"`
+	Note       string     `json:"note"`
+	Benchmarks []BenchRow `json:"benchmarks"`
+}
+
+// BenchRow is one benchmark's measured result.
+type BenchRow struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}

@@ -1,0 +1,98 @@
+package wire
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+
+	"progconv/internal/obs"
+)
+
+// eventJSON is the stable v1 JSONL event shape; field order is pinned
+// by golden-file tests. It is the wire rendering of obs.Event, shared
+// by the CLI -events stream and the daemon's event endpoints.
+type eventJSON struct {
+	V        int    `json:"v"`
+	Seq      uint64 `json:"seq"`
+	TNs      int64  `json:"t_ns,omitempty"`
+	Prog     string `json:"prog"`
+	Kind     string `json:"kind"`
+	Stage    string `json:"stage,omitempty"`
+	DurNs    int64  `json:"dur_ns,omitempty"`
+	Label    string `json:"label,omitempty"`
+	Detail   string `json:"detail,omitempty"`
+	Accepted *bool  `json:"accepted,omitempty"`
+}
+
+func eventWire(ev obs.Event, omitTiming bool) eventJSON {
+	j := eventJSON{V: Version, Seq: ev.Seq, Prog: ev.Prog, Kind: ev.Kind.String(),
+		Label: ev.Label, Detail: ev.Detail}
+	if !omitTiming {
+		j.TNs = int64(ev.T)
+		j.DurNs = int64(ev.Dur)
+	}
+	if ev.Kind == obs.EvStageStart || ev.Kind == obs.EvStageEnd {
+		j.Stage = ev.Stage.String()
+	}
+	if ev.Kind == obs.EvDecision {
+		a := ev.Accepted
+		j.Accepted = &a
+	}
+	return j
+}
+
+// EncodeEvent writes one event as a single JSON line. omitTiming drops
+// the wall-clock fields (t_ns, dur_ns) for byte-stable output.
+func EncodeEvent(w io.Writer, ev obs.Event, omitTiming bool) error {
+	b, err := json.Marshal(eventWire(ev, omitTiming))
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// EncodeJSONL writes events one JSON object per line. omitTiming drops
+// the wall-clock fields so the output is byte-stable across runs — the
+// representation golden-file tests pin.
+func EncodeJSONL(w io.Writer, events []obs.Event, omitTiming bool) error {
+	enc := json.NewEncoder(w) // Encode appends the newline
+	for _, ev := range events {
+		if err := enc.Encode(eventWire(ev, omitTiming)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// JSONLSink streams events to a writer as wire-v1 JSON lines in
+// arrival order. The first write error sticks and silences the rest;
+// check Err after the run.
+type JSONLSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLSink returns a sink encoding onto w (wrap w in a
+// bufio.Writer for file output).
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{enc: json.NewEncoder(w)}
+}
+
+// Emit implements obs.Sink.
+func (s *JSONLSink) Emit(ev obs.Event) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = s.enc.Encode(eventWire(ev, false))
+	}
+	s.mu.Unlock()
+}
+
+// Err returns the first write error, if any.
+func (s *JSONLSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}

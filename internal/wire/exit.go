@@ -1,0 +1,100 @@
+package wire
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"progconv/internal/core"
+)
+
+// ExitCode is the process exit-code table shared by cmd/progconv,
+// cmd/exper and — through HTTPStatus — the daemon's status mapping.
+// Before this table existed each CLI hard-coded the numbers
+// separately; the values are frozen (they are an operator-facing
+// contract) and belong to the v1 wire schema.
+type ExitCode int
+
+// The exit codes.
+const (
+	// ExitOK: the run completed cleanly.
+	ExitOK ExitCode = 0
+	// ExitError: the run itself failed (parse error, classification
+	// failure, canceled batch, exhausted failure budget).
+	ExitError ExitCode = 1
+	// ExitUsage: the command line was malformed.
+	ExitUsage ExitCode = 2
+	// ExitFailOn: the -fail-on gate tripped — the batch completed but
+	// the report contains gated dispositions.
+	ExitFailOn ExitCode = 3
+	// ExitPipeline: the batch completed around programs that failed in
+	// the pipeline (possible only under collect or budget policies).
+	ExitPipeline ExitCode = 4
+)
+
+// HTTPStatus maps an exit code onto the HTTP status the daemon serves
+// a finished job's report with — the one table behind both process
+// exits and responses.
+func (c ExitCode) HTTPStatus() int {
+	switch c {
+	case ExitOK:
+		return http.StatusOK
+	case ExitUsage:
+		return http.StatusBadRequest
+	case ExitFailOn:
+		return http.StatusConflict
+	case ExitPipeline:
+		return http.StatusInternalServerError
+	}
+	return http.StatusInternalServerError
+}
+
+// ValidFailOn reports whether s is an accepted -fail-on/fail_on gate:
+// "" (no gate), "manual", or "qualified".
+func ValidFailOn(s string) bool {
+	return s == "" || s == "manual" || s == "qualified"
+}
+
+// ExitFor classifies a completed run against the shared exit-code
+// table: ExitPipeline when programs failed in the pipeline, ExitFailOn
+// when the failOn gate ("manual" or "qualified") trips, ExitOK
+// otherwise. The message matches the CLIs' historical wording.
+func ExitFor(r *core.Report, failOn string) (ExitCode, string) {
+	if failed := r.FailedCount(); failed > 0 {
+		return ExitPipeline,
+			fmt.Sprintf("%d of %d programs failed in the pipeline", failed, len(r.Outcomes))
+	}
+	if failOn != "" {
+		_, qualified, manual := r.Counts()
+		bad := manual + r.FailedCount()
+		if failOn == "qualified" {
+			bad += qualified
+		}
+		if bad > 0 {
+			return ExitFailOn,
+				fmt.Sprintf("fail-on %s: %d of %d programs were not converted automatically",
+					failOn, bad, len(r.Outcomes))
+		}
+	}
+	return ExitOK, ""
+}
+
+// ParseFailurePolicy parses the shared failure-policy grammar used by
+// the CLI -on-failure flag and the job option on_failure: "fail-fast",
+// "collect", or "budget:N". The empty string is the default policy.
+func ParseFailurePolicy(s string) (core.FailurePolicy, error) {
+	switch {
+	case s == "" || s == "fail-fast":
+		return core.FailFast, nil
+	case s == "collect":
+		return core.CollectErrors, nil
+	case strings.HasPrefix(s, "budget:"):
+		n, err := strconv.Atoi(strings.TrimPrefix(s, "budget:"))
+		if err != nil || n < 1 {
+			return core.FailFast, fmt.Errorf("budget:N needs a positive count, got %q", s)
+		}
+		return core.Budget(n), nil
+	}
+	return core.FailFast, fmt.Errorf("failure policy must be \"fail-fast\", \"collect\" or \"budget:N\", got %q", s)
+}

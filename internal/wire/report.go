@@ -1,0 +1,170 @@
+package wire
+
+import (
+	"encoding/json"
+	"io"
+
+	"progconv/internal/core"
+)
+
+// Report is the v1 JSON document for one conversion run — the wire
+// rendering of core.Report shared by the CLI's -report-json flag and
+// the daemon's report endpoint. It carries no wall-clock values, so
+// for identical inputs the document is byte-identical at any
+// parallelism and across the CLI/daemon boundary.
+type Report struct {
+	V          int       `json:"v"`
+	Plan       string    `json:"plan"`
+	Invertible bool      `json:"invertible"`
+	TargetDDL  string    `json:"target_ddl,omitempty"`
+	Outcomes   []Outcome `json:"outcomes"`
+	Auto       int       `json:"auto"`
+	Qualified  int       `json:"qualified"`
+	Manual     int       `json:"manual"`
+	Failed     int       `json:"failed"`
+}
+
+// Outcome is one program's conversion record on the wire.
+type Outcome struct {
+	Name          string         `json:"name"`
+	Disposition   string         `json:"disposition"`
+	Issues        []Issue        `json:"issues,omitempty"`
+	Notes         []string       `json:"notes,omitempty"`
+	Optimizations []Optimization `json:"optimizations,omitempty"`
+	Generated     string         `json:"generated,omitempty"`
+	Verified      *Verdict       `json:"verified,omitempty"`
+	Audit         Audit          `json:"audit"`
+}
+
+// Issue is one analyzer or converter finding.
+type Issue struct {
+	Kind string `json:"kind"`
+	Msg  string `json:"msg"`
+}
+
+// Optimization is one optimizer rewrite applied to a converted program.
+type Optimization struct {
+	Rule string `json:"rule"`
+	Note string `json:"note"`
+}
+
+// Verdict is the equivalence check against the migrated data. Detail
+// renders the first divergence and is empty for equal traces.
+type Verdict struct {
+	Equal  bool   `json:"equal"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// Audit is the decision trail behind an outcome's disposition.
+type Audit struct {
+	Reason    string     `json:"reason"`
+	Pair      string     `json:"pair,omitempty"`
+	Hazards   []string   `json:"hazards,omitempty"`
+	PlanStep  string     `json:"plan_step,omitempty"`
+	Decisions []Decision `json:"decisions,omitempty"`
+	Failure   *Failure   `json:"failure,omitempty"`
+	Retries   []Retry    `json:"retries,omitempty"`
+}
+
+// Decision is one Analyst consultation.
+type Decision struct {
+	Kind     string `json:"kind"`
+	Msg      string `json:"msg"`
+	Accepted bool   `json:"accepted"`
+	TimedOut bool   `json:"timed_out,omitempty"`
+}
+
+// Failure is the evidence behind a Failed disposition. The message is
+// the deterministic rendering (never the panic stack), so documents
+// stay byte-identical at any parallelism.
+type Failure struct {
+	Stage    string `json:"stage"`
+	Kind     string `json:"kind"`
+	Message  string `json:"message"`
+	Attempts int    `json:"attempts,omitempty"`
+}
+
+// Retry is one transient-error retry taken while converting a program.
+type Retry struct {
+	Stage   string `json:"stage"`
+	Attempt int    `json:"attempt"`
+	Backoff string `json:"backoff"`
+	Err     string `json:"err"`
+}
+
+// FromReport renders a core.Report as its v1 wire document.
+func FromReport(r *core.Report) *Report {
+	auto, qualified, manual := r.Counts()
+	doc := &Report{
+		V:          Version,
+		Plan:       r.PlanDescription,
+		Invertible: r.Invertible,
+		Outcomes:   make([]Outcome, 0, len(r.Outcomes)),
+		Auto:       auto,
+		Qualified:  qualified,
+		Manual:     manual,
+		Failed:     r.FailedCount(),
+	}
+	if r.TargetSchema != nil {
+		doc.TargetDDL = r.TargetSchema.DDL()
+	}
+	for i := range r.Outcomes {
+		doc.Outcomes = append(doc.Outcomes, fromOutcome(&r.Outcomes[i]))
+	}
+	return doc
+}
+
+func fromOutcome(o *core.Outcome) Outcome {
+	w := Outcome{
+		Name:        o.Name,
+		Disposition: o.Disposition.String(),
+		Notes:       o.Notes,
+		Generated:   o.Generated,
+	}
+	for _, i := range o.Issues {
+		w.Issues = append(w.Issues, Issue{Kind: i.Kind.String(), Msg: i.Msg})
+	}
+	for _, op := range o.Optimizations {
+		w.Optimizations = append(w.Optimizations, Optimization{Rule: op.Rule, Note: op.Note})
+	}
+	if v := o.Verified; v != nil {
+		wv := &Verdict{Equal: v.Equal}
+		if !v.Equal {
+			wv.Detail = v.Diff()
+		}
+		w.Verified = wv
+	}
+	w.Audit = Audit{
+		Reason:   o.Audit.Reason,
+		Pair:     o.Audit.Pair,
+		Hazards:  o.Audit.Hazards,
+		PlanStep: o.Audit.PlanStep,
+	}
+	for _, d := range o.Audit.Decisions {
+		w.Audit.Decisions = append(w.Audit.Decisions, Decision{
+			Kind: d.Issue.Kind.String(), Msg: d.Issue.Msg,
+			Accepted: d.Accepted, TimedOut: d.TimedOut,
+		})
+	}
+	if f := o.Audit.Failure; f != nil {
+		w.Audit.Failure = &Failure{
+			Stage: f.Stage, Kind: f.Kind.String(),
+			Message: f.Error(), Attempts: f.Attempts,
+		}
+	}
+	for _, rt := range o.Audit.Retries {
+		w.Audit.Retries = append(w.Audit.Retries, Retry{
+			Stage: rt.Stage, Attempt: rt.Attempt,
+			Backoff: rt.Backoff.String(), Err: rt.Err,
+		})
+	}
+	return w
+}
+
+// EncodeReport writes the v1 wire document for r: two-space-indented
+// JSON plus a trailing newline, byte-deterministic for identical runs.
+func EncodeReport(w io.Writer, r *core.Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(FromReport(r))
+}

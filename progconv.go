@@ -23,24 +23,8 @@
 // All other errors wrap the failing stage's error via %w with the
 // program name in the message.
 //
-// # Options
-//
-// Convert is configured by functional options:
-//
-//	WithAnalyst(a)         who answers qualified-conversion questions
-//	WithParallelism(n)     worker pool bound (0 = GOMAXPROCS)
-//	WithVerifyDB(db)       migrate db and verify automatic conversions
-//	WithMetrics()          time stages into Report.Metrics
-//	WithRecorder(r)        like WithMetrics, but into a caller-owned
-//	                       recorder (for WriteChromeTrace); when both
-//	                       are given the recorder wins and Metrics is
-//	                       snapshotted from it, so the two compose
-//	WithEventSink(s)       stream the structured event log to s
-//	WithProgramTimeout(d)  budget one program's whole pipeline
-//	WithStageTimeout(d)    budget each stage attempt
-//	WithAnalystTimeout(d)  budget each Analyst.Decide call
-//	WithRetries(n, base)   retry Transient stage errors
-//	WithFailurePolicy(p)   FailFast, CollectErrors, or Budget(n)
+// Convert is configured by functional options; doc.go holds the
+// complete option table.
 //
 // # Resilience
 //
@@ -66,6 +50,7 @@ import (
 	"progconv/internal/plancache"
 	"progconv/internal/schema"
 	"progconv/internal/schema/ddl"
+	"progconv/internal/wire"
 	"progconv/internal/xform"
 )
 
@@ -108,10 +93,24 @@ type (
 	EventKind = obs.EventKind
 	Sink      = obs.Sink
 	RingSink  = obs.RingSink
-	JSONLSink = obs.JSONLSink
+	JSONLSink = wire.JSONLSink
 	Tally     = obs.Tally
 	Audit     = core.Audit
 	Decision  = core.Decision
+
+	// The versioned wire schema (see internal/wire): JobSpec is the
+	// conversion daemon's submission body, ProgramSpec one program of
+	// its inventory, JobOptions the run options, JobStatus the status
+	// document, WireReport the JSON rendering of a Report, and ExitCode
+	// the exit-code table shared by the CLIs and the daemon's HTTP
+	// status mapping. Re-exported here so servers and clients built on
+	// the facade never import internal/ packages.
+	JobSpec     = wire.JobSpec
+	ProgramSpec = wire.ProgramSpec
+	JobOptions  = wire.JobOptions
+	JobStatus   = wire.JobStatus
+	WireReport  = wire.Report
+	ExitCode    = wire.ExitCode
 
 	// Schema is a CODASYL network schema; Plan an ordered transformation
 	// sequence; Program a parsed database program; Database a network
@@ -158,6 +157,21 @@ const (
 	FailError   = core.FailError
 	FailPanic   = core.FailPanic
 	FailTimeout = core.FailTimeout
+)
+
+// WireVersion is the JSON wire schema generation ("v" field) stamped
+// into every versioned document and event line the toolchain emits.
+const WireVersion = wire.Version
+
+// The shared exit-code table: what a CLI run exits with, and — via
+// ExitCode.HTTPStatus — what the daemon serves a finished job's report
+// with.
+const (
+	ExitOK       = wire.ExitOK
+	ExitError    = wire.ExitError
+	ExitUsage    = wire.ExitUsage
+	ExitFailOn   = wire.ExitFailOn
+	ExitPipeline = wire.ExitPipeline
 )
 
 // The failure policies; Budget(n) builds the bounded-tolerance one.
@@ -384,8 +398,9 @@ func NewRecorder() *Recorder { return obs.NewRecorder() }
 // capacity events.
 func NewRingSink(capacity int) *RingSink { return obs.NewRingSink(capacity) }
 
-// NewJSONLSink returns a sink streaming events to w as JSON lines.
-func NewJSONLSink(w io.Writer) *JSONLSink { return obs.NewJSONLSink(w) }
+// NewJSONLSink returns a sink streaming events to w as wire-versioned
+// JSON lines.
+func NewJSONLSink(w io.Writer) *JSONLSink { return wire.NewJSONLSink(w) }
 
 // NewTally returns a counter-folding sink for metrics export.
 func NewTally() *Tally { return obs.NewTally() }
@@ -393,10 +408,27 @@ func NewTally() *Tally { return obs.NewTally() }
 // MultiSink composes event sinks; nils are skipped.
 func MultiSink(sinks ...Sink) Sink { return obs.MultiSink(sinks...) }
 
-// EncodeJSONL writes captured events one JSON object per line;
-// omitTiming drops the wall-clock fields for byte-stable output.
+// EncodeJSONL writes captured events one wire-versioned JSON object
+// per line; omitTiming drops the wall-clock fields for byte-stable
+// output.
 func EncodeJSONL(w io.Writer, events []Event, omitTiming bool) error {
-	return obs.EncodeJSONL(w, events, omitTiming)
+	return wire.EncodeJSONL(w, events, omitTiming)
+}
+
+// EncodeReportJSON writes the wire-versioned JSON document for a
+// Report — the same bytes the progconvd daemon serves for a finished
+// job and the CLI's -report-json flag writes, deterministic at any
+// parallelism.
+func EncodeReportJSON(w io.Writer, r *Report) error {
+	return wire.EncodeReport(w, r)
+}
+
+// ExitCodeFor classifies a completed run against the shared exit-code
+// table: ExitPipeline (4) when programs failed in the pipeline,
+// ExitFailOn (3) when the failOn gate ("manual" or "qualified") trips,
+// ExitOK otherwise. The message explains a non-zero code.
+func ExitCodeFor(r *Report, failOn string) (ExitCode, string) {
+	return wire.ExitFor(r, failOn)
 }
 
 // WriteChromeTrace exports a recorder's spans as Chrome trace_event JSON
