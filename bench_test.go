@@ -30,6 +30,7 @@ import (
 	"progconv/internal/schema"
 	"progconv/internal/semantic"
 	"progconv/internal/sequel"
+	"progconv/internal/telemetry"
 	"progconv/internal/value"
 	"progconv/internal/xform"
 )
@@ -118,6 +119,75 @@ END PROGRAM.
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkConvert backs EXP-O1: the full end-to-end conversion the
+// daemon runs per job — analyze through verify against a populated
+// source database — with no telemetry installed. This is the baseline
+// the instrumented variant is compared to.
+func BenchmarkConvert(b *testing.B) {
+	progs, db := convertBenchWorkload(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Convert(context.Background(), schema.CompanyV1(), schema.CompanyV2(),
+			nil, progs, WithParallelism(1), WithVerifyDB(db.Clone())); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConvertTraced is the same conversion with the full telemetry
+// plane installed: trace builder, stage-latency sink, and tally — the
+// daemon's per-job instrumentation. EXP-O1's target is <3% overhead
+// over BenchmarkConvert.
+func BenchmarkConvertTraced(b *testing.B) {
+	progs, db := convertBenchWorkload(b)
+	reg := telemetry.NewRegistry()
+	inst := telemetry.NewInstruments(reg)
+	tally := NewTally()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb := NewTraceBuilder(DeriveTraceID("bench"), "convert")
+		report, err := Convert(context.Background(), schema.CompanyV1(), schema.CompanyV2(),
+			nil, progs, WithParallelism(1), WithVerifyDB(db.Clone()),
+			WithTraceSink(tb), WithEventSink(MultiSink(tally, inst.StageSink())))
+		if err != nil {
+			b.Fatal(err)
+		}
+		inst.ObserveDataPlane(report.DataPlane)
+	}
+}
+
+// convertBenchWorkload is the Figure 4.3 job set with a populated
+// corpus database for verification — the shape of a real daemon job.
+func convertBenchWorkload(b *testing.B) ([]*Program, *netstore.DB) {
+	progs := []*Program{
+		mustParse(b, `
+PROGRAM LIST-OLD DIALECT MARYLAND.
+  FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(AGE > 30)) INTO OLD.
+  FOR EACH E IN OLD
+    PRINT EMP-NAME IN E, AGE IN E.
+  END-FOR.
+END PROGRAM.
+`),
+		mustParse(b, `
+PROGRAM ROSTER DIALECT NETWORK.
+  MOVE 'DIV-00' TO DIV-NAME IN DIV.
+  FIND ANY DIV USING DIV-NAME.
+  PERFORM UNTIL DB-STATUS <> 'OK'
+    FIND NEXT EMP WITHIN DIV-EMP.
+    IF DB-STATUS = 'OK'
+      GET EMP.
+      PRINT EMP-NAME IN EMP.
+    END-IF.
+  END-PERFORM.
+END PROGRAM.
+`),
+	}
+	db := corpus.Database(corpus.Profile{Seed: 1, Divisions: 4, DeptsPerDiv: 3, EmpsPerDept: 6})
+	return progs, db
 }
 
 // BenchmarkMarylandFind backs EXP-F4.3: evaluating the paper's §4.2 FIND

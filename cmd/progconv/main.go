@@ -26,9 +26,11 @@ import (
 	"expvar"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/signal"
+	"time"
 
 	"progconv"
 	"progconv/internal/analyzer"
@@ -39,6 +41,7 @@ import (
 	"progconv/internal/relstore"
 	"progconv/internal/schema"
 	"progconv/internal/schema/ddl"
+	"progconv/internal/telemetry"
 	"progconv/internal/wire"
 	"progconv/internal/xform"
 )
@@ -223,7 +226,8 @@ func cmdConvert(args []string) error {
 	metricsOut := fs.String("metrics-out", "",
 		"write run counters in Prometheus text format to this file")
 	debugAddr := fs.String("debug-addr", "",
-		"serve live run counters over HTTP expvar at this address (e.g. :6060)")
+		"serve pprof, expvar, /metrics and /statusz at this address (e.g. :6060);\n"+
+			"unauthenticated — keep it on loopback")
 	failOn := fs.String("fail-on", "",
 		"exit with code 3 when the report contains these dispositions:\n"+
 			"manual (manual or failed) or qualified (manual, failed or qualified)")
@@ -333,9 +337,14 @@ func cmdConvert(args []string) error {
 		sinks = append(sinks, jsonl)
 	}
 	var tally *progconv.Tally
+	var reg *telemetry.Registry
+	var inst *telemetry.Instruments
 	if *metricsOut != "" || *debugAddr != "" {
 		tally = progconv.NewTally()
 		sinks = append(sinks, tally)
+		reg = telemetry.NewRegistry()
+		inst = telemetry.NewInstruments(reg)
+		sinks = append(sinks, inst.StageSink())
 	}
 	if sink := progconv.MultiSink(sinks...); sink != nil {
 		opts = append(opts, progconv.WithEventSink(sink))
@@ -345,18 +354,48 @@ func cmdConvert(args []string) error {
 		rec = progconv.NewRecorder()
 		opts = append(opts, progconv.WithRecorder(rec))
 	}
+	// The trace builder mirrors the daemon's per-job span tree; the
+	// trace ID is derived from schema and program content, so the same
+	// invocation always yields the same IDs.
+	var tb *progconv.TraceBuilder
+	if *traceOut != "" {
+		seed := []string{src.DDL(), dst.DDL()}
+		for _, p := range progs {
+			seed = append(seed, p.Name)
+		}
+		tb = progconv.NewTraceBuilder(progconv.DeriveTraceID(seed...), "convert")
+		opts = append(opts, progconv.WithTraceSink(tb))
+	}
 	if *debugAddr != "" {
+		// Same surface as the daemon's -debug-addr: pprof, expvar,
+		// Prometheus text and a human statusz — not just expvar.
 		expvar.Publish("progconv", expvar.Func(func() any { return tally.Snapshot() }))
+		metrics := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			if err := progconv.WritePrometheus(w, tally, nil); err != nil {
+				return
+			}
+			reg.WritePrometheus(w)
+		})
+		statusz := telemetry.StatuszHandler(time.Now(), telemetry.StatusSection{
+			Title: "histograms",
+			Write: func(w io.Writer) { reg.WriteSummary(w) },
+		})
 		go func() {
-			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+			if err := http.ListenAndServe(*debugAddr, telemetry.DebugMux(metrics, statusz)); err != nil {
 				fmt.Fprintln(os.Stderr, "progconv: debug endpoint:", err)
 			}
 		}()
 	}
 
+	runStart := time.Now()
 	report, err := progconv.Convert(ctx, src, dst, nil, progs, opts...)
 	if err != nil {
 		return err
+	}
+	if inst != nil {
+		inst.JobDur.ObserveDuration("", time.Since(runStart))
+		inst.ObserveDataPlane(report.DataPlane)
 	}
 	fmt.Print(report)
 	for _, o := range report.Outcomes {
@@ -392,8 +431,10 @@ func cmdConvert(args []string) error {
 		}
 	}
 	if *traceOut != "" {
+		// The Chrome export is a rendering of the span tree the trace
+		// sink built — the same tree the daemon serves as trace JSON.
 		if err := writeFileWith(*traceOut, func(w *bufio.Writer) error {
-			return progconv.WriteChromeTrace(w, rec)
+			return progconv.WriteTraceChrome(w, report.Trace)
 		}); err != nil {
 			return fmt.Errorf("trace: %w", err)
 		}
@@ -401,7 +442,10 @@ func cmdConvert(args []string) error {
 	if *metricsOut != "" {
 		tally.AddDataPlane(report.DataPlane)
 		if err := writeFileWith(*metricsOut, func(w *bufio.Writer) error {
-			return progconv.WritePrometheus(w, tally, report.Metrics)
+			if err := progconv.WritePrometheus(w, tally, report.Metrics); err != nil {
+				return err
+			}
+			return reg.WritePrometheus(w)
 		}); err != nil {
 			return fmt.Errorf("metrics: %w", err)
 		}

@@ -3,7 +3,7 @@
 //
 //	progconvd [-addr :8080] [-queue N] [-runners N]
 //	          [-deadline d] [-max-deadline d] [-drain-timeout d]
-//	          [-cache] [-cache-size N]
+//	          [-cache] [-cache-size N] [-debug-addr :8081]
 //
 // Endpoints (all documents are wire v1, see internal/wire):
 //
@@ -23,9 +23,24 @@
 //	                            the job runs, replays when finished;
 //	                            ?omit_timing=1 drops wall-clock fields
 //	POST   /v1/jobs/{id}/cancel cancel a queued or running job
+//	GET    /v1/jobs/{id}/trace  the job's span tree as wire trace JSON
+//	                            (?omit_timing=1 for the deterministic
+//	                            bytes); live partial trees while running
 //	GET    /healthz             liveness
 //	GET    /readyz              readiness (503 while draining)
-//	GET    /metrics             Prometheus text exposition
+//	GET    /metrics             Prometheus text exposition (counters,
+//	                            latency histograms, gauges)
+//	GET    /statusz             human-readable server snapshot
+//
+// Submissions honor an inbound W3C traceparent header: the job's trace
+// continues the caller's trace ID and records the caller's span as the
+// remote parent; the response echoes a traceparent naming the job's
+// root span. Without one, the trace ID is derived deterministically
+// from the job content and submission index.
+//
+// With -debug-addr a second listener serves net/http/pprof under
+// /debug/pprof/, expvar under /debug/vars, and mirrors /metrics and
+// /statusz — keep it on loopback; it is unauthenticated.
 //
 // On SIGTERM or SIGINT the daemon drains gracefully: new submissions
 // get 503, in-flight and queued jobs run to completion (bounded by
@@ -44,6 +59,7 @@ import (
 
 	"progconv"
 	"progconv/internal/serve"
+	"progconv/internal/telemetry"
 )
 
 func main() {
@@ -61,6 +77,8 @@ func main() {
 		"share a content-addressed conversion cache across jobs")
 	cacheSize := fs.Int("cache-size", 0,
 		"with -cache: retained pair contexts (0 = the default 64)")
+	debugAddr := fs.String("debug-addr", "",
+		"serve pprof, expvar, /metrics and /statusz on this address (unauthenticated; keep on loopback)")
 	fs.Parse(os.Args[1:])
 
 	cfg := serve.Config{
@@ -77,6 +95,17 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
+	if *debugAddr != "" {
+		dbg := &http.Server{Addr: *debugAddr,
+			Handler: telemetry.DebugMux(srv.MetricsHandler(), srv.Statusz())}
+		go func() {
+			if err := dbg.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "progconvd: debug listener:", err)
+			}
+		}()
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, "progconvd: debug endpoints (pprof, expvar, metrics, statusz) on %s\n", *debugAddr)
+	}
 	fmt.Fprintf(os.Stderr, "progconvd: serving wire v%d on %s\n", progconv.WireVersion, *addr)
 
 	sigc := make(chan os.Signal, 1)

@@ -28,6 +28,9 @@
 //	                       snapshotted from it, so the two compose
 //	WithEventSink(s)       stream the structured event log to s
 //	                       (RingSink, JSONLSink, Tally, MultiSink)
+//	WithTraceSink(tb)      fold the event log into tb's span tree
+//	                       (NewTraceBuilder, DeriveTraceID); the
+//	                       finished trace lands on Report.Trace
 //	WithProgramTimeout(d)  budget one program's whole analyze → verify
 //	                       pipeline (0 = unbounded)
 //	WithStageTimeout(d)    budget each pipeline stage attempt
@@ -48,8 +51,10 @@
 //
 // Every machine-readable artifact the toolchain emits — event-log JSONL
 // lines (EncodeJSONL, NewJSONLSink), report documents
-// (EncodeReportJSON), and the conversion daemon's job/status/error
-// bodies — is versioned: a leading "v" field holds WireVersion. The
+// (EncodeReportJSON), trace documents (EncodeTraceJSON, the daemon's
+// GET /v1/jobs/{id}/trace), and the conversion daemon's
+// job/status/error bodies — is versioned: a leading "v" field holds
+// WireVersion. The
 // bytes are deterministic for the same inputs at any parallelism, so
 // cmd/progconvd's report endpoint and the CLI's -report-json flag
 // produce identical documents. ExitCodeFor maps a finished Report onto

@@ -62,6 +62,7 @@ import (
 	"progconv/internal/optimizer"
 	"progconv/internal/plancache"
 	"progconv/internal/schema"
+	"progconv/internal/telemetry"
 	"progconv/internal/xform"
 )
 
@@ -237,6 +238,11 @@ type Report struct {
 	// of String(): the totals are deterministic at any parallelism, but
 	// reports predating the fast path must stay byte-identical.
 	DataPlane obs.DataPlane
+	// Trace is the span tree assembled when the run was instrumented
+	// with a trace builder (WithTraceSink; nil otherwise). Like Metrics
+	// it is excluded from String() and from the wire report — the trace
+	// has its own wire document and daemon endpoint.
+	Trace *telemetry.Trace
 }
 
 // Counts returns (auto, qualified, manual).

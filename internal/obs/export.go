@@ -109,14 +109,13 @@ func (t *Tally) Snapshot() map[string]int64 {
 			out[f.name+"/"+label] = n
 		}
 	}
-	// Data-plane totals appear only once recorded, so pre-existing
-	// snapshot shapes are unchanged.
-	if !t.dataplane.Zero() {
-		out["dataplane/index_probes"] = t.dataplane.IndexProbes
-		out["dataplane/index_scans"] = t.dataplane.IndexScans
-		out["dataplane/migration_fused_steps"] = t.dataplane.FusedSteps
-		out["dataplane/migration_stepwise_steps"] = t.dataplane.StepwiseSteps
-	}
+	// Data-plane totals are always present — a scraper watching the
+	// debug endpoint must never see a key appear or vanish between
+	// samples just because activity started or stopped.
+	out["dataplane/index_probes"] = t.dataplane.IndexProbes
+	out["dataplane/index_scans"] = t.dataplane.IndexScans
+	out["dataplane/migration_fused_steps"] = t.dataplane.FusedSteps
+	out["dataplane/migration_stepwise_steps"] = t.dataplane.StepwiseSteps
 	return out
 }
 
@@ -172,9 +171,11 @@ func (t *Tally) WritePrometheus(w io.Writer, m *Metrics) error {
 			return err
 		}
 	}
-	// Data-plane counters are label-free totals, written only once any
-	// activity was recorded so pre-existing exports stay byte-stable.
-	if !dp.Zero() {
+	// Data-plane counters are label-free totals, written
+	// unconditionally (zeros included): a registered time series that
+	// disappears between scrapes breaks rate() and alerting, so the
+	// family set never depends on whether activity happened yet.
+	if t != nil {
 		for _, c := range []struct {
 			name, help string
 			v          int64

@@ -31,6 +31,10 @@ func TestTallySnapshot(t *testing.T) {
 		"hazards/order-dependence": 1,
 		"rewrites/get":             2, "rewrites/move": 1,
 		"verifications/pass": 1, "verifications/fail": 1,
+		// The data-plane totals are always present, zeros included — a
+		// scraper must never see keys appear or vanish between samples.
+		"dataplane/index_probes": 0, "dataplane/index_scans": 0,
+		"dataplane/migration_fused_steps": 0, "dataplane/migration_stepwise_steps": 0,
 	}
 	for k, n := range want {
 		if snap[k] != n {

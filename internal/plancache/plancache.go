@@ -141,6 +141,10 @@ type Stats struct {
 	Pairs, Memos int
 }
 
+// Entries is the total number of live cache entries across every
+// scope — the figure the telemetry plane exports as a size gauge.
+func (s Stats) Entries() int { return s.Pairs + s.Memos }
+
 // Cache is the shared, concurrency-safe conversion cache. The zero
 // value is not usable; construct with New.
 type Cache struct {

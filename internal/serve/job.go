@@ -5,6 +5,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"progconv"
 	"progconv/internal/dbprog"
@@ -53,6 +54,12 @@ type job struct {
 	programs []*progconv.Program
 	verifyDB *progconv.Database
 
+	// trace and submitted are set under the server mutex at admission
+	// and read-only afterwards; the builder itself is internally
+	// synchronized, so handlers may snapshot it mid-run.
+	trace     *progconv.TraceBuilder
+	submitted time.Time
+
 	mu         sync.Mutex
 	state      jobState
 	cancel     context.CancelFunc // non-nil while running
@@ -79,11 +86,25 @@ func (j *job) snapshot() snapshotState {
 func (j *job) status() wire.JobStatus {
 	st := j.snapshot()
 	doc := wire.JobStatus{V: wire.Version, ID: j.id, State: st.state.String(), Error: st.errMsg}
+	if j.trace != nil {
+		doc.TraceID = j.trace.TraceID().String()
+	}
 	if st.state == stateDone || st.state == stateFailed || st.state == stateCanceled {
 		code := int(st.exit)
 		doc.ExitCode = &code
 	}
 	return doc
+}
+
+// traceSeed returns the job-content strings a fallback trace ID is
+// derived from; the caller appends the submission index so identical
+// resubmissions still get distinct traces.
+func (j *job) traceSeed() []string {
+	seed := []string{j.spec.SourceDDL, j.spec.TargetDDL}
+	for _, p := range j.spec.Programs {
+		seed = append(seed, p.Source)
+	}
+	return seed
 }
 
 // requestCancel cancels a running job or marks a queued one so the
@@ -152,7 +173,11 @@ func (s *Server) options(j *job) []progconv.Option {
 		progconv.WithAnalystTimeout(analystTimeout),
 		progconv.WithRetries(o.Retries, 0),
 		progconv.WithFailurePolicy(policy),
-		progconv.WithEventSink(progconv.MultiSink(j.hub, s.tally)),
+		progconv.WithMetrics(),
+		progconv.WithEventSink(progconv.MultiSink(j.hub, s.tally, s.inst.StageSink())),
+	}
+	if j.trace != nil {
+		opts = append(opts, progconv.WithTraceSink(j.trace))
 	}
 	if s.cfg.Cache != nil {
 		opts = append(opts, progconv.WithCache(s.cfg.Cache))
@@ -200,7 +225,27 @@ func (s *Server) runJob(j *job) {
 	j.cancel = cancel
 	j.mu.Unlock()
 
+	// Queue wait ends here; the job trace records it as a leading phase
+	// so the gap between submission and first stage is visible.
+	wait := time.Since(j.submitted)
+	s.inst.QueueWait.ObserveDuration("", wait)
+	if j.trace != nil {
+		j.trace.Phase("queue-wait", 0, wait)
+	}
+	jobStart := time.Now()
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+
 	report, err := progconv.Convert(ctx, j.src, j.dst, nil, j.programs, s.options(j)...)
+
+	s.inst.JobDur.ObserveDuration("", time.Since(jobStart))
+	if j.trace != nil {
+		j.trace.End(time.Since(jobStart))
+	}
+	if err == nil && report != nil {
+		s.tally.AddDataPlane(report.DataPlane)
+		s.inst.ObserveDataPlane(report.DataPlane)
+	}
 
 	j.mu.Lock()
 	defer j.mu.Unlock()

@@ -28,13 +28,16 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"progconv"
+	"progconv/internal/telemetry"
 	"progconv/internal/wire"
 )
 
@@ -85,6 +88,14 @@ func (c Config) retryAfter() time.Duration {
 type Server struct {
 	cfg   Config
 	tally *progconv.Tally
+	start time.Time
+
+	// The telemetry plane: histogram instruments and gauges exported
+	// at /metrics alongside the tally counters, and summarized on
+	// /statusz. inflight counts jobs currently on a runner.
+	reg      *telemetry.Registry
+	inst     *telemetry.Instruments
+	inflight atomic.Int64
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -101,10 +112,30 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:         cfg,
 		tally:       progconv.NewTally(),
+		start:       time.Now(),
+		reg:         telemetry.NewRegistry(),
 		jobs:        make(map[string]*job),
 		queue:       make(chan *job, cfg.queueDepth()),
 		runnersDone: make(chan struct{}),
 	}
+	s.inst = telemetry.NewInstruments(s.reg)
+	s.reg.Gauge("progconv_queue_depth",
+		"Jobs admitted but not yet picked up by a runner.",
+		func() float64 { return float64(len(s.queue)) })
+	s.reg.Gauge("progconv_inflight_jobs",
+		"Jobs currently converting on a runner.",
+		func() float64 { return float64(s.inflight.Load()) })
+	s.reg.Gauge("progconv_jobs_total",
+		"Jobs admitted since the server started.",
+		func() float64 { s.mu.Lock(); defer s.mu.Unlock(); return float64(len(s.jobs)) })
+	s.reg.Gauge("progconv_cache_entries",
+		"Live conversion-cache entries (pair contexts plus memos).",
+		func() float64 {
+			if s.cfg.Cache == nil {
+				return 0
+			}
+			return float64(s.cfg.Cache.Stats().Entries())
+		})
 	var wg sync.WaitGroup
 	for i := 0; i < cfg.runners(); i++ {
 		wg.Add(1)
@@ -130,6 +161,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/report", s.handleReport)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -144,13 +176,56 @@ func (s *Server) Handler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ready")
 	})
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+	mux.Handle("GET /metrics", s.MetricsHandler())
+	mux.Handle("GET /statusz", s.Statusz())
+	return mux
+}
+
+// MetricsHandler returns the Prometheus scrape handler: the event
+// tally's counter families followed by the telemetry registry's
+// histograms and gauges. cmd/progconvd mounts it on -debug-addr too.
+func (s *Server) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if err := progconv.WritePrometheus(w, s.tally, nil); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if err := s.reg.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
-	return mux
+}
+
+// Statusz returns the human-readable snapshot handler: build info,
+// uptime, queue and pool occupancy, cache counters, and histogram
+// summaries.
+func (s *Server) Statusz() http.Handler {
+	return telemetry.StatuszHandler(s.start,
+		telemetry.StatusSection{Title: "server", Write: func(w io.Writer) {
+			s.mu.Lock()
+			jobs, draining := len(s.jobs), s.draining
+			s.mu.Unlock()
+			fmt.Fprintf(w, "  jobs        %d admitted, %d queued, %d in flight\n",
+				jobs, len(s.queue), s.inflight.Load())
+			fmt.Fprintf(w, "  queue cap   %d\n", s.cfg.queueDepth())
+			fmt.Fprintf(w, "  runners     %d\n", s.cfg.runners())
+			fmt.Fprintf(w, "  draining    %v\n", draining)
+		}},
+		telemetry.StatusSection{Title: "cache", Write: func(w io.Writer) {
+			if s.cfg.Cache == nil {
+				fmt.Fprintf(w, "  disabled\n")
+				return
+			}
+			st := s.cfg.Cache.Stats()
+			fmt.Fprintf(w, "  entries     %d (%d pairs, %d memos)\n", st.Entries(), st.Pairs, st.Memos)
+			fmt.Fprintf(w, "  pair        %d hits / %d misses / %d evictions\n", st.PairHits, st.PairMisses, st.PairEvictions)
+			fmt.Fprintf(w, "  analysis    %d hits / %d misses / %d evictions\n", st.AnalysisHits, st.AnalysisMisses, st.AnalysisEvictions)
+			fmt.Fprintf(w, "  conversion  %d hits / %d misses / %d evictions\n", st.ConversionHits, st.ConversionMisses, st.ConversionEvictions)
+			fmt.Fprintf(w, "  codegen     %d hits / %d misses / %d evictions\n", st.CodegenHits, st.CodegenMisses, st.CodegenEvictions)
+		}},
+		telemetry.StatusSection{Title: "histograms", Write: s.reg.WriteSummary},
+	)
 }
 
 // StartDrain stops admissions: new submissions answer 503 while
@@ -222,6 +297,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// An inbound W3C traceparent continues the caller's trace; anything
+	// malformed (or absent) falls back to a trace ID derived from the
+	// job content and submission index — deterministic, per the repo's
+	// no-wall-clock-IDs contract.
+	tid, remote, tpErr := telemetry.ParseTraceparent(r.Header.Get("traceparent"))
+
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
@@ -233,6 +314,19 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// guards draining, so it cannot race StartDrain's close.
 	s.nextID++
 	j.id = fmt.Sprintf("j-%06d", s.nextID)
+	if tpErr != nil {
+		tid = telemetry.DeriveTraceID(append(j.traceSeed(), strconv.Itoa(s.nextID))...)
+	}
+	j.submitted = time.Now()
+	j.trace = telemetry.NewTraceBuilder(tid, j.id)
+	if tpErr == nil {
+		j.trace.SetRemoteParent(remote)
+	}
+	names := make([]string, len(j.programs))
+	for i, p := range j.programs {
+		names[i] = p.Name
+	}
+	j.trace.SetPrograms(names)
 	select {
 	case s.queue <- j:
 		s.jobs[j.id] = j
@@ -249,7 +343,25 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 
 	w.Header().Set("Location", "/v1/jobs/"+j.id)
+	w.Header().Set("traceparent", telemetry.Traceparent(j.trace.TraceID(), j.trace.Root()))
 	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+// handleTrace serves the job's span tree as a wire-v1 document. A
+// running job yields a consistent partial tree, a finished one the
+// full trace; ?omit_timing=1 drops the wall-clock fields, leaving the
+// parallelism-independent bytes.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j := s.job(w, r)
+	if j == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("traceparent", telemetry.Traceparent(j.trace.TraceID(), j.trace.Root()))
+	omit := r.URL.Query().Get("omit_timing") != ""
+	if err := wire.EncodeTrace(w, j.trace.Snapshot(), omit); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
 }
 
 func (s *Server) job(w http.ResponseWriter, r *http.Request) *job {

@@ -1,0 +1,90 @@
+package telemetry
+
+// Chrome trace_event rendering of a span tree — the -trace output,
+// loadable in chrome://tracing or https://ui.perfetto.dev. One virtual
+// thread per program (plus thread 0 for the job root, phases, and
+// pair-scoped spans); stage, program, phase, and job spans render as
+// complete ("X") events, point-like children (cache probes, verdicts,
+// decisions, hazards, faults, retries) as instant ("i") events.
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// chromeEvent is one trace_event entry.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	S    string            `json:"s,omitempty"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+func micros(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
+// WriteChromeTrace renders the span tree as Chrome trace_event JSON.
+// A nil trace writes an empty event list.
+func WriteChromeTrace(w io.Writer, tr *Trace) error {
+	var events []chromeEvent
+	if tr != nil {
+		tids := map[string]int{"": 0}
+		threadName := func(tid int, name string) {
+			events = append(events, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
+				Args: map[string]string{"name": name},
+			})
+		}
+		threadName(0, "job "+tr.TraceID.String()[:12])
+		for _, sp := range tr.Spans {
+			tid, ok := tids[sp.Prog]
+			if !ok {
+				tid = len(tids)
+				tids[sp.Prog] = tid
+				threadName(tid, sp.Prog)
+			}
+			args := map[string]string{"span_id": sp.ID.String(), "kind": sp.Kind.String()}
+			if sp.Label != "" {
+				args["label"] = sp.Label
+			}
+			if sp.Detail != "" {
+				args["detail"] = sp.Detail
+			}
+			ev := chromeEvent{
+				Name: sp.Name, Cat: sp.Kind.String(),
+				Ts: micros(sp.Start), Pid: 1, Tid: tid, Args: args,
+			}
+			switch sp.Kind {
+			case KindJob, KindPhase, KindProgram, KindStage:
+				ev.Ph, ev.Dur = "X", micros(sp.Dur)
+			default:
+				ev.Ph, ev.S = "i", "t"
+			}
+			events = append(events, ev)
+		}
+	}
+	if _, err := io.WriteString(w, `{"traceEvents":[`); err != nil {
+		return err
+	}
+	for i, ev := range events {
+		if i > 0 {
+			if _, err := io.WriteString(w, ","); err != nil {
+				return err
+			}
+		}
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]}\n")
+	return err
+}

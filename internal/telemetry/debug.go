@@ -1,0 +1,70 @@
+package telemetry
+
+// The operational debug plane shared by cmd/progconv -debug-addr and
+// cmd/progconvd -debug-addr: net/http/pprof profiles, expvar, a
+// Prometheus scrape, and the /statusz human-readable snapshot. Both
+// front ends mount the same mux, so profiling a stuck CLI run works
+// exactly like profiling the daemon.
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// StatusSection is one caller-supplied block of the /statusz page.
+type StatusSection struct {
+	Title string
+	Write func(io.Writer)
+}
+
+// DebugMux mounts the shared debug plane:
+//
+//	/debug/pprof/*  CPU, heap, goroutine, … profiles
+//	/debug/vars     expvar JSON (anything published by the process)
+//	/metrics        the supplied Prometheus handler (optional)
+//	/statusz        the supplied status handler (optional, also at /)
+func DebugMux(metrics, statusz http.Handler) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	if metrics != nil {
+		mux.Handle("/metrics", metrics)
+	}
+	if statusz != nil {
+		mux.Handle("/statusz", statusz)
+		mux.Handle("/{$}", statusz)
+	}
+	return mux
+}
+
+// StatuszHandler renders the human-readable process snapshot: build
+// info and uptime first, then each caller section.
+func StatuszHandler(start time.Time, sections ...StatusSection) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "== build ==\n")
+		if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Path != "" {
+			fmt.Fprintf(w, "  module   %s %s\n", bi.Main.Path, bi.Main.Version)
+		}
+		fmt.Fprintf(w, "  go       %s\n", runtime.Version())
+		fmt.Fprintf(w, "  os/arch  %s/%s\n", runtime.GOOS, runtime.GOARCH)
+		fmt.Fprintf(w, "\n== process ==\n")
+		fmt.Fprintf(w, "  uptime      %s\n", time.Since(start).Round(time.Second))
+		fmt.Fprintf(w, "  goroutines  %d\n", runtime.NumGoroutine())
+		fmt.Fprintf(w, "  gomaxprocs  %d\n", runtime.GOMAXPROCS(0))
+		for _, s := range sections {
+			fmt.Fprintf(w, "\n== %s ==\n", s.Title)
+			s.Write(w)
+		}
+	})
+}

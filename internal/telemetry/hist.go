@@ -1,0 +1,322 @@
+package telemetry
+
+// Histogram instruments and gauges with a Prometheus text exporter.
+// Bucket boundaries are fixed at construction — the same deterministic
+// 1µs·4ⁱ geometry internal/obs uses for stage spans — and every
+// registered series is rendered unconditionally (zero counts
+// included), so scrapers never see series appear, disappear, or shift
+// buckets between scrapes.
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+
+	"progconv/internal/obs"
+)
+
+// LatencyBuckets returns the standard duration boundaries in seconds:
+// 1µs·4ⁱ for i in [0, 16), matching the obs stage histogram geometry.
+func LatencyBuckets() []float64 {
+	out := make([]float64, 16)
+	b := 1e-6
+	for i := range out {
+		out[i] = b
+		b *= 4
+	}
+	return out
+}
+
+// CountBuckets returns the standard count boundaries: 4ⁱ for i in
+// [0, 10) — 1, 4, 16, … 262144 — for per-job data-plane work counts.
+func CountBuckets() []float64 {
+	out := make([]float64, 10)
+	b := 1.0
+	for i := range out {
+		out[i] = b
+		b *= 4
+	}
+	return out
+}
+
+// series is one labeled histogram time series.
+type series struct {
+	label   string
+	buckets []int64 // finite buckets; observations above the last bound
+	sum     float64 // and the count make the implicit +Inf bucket
+	count   int64
+	max     float64
+}
+
+// Family is one histogram metric family: fixed bucket boundaries, any
+// number of labeled series. Safe for concurrent Observe.
+type Family struct {
+	name, help, labelKey string
+	bounds               []float64
+
+	mu      sync.Mutex
+	series  []*series
+	byLabel map[string]*series
+}
+
+// Observe records one value into the labeled series, creating it on
+// first use (pre-register scrape-critical labels at Family time so
+// they export as zeros before the first observation). The label is ""
+// for label-free families.
+func (f *Family) Observe(label string, v float64) {
+	f.mu.Lock()
+	s := f.byLabel[label]
+	if s == nil {
+		s = f.register(label)
+	}
+	s.count++
+	s.sum += v
+	if v > s.max {
+		s.max = v
+	}
+	for i, b := range f.bounds {
+		if v <= b {
+			s.buckets[i]++
+			break
+		}
+	}
+	f.mu.Unlock()
+}
+
+// ObserveDuration records a duration in seconds.
+func (f *Family) ObserveDuration(label string, d time.Duration) {
+	f.Observe(label, d.Seconds())
+}
+
+// register adds a series; the caller holds f.mu (or is Registry.Family
+// before the family is published).
+func (f *Family) register(label string) *series {
+	s := &series{label: label, buckets: make([]int64, len(f.bounds))}
+	f.series = append(f.series, s)
+	f.byLabel[label] = s
+	return s
+}
+
+// Count returns one series' observation count (0 when absent).
+func (f *Family) Count(label string) int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s := f.byLabel[label]; s != nil {
+		return s.count
+	}
+	return 0
+}
+
+// gauge is one callback-valued gauge metric.
+type gauge struct {
+	name, help string
+	fn         func() float64
+}
+
+// Registry holds an instrument set for one process: histogram families
+// and gauges, rendered together by WritePrometheus. Families and
+// gauges render in registration order, series in label-registration
+// order, so the exposition is byte-stable for a deterministic
+// observation sequence.
+type Registry struct {
+	mu       sync.Mutex
+	families []*Family
+	gauges   []gauge
+}
+
+// NewRegistry returns an empty instrument registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Family registers a histogram family. labelKey is the label
+// dimension ("" for a label-free family); bounds are the finite bucket
+// upper bounds in ascending order; labels pre-registers series so they
+// export before their first observation.
+func (r *Registry) Family(name, help, labelKey string, bounds []float64, labels ...string) *Family {
+	f := &Family{
+		name: name, help: help, labelKey: labelKey,
+		bounds:  append([]float64(nil), bounds...),
+		byLabel: map[string]*series{},
+	}
+	if len(labels) == 0 && labelKey == "" {
+		labels = []string{""}
+	}
+	for _, l := range labels {
+		f.register(l)
+	}
+	r.mu.Lock()
+	r.families = append(r.families, f)
+	r.mu.Unlock()
+	return f
+}
+
+// Gauge registers a callback-valued gauge, sampled at scrape time.
+func (r *Registry) Gauge(name, help string, fn func() float64) {
+	r.mu.Lock()
+	r.gauges = append(r.gauges, gauge{name, help, fn})
+	r.mu.Unlock()
+}
+
+// snapshotFamilies copies the family list so rendering never holds the
+// registry lock while calling into family locks.
+func (r *Registry) snapshotFamilies() ([]*Family, []gauge) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*Family(nil), r.families...), append([]gauge(nil), r.gauges...)
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WritePrometheus renders every registered family and gauge in
+// Prometheus text exposition format. All registered series are written
+// unconditionally — including zero-count ones — so no time series ever
+// disappears between scrapes.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	families, gauges := r.snapshotFamilies()
+	for _, f := range families {
+		if err := f.writePrometheus(w); err != nil {
+			return err
+		}
+	}
+	for _, g := range gauges {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n",
+			g.name, g.help, g.name, g.name, formatFloat(g.fn())); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *Family) writePrometheus(w io.Writer) error {
+	f.mu.Lock()
+	type snap struct {
+		label   string
+		buckets []int64
+		sum     float64
+		count   int64
+	}
+	snaps := make([]snap, 0, len(f.series))
+	for _, s := range f.series {
+		snaps = append(snaps, snap{s.label, append([]int64(nil), s.buckets...), s.sum, s.count})
+	}
+	f.mu.Unlock()
+
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", f.name, f.help, f.name); err != nil {
+		return err
+	}
+	for _, s := range snaps {
+		sel := func(le string) string {
+			if f.labelKey == "" {
+				return fmt.Sprintf("{le=%q}", le)
+			}
+			return fmt.Sprintf("{%s=%q,le=%q}", f.labelKey, s.label, le)
+		}
+		plain := ""
+		if f.labelKey != "" {
+			plain = fmt.Sprintf("{%s=%q}", f.labelKey, s.label)
+		}
+		var cum int64
+		for i, b := range f.bounds {
+			cum += s.buckets[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, sel(formatFloat(b)), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, sel("+Inf"), s.count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, plain, formatFloat(s.sum)); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, plain, s.count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSummary renders one human-readable line per series — the
+// /statusz histogram section.
+func (r *Registry) WriteSummary(w io.Writer) {
+	families, gauges := r.snapshotFamilies()
+	for _, f := range families {
+		f.mu.Lock()
+		for _, s := range f.series {
+			name := f.name
+			if f.labelKey != "" {
+				name = fmt.Sprintf("%s{%s=%q}", f.name, f.labelKey, s.label)
+			}
+			mean := 0.0
+			if s.count > 0 {
+				mean = s.sum / float64(s.count)
+			}
+			fmt.Fprintf(w, "  %-60s count=%d mean=%s max=%s\n",
+				name, s.count, formatFloat(mean), formatFloat(s.max))
+		}
+		f.mu.Unlock()
+	}
+	for _, g := range gauges {
+		fmt.Fprintf(w, "  %-60s value=%s\n", g.name, formatFloat(g.fn()))
+	}
+}
+
+// Instruments is the standard progconv instrument set, registered
+// identically by the daemon and the CLI so dashboards work against
+// either front end.
+type Instruments struct {
+	// QueueWait is the admission-queue wait per job (daemon only; the
+	// CLI has no queue and leaves it at zero).
+	QueueWait *Family
+	// JobDur is end-to-end job latency, runner pickup to report.
+	JobDur *Family
+	// Stage is per-program stage-attempt latency by stage name, fed
+	// from stage-end events by StageSink.
+	Stage *Family
+	// Probes is the per-job data-plane FIND work count by resolution
+	// ("probe" = exact-key index probe, "scan" = full occurrence scan).
+	Probes *Family
+}
+
+// NewInstruments registers the standard families on r. Stage series
+// are pre-registered for every pipeline stage so all five export from
+// the first scrape.
+func NewInstruments(r *Registry) *Instruments {
+	stages := make([]string, 0, len(obs.Stages()))
+	for _, st := range obs.Stages() {
+		stages = append(stages, st.String())
+	}
+	return &Instruments{
+		QueueWait: r.Family("progconv_queue_wait_seconds",
+			"Time a job waited in the admission queue before a runner picked it up.",
+			"", LatencyBuckets()),
+		JobDur: r.Family("progconv_job_duration_seconds",
+			"End-to-end job latency from runner pickup to finished report.",
+			"", LatencyBuckets()),
+		Stage: r.Family("progconv_stage_latency_seconds",
+			"Per-program pipeline stage attempt latency.",
+			"stage", LatencyBuckets(), stages...),
+		Probes: r.Family("progconv_dataplane_probe_count",
+			"Per-job data-plane FIND lookups by resolution (index probe vs full scan).",
+			"op", CountBuckets(), "probe", "scan"),
+	}
+}
+
+// stageSink folds stage-end events into the stage latency family.
+type stageSink struct{ fam *Family }
+
+func (s stageSink) Emit(ev obs.Event) {
+	if ev.Kind == obs.EvStageEnd {
+		s.fam.ObserveDuration(ev.Stage.String(), ev.Dur)
+	}
+}
+
+// StageSink returns an event sink feeding the stage histogram; compose
+// it with the run's other sinks via MultiSink.
+func (in *Instruments) StageSink() obs.Sink { return stageSink{in.Stage} }
+
+// ObserveDataPlane records one finished job's data-plane counters.
+func (in *Instruments) ObserveDataPlane(dp obs.DataPlane) {
+	in.Probes.Observe("probe", float64(dp.IndexProbes))
+	in.Probes.Observe("scan", float64(dp.IndexScans))
+}

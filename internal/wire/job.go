@@ -118,6 +118,10 @@ type JobStatus struct {
 	// Error explains failed and canceled states, and carries the
 	// ExitFor message for done jobs whose gate tripped.
 	Error string `json:"error,omitempty"`
+	// TraceID is the job's trace — the inbound traceparent's trace-id
+	// when one was propagated, otherwise derived from the job content
+	// and submission index. The span tree is at /v1/jobs/{id}/trace.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // ErrorDoc is the v1 body of every non-2xx daemon response.

@@ -1,0 +1,81 @@
+package wire
+
+import (
+	"encoding/json"
+	"io"
+
+	"progconv/internal/telemetry"
+)
+
+// TraceDoc is the v1 JSON document for one job's span tree — what
+// GET /v1/jobs/{id}/trace serves. Spans appear in deterministic tree
+// order (root, phases, pair-scoped spans, then each program's subtree
+// in submission order); with timing omitted the document is
+// byte-identical at any parallelism, the same contract the events
+// endpoint honors under ?omit_timing=1.
+type TraceDoc struct {
+	V       int    `json:"v"`
+	TraceID string `json:"trace_id"`
+	// RemoteParentID is the caller's span from an inbound traceparent
+	// header, absent when the trace originated in this process.
+	RemoteParentID string      `json:"remote_parent_id,omitempty"`
+	Spans          []TraceSpan `json:"spans"`
+}
+
+// TraceSpan is one span on the wire.
+type TraceSpan struct {
+	ID       string `json:"span_id"`
+	ParentID string `json:"parent_id,omitempty"`
+	Kind     string `json:"kind"`
+	Name     string `json:"name"`
+	Prog     string `json:"prog,omitempty"`
+	Stage    string `json:"stage,omitempty"`
+	Attempt  int    `json:"attempt,omitempty"`
+	Label    string `json:"label,omitempty"`
+	Detail   string `json:"detail,omitempty"`
+	// StartNs and DurNs are the wall-clock fields, dropped when timing
+	// is omitted.
+	StartNs int64 `json:"start_ns,omitempty"`
+	DurNs   int64 `json:"dur_ns,omitempty"`
+}
+
+// FromTrace builds the wire document for a span tree.
+func FromTrace(tr *telemetry.Trace, omitTiming bool) *TraceDoc {
+	doc := &TraceDoc{V: Version}
+	if tr == nil {
+		return doc
+	}
+	doc.TraceID = tr.TraceID.String()
+	if !tr.Remote.IsZero() {
+		doc.RemoteParentID = tr.Remote.String()
+	}
+	doc.Spans = make([]TraceSpan, 0, len(tr.Spans))
+	for _, sp := range tr.Spans {
+		ws := TraceSpan{
+			ID:      sp.ID.String(),
+			Kind:    sp.Kind.String(),
+			Name:    sp.Name,
+			Prog:    sp.Prog,
+			Stage:   sp.Stage,
+			Attempt: sp.Attempt,
+			Label:   sp.Label,
+			Detail:  sp.Detail,
+		}
+		if !sp.Parent.IsZero() {
+			ws.ParentID = sp.Parent.String()
+		}
+		if !omitTiming {
+			ws.StartNs, ws.DurNs = int64(sp.Start), int64(sp.Dur)
+		}
+		doc.Spans = append(doc.Spans, ws)
+	}
+	return doc
+}
+
+// EncodeTrace writes the span tree as an indented wire-v1 JSON
+// document, newline-terminated like EncodeReport.
+func EncodeTrace(w io.Writer, tr *telemetry.Trace, omitTiming bool) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(FromTrace(tr, omitTiming))
+}

@@ -50,6 +50,7 @@ import (
 	"progconv/internal/plancache"
 	"progconv/internal/schema"
 	"progconv/internal/schema/ddl"
+	"progconv/internal/telemetry"
 	"progconv/internal/wire"
 	"progconv/internal/xform"
 )
@@ -133,6 +134,33 @@ type (
 	// Report: index probes vs full scans answering FIND requests during
 	// verification, and fused vs stepwise migration passes.
 	DataPlane = obs.DataPlane
+
+	// The tracing surface: a TraceBuilder (WithTraceSink) folds the
+	// event stream into a Trace — a span tree with one TraceID per run,
+	// one TraceSpan per program, and child spans for stage attempts,
+	// retries, cache probes, and verification passes. Span IDs derive
+	// from the TraceID and each span's structural path, so the tree is
+	// byte-identical at any parallelism once timing is omitted.
+	Trace        = telemetry.Trace
+	TraceBuilder = telemetry.TraceBuilder
+	TraceSpan    = telemetry.Span
+	SpanKind     = telemetry.SpanKind
+	TraceID      = telemetry.TraceID
+	SpanID       = telemetry.SpanID
+)
+
+// The span kinds a Trace contains.
+const (
+	SpanJob      = telemetry.KindJob
+	SpanPhase    = telemetry.KindPhase
+	SpanProgram  = telemetry.KindProgram
+	SpanStage    = telemetry.KindStage
+	SpanRetry    = telemetry.KindRetry
+	SpanCache    = telemetry.KindCache
+	SpanVerdict  = telemetry.KindVerdict
+	SpanDecision = telemetry.KindDecision
+	SpanHazard   = telemetry.KindHazard
+	SpanFault    = telemetry.KindFault
 )
 
 // The dispositions.
@@ -228,6 +256,7 @@ type options struct {
 	retryBackoff   time.Duration
 	failurePolicy  FailurePolicy
 	cache          *Cache
+	trace          *TraceBuilder
 }
 
 // Option configures one Convert run.
@@ -326,6 +355,18 @@ func WithCache(c *Cache) Option {
 	return func(o *options) { o.cache = c }
 }
 
+// WithTraceSink installs a trace builder (NewTraceBuilder): the run's
+// event stream is folded into its span tree alongside any WithEventSink
+// sink, the builder rides the context next to the event emitter, and
+// Convert attaches the finished tree as Report.Trace. The tree's
+// structure — span IDs, parentage, order — is byte-identical at any
+// parallelism; only the timing fields vary. ConvertJobs routes events
+// into the builder too but leaves Report.Trace nil: one batch is one
+// trace, and the caller holds the builder to Snapshot it.
+func WithTraceSink(b *TraceBuilder) Option {
+	return func(o *options) { o.trace = b }
+}
+
 // Convert converts a database application system: it classifies the
 // src → dst schema change (or follows plan when non-nil, in which case
 // dst may be nil), restructures the data given via WithVerifyDB, and
@@ -340,7 +381,19 @@ func Convert(ctx context.Context, src, dst *Schema, plan *Plan,
 	}
 	sup := o.supervisor()
 	sup.Verify = o.verifyDB != nil
-	return sup.Run(ctx, src, dst, plan, o.verifyDB, programs)
+	if o.trace != nil {
+		names := make([]string, len(programs))
+		for i, p := range programs {
+			names[i] = p.Name
+		}
+		o.trace.SetPrograms(names)
+		ctx = telemetry.WithTrace(ctx, o.trace)
+	}
+	report, err := sup.Run(ctx, src, dst, plan, o.verifyDB, programs)
+	if err == nil && o.trace != nil {
+		report.Trace = o.trace.Snapshot()
+	}
+	return report, err
 }
 
 // ConvertJobs converts the inventories of many schema pairs in one
@@ -358,6 +411,16 @@ func ConvertJobs(ctx context.Context, jobs []Job, opts ...Option) ([]*Report, er
 	}
 	sup := o.supervisor()
 	sup.Verify = true // per-job: only jobs with a DB verify
+	if o.trace != nil {
+		var names []string
+		for _, j := range jobs {
+			for _, p := range j.Programs {
+				names = append(names, p.Name)
+			}
+		}
+		o.trace.SetPrograms(names)
+		ctx = telemetry.WithTrace(ctx, o.trace)
+	}
 	return sup.RunJobs(ctx, jobs)
 }
 
@@ -375,6 +438,9 @@ func (o *options) supervisor() *core.Supervisor {
 	}
 	sup.Metrics = rec
 	sup.Events = o.sink
+	if o.trace != nil {
+		sup.Events = obs.MultiSink(o.trace, o.sink)
+	}
 	sup.ProgramTimeout = o.programTimeout
 	sup.StageTimeout = o.stageTimeout
 	sup.AnalystTimeout = o.analystTimeout
@@ -435,6 +501,48 @@ func ExitCodeFor(r *Report, failOn string) (ExitCode, string) {
 // loadable in chrome://tracing or Perfetto.
 func WriteChromeTrace(w io.Writer, r *Recorder) error {
 	return obs.WriteChromeTrace(w, r)
+}
+
+// NewTraceBuilder starts a trace for WithTraceSink: id becomes the
+// TraceID (DeriveTraceID, or an inbound traceparent's), name the root
+// span's display name.
+func NewTraceBuilder(id TraceID, name string) *TraceBuilder {
+	return telemetry.NewTraceBuilder(id, name)
+}
+
+// DeriveTraceID derives a deterministic TraceID from content parts —
+// hash the run's inputs (and a submission index) rather than a clock,
+// so re-running the same job yields the same trace identity.
+func DeriveTraceID(parts ...string) TraceID {
+	return telemetry.DeriveTraceID(parts...)
+}
+
+// ParseTraceparent parses a W3C traceparent header into its trace and
+// parent-span IDs, rejecting malformed headers — the inbound half of
+// cross-process trace propagation.
+func ParseTraceparent(h string) (TraceID, SpanID, error) {
+	return telemetry.ParseTraceparent(h)
+}
+
+// Traceparent renders the W3C traceparent header for a trace/span pair
+// — the outbound half of cross-process trace propagation.
+func Traceparent(t TraceID, s SpanID) string {
+	return telemetry.Traceparent(t, s)
+}
+
+// EncodeTraceJSON writes a span tree as the wire-versioned JSON
+// document the daemon serves at /v1/jobs/{id}/trace; omitTiming drops
+// the wall-clock fields for byte-stable output.
+func EncodeTraceJSON(w io.Writer, tr *Trace, omitTiming bool) error {
+	return wire.EncodeTrace(w, tr, omitTiming)
+}
+
+// WriteTraceChrome renders a span tree as Chrome trace_event JSON
+// loadable in chrome://tracing or Perfetto — the span-tree successor
+// of WriteChromeTrace's recorder rendering, carrying cache probes,
+// retries, verdicts, and faults alongside the stage spans.
+func WriteTraceChrome(w io.Writer, tr *Trace) error {
+	return telemetry.WriteChromeTrace(w, tr)
 }
 
 // WritePrometheus renders a tally (and optionally a Report's Metrics)
