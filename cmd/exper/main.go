@@ -4,7 +4,7 @@
 // demonstration (EXP-R1), and the conversion-service measurement
 // (EXP-S1). Run with no arguments for all experiments, or name them:
 //
-//	exper [f3.1] [f4.1] [f4.3] [f4.4] [s4.1a] [s4.1b] [c1] [c2] [c3] [c4] [c5] [c6] [h1] [r1] [s1]
+//	exper [f3.1] [f4.1] [f4.3] [f4.4] [s4.1a] [s4.1b] [c1] [c2] [c3] [c4] [c5] [c6] [h1] [r1] [s1] [s2]
 //
 // The bench-json subcommand measures the data-plane benchmarks with
 // testing.Benchmark and writes machine-readable results:
@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"progconv"
+	"progconv/client"
 	"progconv/internal/analyzer"
 	"progconv/internal/bridge"
 	"progconv/internal/constraint"
@@ -34,6 +35,7 @@ import (
 	"progconv/internal/core"
 	"progconv/internal/corpus"
 	"progconv/internal/dbprog"
+	"progconv/internal/dispatch"
 	"progconv/internal/emulate"
 	"progconv/internal/equiv"
 	"progconv/internal/fault"
@@ -60,9 +62,9 @@ func main() {
 		"f3.1": expF31, "f4.1": expF41, "f4.3": expF43, "f4.4": expF44,
 		"s4.1a": expS41a, "s4.1b": expS41b,
 		"c1": expC1, "c2": expC2, "c3": expC3, "c4": expC4, "c5": expC5, "c6": expC6,
-		"h1": expH1, "r1": expR1, "s1": expS1,
+		"h1": expH1, "r1": expR1, "s1": expS1, "s2": expS2,
 	}
-	order := []string{"f3.1", "f4.1", "f4.3", "f4.4", "s4.1a", "s4.1b", "c1", "c2", "c3", "c4", "c5", "c6", "h1", "r1", "s1"}
+	order := []string{"f3.1", "f4.1", "f4.3", "f4.4", "s4.1a", "s4.1b", "c1", "c2", "c3", "c4", "c5", "c6", "h1", "r1", "s1", "s2"}
 	args := os.Args[1:]
 	if len(args) > 0 && args[0] == "bench-json" {
 		out := "BENCH_PR5.json"
@@ -1400,4 +1402,211 @@ func expS1() {
 	fmt.Printf("\n(c) drain: submission during drain answered %d; all %d admitted jobs finished (%d done)\n",
 		code, len(ids), done)
 	ts.Close()
+}
+
+// s2Spec is the EXP-S2 job: the COMPANY pair with a PAD-<n> field
+// spliced into both schemas (distinct pair fingerprints per pad, so
+// affinity routing has pairs to spread) and every analyze stage slowed
+// by the deterministic fault injector. The delay models production
+// conversions that are I/O- or analyst-bound rather than CPU-bound —
+// on such workloads fleet capacity is concurrency, which is exactly
+// what adding workers buys.
+func s2Spec(pad int) wire.JobSpec {
+	spec := serveSpec()
+	padField := fmt.Sprintf("AGE INT.\n    PAD-%d CHAR.", pad)
+	spec.SourceDDL = strings.Replace(spec.SourceDDL, "AGE INT.", padField, 1)
+	spec.TargetDDL = strings.Replace(spec.TargetDDL, "AGE INT.", padField, 1)
+	spec.Options.Parallelism = 1
+	spec.Options.VerifyInit = ""
+	spec.Options.Inject = "delay=100ms@*/analyze"
+	return spec
+}
+
+// s2Fleet boots n workers and a coordinator over them; the returned
+// stop function tears everything down.
+func s2Fleet(n int) (*dispatch.Coordinator, *httptest.Server, []*httptest.Server, func()) {
+	var workers []*httptest.Server
+	var servers []*serve.Server
+	var urls []string
+	for i := 0; i < n; i++ {
+		srv := serve.New(serve.Config{QueueDepth: 64, Runners: 4, Cache: progconv.NewCache(0)})
+		ts := httptest.NewServer(srv.Handler())
+		servers = append(servers, srv)
+		workers = append(workers, ts)
+		urls = append(urls, ts.URL)
+	}
+	co := dispatch.New(dispatch.Config{
+		Workers: urls, ProbeInterval: 100 * time.Millisecond, ProbeFailures: 1,
+	})
+	coTS := httptest.NewServer(co.Handler())
+	stop := func() {
+		coTS.Close()
+		co.Close()
+		for _, ts := range workers {
+			ts.Close()
+		}
+	}
+	return co, coTS, workers, stop
+}
+
+// s2Run pushes the batch through a coordinator with 8 concurrent
+// submitters and returns the wall time.
+func s2Run(base string, specs []wire.JobSpec) (time.Duration, []string) {
+	cli := client.New(base)
+	ctx := context.Background()
+	ids := make([]string, len(specs))
+	start := time.Now()
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, 8)
+	for i := range specs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			st, err := cli.Submit(ctx, &specs[i])
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "  s2 submit:", err)
+				return
+			}
+			ids[i] = st.ID
+			if _, err := cli.Wait(ctx, st.ID, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "  s2 wait:", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	return time.Since(start), ids
+}
+
+// s2BalancedPads picks n pad values whose schema pairs rendezvous-rank
+// half onto each of the two worker URLs.
+func s2BalancedPads(urls []string, n int) []int {
+	var a, b []int
+	for pad := 0; len(a) < n/2 || len(b) < n-n/2; pad++ {
+		spec := s2Spec(pad)
+		pair, err := dispatch.PairFor(&spec)
+		if err != nil {
+			panic(err)
+		}
+		if dispatch.Rank(pair, urls)[0] == urls[0] {
+			if len(a) < n/2 {
+				a = append(a, pad)
+			}
+		} else if len(b) < n-n/2 {
+			b = append(b, pad)
+		}
+	}
+	// Interleave so any batch prefix stays balanced too.
+	var pads []int
+	for i := 0; i < len(a) || i < len(b); i++ {
+		if i < len(a) {
+			pads = append(pads, a[i])
+		}
+		if i < len(b) {
+			pads = append(pads, b[i])
+		}
+	}
+	return pads
+}
+
+// expS2 measures the scale-out conversion fleet: throughput scaling
+// from one worker to two on a latency-bound batch, pair-affinity
+// routing, and byte-identical reports through a mid-batch worker kill.
+func expS2() {
+	banner("EXP-S2", "scale-out fleet: worker scaling, pair affinity, failover determinism")
+
+	// The batch: 24 jobs over 8 distinct pairs (3 jobs per pair). The
+	// pads are chosen so the pair population splits evenly across the
+	// two-worker fleet — the experiment measures capacity scaling under
+	// a balanced pair load, not rendezvous luck on two ephemeral ports.
+	const pairs, perPair = 8, 3
+	_, co2TS, workers2, stop2 := s2Fleet(2)
+	pads := s2BalancedPads([]string{workers2[0].URL, workers2[1].URL}, pairs)
+	batch := func() []wire.JobSpec {
+		var specs []wire.JobSpec
+		for i := 0; i < pairs*perPair; i++ {
+			specs = append(specs, s2Spec(pads[i%pairs]))
+		}
+		return specs
+	}
+
+	// (a) Throughput, 1 worker vs 2 workers, same batch and submitters.
+	_, co1TS, _, stop1 := s2Fleet(1)
+	wall1, _ := s2Run(co1TS.URL, batch())
+	stop1()
+	wall2, _ := s2Run(co2TS.URL, batch())
+	speedup := float64(wall1) / float64(wall2)
+	fmt.Printf("\n(a) %d delay-bound jobs (%d pairs), 8 submitters, 4 runners/worker:\n", pairs*perPair, pairs)
+	fmt.Printf("    1 worker:  wall %v, %.1f jobs/s\n",
+		wall1.Round(time.Millisecond), float64(pairs*perPair)/wall1.Seconds())
+	fmt.Printf("    2 workers: wall %v, %.1f jobs/s\n",
+		wall2.Round(time.Millisecond), float64(pairs*perPair)/wall2.Seconds())
+	fmt.Printf("    scaling 1 -> 2 workers: %.2fx\n", speedup)
+
+	// (b) Affinity: every pair's jobs landed on its rendezvous home, so
+	// the per-worker routed counters sum to the batch with no spill.
+	cli2 := client.New(co2TS.URL)
+	if list, err := cli2.Workers(context.Background()); err == nil {
+		fmt.Printf("\n(b) pair-affinity routing (rendezvous on the pair fingerprint):\n")
+		for i, w := range list.Workers {
+			fmt.Printf("    worker %d: routed %d jobs, %d failovers [%s]\n",
+				i+1, w.Routed, w.Failovers, w.State)
+		}
+		_ = workers2
+	}
+	stop2()
+
+	// (c) Failover: kill one of two workers mid-batch; every job still
+	// finishes and every report is byte-identical to a fresh
+	// single-node run of the same spec.
+	co3, co3TS, workers3, stop3 := s2Fleet(2)
+	defer stop3()
+	specs := batch()[:12]
+	cli3 := client.New(co3TS.URL)
+	ctx := context.Background()
+	ids := make([]string, len(specs))
+	for i := range specs {
+		st, err := cli3.Submit(ctx, &specs[i])
+		if err != nil {
+			panic(err)
+		}
+		ids[i] = st.ID
+	}
+	// Let the fleet get into the batch, then pull the plug on worker 1.
+	time.Sleep(150 * time.Millisecond)
+	workers3[0].CloseClientConnections()
+	workers3[0].Close()
+	co3.ProbeOnce(ctx)
+
+	identical := true
+	for i, id := range ids {
+		got, _, err := cli3.WaitReport(ctx, id, 0)
+		if err != nil {
+			panic(err)
+		}
+		srv := serve.New(serve.Config{QueueDepth: 16, Runners: 4})
+		ref := httptest.NewServer(srv.Handler())
+		refCli := client.New(ref.URL)
+		st, err := refCli.Submit(ctx, &specs[i])
+		if err != nil {
+			panic(err)
+		}
+		want, _, err := refCli.WaitReport(ctx, st.ID, 0)
+		if err != nil {
+			panic(err)
+		}
+		ref.Close()
+		if !bytes.Equal(got, want) {
+			identical = false
+		}
+	}
+	var failovers int64
+	if list, err := cli3.Workers(ctx); err == nil {
+		for _, w := range list.Workers {
+			failovers += w.Failovers
+		}
+	}
+	fmt.Printf("\n(c) worker killed mid-batch: %d jobs re-dispatched; all %d reports byte-identical to single-node runs: %v\n",
+		failovers, len(ids), identical)
 }

@@ -66,12 +66,16 @@ func main() {
 		usage()
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "progconv:", err)
+		// The stderr line leads with the machine-readable token from the
+		// shared error-code table, so scripts parse CLI failures and
+		// daemon ErrorDocs with one vocabulary.
+		code := wire.ExitError
 		var xe exitError
 		if errors.As(err, &xe) {
-			os.Exit(int(xe.code))
+			code = xe.code
 		}
-		os.Exit(int(wire.ExitError))
+		fmt.Fprintf(os.Stderr, "progconv: %s: %v\n", wire.CodeFor(code), err)
+		os.Exit(int(code))
 	}
 }
 

@@ -1,0 +1,297 @@
+// Command progconvctl is the fleet CLI: a thin wrapper over the public
+// client SDK that speaks the v1 API to a standalone daemon, a worker
+// or a coordinator — they serve the same schema, so the tool cannot
+// tell and does not care.
+//
+//	progconvctl [-s http://localhost:8080] <command> [flags] [args]
+//
+//	submit   [-parallel N] [-on-failure p] [-fail-on g] [-accept-order]
+//	         [-inject spec] [-deadline d] [-traceparent tp]
+//	         [-wait] [-report] <source.ddl> <target.ddl> <program>...
+//	         submit a job; -wait polls to the terminal state and exits
+//	         with the job's exit code, -report writes the report JSON
+//	         to stdout (implies -wait)
+//	status   <job-id>        print the status document
+//	wait     <job-id>        poll to terminal, print the final status,
+//	                         exit with the job's exit code
+//	report   <job-id>        print the finished report JSON
+//	list     [-state s] [-limit n] [-all]
+//	                         page through the job listing; -all follows
+//	                         next_page_token to the end
+//	cancel   <job-id>        request cancellation, print the status
+//	events   [-omit-timing] <job-id>
+//	                         stream the job's NDJSON event log
+//	workers                  print the coordinator's worker registry
+//	register <worker-url>    add (or re-admit) a worker
+//
+// Failures print "progconvctl: <code>: message" with the
+// machine-readable token from the shared error-code table and exit
+// non-zero; -wait additionally adopts the job's own exit code so CI
+// scripts treat a fleet run exactly like a local progconv convert.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"progconv"
+	"progconv/client"
+)
+
+func main() {
+	fs := flag.NewFlagSet("progconvctl", flag.ExitOnError)
+	server := fs.String("s", "http://localhost:8080", "daemon or coordinator base URL")
+	fs.Usage = usage
+	fs.Parse(os.Args[1:])
+	args := fs.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	cli := client.New(*server)
+	ctx := context.Background()
+
+	var err error
+	switch args[0] {
+	case "submit":
+		err = cmdSubmit(ctx, cli, args[1:])
+	case "status":
+		err = printStatus(ctx, cli, args[1:], (*client.Client).Status)
+	case "wait":
+		err = cmdWait(ctx, cli, args[1:])
+	case "report":
+		err = cmdReport(ctx, cli, args[1:])
+	case "list":
+		err = cmdList(ctx, cli, args[1:])
+	case "cancel":
+		err = printStatus(ctx, cli, args[1:], (*client.Client).Cancel)
+	case "events":
+		err = cmdEvents(ctx, cli, args[1:])
+	case "workers":
+		err = cmdWorkers(ctx, cli)
+	case "register":
+		err = cmdRegister(ctx, cli, args[1:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		var xe exitCodeError
+		if errors.As(err, &xe) {
+			os.Exit(xe.code)
+		}
+		code := progconv.CodeFailed
+		var apiErr *client.APIError
+		if errors.As(err, &apiErr) && apiErr.Code != "" {
+			code = apiErr.Code
+		}
+		fmt.Fprintf(os.Stderr, "progconvctl: %s: %v\n", code, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  progconvctl [-s URL] submit [-parallel N] [-on-failure p] [-fail-on g]
+              [-accept-order] [-inject spec] [-deadline d] [-traceparent tp]
+              [-wait] [-report] <source.ddl> <target.ddl> <program>...
+  progconvctl [-s URL] status|wait|report|cancel <job-id>
+  progconvctl [-s URL] list [-state s] [-limit n] [-all]
+  progconvctl [-s URL] events [-omit-timing] <job-id>
+  progconvctl [-s URL] workers
+  progconvctl [-s URL] register <worker-url>`)
+}
+
+// exitCodeError makes main exit with a job's own exit code after the
+// output was already written.
+type exitCodeError struct{ code int }
+
+func (e exitCodeError) Error() string { return fmt.Sprintf("exit %d", e.code) }
+
+func readFile(path string) (string, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func cmdSubmit(ctx context.Context, cli *client.Client, args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	parallel := fs.Int("parallel", 0, "per-job conversion parallelism (0 = server default)")
+	onFailure := fs.String("on-failure", "", `batch failure policy: "fail-fast", "collect" or "budget:N"`)
+	failOn := fs.String("fail-on", "", `result gate: "manual" or "qualified"`)
+	acceptOrder := fs.Bool("accept-order", false, "accept set-order changes")
+	inject := fs.String("inject", "", "deterministic fault-injection spec")
+	deadline := fs.String("deadline", "", "job deadline (Go duration)")
+	traceparent := fs.String("traceparent", "", "W3C traceparent to continue")
+	wait := fs.Bool("wait", false, "poll to the terminal state; exit with the job's exit code")
+	report := fs.Bool("report", false, "print the report JSON (implies -wait)")
+	fs.Parse(args)
+	if fs.NArg() < 3 {
+		return fmt.Errorf("submit needs <source.ddl> <target.ddl> <program>...")
+	}
+	spec := &progconv.JobSpec{Options: progconv.JobOptions{
+		Parallelism: *parallel, OnFailure: *onFailure, FailOn: *failOn,
+		AcceptOrder: *acceptOrder, Inject: *inject, Deadline: *deadline,
+	}}
+	var err error
+	if spec.SourceDDL, err = readFile(fs.Arg(0)); err != nil {
+		return err
+	}
+	if spec.TargetDDL, err = readFile(fs.Arg(1)); err != nil {
+		return err
+	}
+	for _, p := range fs.Args()[2:] {
+		src, err := readFile(p)
+		if err != nil {
+			return err
+		}
+		spec.Programs = append(spec.Programs, progconv.ProgramSpec{Source: src})
+	}
+	st, err := cli.SubmitTrace(ctx, spec, *traceparent)
+	if err != nil {
+		return err
+	}
+	if !*wait && !*report {
+		return printJSON(st)
+	}
+	if *report {
+		body, _, err := cli.WaitReport(ctx, st.ID, 0)
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(body)
+		return exitFor(ctx, cli, st.ID)
+	}
+	return waitAndPrint(ctx, cli, st.ID)
+}
+
+func printStatus(ctx context.Context, cli *client.Client, args []string, fn func(*client.Client, context.Context, string) (*progconv.JobStatus, error)) error {
+	if len(args) != 1 {
+		return fmt.Errorf("expected exactly one <job-id>")
+	}
+	st, err := fn(cli, ctx, args[0])
+	if err != nil {
+		return err
+	}
+	return printJSON(st)
+}
+
+func cmdWait(ctx context.Context, cli *client.Client, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("wait needs exactly one <job-id>")
+	}
+	return waitAndPrint(ctx, cli, args[0])
+}
+
+func waitAndPrint(ctx context.Context, cli *client.Client, id string) error {
+	st, err := cli.Wait(ctx, id, 0)
+	if err != nil {
+		return err
+	}
+	if err := printJSON(st); err != nil {
+		return err
+	}
+	if st.ExitCode != nil && *st.ExitCode != 0 {
+		return exitCodeError{code: *st.ExitCode}
+	}
+	return nil
+}
+
+// exitFor adopts a finished job's exit code as the process exit code.
+func exitFor(ctx context.Context, cli *client.Client, id string) error {
+	st, err := cli.Status(ctx, id)
+	if err != nil {
+		return err
+	}
+	if st.ExitCode != nil && *st.ExitCode != 0 {
+		return exitCodeError{code: *st.ExitCode}
+	}
+	return nil
+}
+
+func cmdReport(ctx context.Context, cli *client.Client, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("report needs exactly one <job-id>")
+	}
+	body, _, err := cli.Report(ctx, args[0])
+	if err != nil {
+		return err
+	}
+	os.Stdout.Write(body)
+	return nil
+}
+
+func cmdList(ctx context.Context, cli *client.Client, args []string) error {
+	fs := flag.NewFlagSet("list", flag.ExitOnError)
+	state := fs.String("state", "", "filter: queued, running, done, failed or canceled")
+	limit := fs.Int("limit", 0, "page size (0 = server default)")
+	all := fs.Bool("all", false, "follow next_page_token to the end of the listing")
+	fs.Parse(args)
+	token := ""
+	for {
+		page, err := cli.List(ctx, client.ListOptions{State: *state, Limit: *limit, PageToken: token})
+		if err != nil {
+			return err
+		}
+		for i := range page.Jobs {
+			if err := printJSON(&page.Jobs[i]); err != nil {
+				return err
+			}
+		}
+		if !*all || page.NextPageToken == "" {
+			return nil
+		}
+		token = page.NextPageToken
+	}
+}
+
+func cmdEvents(ctx context.Context, cli *client.Client, args []string) error {
+	fs := flag.NewFlagSet("events", flag.ExitOnError)
+	omitTiming := fs.Bool("omit-timing", false, "drop wall-clock fields (deterministic bytes)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("events needs exactly one <job-id>")
+	}
+	stream, err := cli.Events(ctx, fs.Arg(0), *omitTiming)
+	if err != nil {
+		return err
+	}
+	defer stream.Close()
+	_, err = io.Copy(os.Stdout, stream)
+	return err
+}
+
+func cmdWorkers(ctx context.Context, cli *client.Client) error {
+	list, err := cli.Workers(ctx)
+	if err != nil {
+		return err
+	}
+	return printJSON(list)
+}
+
+func cmdRegister(ctx context.Context, cli *client.Client, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("register needs exactly one <worker-url>")
+	}
+	doc, err := cli.RegisterWorker(ctx, args[0])
+	if err != nil {
+		return err
+	}
+	return printJSON(doc)
+}
+
+func printJSON(doc any) error {
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Println(string(b))
+	return err
+}

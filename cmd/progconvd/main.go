@@ -1,17 +1,20 @@
 // Command progconvd is the conversion service daemon: the progconv
 // pipeline behind a versioned HTTP/JSON API.
 //
-//	progconvd [-addr :8080] [-queue N] [-runners N]
+//	progconvd [-mode standalone|worker|coordinator] [-addr :8080]
+//	          [-queue N] [-runners N]
 //	          [-deadline d] [-max-deadline d] [-drain-timeout d]
 //	          [-cache] [-cache-size N] [-debug-addr :8081]
+//	          [-workers url,url,...] [-probe-interval d] [-probe-failures N]
 //
 // Endpoints (all documents are wire v1, see internal/wire):
 //
 //	POST   /v1/jobs             submit a job (wire.JobSpec); 202 with a
 //	                            status document and Location header,
 //	                            429 + Retry-After when the queue is
-//	                            full, 503 while draining
-//	GET    /v1/jobs             list submitted jobs
+//	                            full, 503 + Retry-After while draining
+//	GET    /v1/jobs             list submitted jobs, paginated
+//	                            (?limit, ?page_token, ?state)
 //	GET    /v1/jobs/{id}        job status
 //	GET    /v1/jobs/{id}/report the finished report — byte-identical to
 //	                            progconv convert -report-json for the
@@ -38,6 +41,26 @@
 // root span. Without one, the trace ID is derived deterministically
 // from the job content and submission index.
 //
+// # Modes
+//
+// The default mode, standalone, is the daemon described above. -mode
+// worker is the same daemon under a different name — the label workers
+// print so fleet logs read correctly. -mode coordinator serves the
+// identical v1 API but runs no conversions itself: it routes each job
+// to one of the workers named by -workers (pair-affine rendezvous
+// hashing, so same-pair jobs share a worker and its conversion cache),
+// health-checks the fleet every -probe-interval (a worker is
+// quarantined after -probe-failures consecutive failed /readyz probes
+// and re-admitted when it answers again), and transparently
+// re-dispatches the jobs of a dead worker — reports stay
+// byte-identical because conversions are deterministic. A coordinator
+// additionally serves:
+//
+//	GET    /v1/workers          the worker registry with health and
+//	                            routing counters
+//	POST   /v1/workers          register a worker (wire.WorkerSpec) or
+//	                            re-admit a quarantined one
+//
 // With -debug-addr a second listener serves net/http/pprof under
 // /debug/pprof/, expvar under /debug/vars, and mirrors /metrics and
 // /statusz — keep it on loopback; it is unauthenticated.
@@ -54,16 +77,28 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"progconv"
+	"progconv/internal/dispatch"
 	"progconv/internal/serve"
 	"progconv/internal/telemetry"
 )
 
+// service is what main drains and serves, whichever mode built it.
+type service interface {
+	Handler() http.Handler
+	MetricsHandler() http.Handler
+	Statusz() http.Handler
+	Drain(context.Context) error
+}
+
 func main() {
 	fs := flag.NewFlagSet("progconvd", flag.ExitOnError)
+	mode := fs.String("mode", "standalone",
+		`"standalone" (serve and convert), "worker" (same, fleet naming) or "coordinator" (route to -workers)`)
 	addr := fs.String("addr", ":8080", "listen address")
 	queue := fs.Int("queue", 16, "admission queue depth; a full queue answers 429")
 	runners := fs.Int("runners", 2, "jobs converting concurrently")
@@ -79,58 +114,94 @@ func main() {
 		"with -cache: retained pair contexts (0 = the default 64)")
 	debugAddr := fs.String("debug-addr", "",
 		"serve pprof, expvar, /metrics and /statusz on this address (unauthenticated; keep on loopback)")
+	workers := fs.String("workers", "",
+		"coordinator mode: comma-separated worker base URLs")
+	probeInterval := fs.Duration("probe-interval", 2*time.Second,
+		"coordinator mode: /readyz health-probe period")
+	probeFailures := fs.Int("probe-failures", 2,
+		"coordinator mode: consecutive failed probes that quarantine a worker")
 	fs.Parse(os.Args[1:])
 
-	cfg := serve.Config{
-		QueueDepth:      *queue,
-		Runners:         *runners,
-		DefaultDeadline: *deadline,
-		MaxDeadline:     *maxDeadline,
+	name := "progconvd"
+	var svc service
+	switch *mode {
+	case "standalone", "worker":
+		if *mode == "worker" {
+			name = "progconvd[worker]"
+		}
+		cfg := serve.Config{
+			QueueDepth:      *queue,
+			Runners:         *runners,
+			DefaultDeadline: *deadline,
+			MaxDeadline:     *maxDeadline,
+		}
+		if *useCache {
+			cfg.Cache = progconv.NewCache(*cacheSize)
+		}
+		svc = serve.New(cfg)
+	case "coordinator":
+		name = "progconvd[coordinator]"
+		var urls []string
+		for _, u := range strings.Split(*workers, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, u)
+			}
+		}
+		if len(urls) == 0 {
+			fmt.Fprintln(os.Stderr, "progconvd: -mode coordinator requires -workers url[,url...]")
+			os.Exit(2)
+		}
+		co := dispatch.New(dispatch.Config{
+			Workers:       urls,
+			ProbeInterval: *probeInterval,
+			ProbeFailures: *probeFailures,
+		})
+		defer co.Close()
+		svc = co
+	default:
+		fmt.Fprintf(os.Stderr, "progconvd: unknown -mode %q\n", *mode)
+		os.Exit(2)
 	}
-	if *useCache {
-		cfg.Cache = progconv.NewCache(*cacheSize)
-	}
-	srv := serve.New(cfg)
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
+	hs := &http.Server{Addr: *addr, Handler: svc.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
 	if *debugAddr != "" {
 		dbg := &http.Server{Addr: *debugAddr,
-			Handler: telemetry.DebugMux(srv.MetricsHandler(), srv.Statusz())}
+			Handler: telemetry.DebugMux(svc.MetricsHandler(), svc.Statusz())}
 		go func() {
 			if err := dbg.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-				fmt.Fprintln(os.Stderr, "progconvd: debug listener:", err)
+				fmt.Fprintf(os.Stderr, "%s: debug listener: %v\n", name, err)
 			}
 		}()
 		defer dbg.Close()
-		fmt.Fprintf(os.Stderr, "progconvd: debug endpoints (pprof, expvar, metrics, statusz) on %s\n", *debugAddr)
+		fmt.Fprintf(os.Stderr, "%s: debug endpoints (pprof, expvar, metrics, statusz) on %s\n", name, *debugAddr)
 	}
-	fmt.Fprintf(os.Stderr, "progconvd: serving wire v%d on %s\n", progconv.WireVersion, *addr)
+	fmt.Fprintf(os.Stderr, "%s: serving wire v%d on %s\n", name, progconv.WireVersion, *addr)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
 	select {
 	case sig := <-sigc:
-		fmt.Fprintf(os.Stderr, "progconvd: %s: draining (new submissions get 503)\n", sig)
+		fmt.Fprintf(os.Stderr, "%s: %s: draining (new submissions get 503)\n", name, sig)
 	case err := <-errc:
-		fmt.Fprintln(os.Stderr, "progconvd:", err)
+		fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 		os.Exit(1)
 	}
 
 	// Drain order matters: stop admitting first (handlers keep answering
-	// status/stream requests), let the runner pool finish every admitted
-	// job, then close the listeners.
+	// status/stream requests), let in-flight jobs finish everywhere, then
+	// close the listeners.
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
-	if err := srv.Drain(ctx); err != nil {
-		fmt.Fprintln(os.Stderr, "progconvd:", err)
+	if err := svc.Drain(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 		hs.Close()
 		os.Exit(1)
 	}
 	if err := hs.Shutdown(ctx); err != nil {
-		fmt.Fprintln(os.Stderr, "progconvd: shutdown:", err)
+		fmt.Fprintf(os.Stderr, "%s: shutdown: %v\n", name, err)
 		os.Exit(1)
 	}
-	fmt.Fprintln(os.Stderr, "progconvd: drained cleanly")
+	fmt.Fprintf(os.Stderr, "%s: drained cleanly\n", name)
 }

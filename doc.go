@@ -62,9 +62,37 @@
 // ExitPipeline, ...) that the CLI exits with and the daemon translates
 // to HTTP statuses.
 //
+// Collection endpoints paginate: GET /v1/jobs takes limit and
+// page_token query parameters and answers with a JobList whose
+// NextPageToken, when non-empty, is the cursor for the next page; a
+// state parameter filters by job state. GET /v1/workers answers a
+// WorkerList describing a dispatch coordinator's fleet (see
+// internal/dispatch and the client package for the typed SDK both
+// coordinator and end users share).
+//
+// # Error codes
+//
+// Every non-2xx daemon response is an ErrorDoc carrying a stable
+// machine-readable Code alongside the human-readable message, and the
+// CLI prefixes its stderr line with the same token. ErrorCodeFor maps
+// an exit code onto its token. The complete set:
+//
+//	bad_spec    400  malformed or invalid job spec / query
+//	not_found   404  unknown job ID
+//	queue_full  429  admission queue at capacity (has Retry-After)
+//	draining    503  daemon is draining for shutdown (has Retry-After)
+//	no_worker   503  coordinator has no healthy worker (has Retry-After)
+//	deadline    500  job exceeded its deadline
+//	canceled    500  job was canceled
+//	fail_on     500  report tripped the job's -fail-on threshold
+//	pipeline    500  a pipeline stage failed
+//	failed      500  one or more programs failed to convert
+//	internal    500  unexpected daemon error
+//
 // See DESIGN.md for the system inventory, EXPERIMENTS.md for the
 // per-figure and per-claim reproduction record, cmd/exper for the
 // experiment harness, cmd/progconvd for the HTTP/JSON conversion
-// service, and bench_test.go (this directory) for the testing.B
-// benchmarks backing each experiment.
+// service (standalone, worker, or coordinator mode), and bench_test.go
+// (this directory) for the testing.B benchmarks backing each
+// experiment.
 package progconv

@@ -238,6 +238,14 @@ func retryBackoff(base time.Duration, attempt int) time.Duration {
 	return d
 }
 
+// Backoff is the exported form of the retry backoff schedule, so other
+// layers that retry (the v1 client SDK, the dispatch coordinator) pace
+// themselves identically to the supervisor instead of growing a second
+// formula.
+func Backoff(base time.Duration, attempt int) time.Duration {
+	return retryBackoff(base, attempt)
+}
+
 // sleep pauses for d or until ctx ends, through the injected sleeper
 // when one is set (tests pass a recording sleeper so retry chains never
 // touch the wall clock).

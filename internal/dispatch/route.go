@@ -1,0 +1,78 @@
+package dispatch
+
+import (
+	"fmt"
+	"sort"
+
+	"progconv/internal/fingerprint"
+	"progconv/internal/schema/ddl"
+	"progconv/internal/wire"
+)
+
+// PairFor computes a job's routing fingerprint: the plancache pair key
+// of its schema pair. Jobs with the same source/target DDL therefore
+// share a fingerprint and rank workers identically, which is what
+// keeps one pair's jobs on one worker (and that worker's conversion
+// cache warm).
+func PairFor(spec *wire.JobSpec) (fingerprint.Hash, error) {
+	src, err := ddl.ParseNetwork(spec.SourceDDL)
+	if err != nil {
+		return "", fmt.Errorf("source_ddl: %w", err)
+	}
+	dst, err := ddl.ParseNetwork(spec.TargetDDL)
+	if err != nil {
+		return "", fmt.Errorf("target_ddl: %w", err)
+	}
+	return fingerprint.PairKey(src, dst, nil), nil
+}
+
+// Rank orders worker URLs for one pair by rendezvous (highest random
+// weight) hashing: each worker's score is the fingerprint of
+// (pair, worker URL), and workers sort by descending score. The
+// ranking is a pure function of its inputs, so every coordinator —
+// and every restart — agrees on it: the first healthy entry is the
+// pair's home worker, the second is its failover target, and adding
+// or removing one worker only moves the pairs that hashed to it.
+func Rank(pair fingerprint.Hash, urls []string) []string {
+	ranked := append([]string(nil), urls...)
+	score := make(map[string]fingerprint.Hash, len(ranked))
+	for _, u := range ranked {
+		score[u] = fingerprint.Sum("rendezvous", string(pair), u)
+	}
+	sort.SliceStable(ranked, func(i, j int) bool {
+		si, sj := score[ranked[i]], score[ranked[j]]
+		if si != sj {
+			return si > sj
+		}
+		return ranked[i] < ranked[j]
+	})
+	return ranked
+}
+
+// pick returns the highest-ranked healthy worker for a pair, or nil
+// when the whole fleet is quarantined. Callers hold co.mu.
+func (co *Coordinator) pick(pair fingerprint.Hash, exclude string) *worker {
+	urls := make([]string, 0, len(co.workers))
+	for _, w := range co.workers {
+		urls = append(urls, w.url)
+	}
+	for _, u := range Rank(pair, urls) {
+		if u == exclude {
+			continue
+		}
+		if w := co.byURL[u]; w != nil && !w.quarantined {
+			return w
+		}
+	}
+	// Every healthy worker was excluded (single-worker fleet whose one
+	// worker just failed a request): fall back to ignoring exclude so
+	// the job can still land somewhere once the worker recovers.
+	if exclude != "" {
+		for _, u := range Rank(pair, urls) {
+			if w := co.byURL[u]; w != nil && !w.quarantined {
+				return w
+			}
+		}
+	}
+	return nil
+}

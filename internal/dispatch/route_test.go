@@ -1,0 +1,82 @@
+package dispatch
+
+import (
+	"reflect"
+	"testing"
+
+	"progconv/internal/fingerprint"
+)
+
+func TestRankIsDeterministic(t *testing.T) {
+	urls := []string{"http://w1", "http://w2", "http://w3"}
+	pair := fingerprint.Sum("test", "pair-a")
+	first := Rank(pair, urls)
+	for i := 0; i < 10; i++ {
+		if got := Rank(pair, urls); !reflect.DeepEqual(got, first) {
+			t.Fatalf("ranking changed between calls: %v vs %v", got, first)
+		}
+	}
+	// Input order is irrelevant: the ranking is a pure function of the
+	// (pair, URL) scores.
+	shuffled := []string{"http://w3", "http://w1", "http://w2"}
+	if got := Rank(pair, shuffled); !reflect.DeepEqual(got, first) {
+		t.Fatalf("ranking depends on input order: %v vs %v", got, first)
+	}
+}
+
+// Rendezvous hashing's defining property: removing one worker only
+// reassigns the pairs that ranked it first — every other pair keeps
+// its home worker.
+func TestRankMinimalDisruption(t *testing.T) {
+	urls := []string{"http://w1", "http://w2", "http://w3"}
+	moved, kept := 0, 0
+	for i := 0; i < 64; i++ {
+		pair := fingerprint.Sum("test", "pair", itoa(i))
+		before := Rank(pair, urls)
+		after := Rank(pair, []string{"http://w1", "http://w2"})
+		if before[0] == "http://w3" {
+			moved++
+			// Its new home must be its old second choice.
+			if after[0] != before[1] {
+				t.Fatalf("pair %d: evicted to %s, want next-ranked %s", i, after[0], before[1])
+			}
+		} else {
+			kept++
+			if after[0] != before[0] {
+				t.Fatalf("pair %d moved from %s to %s though its worker survived",
+					i, before[0], after[0])
+			}
+		}
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate distribution: moved=%d kept=%d of 64 pairs", moved, kept)
+	}
+}
+
+func TestRankSpreadsPairs(t *testing.T) {
+	urls := []string{"http://w1", "http://w2", "http://w3"}
+	homes := map[string]int{}
+	for i := 0; i < 64; i++ {
+		pair := fingerprint.Sum("test", "pair", itoa(i))
+		homes[Rank(pair, urls)[0]]++
+	}
+	if len(homes) != len(urls) {
+		t.Fatalf("64 pairs landed on only %d of %d workers: %v", len(homes), len(urls), homes)
+	}
+}
+
+// The PAD-field mutation manufactures genuinely distinct pairs.
+func TestPadSpecsHaveDistinctPairs(t *testing.T) {
+	seen := map[fingerprint.Hash]int{}
+	for i := 0; i < 8; i++ {
+		spec := fleetSpec(i)
+		pair, err := PairFor(&spec)
+		if err != nil {
+			t.Fatalf("pad %d: %v", i, err)
+		}
+		if prev, dup := seen[pair]; dup {
+			t.Fatalf("pads %d and %d share pair %s", prev, i, pair)
+		}
+		seen[pair] = i
+	}
+}

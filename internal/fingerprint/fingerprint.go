@@ -76,6 +76,14 @@ func Program(p *dbprog.Program) Hash {
 	return sum("program", dbprog.Format(p))
 }
 
+// Sum hashes arbitrary domain-separated, length-prefixed parts — the
+// escape hatch for callers with canonical serializations of their own
+// (the dispatch coordinator fingerprints whole job submissions this
+// way). Choose a domain no other caller uses.
+func Sum(domain string, parts ...string) Hash {
+	return sum(domain, parts...)
+}
+
 // PairKey identifies one conversion pair — the unit the pair-scoped
 // cache is keyed on. With an explicit plan the pair is (source schema,
 // plan) and dst contributes nothing (it may be nil); with a nil plan

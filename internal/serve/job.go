@@ -3,6 +3,7 @@ package serve
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -13,6 +14,15 @@ import (
 	"progconv/internal/netstore"
 	"progconv/internal/wire"
 )
+
+// deadlineExceeded is the cause installed on a job's deadline context,
+// distinguishable from other run errors so the report endpoint can
+// serve the "deadline" error code instead of the generic "failed".
+type deadlineExceeded struct{ d time.Duration }
+
+func (e deadlineExceeded) Error() string {
+	return fmt.Sprintf("job deadline %s exceeded", e.d)
+}
 
 // jobState is one job's lifecycle position.
 type jobState int
@@ -65,6 +75,7 @@ type job struct {
 	cancel     context.CancelFunc // non-nil while running
 	wantCancel bool               // cancel requested before the run started
 	exit       wire.ExitCode
+	errCode    wire.ErrorCode
 	errMsg     string
 	reportJSON []byte
 }
@@ -73,6 +84,7 @@ type job struct {
 type snapshotState struct {
 	state      jobState
 	exit       wire.ExitCode
+	errCode    wire.ErrorCode
 	errMsg     string
 	reportJSON []byte
 }
@@ -80,7 +92,7 @@ type snapshotState struct {
 func (j *job) snapshot() snapshotState {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return snapshotState{j.state, j.exit, j.errMsg, j.reportJSON}
+	return snapshotState{j.state, j.exit, j.errCode, j.errMsg, j.reportJSON}
 }
 
 func (j *job) status() wire.JobStatus {
@@ -203,8 +215,7 @@ func (s *Server) runJob(j *job) {
 	}
 	if deadline > 0 {
 		var cancelT context.CancelFunc
-		ctx, cancelT = context.WithTimeoutCause(ctx, deadline,
-			fmt.Errorf("job deadline %s exceeded", deadline))
+		ctx, cancelT = context.WithTimeoutCause(ctx, deadline, deadlineExceeded{deadline})
 		defer cancelT()
 	}
 	if j.spec.Options.Inject != "" {
@@ -217,6 +228,7 @@ func (s *Server) runJob(j *job) {
 	if j.wantCancel {
 		j.state = stateCanceled
 		j.exit = wire.ExitError
+		j.errCode = wire.CodeCanceled
 		j.errMsg = "canceled before the run started"
 		j.mu.Unlock()
 		return
@@ -253,11 +265,18 @@ func (s *Server) runJob(j *job) {
 	if err != nil {
 		// A client cancel lands at canceled; everything else — including
 		// an expired job deadline, whose cause the error message names —
-		// is a failed run.
+		// is a failed run. The error code distinguishes the three for
+		// machine consumers.
 		if j.wantCancel {
 			j.state = stateCanceled
+			j.errCode = wire.CodeCanceled
 		} else {
 			j.state = stateFailed
+			j.errCode = wire.CodeFailed
+			var de deadlineExceeded
+			if errors.As(err, &de) || errors.As(context.Cause(ctx), &de) {
+				j.errCode = wire.CodeDeadline
+			}
 		}
 		j.exit = wire.ExitError
 		j.errMsg = err.Error()
@@ -267,6 +286,7 @@ func (s *Server) runJob(j *job) {
 	if encErr := progconv.EncodeReportJSON(&buf, report); encErr != nil {
 		j.state = stateFailed
 		j.exit = wire.ExitError
+		j.errCode = wire.CodeInternal
 		j.errMsg = "encoding report: " + encErr.Error()
 		return
 	}

@@ -274,26 +274,34 @@ func writeJSON(w http.ResponseWriter, status int, doc any) {
 	enc.Encode(doc)
 }
 
-func writeError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, wire.ErrorDoc{V: wire.Version, Error: msg})
+func writeError(w http.ResponseWriter, status int, code wire.ErrorCode, msg string) {
+	writeJSON(w, status, wire.ErrorDoc{V: wire.Version, Code: code, Error: msg})
+}
+
+// retryAfterHeader sets the Retry-After hint rounded up to whole
+// seconds — shared by the 429 queue-full and 503 draining paths so
+// well-behaved clients pace their retries the same way for both.
+func (s *Server) retryAfterHeader(w http.ResponseWriter) {
+	w.Header().Set("Retry-After",
+		strconv.Itoa(int((s.cfg.retryAfter()+time.Second-1)/time.Second)))
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec wire.JobSpec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
 	if err := dec.Decode(&spec); err != nil {
-		writeError(w, http.StatusBadRequest, "decoding job: "+err.Error())
+		writeError(w, http.StatusBadRequest, wire.CodeBadSpec, "decoding job: "+err.Error())
 		return
 	}
 	if err := spec.Validate(); err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, http.StatusBadRequest, wire.CodeBadSpec, err.Error())
 		return
 	}
 	j, err := s.newJob(&spec)
 	if err != nil {
 		// The schemas or programs do not parse: a client error, found
 		// before the job consumes a queue slot.
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, http.StatusBadRequest, wire.CodeBadSpec, err.Error())
 		return
 	}
 
@@ -306,7 +314,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
-		writeError(w, http.StatusServiceUnavailable, "server is draining; not accepting jobs")
+		// Mirror the 429 admission path: a drain is usually a rolling
+		// restart, so tell the client when to come back.
+		s.retryAfterHeader(w)
+		writeError(w, http.StatusServiceUnavailable, wire.CodeDraining,
+			"server is draining; not accepting jobs")
 		return
 	}
 	// Register before enqueueing so a runner can never observe a job the
@@ -334,9 +346,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	default:
 		s.nextID--
 		s.mu.Unlock()
-		w.Header().Set("Retry-After",
-			strconv.Itoa(int((s.cfg.retryAfter()+time.Second-1)/time.Second)))
-		writeError(w, http.StatusTooManyRequests,
+		s.retryAfterHeader(w)
+		writeError(w, http.StatusTooManyRequests, wire.CodeQueueFull,
 			fmt.Sprintf("job queue is full (%d queued); retry later", s.cfg.queueDepth()))
 		return
 	}
@@ -369,22 +380,85 @@ func (s *Server) job(w http.ResponseWriter, r *http.Request) *job {
 	j := s.jobs[r.PathValue("id")]
 	s.mu.Unlock()
 	if j == nil {
-		writeError(w, http.StatusNotFound, "no such job")
+		writeError(w, http.StatusNotFound, wire.CodeNotFound, "no such job")
 	}
 	return j
 }
 
+// Listing limits: pages default to defaultListLimit entries and are
+// clamped to maxListLimit, so the listing is never the unbounded full
+// job table however long the daemon has been up.
+const (
+	defaultListLimit = 100
+	maxListLimit     = 1000
+)
+
+// ListPage parses the pagination query parameters shared by the
+// daemon's and the coordinator's GET /v1/jobs: limit (page size),
+// page_token (opaque resume cursor) and state (filter). It reports the
+// scan start index, the page size, and the filter.
+func ListPage(r *http.Request) (start, limit int, state string, err error) {
+	q := r.URL.Query()
+	limit = defaultListLimit
+	if ls := q.Get("limit"); ls != "" {
+		n, perr := strconv.Atoi(ls)
+		if perr != nil || n < 1 {
+			return 0, 0, "", fmt.Errorf("limit must be a positive integer, got %q", ls)
+		}
+		limit = n
+	}
+	if limit > maxListLimit {
+		limit = maxListLimit
+	}
+	state = q.Get("state")
+	switch state {
+	case "", "queued", "running", "done", "failed", "canceled":
+	default:
+		return 0, 0, "", fmt.Errorf("state must be one of queued, running, done, failed or canceled, got %q", state)
+	}
+	if tok := q.Get("page_token"); tok != "" {
+		n, perr := parsePageToken(tok)
+		if perr != nil {
+			return 0, 0, "", perr
+		}
+		start = n
+	}
+	return start, limit, state, nil
+}
+
+// Page tokens are an opaque cursor into the submission order; clients
+// must not construct or interpret them.
+func PageToken(next int) string { return fmt.Sprintf("o%d", next) }
+
+func parsePageToken(tok string) (int, error) {
+	n, err := strconv.Atoi(strings.TrimPrefix(tok, "o"))
+	if err != nil || !strings.HasPrefix(tok, "o") || n < 0 {
+		return 0, fmt.Errorf("invalid page_token %q", tok)
+	}
+	return n, nil
+}
+
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	start, limit, state, err := ListPage(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, wire.CodeBadSpec, err.Error())
+		return
+	}
+	doc := wire.JobList{V: wire.Version, Jobs: []wire.JobStatus{}}
 	s.mu.Lock()
-	docs := make([]wire.JobStatus, 0, len(s.order))
-	for _, id := range s.order {
-		docs = append(docs, s.jobs[id].status())
+	for i := start; i < len(s.order); i++ {
+		if len(doc.Jobs) == limit {
+			doc.NextPageToken = PageToken(i)
+			break
+		}
+		st := s.jobs[s.order[i]].status()
+		if state != "" && st.State != state {
+			continue
+		}
+		doc.Jobs = append(doc.Jobs, st)
 	}
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, struct {
-		V    int              `json:"v"`
-		Jobs []wire.JobStatus `json:"jobs"`
-	}{wire.Version, docs})
+	writeJSON(w, http.StatusOK, doc)
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -409,7 +483,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(st.exit.HTTPStatus())
 		w.Write(st.reportJSON)
 	default: // failed, canceled
-		writeError(w, st.exit.HTTPStatus(), st.errMsg)
+		writeError(w, st.exit.HTTPStatus(), st.errCode, st.errMsg)
 	}
 }
 

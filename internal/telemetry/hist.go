@@ -115,14 +115,90 @@ type gauge struct {
 	fn         func() float64
 }
 
-// Registry holds an instrument set for one process: histogram families
-// and gauges, rendered together by WritePrometheus. Families and
-// gauges render in registration order, series in label-registration
-// order, so the exposition is byte-stable for a deterministic
-// observation sequence.
+// counterSeries is one labeled monotonic counter.
+type counterSeries struct {
+	label string
+	n     int64
+}
+
+// Counters is one counter metric family: any number of labeled
+// monotonic series, created on first Add or pre-registered so they
+// export as zeros. Safe for concurrent use.
+type Counters struct {
+	name, help, labelKey string
+
+	mu      sync.Mutex
+	series  []*counterSeries
+	byLabel map[string]*counterSeries
+}
+
+// Add increments the labeled series by delta, creating it on first
+// use. The label is "" for label-free counters.
+func (c *Counters) Add(label string, delta int64) {
+	c.mu.Lock()
+	s := c.byLabel[label]
+	if s == nil {
+		s = c.register(label)
+	}
+	s.n += delta
+	c.mu.Unlock()
+}
+
+// Get returns one series' current value (0 when absent).
+func (c *Counters) Get(label string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s := c.byLabel[label]; s != nil {
+		return s.n
+	}
+	return 0
+}
+
+// register adds a series; the caller holds c.mu (or is
+// Registry.Counters before the family is published).
+func (c *Counters) register(label string) *counterSeries {
+	s := &counterSeries{label: label}
+	c.series = append(c.series, s)
+	c.byLabel[label] = s
+	return s
+}
+
+func (c *Counters) writePrometheus(w io.Writer) error {
+	c.mu.Lock()
+	type snap struct {
+		label string
+		n     int64
+	}
+	snaps := make([]snap, 0, len(c.series))
+	for _, s := range c.series {
+		snaps = append(snaps, snap{s.label, s.n})
+	}
+	c.mu.Unlock()
+
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", c.name, c.help, c.name); err != nil {
+		return err
+	}
+	for _, s := range snaps {
+		sel := ""
+		if c.labelKey != "" {
+			sel = fmt.Sprintf("{%s=%q}", c.labelKey, s.label)
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", c.name, sel, s.n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Registry holds an instrument set for one process: histogram
+// families, counter families and gauges, rendered together by
+// WritePrometheus. Families, counters and gauges render in
+// registration order, series in label-registration order, so the
+// exposition is byte-stable for a deterministic observation sequence.
 type Registry struct {
 	mu       sync.Mutex
 	families []*Family
+	counters []*Counters
 	gauges   []gauge
 }
 
@@ -151,6 +227,26 @@ func (r *Registry) Family(name, help, labelKey string, bounds []float64, labels 
 	return f
 }
 
+// Counters registers a counter family. labelKey is the label
+// dimension ("" for a label-free counter); labels pre-registers series
+// so they export as zeros before their first Add.
+func (r *Registry) Counters(name, help, labelKey string, labels ...string) *Counters {
+	c := &Counters{
+		name: name, help: help, labelKey: labelKey,
+		byLabel: map[string]*counterSeries{},
+	}
+	if len(labels) == 0 && labelKey == "" {
+		labels = []string{""}
+	}
+	for _, l := range labels {
+		c.register(l)
+	}
+	r.mu.Lock()
+	r.counters = append(r.counters, c)
+	r.mu.Unlock()
+	return c
+}
+
 // Gauge registers a callback-valued gauge, sampled at scrape time.
 func (r *Registry) Gauge(name, help string, fn func() float64) {
 	r.mu.Lock()
@@ -160,10 +256,12 @@ func (r *Registry) Gauge(name, help string, fn func() float64) {
 
 // snapshotFamilies copies the family list so rendering never holds the
 // registry lock while calling into family locks.
-func (r *Registry) snapshotFamilies() ([]*Family, []gauge) {
+func (r *Registry) snapshotFamilies() ([]*Family, []*Counters, []gauge) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return append([]*Family(nil), r.families...), append([]gauge(nil), r.gauges...)
+	return append([]*Family(nil), r.families...),
+		append([]*Counters(nil), r.counters...),
+		append([]gauge(nil), r.gauges...)
 }
 
 func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
@@ -173,9 +271,14 @@ func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) 
 // unconditionally — including zero-count ones — so no time series ever
 // disappears between scrapes.
 func (r *Registry) WritePrometheus(w io.Writer) error {
-	families, gauges := r.snapshotFamilies()
+	families, counters, gauges := r.snapshotFamilies()
 	for _, f := range families {
 		if err := f.writePrometheus(w); err != nil {
+			return err
+		}
+	}
+	for _, c := range counters {
+		if err := c.writePrometheus(w); err != nil {
 			return err
 		}
 	}
@@ -239,7 +342,7 @@ func (f *Family) writePrometheus(w io.Writer) error {
 // WriteSummary renders one human-readable line per series — the
 // /statusz histogram section.
 func (r *Registry) WriteSummary(w io.Writer) {
-	families, gauges := r.snapshotFamilies()
+	families, counters, gauges := r.snapshotFamilies()
 	for _, f := range families {
 		f.mu.Lock()
 		for _, s := range f.series {
@@ -255,6 +358,17 @@ func (r *Registry) WriteSummary(w io.Writer) {
 				name, s.count, formatFloat(mean), formatFloat(s.max))
 		}
 		f.mu.Unlock()
+	}
+	for _, c := range counters {
+		c.mu.Lock()
+		for _, s := range c.series {
+			name := c.name
+			if c.labelKey != "" {
+				name = fmt.Sprintf("%s{%s=%q}", c.name, c.labelKey, s.label)
+			}
+			fmt.Fprintf(w, "  %-60s value=%d\n", name, s.n)
+		}
+		c.mu.Unlock()
 	}
 	for _, g := range gauges {
 		fmt.Fprintf(w, "  %-60s value=%s\n", g.name, formatFloat(g.fn()))

@@ -1,0 +1,64 @@
+package wire
+
+// The machine-readable error-code table. Every non-2xx response body
+// the daemon (or the coordinator) serves is an ErrorDoc whose Code is
+// drawn from this table, so clients can dispatch on a stable token
+// instead of parsing prose; the prose Error field stays free to
+// change. The codes are part of the v1 wire schema: additions are
+// compatible, renames and removals bump the version.
+//
+// The table, with the HTTP statuses each code rides on:
+//
+//	bad_spec    400  the submission failed validation or did not parse
+//	not_found   404  no such job (or worker)
+//	queue_full  429  the admission queue is full; Retry-After is set
+//	draining    503  the server is draining; Retry-After is set
+//	no_worker   503  the coordinator has no healthy worker for the
+//	                 job's pair; Retry-After is set
+//	deadline    504→ the job's deadline expired before it finished
+//	                 (served with the run-error status, 500)
+//	canceled    499* the job was canceled by the client (served 500;
+//	                 the 499 is the conventional nginx analogue)
+//	failed      500  the run itself failed (classification failure,
+//	                 exhausted failure budget, encoder error)
+//	fail_on     409  the -fail-on/fail_on gate tripped (ExitFailOn)
+//	pipeline    500  programs failed in the pipeline (ExitPipeline)
+//	internal    500  anything else
+//
+// CLI exit paths speak the same table: cmd/progconv and cmd/progconvctl
+// prefix their terminal error line with the code (`progconv: fail_on:
+// ...`), mapped from the shared exit-code table by CodeFor.
+type ErrorCode string
+
+// The error codes.
+const (
+	CodeBadSpec   ErrorCode = "bad_spec"
+	CodeNotFound  ErrorCode = "not_found"
+	CodeQueueFull ErrorCode = "queue_full"
+	CodeDraining  ErrorCode = "draining"
+	CodeNoWorker  ErrorCode = "no_worker"
+	CodeDeadline  ErrorCode = "deadline"
+	CodeCanceled  ErrorCode = "canceled"
+	CodeFailed    ErrorCode = "failed"
+	CodeFailOn    ErrorCode = "fail_on"
+	CodePipeline  ErrorCode = "pipeline"
+	CodeInternal  ErrorCode = "internal"
+)
+
+// CodeFor maps the shared exit-code table onto the error-code table —
+// the mapping CLI exit paths use so a scripted caller sees the same
+// token on stderr that an HTTP client sees in the ErrorDoc. ExitOK has
+// no code (empty string).
+func CodeFor(c ExitCode) ErrorCode {
+	switch c {
+	case ExitOK:
+		return ""
+	case ExitUsage:
+		return CodeBadSpec
+	case ExitFailOn:
+		return CodeFailOn
+	case ExitPipeline:
+		return CodePipeline
+	}
+	return CodeFailed
+}

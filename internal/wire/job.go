@@ -124,8 +124,23 @@ type JobStatus struct {
 	TraceID string `json:"trace_id,omitempty"`
 }
 
+// JobList is the v1 body of GET /v1/jobs: one page of job status
+// documents in submission order, optionally filtered by state.
+// NextPageToken, when present, is the opaque cursor that fetches the
+// next page; its absence means the listing is exhausted.
+type JobList struct {
+	V    int         `json:"v"`
+	Jobs []JobStatus `json:"jobs"`
+	// NextPageToken resumes the listing where this page stopped. Treat
+	// it as opaque: its format may change without a version bump.
+	NextPageToken string `json:"next_page_token,omitempty"`
+}
+
 // ErrorDoc is the v1 body of every non-2xx daemon response.
 type ErrorDoc struct {
-	V     int    `json:"v"`
-	Error string `json:"error"`
+	V int `json:"v"`
+	// Code is the machine-readable token from the ErrorCode table;
+	// dispatch on it, not on Error's prose.
+	Code  ErrorCode `json:"code,omitempty"`
+	Error string    `json:"error"`
 }

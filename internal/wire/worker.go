@@ -1,0 +1,62 @@
+package wire
+
+import (
+	"fmt"
+	"net/url"
+)
+
+// WorkerSpec is the v1 body of POST /v1/workers: it registers (or
+// re-admits) one worker daemon with a coordinator. URL is the worker's
+// base URL — the address its v1 API is mounted on, the same address
+// the coordinator's -workers flag lists at boot.
+type WorkerSpec struct {
+	V   int    `json:"v"`
+	URL string `json:"url"`
+}
+
+// Validate checks a registration for the problems the coordinator must
+// reject with a usage error: unknown wire version and a missing or
+// unparseable base URL.
+func (s *WorkerSpec) Validate() error {
+	if s.V != 0 && s.V != Version {
+		return fmt.Errorf("unsupported wire version %d (this server speaks v%d)", s.V, Version)
+	}
+	if s.URL == "" {
+		return fmt.Errorf("url is required")
+	}
+	u, err := url.Parse(s.URL)
+	if err != nil {
+		return fmt.Errorf("url: %w", err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return fmt.Errorf("url must be absolute http(s), got %q", s.URL)
+	}
+	return nil
+}
+
+// WorkerDoc is one entry of the coordinator's worker registry as
+// served by GET /v1/workers: the worker's address, its health state,
+// and the routing counters the coordinator keeps for it.
+type WorkerDoc struct {
+	V   int    `json:"v"`
+	URL string `json:"url"`
+	// State is "healthy" or "quarantined". A quarantined worker gets
+	// no new jobs and its in-flight jobs have been re-dispatched; the
+	// health prober keeps probing it and re-admits it on success.
+	State string `json:"state"`
+	// Routed counts jobs the coordinator dispatched to this worker,
+	// including re-dispatches landing here after another worker died.
+	Routed int64 `json:"routed"`
+	// Failovers counts jobs re-dispatched *away* from this worker
+	// after it was found dead.
+	Failovers int64 `json:"failovers"`
+	// ConsecutiveFailures is the current run of failed /readyz probes;
+	// reaching the coordinator's threshold quarantines the worker.
+	ConsecutiveFailures int `json:"consecutive_failures,omitempty"`
+}
+
+// WorkerList is the v1 body of GET /v1/workers, in registration order.
+type WorkerList struct {
+	V       int         `json:"v"`
+	Workers []WorkerDoc `json:"workers"`
+}

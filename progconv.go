@@ -113,6 +113,18 @@ type (
 	WireReport  = wire.Report
 	ExitCode    = wire.ExitCode
 
+	// The scale-out additions to the wire schema: JobList is one page
+	// of GET /v1/jobs, ErrorDoc the body of every non-2xx response with
+	// its machine-readable ErrorCode, and WorkerSpec/WorkerDoc/
+	// WorkerList the coordinator's worker-registry documents (POST and
+	// GET /v1/workers). The client package speaks these types.
+	JobList    = wire.JobList
+	ErrorDoc   = wire.ErrorDoc
+	ErrorCode  = wire.ErrorCode
+	WorkerSpec = wire.WorkerSpec
+	WorkerDoc  = wire.WorkerDoc
+	WorkerList = wire.WorkerList
+
 	// Schema is a CODASYL network schema; Plan an ordered transformation
 	// sequence; Program a parsed database program; Database a network
 	// database instance. Aliases let external callers name values that
@@ -201,6 +213,27 @@ const (
 	ExitFailOn   = wire.ExitFailOn
 	ExitPipeline = wire.ExitPipeline
 )
+
+// The machine-readable error codes carried on every non-2xx ErrorDoc;
+// see the wire-schema section of the package documentation for the
+// full table with HTTP statuses.
+const (
+	CodeBadSpec   = wire.CodeBadSpec
+	CodeNotFound  = wire.CodeNotFound
+	CodeQueueFull = wire.CodeQueueFull
+	CodeDraining  = wire.CodeDraining
+	CodeNoWorker  = wire.CodeNoWorker
+	CodeDeadline  = wire.CodeDeadline
+	CodeCanceled  = wire.CodeCanceled
+	CodeFailed    = wire.CodeFailed
+	CodeFailOn    = wire.CodeFailOn
+	CodePipeline  = wire.CodePipeline
+	CodeInternal  = wire.CodeInternal
+)
+
+// ErrorCodeFor maps an exit code onto the error-code table — the token
+// CLI exit paths print and the daemon serves for the same condition.
+func ErrorCodeFor(c ExitCode) ErrorCode { return wire.CodeFor(c) }
 
 // The failure policies; Budget(n) builds the bounded-tolerance one.
 var (
