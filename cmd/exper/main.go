@@ -4,7 +4,7 @@
 // demonstration (EXP-R1), and the conversion-service measurement
 // (EXP-S1). Run with no arguments for all experiments, or name them:
 //
-//	exper [f3.1] [f4.1] [f4.3] [f4.4] [s4.1a] [s4.1b] [c1] [c2] [c3] [c4] [c5] [c6] [h1] [r1] [s1] [s2]
+//	exper [f3.1] [f4.1] [f4.3] [f4.4] [s4.1a] [s4.1b] [c1] [c2] [c3] [c4] [c5] [c6] [h1] [r1] [s1] [s2] [m1]
 //
 // The bench-json subcommand measures the data-plane benchmarks with
 // testing.Benchmark and writes machine-readable results:
@@ -62,9 +62,9 @@ func main() {
 		"f3.1": expF31, "f4.1": expF41, "f4.3": expF43, "f4.4": expF44,
 		"s4.1a": expS41a, "s4.1b": expS41b,
 		"c1": expC1, "c2": expC2, "c3": expC3, "c4": expC4, "c5": expC5, "c6": expC6,
-		"h1": expH1, "r1": expR1, "s1": expS1, "s2": expS2,
+		"h1": expH1, "r1": expR1, "s1": expS1, "s2": expS2, "m1": expM1,
 	}
-	order := []string{"f3.1", "f4.1", "f4.3", "f4.4", "s4.1a", "s4.1b", "c1", "c2", "c3", "c4", "c5", "c6", "h1", "r1", "s1", "s2"}
+	order := []string{"f3.1", "f4.1", "f4.3", "f4.4", "s4.1a", "s4.1b", "c1", "c2", "c3", "c4", "c5", "c6", "h1", "r1", "s1", "s2", "m1"}
 	args := os.Args[1:]
 	if len(args) > 0 && args[0] == "bench-json" {
 		out := "BENCH_PR5.json"
@@ -1609,4 +1609,33 @@ func expS2() {
 	}
 	fmt.Printf("\n(c) worker killed mid-batch: %d jobs re-dispatched; all %d reports byte-identical to single-node runs: %v\n",
 		failovers, len(ids), identical)
+}
+
+func expM1() {
+	banner("EXP-M1", "model-polymorphic pipeline: the §2.2 IMS reorder end to end")
+	entry, err := corpus.IMSReorder()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	run := func(par int) *progconv.Report {
+		rep, err := progconv.ConvertHier(context.Background(), entry.Source, entry.Target, nil,
+			entry.Programs(),
+			progconv.WithParallelism(par),
+			progconv.WithVerifyHierDB(entry.Seed()))
+		if err != nil {
+			fmt.Println("error:", err)
+			os.Exit(int(wire.ExitError))
+		}
+		return rep
+	}
+	r1 := run(1)
+	fmt.Print(r1)
+	for _, o := range r1.Outcomes {
+		if o.Generated != "" {
+			fmt.Printf("\n--- converted %s ---\n%s", o.Name, o.Generated)
+		}
+	}
+	r8 := run(8)
+	fmt.Printf("\nreport bytes at parallelism 1 vs 8: identical=%v\n", r1.String() == r8.String())
 }

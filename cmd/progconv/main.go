@@ -39,7 +39,6 @@ import (
 	"progconv/internal/hierstore"
 	"progconv/internal/netstore"
 	"progconv/internal/relstore"
-	"progconv/internal/schema"
 	"progconv/internal/schema/ddl"
 	"progconv/internal/telemetry"
 	"progconv/internal/wire"
@@ -158,38 +157,61 @@ func cmdDiff(args []string) error {
 	if len(args) != 2 {
 		usage()
 	}
-	plan, _, _, err := loadPlan(args[0], args[1])
+	src, dst, kind, err := loadPair(args[0], args[1])
 	if err != nil {
 		return err
 	}
+	var describe string
+	var invertible bool
+	switch kind {
+	case "network":
+		plan, err := xform.Classify(src.Network, dst.Network)
+		if err != nil {
+			return err
+		}
+		describe, invertible = plan.Describe(), plan.Invertible()
+	case "hierarchical":
+		plan, err := xform.ClassifyHier(src.Hierarchy, dst.Hierarchy)
+		if err != nil {
+			return err
+		}
+		describe, invertible = plan.Describe(), plan.Invertible()
+	}
 	fmt.Println("classified transformation plan:")
-	fmt.Print(plan.Describe())
-	fmt.Printf("invertible: %v\n", plan.Invertible())
+	fmt.Print(describe)
+	fmt.Printf("invertible: %v\n", invertible)
 	return nil
 }
 
-func loadPlan(srcPath, dstPath string) (*xform.Plan, *schema.Network, *schema.Network, error) {
+// loadPair parses both schema files with model auto-detection and
+// checks they name the same data model. The conversion pipeline pairs
+// network and hierarchical schemas; relational schemas are valid
+// elsewhere (check, run) but have no transformation catalogue, so they
+// are rejected here by name rather than with a parse error.
+func loadPair(srcPath, dstPath string) (src, dst *ddl.Parsed, kind string, err error) {
 	srcText, err := readFile(srcPath)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, "", err
 	}
 	dstText, err := readFile(dstPath)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, "", err
 	}
-	srcSchema, err := ddl.ParseNetwork(srcText)
-	if err != nil {
-		return nil, nil, nil, fmt.Errorf("%s: %w", srcPath, err)
+	if src, err = ddl.Parse(srcText); err != nil {
+		return nil, nil, "", fmt.Errorf("%s: %w", srcPath, err)
 	}
-	dstSchema, err := ddl.ParseNetwork(dstText)
-	if err != nil {
-		return nil, nil, nil, fmt.Errorf("%s: %w", dstPath, err)
+	if dst, err = ddl.Parse(dstText); err != nil {
+		return nil, nil, "", fmt.Errorf("%s: %w", dstPath, err)
 	}
-	p, err := xform.Classify(srcSchema, dstSchema)
-	if err != nil {
-		return nil, nil, nil, err
+	if src.Kind() != dst.Kind() {
+		return nil, nil, "", fmt.Errorf("%s is a %s schema but %s is %s: a conversion pair shares one data model",
+			srcPath, src.Kind(), dstPath, dst.Kind())
 	}
-	return p, srcSchema, dstSchema, nil
+	kind = src.Kind()
+	if kind == "relational" {
+		return nil, nil, "", fmt.Errorf("the relational model is not supported here: conversion pairs are network or hierarchical")
+	}
+	return src, dst, kind, nil
 }
 
 func cmdAnalyze(args []string) error {
@@ -200,7 +222,7 @@ func cmdAnalyze(args []string) error {
 	if err != nil {
 		return err
 	}
-	sch, err := ddl.ParseNetwork(schText)
+	parsed, err := ddl.Parse(schText)
 	if err != nil {
 		return err
 	}
@@ -208,7 +230,18 @@ func cmdAnalyze(args []string) error {
 	if err != nil {
 		return err
 	}
-	abs := analyzer.Analyze(context.Background(), p, sch)
+	// The network analysis consults its schema for set traversals; the
+	// hierarchical one is schema-free (DL/I paths carry their own
+	// segment names). Relational schemas have no DML to analyze against.
+	var abs *analyzer.Abstract
+	switch parsed.Kind() {
+	case "network":
+		abs = analyzer.Analyze(context.Background(), p, parsed.Network)
+	case "hierarchical":
+		abs = analyzer.Analyze(context.Background(), p, nil)
+	default:
+		return fmt.Errorf("the relational model is not supported by analyze: pass a network or hierarchical schema")
+	}
 	fmt.Print(abs.Describe())
 	return nil
 }
@@ -276,8 +309,19 @@ func cmdConvert(args []string) error {
 	if len(rest) < 3 {
 		usage()
 	}
-	_, src, dst, err := loadPlan(rest[0], rest[1])
+	srcParsed, dstParsed, kind, err := loadPair(rest[0], rest[1])
 	if err != nil {
+		return err
+	}
+	src, dst := srcParsed.Network, dstParsed.Network
+	hierSrc, hierDst := srcParsed.Hierarchy, dstParsed.Hierarchy
+	// Classify the pair up front so a pair with no catalogued plan is a
+	// usage-time error, not a queued failure inside the supervisor.
+	if kind == "network" {
+		if _, err := xform.Classify(src, dst); err != nil {
+			return err
+		}
+	} else if _, err := xform.ClassifyHier(hierSrc, hierDst); err != nil {
 		return err
 	}
 	var progs []*progconv.Program
@@ -317,11 +361,19 @@ func cmdConvert(args []string) error {
 		if err != nil {
 			return err
 		}
-		db := netstore.NewDB(src)
-		if _, err := dbprog.Run(ip, dbprog.Config{Net: db}); err != nil {
-			return fmt.Errorf("verify-init program: %w", err)
+		if hierSrc != nil {
+			db := hierstore.NewDB(hierSrc)
+			if _, err := dbprog.Run(ip, dbprog.Config{Hier: db}); err != nil {
+				return fmt.Errorf("verify-init program: %w", err)
+			}
+			opts = append(opts, progconv.WithVerifyHierDB(db))
+		} else {
+			db := netstore.NewDB(src)
+			if _, err := dbprog.Run(ip, dbprog.Config{Net: db}); err != nil {
+				return fmt.Errorf("verify-init program: %w", err)
+			}
+			opts = append(opts, progconv.WithVerifyDB(db))
 		}
-		opts = append(opts, progconv.WithVerifyDB(db))
 	}
 
 	// Event sinks: a streaming JSONL file and/or a counter tally feeding
@@ -363,7 +415,12 @@ func cmdConvert(args []string) error {
 	// invocation always yields the same IDs.
 	var tb *progconv.TraceBuilder
 	if *traceOut != "" {
-		seed := []string{src.DDL(), dst.DDL()}
+		var seed []string
+		if hierSrc != nil {
+			seed = []string{hierSrc.DDL(), hierDst.DDL()}
+		} else {
+			seed = []string{src.DDL(), dst.DDL()}
+		}
 		for _, p := range progs {
 			seed = append(seed, p.Name)
 		}
@@ -393,7 +450,12 @@ func cmdConvert(args []string) error {
 	}
 
 	runStart := time.Now()
-	report, err := progconv.Convert(ctx, src, dst, nil, progs, opts...)
+	var report *progconv.Report
+	if hierSrc != nil {
+		report, err = progconv.ConvertHier(ctx, hierSrc, hierDst, nil, progs, opts...)
+	} else {
+		report, err = progconv.Convert(ctx, src, dst, nil, progs, opts...)
+	}
 	if err != nil {
 		return err
 	}

@@ -97,9 +97,10 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  progconvctl [-s URL] submit [-parallel N] [-on-failure p] [-fail-on g]
-              [-accept-order] [-inject spec] [-deadline d] [-traceparent tp]
-              [-wait] [-report] <source.ddl> <target.ddl> <program>...
+  progconvctl [-s URL] submit [-model m] [-parallel N] [-on-failure p]
+              [-fail-on g] [-accept-order] [-inject spec] [-deadline d]
+              [-verify-init file] [-traceparent tp] [-wait] [-report]
+              <source.ddl> <target.ddl> <program>...
   progconvctl [-s URL] status|wait|report|cancel <job-id>
   progconvctl [-s URL] list [-state s] [-limit n] [-all]
   progconvctl [-s URL] events [-omit-timing] <job-id>
@@ -123,12 +124,14 @@ func readFile(path string) (string, error) {
 
 func cmdSubmit(ctx context.Context, cli *client.Client, args []string) error {
 	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	model := fs.String("model", "", `data model of the pair: "network" (default) or "hierarchical"`)
 	parallel := fs.Int("parallel", 0, "per-job conversion parallelism (0 = server default)")
 	onFailure := fs.String("on-failure", "", `batch failure policy: "fail-fast", "collect" or "budget:N"`)
 	failOn := fs.String("fail-on", "", `result gate: "manual" or "qualified"`)
 	acceptOrder := fs.Bool("accept-order", false, "accept set-order changes")
 	inject := fs.String("inject", "", "deterministic fault-injection spec")
 	deadline := fs.String("deadline", "", "job deadline (Go duration)")
+	verifyInit := fs.String("verify-init", "", "program file that seeds the verification database")
 	traceparent := fs.String("traceparent", "", "W3C traceparent to continue")
 	wait := fs.Bool("wait", false, "poll to the terminal state; exit with the job's exit code")
 	report := fs.Bool("report", false, "print the report JSON (implies -wait)")
@@ -136,11 +139,16 @@ func cmdSubmit(ctx context.Context, cli *client.Client, args []string) error {
 	if fs.NArg() < 3 {
 		return fmt.Errorf("submit needs <source.ddl> <target.ddl> <program>...")
 	}
-	spec := &progconv.JobSpec{Options: progconv.JobOptions{
+	spec := &progconv.JobSpec{Model: *model, Options: progconv.JobOptions{
 		Parallelism: *parallel, OnFailure: *onFailure, FailOn: *failOn,
 		AcceptOrder: *acceptOrder, Inject: *inject, Deadline: *deadline,
 	}}
 	var err error
+	if *verifyInit != "" {
+		if spec.Options.VerifyInit, err = readFile(*verifyInit); err != nil {
+			return err
+		}
+	}
 	if spec.SourceDDL, err = readFile(fs.Arg(0)); err != nil {
 		return err
 	}

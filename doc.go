@@ -62,6 +62,17 @@
 // ExitPipeline, ...) that the CLI exits with and the daemon translates
 // to HTTP statuses.
 //
+// Job submissions carry an optional "model" field naming the data
+// model of the conversion pair: "network" (CODASYL; the default when
+// the field is absent, so v1 clients keep working unchanged) or
+// "hierarchical" (IMS / DL/I). The source_ddl and target_ddl texts are
+// in the model's canonical DDL form — Figure 4.3 network DDL (SCHEMA
+// ... RECORD ... SET ...) or SEGMENT-form hierarchy DDL (HIERARCHY ...
+// SEGMENT ... ROOT|PARENT). An unknown model is rejected at submission
+// with error code bad_spec. Report documents echo non-default models
+// in their own "model" field (absent for network runs, preserving the
+// historical network document bytes).
+//
 // Collection endpoints paginate: GET /v1/jobs takes limit and
 // page_token query parameters and answers with a JobList whose
 // NextPageToken, when non-empty, is the cursor for the next page; a

@@ -1,8 +1,8 @@
 // IMS reorder: the Mehl & Wang study from §2.2 — "a change in the
 // hierarchical order of an IMS structure" — end to end: the DEPT→EMP
-// hierarchy is inverted to EMP→DEPT, the database is migrated, and an
-// old-order program's calls run against the new order through the
-// command substitution rules.
+// hierarchy is inverted to EMP→DEPT, the database is migrated, and the
+// corpus.IMSReorder inventory's old-order calls run against the new
+// order through the command substitution rules.
 //
 //	go run ./examples/imsreorder
 package main
@@ -11,49 +11,31 @@ import (
 	"fmt"
 	"log"
 
+	"progconv/internal/corpus"
 	"progconv/internal/dbprog"
 	"progconv/internal/hierstore"
-	"progconv/internal/schema"
 	"progconv/internal/value"
 	"progconv/internal/xform"
 )
 
 func main() {
-	// The source hierarchy: departments with employee children.
-	db := hierstore.NewDB(schema.EmpDeptHierarchy())
-	s := hierstore.NewSession(db)
-	for _, d := range []struct{ d, n, m string }{
-		{"D2", "SALES", "SMITH"}, {"D12", "ACCOUNTING", "JONES"},
-	} {
-		s.ISRT(value.FromPairs("D#", d.d, "DNAME", d.n, "MGR", d.m), hierstore.U("DEPT"))
+	// The named corpus entry: the DEPT→EMP pair, its seed population,
+	// and the study's program inventory.
+	entry, err := corpus.IMSReorder()
+	if err != nil {
+		log.Fatal(err)
 	}
-	for _, e := range []struct {
-		dept, e, n string
-		yos        int
-	}{
-		{"D2", "E1", "BAKER", 3}, {"D2", "E2", "CLARK", 11}, {"D12", "E3", "ADAMS", 3},
-	} {
-		s.ISRT(value.FromPairs("E#", e.e, "ENAME", e.n, "AGE", 30, "YEAR-OF-SERVICE", e.yos),
-			hierstore.Q("DEPT", "D#", hierstore.EQ, value.Str(e.dept)), hierstore.U("EMP"))
-	}
+	db := entry.Seed()
 	fmt.Println("source hierarchy (DEPT → EMP):")
 	fmt.Print(db.DumpSequence())
 
-	// An old-order program, written against DEPT→EMP.
-	oldProgram, err := dbprog.Parse(`
-PROGRAM TENURED DIALECT DLI.
-  GU DEPT(D# = 'D2').
-  PRINT 'DEPARTMENT', DNAME IN DEPT.
-  PERFORM UNTIL DB-STATUS <> 'OK'
-    GNP EMP(YEAR-OF-SERVICE > 10).
-    IF DB-STATUS = 'OK'
-      PRINT 'TENURED', ENAME IN EMP.
-    END-IF.
-  END-PERFORM.
-END PROGRAM.
-`)
-	if err != nil {
-		log.Fatal(err)
+	// The study's old-order program, written against DEPT→EMP: the
+	// tenured-employee sweep (corpus kind hier-gnp).
+	var oldProgram *dbprog.Program
+	for _, m := range entry.Members {
+		if m.Kind == corpus.HierGNP {
+			oldProgram = m.Program
+		}
 	}
 	before, err := dbprog.Run(oldProgram, dbprog.Config{Hier: db.Clone()})
 	if err != nil {
@@ -62,13 +44,10 @@ END PROGRAM.
 	fmt.Println("\nold program on the old order:")
 	fmt.Print(before)
 
-	// The Mehl & Wang transformation: promote EMP to the root.
+	// The Mehl & Wang transformation: promote EMP to the root. The
+	// corpus target schema is this same promotion applied to the source.
 	tr := xform.HierReorder{Promote: "EMP"}
-	newSchema, err := tr.ApplySchema(db.Schema())
-	if err != nil {
-		log.Fatal(err)
-	}
-	reordered, warnings, err := tr.MigrateData(db, newSchema)
+	reordered, warnings, err := tr.MigrateData(db, entry.Target)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,246 @@
+// Hierarchical (DL/I) program conversion: the §2.2 command substitution
+// rules applied statement-by-statement. A hierarchical reorder keeps
+// every segment type's name and fields, so host expressions never need
+// rewriting; what changes is parentage, and with it the shape of every
+// SSA path that walks through the reordered pair.
+package convert
+
+import (
+	"context"
+	"fmt"
+
+	"progconv/internal/analyzer"
+	"progconv/internal/dbprog"
+	"progconv/internal/obs"
+	"progconv/internal/schema"
+	"progconv/internal/xform"
+)
+
+// ConvertHier rewrites a program for a hierarchical transformation plan
+// over its source hierarchy. A done ctx aborts with ctx.Err() wrapped,
+// matching Convert.
+func ConvertHier(ctx context.Context, p *dbprog.Program, src *schema.Hierarchy, plan *xform.HierPlan) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("convert: %s: %w", p.Name, err)
+	}
+	return ConvertHierAnalyzed(ctx, analyzer.Analyze(ctx, p, nil), src, plan)
+}
+
+// ConvertHierAnalyzed converts a program whose Program Analyzer pass
+// already ran — the entry point supervisors use so analysis and
+// conversion remain separate instrumented stages. abs must come from
+// analyzer.Analyze over the same program.
+func ConvertHierAnalyzed(ctx context.Context, abs *analyzer.Abstract, src *schema.Hierarchy, plan *xform.HierPlan) (*Result, error) {
+	p := abs.Prog
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("convert: %s: %w", p.Name, err)
+	}
+	res := &Result{Auto: true}
+	res.Issues = append(res.Issues, abs.Issues...)
+	if abs.HasBlockingIssue() {
+		res.Auto = false
+		return res, nil
+	}
+	if p.Dialect != dbprog.DLI || len(plan.Steps) == 0 {
+		// Non-DL/I programs are untouched by a hierarchical plan, and an
+		// identity plan (classified from equal hierarchies) touches nothing.
+		res.Program = p
+		return res, nil
+	}
+
+	c := &hierConverter{res: res, em: obs.EmitterFrom(ctx), prog: p.Name}
+	// Precompute the schema each step transforms, so every step knows
+	// which segment type was the root when it applied.
+	cur := src
+	for _, t := range plan.Steps {
+		next, err := t.ApplySchema(cur)
+		if err != nil {
+			return nil, fmt.Errorf("convert: %s: %w", p.Name, err)
+		}
+		c.steps = append(c.steps, hierStep{reorder: t, oldRoot: cur.Root.Name})
+		cur = next
+	}
+
+	out := &dbprog.Program{Name: p.Name, Dialect: p.Dialect}
+	out.Stmts = c.block(p.Stmts)
+	res.Program = out
+	if c.failed {
+		res.Auto = false
+	}
+	return res, nil
+}
+
+// hierStep is one reorder with the root name of the hierarchy it
+// applied to — the "old root" its substitution rules are stated over.
+type hierStep struct {
+	reorder xform.HierReorder
+	oldRoot string
+}
+
+type hierConverter struct {
+	steps  []hierStep
+	res    *Result
+	failed bool
+	em     *obs.Emitter
+	prog   string
+}
+
+func (c *hierConverter) flag(kind analyzer.IssueKind, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	c.failed = true
+	c.res.Issues = append(c.res.Issues, analyzer.Issue{Kind: kind, Msg: msg})
+	c.res.Trail = append(c.res.Trail, TrailEntry{Label: kind.String(), Detail: msg})
+	c.em.Hazard(c.prog, kind.String(), msg)
+}
+
+func (c *hierConverter) flagAt(step string, kind analyzer.IssueKind, format string, args ...any) {
+	if c.res.PlanStep == "" {
+		c.res.PlanStep = step
+	}
+	c.flag(kind, format, args...)
+}
+
+func (c *hierConverter) rewrote(verb, detail string) {
+	c.res.Trail = append(c.res.Trail, TrailEntry{Rewrite: true, Label: verb, Detail: detail})
+	c.em.Rewrite(c.prog, verb, detail)
+}
+
+func (c *hierConverter) block(stmts []dbprog.Stmt) []dbprog.Stmt {
+	out := make([]dbprog.Stmt, 0, len(stmts))
+	for _, st := range stmts {
+		out = append(out, c.stmt(st))
+	}
+	return out
+}
+
+func (c *hierConverter) stmt(st dbprog.Stmt) dbprog.Stmt {
+	switch s := st.(type) {
+	case dbprog.If:
+		return dbprog.If{Cond: s.Cond, Then: c.block(s.Then), Else: c.block(s.Else)}
+	case dbprog.PerformUntil:
+		return dbprog.PerformUntil{Cond: s.Cond, Body: c.block(s.Body)}
+	case dbprog.DLIGet:
+		return c.get(s)
+	case dbprog.DLIInsert:
+		return c.insert(s)
+	case dbprog.DLIDelete:
+		c.flagAt(c.steps[0].reorder.Name(), analyzer.UnmatchedTemplate,
+			"DLET deletes at the current position, whose parentage the reorder inverted; manual review required")
+		return st
+	case dbprog.DLIRepl:
+		c.flagAt(c.steps[0].reorder.Name(), analyzer.UnmatchedTemplate,
+			"REPL updates at the current position, whose parentage the reorder inverted; manual review required")
+		return st
+	}
+	return st
+}
+
+// get applies every step's substitution rule to one GU/GN/GNP path.
+func (c *hierConverter) get(s dbprog.DLIGet) dbprog.Stmt {
+	ssas := s.SSAs
+	for _, step := range c.steps {
+		var ok bool
+		ssas, ok = c.getStep(step, s.Func, ssas)
+		if !ok {
+			return s // hazard flagged; keep the statement as written
+		}
+	}
+	return dbprog.DLIGet{Func: s.Func, SSAs: ssas}
+}
+
+// getStep rewrites one get path for one reorder, or flags why it
+// cannot. The rules are HierReorder.RewriteSSAs restated over the
+// program-level SSAs, plus the cases the data-level rule never sees: a
+// child-targeted call with a parent qualification needs EmulateGU's
+// command sequence (DL/I paths qualify ancestors, never descendants),
+// and GNP parentage is inverted outright.
+func (c *hierConverter) getStep(step hierStep, fn string, ssas []dbprog.SSASpec) ([]dbprog.SSASpec, bool) {
+	oldRoot, promote := step.oldRoot, step.reorder.Promote
+	var parentQ, childQ *dbprog.SSASpec
+	var rest []dbprog.SSASpec
+	for i := range ssas {
+		switch ssas[i].Segment {
+		case oldRoot:
+			parentQ = &ssas[i]
+		case promote:
+			childQ = &ssas[i]
+		default:
+			rest = append(rest, ssas[i])
+		}
+	}
+	if parentQ == nil && childQ == nil {
+		return ssas, true // path never walks the reordered pair
+	}
+	target := ssas[len(ssas)-1].Segment
+
+	if fn == "GNP" {
+		c.flagAt(step.reorder.Name(), analyzer.UnmatchedTemplate,
+			"GNP %s enumerates under a parent the reorder inverted (%s was the root, %s its child)",
+			target, oldRoot, promote)
+		return nil, false
+	}
+	switch target {
+	case oldRoot:
+		// Parent-targeted: restate the path in the new order, entering
+		// through the child unqualified when the call never named it.
+		out := make([]dbprog.SSASpec, 0, len(ssas)+1)
+		if childQ != nil {
+			out = append(out, *childQ)
+		} else {
+			out = append(out, dbprog.SSASpec{Segment: promote})
+		}
+		out = append(out, *parentQ)
+		out = append(out, rest...)
+		c.rewrote("dli-path", fmt.Sprintf("%s %s: path restated %s under %s", fn, oldRoot, oldRoot, promote))
+		return out, true
+	case promote:
+		if parentQ != nil && parentQ.Field != "" {
+			// The qualification now names a descendant, which no single SSA
+			// path can express — the §2.1.2 emulation overhead.
+			c.flagAt(step.reorder.Name(), analyzer.UnmatchedTemplate,
+				"%s %s qualified on %s.%s requires the emulated command sequence (descendant qualification)",
+				fn, promote, oldRoot, parentQ.Field)
+			return nil, false
+		}
+		// The old-root ancestor SSA, when present, was unqualified — drop
+		// it: the promoted segment is now the root.
+		out := make([]dbprog.SSASpec, 0, len(ssas))
+		if childQ != nil {
+			out = append(out, *childQ)
+		} else {
+			out = append(out, dbprog.SSASpec{Segment: promote})
+		}
+		out = append(out, rest...)
+		if parentQ != nil {
+			c.rewrote("dli-path", fmt.Sprintf("%s %s: ancestor %s dropped; %s is the root", fn, promote, oldRoot, promote))
+		}
+		return out, true
+	default:
+		// The path walks through the reordered pair to some other segment;
+		// no such shape exists in the two-level catalogue's schemas.
+		c.flagAt(step.reorder.Name(), analyzer.UnmatchedTemplate,
+			"%s %s walks through reordered segments %s/%s; manual review required", fn, target, oldRoot, promote)
+		return nil, false
+	}
+}
+
+func (c *hierConverter) insert(s dbprog.DLIInsert) dbprog.Stmt {
+	for _, step := range c.steps {
+		oldRoot, promote := step.oldRoot, step.reorder.Promote
+		touches := s.Record == oldRoot || s.Record == promote
+		for _, u := range s.Under {
+			if u.Segment == oldRoot || u.Segment == promote {
+				touches = true
+			}
+		}
+		if touches {
+			// An insert fixes its occurrence's parentage; after the reorder
+			// one logical insert may fan out to several physical ones (a
+			// parent copy beneath every promoted child).
+			c.flagAt(step.reorder.Name(), analyzer.UnmatchedTemplate,
+				"ISRT %s places an occurrence under parentage the reorder inverted; manual review required", s.Record)
+			return s
+		}
+	}
+	return s
+}

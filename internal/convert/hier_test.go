@@ -1,0 +1,175 @@
+package convert
+
+// Unit tests for the §2.2 DL/I command substitution rules, program
+// shape by program shape.
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"progconv/internal/dbprog"
+	"progconv/internal/schema"
+	"progconv/internal/xform"
+)
+
+func empPromotePlan() *xform.HierPlan {
+	return &xform.HierPlan{Steps: []xform.HierReorder{{Promote: "EMP"}}}
+}
+
+func convertHier(t *testing.T, src string) *Result {
+	t.Helper()
+	p, err := dbprog.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	res, err := ConvertHier(context.Background(), p, schema.EmpDeptHierarchy(), empPromotePlan())
+	if err != nil {
+		t.Fatalf("convert: %v", err)
+	}
+	return res
+}
+
+func formatted(t *testing.T, res *Result) string {
+	t.Helper()
+	if res.Program == nil {
+		t.Fatal("no converted program")
+	}
+	return dbprog.Format(res.Program)
+}
+
+// Parent-targeted GU: the path is restated child-first, entering
+// through the promoted segment unqualified.
+func TestHierParentTargetedRestates(t *testing.T) {
+	res := convertHier(t, `
+PROGRAM P DIALECT DLI.
+  GU DEPT(D# = 'D2').
+  PRINT DNAME IN DEPT.
+END PROGRAM.
+`)
+	if !res.Auto {
+		t.Fatalf("not auto: %v", res.Issues)
+	}
+	out := formatted(t, res)
+	if !strings.Contains(out, "GU EMP, DEPT(D# = 'D2')") {
+		t.Errorf("parent-targeted path not restated child-first:\n%s", out)
+	}
+	var rewrites int
+	for _, tr := range res.Trail {
+		if tr.Rewrite {
+			rewrites++
+		}
+	}
+	if rewrites == 0 {
+		t.Error("no rewrite recorded in the trail")
+	}
+}
+
+// Child-targeted GU with an unqualified parent SSA: the ancestor drops;
+// the promoted segment is the root now.
+func TestHierChildTargetedDropsAncestor(t *testing.T) {
+	res := convertHier(t, `
+PROGRAM P DIALECT DLI.
+  GU DEPT, EMP(E# = 'E1').
+  PRINT ENAME IN EMP.
+END PROGRAM.
+`)
+	if !res.Auto {
+		t.Fatalf("not auto: %v", res.Issues)
+	}
+	out := formatted(t, res)
+	if !strings.Contains(out, "GU EMP(E# = 'E1').") || strings.Contains(out, "DEPT,") {
+		t.Errorf("ancestor SSA not dropped:\n%s", out)
+	}
+}
+
+// Child-targeted GU with a qualified parent SSA needs the emulated
+// command sequence (descendant qualification) — manual.
+func TestHierDescendantQualificationFlags(t *testing.T) {
+	res := convertHier(t, `
+PROGRAM P DIALECT DLI.
+  GU DEPT(D# = 'D2'), EMP(E# = 'E1').
+  PRINT ENAME IN EMP.
+END PROGRAM.
+`)
+	if res.Auto {
+		t.Fatal("descendant qualification converted automatically")
+	}
+	if len(res.Issues) == 0 || !strings.Contains(res.Issues[len(res.Issues)-1].Msg, "emulated command sequence") {
+		t.Errorf("issues = %v", res.Issues)
+	}
+	if res.PlanStep == "" {
+		t.Error("no plan step recorded for the hazard")
+	}
+}
+
+// GNP under inverted parentage, positioned updates, and inserts into
+// the reordered pair all flag for manual review.
+func TestHierManualShapes(t *testing.T) {
+	for name, src := range map[string]string{
+		"gnp": `
+PROGRAM P DIALECT DLI.
+  GU DEPT(D# = 'D2').
+  GNP EMP.
+END PROGRAM.
+`,
+		"dlet": `
+PROGRAM P DIALECT DLI.
+  GU DEPT(D# = 'D2').
+  DLET.
+END PROGRAM.
+`,
+		"repl": `
+PROGRAM P DIALECT DLI.
+  GU DEPT(D# = 'D2').
+  REPL (MGR = 'NEW').
+END PROGRAM.
+`,
+		"isrt": `
+PROGRAM P DIALECT DLI.
+  ISRT EMP (E# = 'E9', ENAME = 'NEW', AGE = 20, YEAR-OF-SERVICE = 0) UNDER DEPT(D# = 'D2').
+END PROGRAM.
+`,
+	} {
+		t.Run(name, func(t *testing.T) {
+			if res := convertHier(t, src); res.Auto {
+				t.Errorf("%s converted automatically; issues = %v", name, res.Issues)
+			}
+		})
+	}
+}
+
+// A non-DL/I program and an identity plan both pass through untouched.
+func TestHierPassThrough(t *testing.T) {
+	p, err := dbprog.Parse(`
+PROGRAM P DIALECT NETWORK.
+  PRINT 'X'.
+END PROGRAM.
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ConvertHier(context.Background(), p, schema.EmpDeptHierarchy(), empPromotePlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Auto || res.Program != p {
+		t.Errorf("non-DL/I program not passed through: auto=%v", res.Auto)
+	}
+
+	dli, err := dbprog.Parse(`
+PROGRAM P DIALECT DLI.
+  GU DEPT(D# = 'D2').
+END PROGRAM.
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = ConvertHier(context.Background(), dli, schema.EmpDeptHierarchy(), &xform.HierPlan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Auto || res.Program != dli {
+		t.Errorf("identity plan did not pass the program through: auto=%v", res.Auto)
+	}
+}

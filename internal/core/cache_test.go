@@ -122,12 +122,13 @@ func TestRunJobsDeterministic(t *testing.T) {
 func TestAuditRecordsPairFingerprint(t *testing.T) {
 	sup := NewSupervisor()
 	want := string(fingerprint.PairKey(schema.CompanyV1(), schema.CompanyV2(), nil))
-	pair, err := sup.PreparePair(context.Background(), schema.CompanyV1(), schema.CompanyV2(), nil)
+	pair, err := sup.PreparePair(context.Background(),
+		NetworkSpec{Src: schema.CompanyV1(), Dst: schema.CompanyV2()})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if string(pair.Key) != want {
-		t.Errorf("PreparePair key %q, want %q", pair.Key, want)
+	if string(pair.Key()) != want {
+		t.Errorf("PreparePair key %q, want %q", pair.Key(), want)
 	}
 	report, err := sup.Run(context.Background(),
 		schema.CompanyV1(), schema.CompanyV2(), nil, companyV1DB(t), applicationSystem(t))

@@ -57,6 +57,7 @@ import (
 	"progconv/internal/equiv"
 	"progconv/internal/fault"
 	"progconv/internal/fingerprint"
+	"progconv/internal/hierstore"
 	"progconv/internal/netstore"
 	"progconv/internal/obs"
 	"progconv/internal/optimizer"
@@ -182,6 +183,9 @@ type Decision struct {
 type Audit struct {
 	// Reason is the one-line explanation of the disposition.
 	Reason string
+	// Model names the data model the program was converted under
+	// (ModelNetwork or ModelHierarchical) — always set.
+	Model string
 	// Pair is the content fingerprint of the schema pair (source schema
 	// plus plan) whose artifacts converted this program, so the trail
 	// identifies which cached plan produced a rewrite even when the pair
@@ -223,11 +227,22 @@ type Outcome struct {
 
 // Report is the supervisor's full record of one conversion run.
 type Report struct {
+	// Model names the data model the run converted under (ModelNetwork
+	// or ModelHierarchical).
+	Model           string
 	PlanDescription string
 	Invertible      bool
+	// TargetSchema and TargetDB are set for network-model runs,
+	// TargetHierarchy and TargetHierDB for hierarchical ones.
 	TargetSchema    *schema.Network
 	TargetDB        *netstore.DB
-	Outcomes        []Outcome
+	TargetHierarchy *schema.Hierarchy
+	TargetHierDB    *hierstore.DB
+	// MigrationWarnings are the data translation's per-occurrence
+	// advisories (dropped unreachable occurrences, merged roots); the
+	// network migrator raises none today.
+	MigrationWarnings []string
+	Outcomes          []Outcome
 	// Metrics summarizes per-stage timings when the supervisor ran with
 	// a metrics recorder (nil otherwise). It is rendered separately from
 	// String so serial and parallel reports stay byte-identical.
@@ -278,7 +293,13 @@ func (r *Report) String() string {
 	var b strings.Builder
 	b.WriteString("CONVERSION PLAN\n")
 	b.WriteString(r.PlanDescription)
-	fmt.Fprintf(&b, "invertible: %v\n\n", r.Invertible)
+	fmt.Fprintf(&b, "invertible: %v\n", r.Invertible)
+	// Migration warnings render only when present, so network reports —
+	// whose migrator raises none — keep their historical bytes.
+	for _, w := range r.MigrationWarnings {
+		fmt.Fprintf(&b, "migration: %s\n", w)
+	}
+	b.WriteString("\n")
 	for _, o := range r.Outcomes {
 		fmt.Fprintf(&b, "%-24s %s", o.Name, o.Disposition)
 		if o.Verified != nil {
@@ -398,33 +419,34 @@ func (s *Supervisor) workers(n int) int {
 // batch each job gets its own runState but all share one analyst mutex
 // and one emitter.
 type runState struct {
-	pair     *PairContext
-	srcDB    *netstore.DB
-	targetDB *netstore.DB
-	em       *obs.Emitter    // nil when the run is unobserved
-	inj      *fault.Injector // nil unless a chaos harness armed the context
+	pair ModelPair
+	em   *obs.Emitter    // nil when the run is unobserved
+	inj  *fault.Injector // nil unless a chaos harness armed the context
 
 	analystMu *sync.Mutex
 }
 
-// PairContext is the immutable pair-scoped layer of the pipeline:
-// every artifact derived from (source schema, plan) alone, computed
-// once per pair — and, through a Cache, shared across runs. Workers
-// only read it.
+// PairContext is the immutable pair-scoped layer of the network
+// pipeline: every artifact derived from (source schema, plan) alone,
+// computed once per pair — and, through a Cache, shared across runs.
+// Workers only read it.
 type PairContext = plancache.Pair
 
-// PreparePair assembles the pair context for one schema pair, serving
-// it from the supervisor's Cache when one is installed (building and
-// memoizing on miss) and building it cold otherwise.
-func (s *Supervisor) PreparePair(ctx context.Context, src, dst *schema.Network, plan *xform.Plan) (*PairContext, error) {
-	if s.Cache != nil {
-		return s.Cache.Pair(ctx, src, dst, plan)
-	}
-	return plancache.BuildPair(src, dst, plan)
+// PreparePair assembles the model pair for one spec, serving the
+// pair-scoped artifacts from the supervisor's Cache when one is
+// installed (building and memoizing on miss) and building them cold
+// otherwise.
+func (s *Supervisor) PreparePair(ctx context.Context, spec PairSpec) (ModelPair, error) {
+	return spec.prepare(ctx, s)
 }
 
-// Job is one schema pair's conversion workload within a RunJobs batch.
+// Job is one conversion-pair workload within a RunJobs batch. Spec
+// carries the pair in any data model; the Src/Dst/Plan/DB fields are
+// the historical network-model form, consulted only when Spec is nil.
 type Job struct {
+	// Spec describes the pair to convert (any model). When nil, the
+	// network-model fields below are used instead.
+	Spec PairSpec
 	// Src is the source schema and Dst the target; Dst may be nil when
 	// an explicit Plan is given.
 	Src, Dst *schema.Network
@@ -437,6 +459,15 @@ type Job struct {
 	Programs []*dbprog.Program
 }
 
+// pairSpec resolves the job's spec, folding the legacy network fields
+// into a NetworkSpec when none was set.
+func (j *Job) pairSpec() PairSpec {
+	if j.Spec != nil {
+		return j.Spec
+	}
+	return NetworkSpec{Src: j.Src, Dst: j.Dst, Plan: j.Plan, DB: j.DB}
+}
+
 // Run converts a database application system: it classifies the schema
 // change (unless an explicit plan is given), restructures the data, and
 // converts every program — "a database application system is converted
@@ -446,6 +477,21 @@ type Job struct {
 func (s *Supervisor) Run(ctx context.Context, src, dst *schema.Network, plan *xform.Plan,
 	db *netstore.DB, progs []*dbprog.Program) (*Report, error) {
 	reports, err := s.RunJobs(ctx, []Job{{Src: src, Dst: dst, Plan: plan, DB: db, Programs: progs}})
+	if err != nil {
+		return nil, err
+	}
+	report := reports[0]
+	report.Metrics = s.Metrics.Snapshot()
+	return report, nil
+}
+
+// RunHier is Run over the hierarchical (DL/I) model: classify the
+// hierarchy change (unless an explicit plan is given), restructure the
+// data, and convert every program. Same contract and determinism
+// guarantees as Run.
+func (s *Supervisor) RunHier(ctx context.Context, src, dst *schema.Hierarchy, plan *xform.HierPlan,
+	db *hierstore.DB, progs []*dbprog.Program) (*Report, error) {
+	reports, err := s.RunJobs(ctx, []Job{{Spec: HierSpec{Src: src, Dst: dst, Plan: plan, DB: db}, Programs: progs}})
 	if err != nil {
 		return nil, err
 	}
@@ -476,19 +522,16 @@ func (s *Supervisor) RunJobs(ctx context.Context, jobs []Job) ([]*Report, error)
 	analystMu := &sync.Mutex{}
 
 	reports := make([]*Report, len(jobs))
-	// Index-stat baselines per job, so each report's DataPlane counts
-	// only this run's probes/scans (callers may have exercised the
-	// database before handing it over).
-	type statBase struct{ srcProbes, srcScans, tgtProbes, tgtScans int64 }
-	bases := make([]statBase, len(jobs))
+	pairs := make([]ModelPair, len(jobs))
 	var items []workItem
 	for ji := range jobs {
 		j := &jobs[ji]
-		pair, err := s.PreparePair(ctx, j.Src, j.Dst, j.Plan)
+		spec := j.pairSpec()
+		pair, err := s.PreparePair(ctx, spec)
 		if err != nil {
 			var be *plancache.BuildError
 			if errors.As(err, &be) && be.Phase == plancache.PhaseClassify {
-				if j.DB != nil {
+				if specHasDB(spec) {
 					// The caller supplied a verification database; make clear
 					// that the failure struck before any data was touched.
 					return nil, fmt.Errorf("core: conversion analyzer: %w (the verify database was never migrated)", be.Err)
@@ -501,51 +544,43 @@ func (s *Supervisor) RunJobs(ctx context.Context, jobs []Job) ([]*Report, error)
 			return nil, err
 		}
 		report := &Report{
-			PlanDescription: pair.Description,
-			Invertible:      pair.Invertible,
-			TargetSchema:    pair.Target,
+			Model:           pair.Model(),
+			PlanDescription: pair.Description(),
+			Invertible:      pair.Invertible(),
 		}
-		if j.DB != nil {
-			migrated, fuse, err := pair.Plan.MigrateDataFused(j.DB)
-			if err != nil {
-				return nil, fmt.Errorf("core: data translation: %w", err)
-			}
-			report.TargetDB = migrated
-			report.DataPlane.FusedSteps = int64(fuse.FusedSteps)
-			report.DataPlane.StepwiseSteps = int64(fuse.StepwiseSteps)
-			bases[ji].srcProbes, bases[ji].srcScans = j.DB.IndexStatsOf().Snapshot()
-			bases[ji].tgtProbes, bases[ji].tgtScans = migrated.IndexStatsOf().Snapshot()
+		pair.attach(report)
+		if err := pair.migrate(report); err != nil {
+			return nil, fmt.Errorf("core: data translation: %w", err)
 		}
-		run := &runState{pair: pair, srcDB: j.DB, targetDB: report.TargetDB,
-			em: em, inj: inj, analystMu: analystMu}
+		run := &runState{pair: pair, em: em, inj: inj, analystMu: analystMu}
 		report.Outcomes = make([]Outcome, len(j.Programs))
 		for pi, p := range j.Programs {
 			items = append(items, workItem{run: run, prog: p, out: &report.Outcomes[pi]})
 		}
 		reports[ji] = report
+		pairs[ji] = pair
 	}
 	if err := s.convertItems(ctx, items); err != nil {
 		return nil, err
 	}
-	// Fold in the index activity of this run: clones used by the verify
-	// stage share their origin database's counters, so the deltas cover
-	// every FIND the batch issued. The work per program is identical at
-	// any parallelism, so the totals are deterministic.
+	// Fold in each job's data-plane activity (index probe/scan deltas
+	// for the network model) after the batch drains.
 	for ji := range jobs {
-		j := &jobs[ji]
-		if j.DB == nil {
-			continue
-		}
-		p1, s1 := j.DB.IndexStatsOf().Snapshot()
-		reports[ji].DataPlane.IndexProbes += p1 - bases[ji].srcProbes
-		reports[ji].DataPlane.IndexScans += s1 - bases[ji].srcScans
-		if reports[ji].TargetDB != nil {
-			p1, s1 = reports[ji].TargetDB.IndexStatsOf().Snapshot()
-			reports[ji].DataPlane.IndexProbes += p1 - bases[ji].tgtProbes
-			reports[ji].DataPlane.IndexScans += s1 - bases[ji].tgtScans
-		}
+		pairs[ji].foldStats(reports[ji])
 	}
 	return reports, nil
+}
+
+// specHasDB reports whether a spec carries a verification database —
+// error-message context for failures that strike before migration.
+func specHasDB(spec PairSpec) bool {
+	switch sp := spec.(type) {
+	case NetworkSpec:
+		return sp.DB != nil
+	case HierSpec:
+		return sp.DB != nil
+	}
+	return false
 }
 
 // workItem is one program's slot in a batch: the pair-scoped state it
@@ -667,7 +702,8 @@ feed:
 // is ending.
 func (s *Supervisor) convertOne(ctx context.Context, run *runState, p *dbprog.Program) (Outcome, error) {
 	o := Outcome{Name: p.Name}
-	o.Audit.Pair = string(run.pair.Key)
+	o.Audit.Model = run.pair.Model()
+	o.Audit.Pair = string(run.pair.Key())
 	if err := ctx.Err(); err != nil {
 		return o, s.classifyCtxErr(ctx, err)
 	}
@@ -682,11 +718,7 @@ func (s *Supervisor) convertOne(ctx context.Context, run *runState, p *dbprog.Pr
 	em := run.em
 	var abs *analyzer.Abstract
 	if err := s.stage(ctx, run, p.Name, obs.StageAnalyze, &o, func(ctx context.Context) error {
-		if s.Cache != nil {
-			abs = s.Cache.Analyze(ctx, ph, p, run.pair)
-			return nil
-		}
-		abs = analyzer.Analyze(ctx, p, run.pair.Src)
+		abs = run.pair.analyze(ctx, s.Cache, ph, p)
 		return nil
 	}); err != nil {
 		return o, err
@@ -695,11 +727,7 @@ func (s *Supervisor) convertOne(ctx context.Context, run *runState, p *dbprog.Pr
 	var res *convert.Result
 	if err := s.stage(ctx, run, p.Name, obs.StageConvert, &o, func(ctx context.Context) error {
 		var err error
-		if s.Cache != nil {
-			res, err = s.Cache.Convert(ctx, ph, abs, run.pair)
-			return err
-		}
-		res, err = convert.ConvertPrepared(ctx, abs, run.pair.Src, run.pair.Rewriters)
+		res, err = run.pair.convertProg(ctx, s.Cache, ph, abs)
 		return err
 	}); err != nil {
 		return o, err
@@ -733,18 +761,10 @@ func (s *Supervisor) convertOne(ctx context.Context, run *runState, p *dbprog.Pr
 	if o.Converted != nil {
 		var generated string
 		if err := s.stage(ctx, run, p.Name, obs.StageOptimize, &o, func(ctx context.Context) error {
-			if s.Cache != nil {
-				// One memo covers optimize and generate; the rendering is
-				// kept aside for the generate stage.
-				opt, applied, gen := s.Cache.Codegen(ctx, ph, p.Name, o.Converted, run.pair)
-				o.Converted = opt
-				o.Optimizations = applied
-				generated = gen
-				return nil
-			}
-			opt, applied := optimizer.OptimizeWith(ctx, o.Converted, run.pair.Target, run.pair.Cost)
+			opt, applied, gen := run.pair.optimize(ctx, s.Cache, ph, p.Name, o.Converted)
 			o.Converted = opt
 			o.Optimizations = applied
+			generated = gen
 			return nil
 		}); err != nil {
 			return o, err
@@ -761,11 +781,9 @@ func (s *Supervisor) convertOne(ctx context.Context, run *runState, p *dbprog.Pr
 			return o, err
 		}
 	}
-	if s.Verify && run.srcDB != nil && o.Disposition == Auto && o.Converted != nil {
+	if s.Verify && run.pair.verifiable() && o.Disposition == Auto && o.Converted != nil {
 		if err := s.stage(ctx, run, p.Name, obs.StageVerify, &o, func(ctx context.Context) error {
-			v := equiv.Check(ctx,
-				p, dbprog.Config{Net: run.srcDB.Clone()},
-				o.Converted, dbprog.Config{Net: run.targetDB.Clone()})
+			v := run.pair.verify(ctx, p, o.Converted)
 			o.Verified = &v
 			return nil
 		}); err != nil {

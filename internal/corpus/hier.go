@@ -1,0 +1,128 @@
+// Hierarchical (DL/I) corpus entries. Unlike the generated network
+// inventories, the hierarchical workload is a fixed, named study — the
+// Mehl & Wang §2.2 hierarchy inversion — so tests, cmd/exper, and the
+// daemon end-to-end drills all convert the same bytes.
+package corpus
+
+import (
+	"fmt"
+
+	"progconv/internal/dbprog"
+	"progconv/internal/hierstore"
+	"progconv/internal/schema"
+	"progconv/internal/value"
+	"progconv/internal/xform"
+)
+
+// The hierarchical program classes.
+const (
+	HierParentGet Kind = "hier-parent-get" // parent-targeted GU; restates child-first
+	HierChildGet  Kind = "hier-child-get"  // child-targeted GU; ancestor SSA dropped
+	HierGNP       Kind = "hier-gnp"        // GNP under inverted parentage (manual)
+)
+
+// HierEntry is a named hierarchical workload: a schema pair related by
+// a catalogued reorder, a seed-database builder, and the DL/I program
+// inventory written against the source order.
+type HierEntry struct {
+	Name string
+	// Source and Target are the schema pair; ClassifyHier recovers the
+	// reorder between them.
+	Source, Target *schema.Hierarchy
+	// Members is the inventory in conversion order.
+	Members []Member
+	// Seed builds a fresh population of the source hierarchy; callers
+	// own the returned database.
+	Seed func() *hierstore.DB
+}
+
+// Programs returns the entry's parsed inventory in order.
+func (e *HierEntry) Programs() []*dbprog.Program {
+	out := make([]*dbprog.Program, len(e.Members))
+	for i := range e.Members {
+		out[i] = e.Members[i].Program
+	}
+	return out
+}
+
+// IMSReorder is the Mehl & Wang study from §2.2 — "a change in the
+// hierarchical order of an IMS structure": the DEPT→EMP hierarchy is
+// inverted to EMP→DEPT. The inventory holds one program per command
+// substitution outcome: a parent-targeted retrieval that restates
+// child-first, a child-targeted retrieval whose ancestor SSA drops, and
+// the study's tenured-employee sweep, whose GNP parentage the reorder
+// inverts (manual review).
+func IMSReorder() (*HierEntry, error) {
+	src := schema.EmpDeptHierarchy()
+	dst, err := xform.HierReorder{Promote: "EMP"}.ApplySchema(src)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: ims-reorder target schema: %w", err)
+	}
+	e := &HierEntry{Name: "ims-reorder", Source: src, Target: dst, Seed: imsReorderSeed}
+	for _, p := range []struct {
+		kind Kind
+		src  string
+	}{
+		{HierParentGet, `
+PROGRAM DEPTMGR DIALECT DLI.
+  GU DEPT(D# = 'D12').
+  IF DB-STATUS = 'OK'
+    PRINT 'MANAGER', MGR IN DEPT.
+  ELSE
+    PRINT 'NO SUCH DEPARTMENT'.
+  END-IF.
+END PROGRAM.
+`},
+		{HierChildGet, `
+PROGRAM EMPBYID DIALECT DLI.
+  GU DEPT, EMP(E# = 'E2').
+  IF DB-STATUS = 'OK'
+    PRINT 'EMPLOYEE', ENAME IN EMP, YEAR-OF-SERVICE IN EMP.
+  ELSE
+    PRINT 'NO SUCH EMPLOYEE'.
+  END-IF.
+END PROGRAM.
+`},
+		{HierGNP, `
+PROGRAM TENURED DIALECT DLI.
+  GU DEPT(D# = 'D2').
+  PRINT 'DEPARTMENT', DNAME IN DEPT.
+  PERFORM UNTIL DB-STATUS <> 'OK'
+    GNP EMP(YEAR-OF-SERVICE > 10).
+    IF DB-STATUS = 'OK'
+      PRINT 'TENURED', ENAME IN EMP.
+    END-IF.
+  END-PERFORM.
+END PROGRAM.
+`},
+	} {
+		prog, err := dbprog.Parse(p.src)
+		if err != nil {
+			return nil, fmt.Errorf("corpus: ims-reorder program (%s) does not parse: %w\n%s", p.kind, err, p.src)
+		}
+		e.Members = append(e.Members, Member{Kind: p.kind, Source: p.src, Program: prog})
+	}
+	return e, nil
+}
+
+// imsReorderSeed is the study's population: two departments, three
+// employees, one of them past the ten-year tenure line.
+func imsReorderSeed() *hierstore.DB {
+	db := hierstore.NewDB(schema.EmpDeptHierarchy())
+	s := hierstore.NewSession(db)
+	for _, d := range []struct{ d, n, m string }{
+		{"D2", "SALES", "SMITH"}, {"D12", "ACCOUNTING", "JONES"},
+	} {
+		s.ISRT(value.FromPairs("D#", d.d, "DNAME", d.n, "MGR", d.m), hierstore.U("DEPT"))
+	}
+	for _, e := range []struct {
+		dept, e, n string
+		yos        int
+	}{
+		{"D2", "E1", "BAKER", 3}, {"D2", "E2", "CLARK", 11}, {"D12", "E3", "ADAMS", 3},
+	} {
+		s.ISRT(value.FromPairs("E#", e.e, "ENAME", e.n, "AGE", 30, "YEAR-OF-SERVICE", e.yos),
+			hierstore.Q("DEPT", "D#", hierstore.EQ, value.Str(e.dept)), hierstore.U("EMP"))
+	}
+	return db
+}

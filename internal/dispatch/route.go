@@ -10,11 +10,24 @@ import (
 )
 
 // PairFor computes a job's routing fingerprint: the plancache pair key
-// of its schema pair. Jobs with the same source/target DDL therefore
-// share a fingerprint and rank workers identically, which is what
-// keeps one pair's jobs on one worker (and that worker's conversion
-// cache warm).
+// of its schema pair, in the spec's data model. Jobs with the same
+// model and source/target DDL therefore share a fingerprint and rank
+// workers identically, which is what keeps one pair's jobs on one
+// worker (and that worker's conversion cache warm). Network and
+// hierarchical pairs can never share a fingerprint — the key domains
+// are disjoint — so mixed-model fleets route each model independently.
 func PairFor(spec *wire.JobSpec) (fingerprint.Hash, error) {
+	if spec.ModelName() == wire.ModelHierarchical {
+		src, err := ddl.ParseHierarchy(spec.SourceDDL)
+		if err != nil {
+			return "", fmt.Errorf("source_ddl: %w", err)
+		}
+		dst, err := ddl.ParseHierarchy(spec.TargetDDL)
+		if err != nil {
+			return "", fmt.Errorf("target_ddl: %w", err)
+		}
+		return fingerprint.HierPairKey(src, dst, nil), nil
+	}
 	src, err := ddl.ParseNetwork(spec.SourceDDL)
 	if err != nil {
 		return "", fmt.Errorf("source_ddl: %w", err)

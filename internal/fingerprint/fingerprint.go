@@ -84,6 +84,26 @@ func Sum(domain string, parts ...string) Hash {
 	return sum(domain, parts...)
 }
 
+// Hierarchy fingerprints a hierarchical (DL/I) schema via its canonical
+// DDL rendering. The domain differs from Schema's, so a network schema
+// and a hierarchy can never share a fingerprint even if some rendering
+// coincidence made their DDL texts equal.
+func Hierarchy(h *schema.Hierarchy) Hash {
+	if h == nil {
+		return sum("hierschema")
+	}
+	return sum("hierschema", h.DDL())
+}
+
+// HierPlan fingerprints a hierarchical transformation plan via its
+// Describe listing, mirroring Plan for the network model.
+func HierPlan(p *xform.HierPlan) Hash {
+	if p == nil {
+		return sum("hierplan")
+	}
+	return sum("hierplan", p.Describe())
+}
+
 // PairKey identifies one conversion pair — the unit the pair-scoped
 // cache is keyed on. With an explicit plan the pair is (source schema,
 // plan) and dst contributes nothing (it may be nil); with a nil plan
@@ -94,4 +114,15 @@ func PairKey(src, dst *schema.Network, plan *xform.Plan) Hash {
 		return sum("pair", string(Schema(src)), "plan", string(Plan(plan)))
 	}
 	return sum("pair", string(Schema(src)), "schema", string(Schema(dst)))
+}
+
+// HierPairKey identifies one hierarchical conversion pair. It mirrors
+// PairKey's shape — (source, plan) when a plan is given, (source,
+// target) otherwise — under a distinct domain, so network and
+// hierarchical pairs occupy disjoint key spaces by construction.
+func HierPairKey(src, dst *schema.Hierarchy, plan *xform.HierPlan) Hash {
+	if plan != nil {
+		return sum("hierpair", string(Hierarchy(src)), "plan", string(HierPlan(plan)))
+	}
+	return sum("hierpair", string(Hierarchy(src)), "schema", string(Hierarchy(dst)))
 }

@@ -85,3 +85,36 @@ func TestShort(t *testing.T) {
 		t.Errorf("hash %q short %q", h, h.Short())
 	}
 }
+
+func TestHierHashesAreDomainSeparated(t *testing.T) {
+	h := schema.EmpDeptHierarchy()
+	if Hierarchy(h) != Hierarchy(schema.EmpDeptHierarchy()) {
+		t.Error("two fresh EmpDeptHierarchy values hash differently")
+	}
+	if Hierarchy(nil) == Hierarchy(h) {
+		t.Error("nil hierarchy collides with a real one")
+	}
+	// Domain separation: a hierarchy key can never collide with a
+	// network key, even for hand-crafted colliding description text —
+	// the domain tags ("hierschema" vs "schema") are length-prefixed
+	// into the digest. Spot-check on the shared LRU's real inputs.
+	if string(Hierarchy(h)) == string(Schema(schema.CompanyV1())) {
+		t.Error("hierarchy and network schema fingerprints collide")
+	}
+
+	dst, err := xform.HierReorder{Promote: "EMP"}.ApplySchema(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &xform.HierPlan{Steps: []xform.HierReorder{{Promote: "EMP"}}}
+	withPlan := HierPairKey(h, dst, plan)
+	if withPlan != HierPairKey(h, nil, plan) {
+		t.Error("explicit-plan hier pair key depends on dst")
+	}
+	if withPlan == HierPairKey(h, dst, nil) {
+		t.Error("plan-keyed and schema-diff-keyed hier pairs collide")
+	}
+	if HierPairKey(h, dst, nil) == HierPairKey(dst, h, nil) {
+		t.Error("hier pair key is direction-insensitive")
+	}
+}

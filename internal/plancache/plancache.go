@@ -157,10 +157,13 @@ type Cache struct {
 	stats       Stats
 }
 
-// flight is one in-progress pair build; joiners wait on done.
+// flight is one in-progress pair build; joiners wait on done. val is
+// the model's pair type (*Pair or *HierPair) — pair keys are
+// domain-separated by model, so one flight map serves both without
+// ambiguity.
 type flight struct {
 	done chan struct{}
-	pair *Pair
+	val  any
 	err  error
 }
 
@@ -215,7 +218,10 @@ func (c *Cache) Pair(ctx context.Context, src, dst *schema.Network, plan *xform.
 		em.CacheHit("", ScopePair, key.Short())
 		select {
 		case <-f.done:
-			return f.pair, f.err
+			if f.err != nil {
+				return nil, f.err
+			}
+			return f.val.(*Pair), nil
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		}
@@ -226,14 +232,15 @@ func (c *Cache) Pair(ctx context.Context, src, dst *schema.Network, plan *xform.
 	c.mu.Unlock()
 	em.CacheMiss("", ScopePair, key.Short())
 
-	f.pair, f.err = BuildPair(src, dst, plan)
+	pair, err := BuildPair(src, dst, plan)
+	f.val, f.err = pair, err
 
 	c.mu.Lock()
 	delete(c.flights, key)
 	var evicted string
 	var didEvict bool
 	if f.err == nil {
-		evicted, didEvict = c.pairs.add(string(key), f.pair)
+		evicted, didEvict = c.pairs.add(string(key), pair)
 		if didEvict {
 			c.stats.PairEvictions++
 		}
@@ -243,7 +250,7 @@ func (c *Cache) Pair(ctx context.Context, src, dst *schema.Network, plan *xform.
 	if didEvict {
 		em.CacheEvict(ScopePair, fingerprint.Hash(evicted).Short())
 	}
-	return f.pair, f.err
+	return pair, err
 }
 
 // Analyze returns the Program Analyzer's result for the program,

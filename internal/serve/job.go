@@ -59,10 +59,13 @@ type job struct {
 	hub  *hub
 
 	// Parsed at submission so a malformed job is a 400, not a queued
-	// failure.
-	src, dst *progconv.Schema
-	programs []*progconv.Program
-	verifyDB *progconv.Database
+	// failure. src/dst hold network-model pairs, hierSrc/hierDst
+	// hierarchical ones, per the spec's model field.
+	src, dst         *progconv.Schema
+	hierSrc, hierDst *progconv.Hierarchy
+	programs         []*progconv.Program
+	verifyDB         *progconv.Database
+	hierVerifyDB     *progconv.HierDatabase
 
 	// trace and submitted are set under the server mutex at admission
 	// and read-only afterwards; the builder itself is internally
@@ -140,11 +143,21 @@ func (j *job) requestCancel() {
 func (s *Server) newJob(spec *wire.JobSpec) (*job, error) {
 	j := &job{spec: spec, hub: newHub()}
 	var err error
-	if j.src, err = progconv.ParseNetworkSchema(spec.SourceDDL); err != nil {
-		return nil, fmt.Errorf("source_ddl: %w", err)
-	}
-	if j.dst, err = progconv.ParseNetworkSchema(spec.TargetDDL); err != nil {
-		return nil, fmt.Errorf("target_ddl: %w", err)
+	switch spec.ModelName() {
+	case wire.ModelHierarchical:
+		if j.hierSrc, err = progconv.ParseHierarchySchema(spec.SourceDDL); err != nil {
+			return nil, fmt.Errorf("source_ddl: %w", err)
+		}
+		if j.hierDst, err = progconv.ParseHierarchySchema(spec.TargetDDL); err != nil {
+			return nil, fmt.Errorf("target_ddl: %w", err)
+		}
+	default:
+		if j.src, err = progconv.ParseNetworkSchema(spec.SourceDDL); err != nil {
+			return nil, fmt.Errorf("source_ddl: %w", err)
+		}
+		if j.dst, err = progconv.ParseNetworkSchema(spec.TargetDDL); err != nil {
+			return nil, fmt.Errorf("target_ddl: %w", err)
+		}
 	}
 	for i, p := range spec.Programs {
 		prog, err := progconv.ParseProgram(p.Source)
@@ -158,11 +171,19 @@ func (s *Server) newJob(spec *wire.JobSpec) (*job, error) {
 		if err != nil {
 			return nil, fmt.Errorf("verify_init: %w", err)
 		}
-		db := netstore.NewDB(j.src)
-		if _, err := dbprog.Run(init, dbprog.Config{Net: db}); err != nil {
-			return nil, fmt.Errorf("verify_init program: %w", err)
+		if j.hierSrc != nil {
+			db := progconv.NewHierDatabase(j.hierSrc)
+			if _, err := dbprog.Run(init, dbprog.Config{Hier: db}); err != nil {
+				return nil, fmt.Errorf("verify_init program: %w", err)
+			}
+			j.hierVerifyDB = db
+		} else {
+			db := netstore.NewDB(j.src)
+			if _, err := dbprog.Run(init, dbprog.Config{Net: db}); err != nil {
+				return nil, fmt.Errorf("verify_init program: %w", err)
+			}
+			j.verifyDB = db
 		}
-		j.verifyDB = db
 	}
 	return j, nil
 }
@@ -196,6 +217,9 @@ func (s *Server) options(j *job) []progconv.Option {
 	}
 	if j.verifyDB != nil {
 		opts = append(opts, progconv.WithVerifyDB(j.verifyDB))
+	}
+	if j.hierVerifyDB != nil {
+		opts = append(opts, progconv.WithVerifyHierDB(j.hierVerifyDB))
 	}
 	return opts
 }
@@ -248,7 +272,13 @@ func (s *Server) runJob(j *job) {
 	s.inflight.Add(1)
 	defer s.inflight.Add(-1)
 
-	report, err := progconv.Convert(ctx, j.src, j.dst, nil, j.programs, s.options(j)...)
+	var report *progconv.Report
+	var err error
+	if j.hierSrc != nil {
+		report, err = progconv.ConvertHier(ctx, j.hierSrc, j.hierDst, nil, j.programs, s.options(j)...)
+	} else {
+		report, err = progconv.Convert(ctx, j.src, j.dst, nil, j.programs, s.options(j)...)
+	}
 
 	s.inst.JobDur.ObserveDuration("", time.Since(jobStart))
 	if j.trace != nil {

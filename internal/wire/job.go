@@ -11,7 +11,15 @@ import (
 type JobSpec struct {
 	// V is the wire schema version; zero is accepted as "current".
 	V int `json:"v"`
-	// SourceDDL and TargetDDL are Figure 4.3-style network DDL texts.
+	// Model names the data model the pair converts under: "network"
+	// (CODASYL) or "hierarchical" (IMS / DL/I). Empty means "network",
+	// so v1 clients that predate the field keep working unchanged.
+	Model string `json:"model,omitempty"`
+	// SourceDDL and TargetDDL are the schema pair in the model's
+	// canonical DDL form: Figure 4.3-style network DDL (SCHEMA ...
+	// RECORD ... SET ...) for the network model, SEGMENT-form hierarchy
+	// DDL (HIERARCHY ... SEGMENT ... ROOT|PARENT) for the hierarchical
+	// model.
 	SourceDDL string `json:"source_ddl"`
 	TargetDDL string `json:"target_ddl"`
 	// Programs is the inventory to convert, in submission order.
@@ -58,6 +66,28 @@ type JobOptions struct {
 	Inject string `json:"inject,omitempty"`
 }
 
+// The data models a JobSpec may name. They match the core supervisor's
+// model names; the empty string is the v1 default, "network".
+const (
+	ModelNetwork      = "network"
+	ModelHierarchical = "hierarchical"
+)
+
+// ModelName resolves the spec's model, mapping the empty v1 default to
+// "network".
+func (s *JobSpec) ModelName() string {
+	if s.Model == "" {
+		return ModelNetwork
+	}
+	return s.Model
+}
+
+// ValidModel reports whether a model token is one this schema version
+// understands (empty included, as the network default).
+func ValidModel(m string) bool {
+	return m == "" || m == ModelNetwork || m == ModelHierarchical
+}
+
 // Duration parses one of the option duration strings; empty is zero.
 func Duration(s string) (time.Duration, error) {
 	if s == "" {
@@ -72,6 +102,9 @@ func Duration(s string) (time.Duration, error) {
 func (s *JobSpec) Validate() error {
 	if s.V != 0 && s.V != Version {
 		return fmt.Errorf("unsupported wire version %d (this server speaks v%d)", s.V, Version)
+	}
+	if !ValidModel(s.Model) {
+		return fmt.Errorf("unknown model %q (this server speaks %q and %q)", s.Model, ModelNetwork, ModelHierarchical)
 	}
 	if s.SourceDDL == "" || s.TargetDDL == "" {
 		return fmt.Errorf("source_ddl and target_ddl are required")

@@ -13,15 +13,24 @@ import (
 // for identical inputs the document is byte-identical at any
 // parallelism and across the CLI/daemon boundary.
 type Report struct {
-	V          int       `json:"v"`
-	Plan       string    `json:"plan"`
-	Invertible bool      `json:"invertible"`
-	TargetDDL  string    `json:"target_ddl,omitempty"`
-	Outcomes   []Outcome `json:"outcomes"`
-	Auto       int       `json:"auto"`
-	Qualified  int       `json:"qualified"`
-	Manual     int       `json:"manual"`
-	Failed     int       `json:"failed"`
+	V int `json:"v"`
+	// Model names the data model the run converted under. Empty means
+	// "network" — the v1 default, omitted so network documents keep
+	// their historical bytes.
+	Model      string `json:"model,omitempty"`
+	Plan       string `json:"plan"`
+	Invertible bool   `json:"invertible"`
+	// TargetDDL is the target schema in its model's canonical DDL form:
+	// Figure 4.3 network DDL, or SEGMENT-form hierarchy DDL.
+	TargetDDL string `json:"target_ddl,omitempty"`
+	// MigrationWarnings are the data translation's advisories (the
+	// network migrator raises none today).
+	MigrationWarnings []string  `json:"migration_warnings,omitempty"`
+	Outcomes          []Outcome `json:"outcomes"`
+	Auto              int       `json:"auto"`
+	Qualified         int       `json:"qualified"`
+	Manual            int       `json:"manual"`
+	Failed            int       `json:"failed"`
 }
 
 // Outcome is one program's conversion record on the wire.
@@ -57,7 +66,10 @@ type Verdict struct {
 
 // Audit is the decision trail behind an outcome's disposition.
 type Audit struct {
-	Reason    string     `json:"reason"`
+	Reason string `json:"reason"`
+	// Model names the data model the program converted under; empty
+	// means "network" (the v1 default, omitted for byte compatibility).
+	Model     string     `json:"model,omitempty"`
 	Pair      string     `json:"pair,omitempty"`
 	Hazards   []string   `json:"hazards,omitempty"`
 	PlanStep  string     `json:"plan_step,omitempty"`
@@ -105,8 +117,14 @@ func FromReport(r *core.Report) *Report {
 		Manual:     manual,
 		Failed:     r.FailedCount(),
 	}
+	if r.Model != "" && r.Model != core.ModelNetwork {
+		doc.Model = r.Model
+	}
+	doc.MigrationWarnings = r.MigrationWarnings
 	if r.TargetSchema != nil {
 		doc.TargetDDL = r.TargetSchema.DDL()
+	} else if r.TargetHierarchy != nil {
+		doc.TargetDDL = r.TargetHierarchy.DDL()
 	}
 	for i := range r.Outcomes {
 		doc.Outcomes = append(doc.Outcomes, fromOutcome(&r.Outcomes[i]))
@@ -139,6 +157,9 @@ func fromOutcome(o *core.Outcome) Outcome {
 		Pair:     o.Audit.Pair,
 		Hazards:  o.Audit.Hazards,
 		PlanStep: o.Audit.PlanStep,
+	}
+	if o.Audit.Model != "" && o.Audit.Model != core.ModelNetwork {
+		w.Audit.Model = o.Audit.Model
 	}
 	for _, d := range o.Audit.Decisions {
 		w.Audit.Decisions = append(w.Audit.Decisions, Decision{

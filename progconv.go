@@ -45,6 +45,7 @@ import (
 	"progconv/internal/analyzer"
 	"progconv/internal/core"
 	"progconv/internal/dbprog"
+	"progconv/internal/hierstore"
 	"progconv/internal/netstore"
 	"progconv/internal/obs"
 	"progconv/internal/plancache"
@@ -134,6 +135,21 @@ type (
 	Program  = dbprog.Program
 	Database = netstore.DB
 
+	// The hierarchical (IMS / DL/I) model's counterparts: Hierarchy is a
+	// segment-tree schema, HierPlan an ordered sequence of hierarchical
+	// reorders, HierDatabase a hierarchical database instance.
+	Hierarchy    = schema.Hierarchy
+	HierPlan     = xform.HierPlan
+	HierDatabase = hierstore.DB
+
+	// PairSpec describes one conversion pair in some data model for a
+	// ConvertJobs batch; NetworkSpec and HierSpec are the two
+	// implementations. A Job carrying no Spec converts its legacy
+	// network-model fields.
+	PairSpec    = core.PairSpec
+	NetworkSpec = core.NetworkSpec
+	HierSpec    = core.HierSpec
+
 	// Cache is the shared conversion cache installed with WithCache:
 	// pair-scoped artifacts plus per-program memos, content-addressed
 	// and safe for concurrent Convert calls. CacheStats is its counter
@@ -202,6 +218,13 @@ const (
 // WireVersion is the JSON wire schema generation ("v" field) stamped
 // into every versioned document and event line the toolchain emits.
 const WireVersion = wire.Version
+
+// The data models the pipeline converts under, as named in job specs,
+// audits, and reports.
+const (
+	ModelNetwork      = core.ModelNetwork
+	ModelHierarchical = core.ModelHierarchical
+)
 
 // The shared exit-code table: what a CLI run exits with, and — via
 // ExitCode.HTTPStatus — what the daemon serves a finished job's report
@@ -280,6 +303,7 @@ type options struct {
 	parallelism    int
 	metrics        bool
 	verifyDB       *Database
+	verifyHierDB   *HierDatabase
 	recorder       *Recorder
 	sink           Sink
 	programTimeout time.Duration
@@ -321,6 +345,14 @@ func WithMetrics() Option {
 // conversion I/O-equivalent against the migrated data (§1.1).
 func WithVerifyDB(db *Database) Option {
 	return func(o *options) { o.verifyDB = db }
+}
+
+// WithVerifyHierDB is WithVerifyDB for the hierarchical model: the
+// database is migrated through the hierarchical plan
+// (Report.TargetHierDB) and automatic conversions are verified against
+// it. Consulted by ConvertHier only.
+func WithVerifyHierDB(db *HierDatabase) Option {
+	return func(o *options) { o.verifyHierDB = db }
 }
 
 // WithEventSink installs a structured event-log sink: every stage
@@ -423,6 +455,34 @@ func Convert(ctx context.Context, src, dst *Schema, plan *Plan,
 		ctx = telemetry.WithTrace(ctx, o.trace)
 	}
 	report, err := sup.Run(ctx, src, dst, plan, o.verifyDB, programs)
+	if err == nil && o.trace != nil {
+		report.Trace = o.trace.Snapshot()
+	}
+	return report, err
+}
+
+// ConvertHier is Convert over the hierarchical (IMS / DL/I) model: it
+// classifies the src → dst hierarchy change (or follows plan when
+// non-nil, in which case dst may be nil), restructures the data given
+// via WithVerifyHierDB, and converts every program. Same determinism
+// and error contract as Convert.
+func ConvertHier(ctx context.Context, src, dst *Hierarchy, plan *HierPlan,
+	programs []*Program, opts ...Option) (*Report, error) {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	sup := o.supervisor()
+	sup.Verify = o.verifyHierDB != nil
+	if o.trace != nil {
+		names := make([]string, len(programs))
+		for i, p := range programs {
+			names[i] = p.Name
+		}
+		o.trace.SetPrograms(names)
+		ctx = telemetry.WithTrace(ctx, o.trace)
+	}
+	report, err := sup.RunHier(ctx, src, dst, plan, o.verifyHierDB, programs)
 	if err == nil && o.trace != nil {
 		report.Trace = o.trace.Snapshot()
 	}
@@ -597,10 +657,22 @@ func FormatProgram(p *Program) string { return dbprog.Format(p) }
 // to populate and hand to WithVerifyDB.
 func NewDatabase(s *Schema) *Database { return netstore.NewDB(s) }
 
+// NewHierDatabase returns an empty hierarchical database instance over
+// h, ready to populate and hand to WithVerifyHierDB.
+func NewHierDatabase(h *Hierarchy) *HierDatabase { return hierstore.NewDB(h) }
+
 // ParseNetworkSchema parses Figure 4.3-style network DDL.
 func ParseNetworkSchema(src string) (*Schema, error) { return ddl.ParseNetwork(src) }
+
+// ParseHierarchySchema parses SEGMENT-form hierarchy DDL.
+func ParseHierarchySchema(src string) (*Hierarchy, error) { return ddl.ParseHierarchy(src) }
 
 // Classify infers the transformation plan explaining a src → dst schema
 // change, failing with ErrHazardUnresolved for changes outside the
 // catalogue.
 func Classify(src, dst *Schema) (*Plan, error) { return xform.Classify(src, dst) }
+
+// ClassifyHier infers the hierarchical plan explaining a src → dst
+// hierarchy change — identity or a catalogued root promotion; anything
+// else needs an explicit plan.
+func ClassifyHier(src, dst *Hierarchy) (*HierPlan, error) { return xform.ClassifyHier(src, dst) }
