@@ -520,6 +520,41 @@ func BenchmarkFusedMigration(b *testing.B) {
 	})
 }
 
+// BenchmarkParallelMigration backs EXP-C7: the same four-step fusible
+// plan over the same 1000-employee database, serial fused pass vs the
+// sharded bulk-load rebuild at 1, 2 and 8 shard workers. The parallel
+// path's output is byte-identical to Serial at every setting; what
+// changes is wall-clock (with cores to spend) and allocations (the
+// pooled staging buffers and slab-allocated occurrences).
+func BenchmarkParallelMigration(b *testing.B) {
+	db := corpus.Database(corpus.Profile{Seed: 7, Divisions: 8, DeptsPerDiv: 5, EmpsPerDept: 25})
+	plan := &xform.Plan{Steps: []xform.Transformation{
+		xform.RenameRecord{Old: "EMP", New: "EMPLOYEE"},
+		xform.RenameField{Record: "DIV", Old: "DIV-LOC", New: "LOCATION"},
+		xform.AddField{Record: "EMPLOYEE", Field: "STATUS", Kind: value.String, Default: value.Str("ACTIVE")},
+		xform.RenameSet{Old: "DIV-EMP", New: "DIV-EMPLOYEE"},
+	}}
+	ctx := context.Background()
+	b.Run("Serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := plan.MigrateDataFused(db); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, par := range []int{1, 2, 8} {
+		b.Run(fmt.Sprintf("Parallel%d", par), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := plan.Migrate(ctx, db, xform.MigrateOptions{Parallelism: par}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkInvertibility backs EXP-C4: auditing and inverting a plan.
 func BenchmarkInvertibility(b *testing.B) {
 	src := schema.CompanyV1()

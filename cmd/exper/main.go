@@ -9,7 +9,9 @@
 // The bench-json subcommand measures the data-plane benchmarks with
 // testing.Benchmark and writes machine-readable results:
 //
-//	exper bench-json [out.json]   (default BENCH_PR5.json)
+//	exper bench-json [out.json]   (default BENCH_PR5.json; naming a
+//	                               BENCH_PR10.json target writes the
+//	                               EXP-C7 sharded-migration set instead)
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -62,9 +65,10 @@ func main() {
 		"f3.1": expF31, "f4.1": expF41, "f4.3": expF43, "f4.4": expF44,
 		"s4.1a": expS41a, "s4.1b": expS41b,
 		"c1": expC1, "c2": expC2, "c3": expC3, "c4": expC4, "c5": expC5, "c6": expC6,
+		"c7": expC7,
 		"h1": expH1, "r1": expR1, "s1": expS1, "s2": expS2, "m1": expM1,
 	}
-	order := []string{"f3.1", "f4.1", "f4.3", "f4.4", "s4.1a", "s4.1b", "c1", "c2", "c3", "c4", "c5", "c6", "h1", "r1", "s1", "s2", "m1"}
+	order := []string{"f3.1", "f4.1", "f4.3", "f4.4", "s4.1a", "s4.1b", "c1", "c2", "c3", "c4", "c5", "c6", "c7", "h1", "r1", "s1", "s2", "m1"}
 	args := os.Args[1:]
 	if len(args) > 0 && args[0] == "bench-json" {
 		out := "BENCH_PR5.json"
@@ -891,14 +895,96 @@ func expC6() {
 	fmt.Printf("    report byte-identical at parallelism 1 and 8, indexes on and off: %v\n", same)
 }
 
+func expC7() {
+	banner("EXP-C7", "sharded parallel migration: bulk-load rebuild vs the serial fused pass")
+	fmt.Printf("\nenvironment: GOMAXPROCS=%d — shard speedup needs cores; the\n", runtime.GOMAXPROCS(0))
+	fmt.Println("allocation and bulk-load gains below hold on any machine")
+
+	// (a) The EXP-C6 migration fixture through the sharded rebuild.
+	mdb := corpus.Database(corpus.Profile{Seed: 7, Divisions: 8, DeptsPerDiv: 5, EmpsPerDept: 25})
+	plan4 := fourStepPlan()
+	ctx := context.Background()
+	const mreps = 20
+	start := time.Now()
+	for i := 0; i < mreps; i++ {
+		if _, _, err := plan4.MigrateDataFused(mdb); err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+	}
+	serial := time.Since(start)
+	serialOut, _, err := plan4.MigrateDataFused(mdb)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("\n(a) 4-step migration of %d records, %d runs per configuration:\n",
+		mdb.Count("DIV")+mdb.Count("EMP"), mreps)
+	fmt.Printf("    serial fused                %8.0fµs/run\n", us(serial, mreps))
+	for _, par := range []int{1, 2, 8} {
+		start = time.Now()
+		var stats xform.MigrateStats
+		for i := 0; i < mreps; i++ {
+			if _, stats, err = plan4.Migrate(ctx, mdb, xform.MigrateOptions{Parallelism: par}); err != nil {
+				fmt.Println("error:", err)
+				return
+			}
+		}
+		elapsed := time.Since(start)
+		out, _, err := plan4.Migrate(ctx, mdb, xform.MigrateOptions{Parallelism: par})
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		identical := out.Len() == serialOut.Len() && out.IndexDump() == serialOut.IndexDump()
+		fmt.Printf("    parallel (%d shard workers) %8.0fµs/run — x%.1f; %d shards, %d bulk-loaded records, identical: %v\n",
+			par, us(elapsed, mreps), float64(serial)/float64(elapsed),
+			stats.Shards, stats.BulkRecords, identical)
+	}
+
+	// (b) End to end through the supervisor: the rendered report is
+	// byte-identical whether the migration runs serial or 8-way.
+	members, err := corpus.Programs(corpus.PeriodProfile(42))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	progs := make([]*dbprog.Program, len(members))
+	for i, m := range members {
+		progs[i] = m.Program
+	}
+	run := func(migratePar int) *core.Report {
+		vdb := corpus.Database(corpus.Profile{Seed: 42, Divisions: 3, DeptsPerDiv: 3, EmpsPerDept: 4})
+		sup := core.NewSupervisor()
+		sup.MigrationParallelism = migratePar
+		report, err := sup.Run(context.Background(), schema.CompanyV1(), nil, fourStepPlan(), vdb, progs)
+		if err != nil {
+			fmt.Println("error:", err)
+			os.Exit(int(wire.ExitError))
+		}
+		return report
+	}
+	r1, r8 := run(1), run(8)
+	fmt.Printf("\n(b) verified conversion batch, %d programs:\n", len(progs))
+	fmt.Printf("    migration shards: %d serial vs %d at 8 workers; bulk-loaded records: %d vs %d\n",
+		r1.DataPlane.MigrationShards, r8.DataPlane.MigrationShards,
+		r1.DataPlane.BulkLoadedRecords, r8.DataPlane.BulkLoadedRecords)
+	fmt.Printf("    report byte-identical at migration parallelism 1 and 8: %v\n",
+		r1.String() == r8.String())
+}
+
 // benchJSON measures the data-plane benchmarks with testing.Benchmark
 // and writes name/ns-per-op/allocs-per-op rows as a wire-versioned
-// JSON document.
+// JSON document. The target name selects the set: BENCH_PR10.json gets
+// the EXP-C7 sharded-migration rows, anything else the EXP-C6 set.
 func benchJSON(out string) error {
 	type row = wire.BenchRow
 	bench := func(name string, fn func(b *testing.B)) row {
 		r := testing.Benchmark(fn)
 		return row{Name: name, NsPerOp: float64(r.NsPerOp()), AllocsPerOp: r.AllocsPerOp()}
+	}
+	if strings.HasSuffix(out, "BENCH_PR10.json") {
+		return benchJSONParallel(out, bench)
 	}
 
 	pipeProgs := []*dbprog.Program{
@@ -979,6 +1065,47 @@ END PROGRAM.
 	doc := wire.BenchDoc{
 		V:          wire.Version,
 		Note:       "generated by `exper bench-json`: ns/op and allocs/op for the data-plane fast-path benchmarks (see EXPERIMENTS.md EXP-C6)",
+		Benchmarks: rows,
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(out, append(b, '\n'), 0o644)
+}
+
+// benchJSONParallel writes the EXP-C7 set: the serial fused migration
+// against the sharded bulk-load rebuild at 1, 2 and 8 shard workers,
+// over the same 1000-employee database the EXP-C6 migration rows use.
+func benchJSONParallel(out string, bench func(string, func(*testing.B)) wire.BenchRow) error {
+	migDB := corpus.Database(corpus.Profile{Seed: 7, Divisions: 8, DeptsPerDiv: 5, EmpsPerDept: 25})
+	plan4 := fourStepPlan()
+	ctx := context.Background()
+
+	rows := []wire.BenchRow{
+		bench("migration_serial_fused", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := plan4.MigrateDataFused(migDB); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+	}
+	for _, par := range []int{1, 2, 8} {
+		par := par
+		rows = append(rows, bench(fmt.Sprintf("migration_parallel_%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := plan4.Migrate(ctx, migDB, xform.MigrateOptions{Parallelism: par}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+	}
+
+	doc := wire.BenchDoc{
+		V: wire.Version,
+		Note: "generated by `exper bench-json BENCH_PR10.json`: ns/op and allocs/op for the sharded parallel migration " +
+			"(see EXPERIMENTS.md EXP-C7; output is byte-identical to migration_serial_fused at every shard count)",
 		Benchmarks: rows,
 	}
 	b, err := json.MarshalIndent(doc, "", "  ")

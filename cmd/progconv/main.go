@@ -255,6 +255,9 @@ func cmdConvert(args []string) error {
 			"(histogram buckets are 1µs·4ⁱ upper bounds: <1µs, <4µs, <16µs, …)")
 	parallel := fs.Int("parallel", 0,
 		"worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	migrateParallel := fs.Int("migrate-parallel", 0,
+		"data-migration shard workers (0 = GOMAXPROCS, 1 = serial);\n"+
+			"output is byte-identical at any setting")
 	eventsOut := fs.String("events", "",
 		"write the structured event log to this JSONL file")
 	traceOut := fs.String("trace", "",
@@ -345,6 +348,7 @@ func cmdConvert(args []string) error {
 	opts := []progconv.Option{
 		progconv.WithAnalyst(progconv.Policy{AcceptOrderChanges: *acceptOrder}),
 		progconv.WithParallelism(*parallel),
+		progconv.WithMigrationParallelism(*migrateParallel),
 		progconv.WithProgramTimeout(*timeout),
 		progconv.WithStageTimeout(*stageTimeout),
 		progconv.WithAnalystTimeout(*analystTimeout),

@@ -126,6 +126,7 @@ func cmdSubmit(ctx context.Context, cli *client.Client, args []string) error {
 	fs := flag.NewFlagSet("submit", flag.ExitOnError)
 	model := fs.String("model", "", `data model of the pair: "network" (default) or "hierarchical"`)
 	parallel := fs.Int("parallel", 0, "per-job conversion parallelism (0 = server default)")
+	migrateParallel := fs.Int("migrate-parallel", 0, "data-migration shard workers (0 = server default)")
 	onFailure := fs.String("on-failure", "", `batch failure policy: "fail-fast", "collect" or "budget:N"`)
 	failOn := fs.String("fail-on", "", `result gate: "manual" or "qualified"`)
 	acceptOrder := fs.Bool("accept-order", false, "accept set-order changes")
@@ -140,7 +141,8 @@ func cmdSubmit(ctx context.Context, cli *client.Client, args []string) error {
 		return fmt.Errorf("submit needs <source.ddl> <target.ddl> <program>...")
 	}
 	spec := &progconv.JobSpec{Model: *model, Options: progconv.JobOptions{
-		Parallelism: *parallel, OnFailure: *onFailure, FailOn: *failOn,
+		Parallelism: *parallel, MigrateParallel: *migrateParallel,
+		OnFailure: *onFailure, FailOn: *failOn,
 		AcceptOrder: *acceptOrder, Inject: *inject, Deadline: *deadline,
 	}}
 	var err error

@@ -102,6 +102,9 @@ func main() {
 	addr := fs.String("addr", ":8080", "listen address")
 	queue := fs.Int("queue", 16, "admission queue depth; a full queue answers 429")
 	runners := fs.Int("runners", 2, "jobs converting concurrently")
+	migrateParallel := fs.Int("migrate-parallel", 0,
+		"default data-migration shard workers for jobs that leave\n"+
+			"migrate_parallel unset (0 = GOMAXPROCS); output is byte-identical")
 	deadline := fs.Duration("deadline", 0,
 		"default per-job deadline for jobs that request none (0 = unbounded)")
 	maxDeadline := fs.Duration("max-deadline", 0,
@@ -130,10 +133,11 @@ func main() {
 			name = "progconvd[worker]"
 		}
 		cfg := serve.Config{
-			QueueDepth:      *queue,
-			Runners:         *runners,
-			DefaultDeadline: *deadline,
-			MaxDeadline:     *maxDeadline,
+			QueueDepth:             *queue,
+			Runners:                *runners,
+			DefaultDeadline:        *deadline,
+			MaxDeadline:            *maxDeadline,
+			DefaultMigrateParallel: *migrateParallel,
 		}
 		if *useCache {
 			cfg.Cache = progconv.NewCache(*cacheSize)

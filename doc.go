@@ -19,6 +19,10 @@
 //	                       (default: reject every proposal)
 //	WithParallelism(n)     worker-pool bound for the inventory
 //	                       (0 = GOMAXPROCS)
+//	WithMigrationParallelism(n)
+//	                       shard-worker bound for the data migration
+//	                       pass (0 = GOMAXPROCS); output is
+//	                       byte-identical at any setting
 //	WithVerifyDB(db)       migrate db through the plan and verify each
 //	                       automatic conversion against it
 //	WithMetrics()          time stages into Report.Metrics

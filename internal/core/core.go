@@ -353,6 +353,11 @@ type Supervisor struct {
 	// inventory. Zero or negative means runtime.GOMAXPROCS(0); 1 forces
 	// a serial run. Reports are deterministic at any setting.
 	Parallelism int
+	// MigrationParallelism bounds the shard workers of the data
+	// translation pass. Zero or negative means runtime.GOMAXPROCS(0);
+	// 1 forces a serial migration. The migrated database and every
+	// report field are byte-identical at any setting.
+	MigrationParallelism int
 	// Metrics, when non-nil, records one span per pipeline stage per
 	// program; Run snapshots it into Report.Metrics.
 	Metrics *obs.Recorder
@@ -412,6 +417,19 @@ func (s *Supervisor) workers(n int) int {
 		w = 1
 	}
 	return w
+}
+
+// migratePair runs the data-translation stage under the stage budget:
+// StageTimeout bounds the migration like any other pipeline stage, and
+// the sharded rebuild polls the deadline mid-extent, so a large
+// database cannot stall a bounded run.
+func (s *Supervisor) migratePair(ctx context.Context, pair ModelPair, r *Report) error {
+	if s.StageTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.StageTimeout)
+		defer cancel()
+	}
+	return pair.migrate(ctx, s, r)
 }
 
 // runState is the read-only context one job shares across workers, plus
@@ -549,7 +567,7 @@ func (s *Supervisor) RunJobs(ctx context.Context, jobs []Job) ([]*Report, error)
 			Invertible:      pair.Invertible(),
 		}
 		pair.attach(report)
-		if err := pair.migrate(report); err != nil {
+		if err := s.migratePair(ctx, pair, report); err != nil {
 			return nil, fmt.Errorf("core: data translation: %w", err)
 		}
 		run := &runState{pair: pair, em: em, inj: inj, analystMu: analystMu}

@@ -60,8 +60,9 @@ type ModelPair interface {
 	// migrate restructures the job's database through the plan (a no-op
 	// without one), populating the report's target-database and
 	// data-plane fields and recording the index-stat baselines foldStats
-	// deltas against.
-	migrate(r *Report) error
+	// deltas against. ctx carries the stage budget and s the shard
+	// parallelism; the result is identical at any parallelism.
+	migrate(ctx context.Context, s *Supervisor, r *Report) error
 	// foldStats folds the run's data-plane activity into the report
 	// after the batch drains.
 	foldStats(r *Report)
@@ -128,18 +129,20 @@ func (np *networkPair) Description() string   { return np.pair.Description }
 func (np *networkPair) Invertible() bool      { return np.pair.Invertible }
 func (np *networkPair) attach(r *Report)      { r.TargetSchema = np.pair.Target }
 
-func (np *networkPair) migrate(r *Report) error {
+func (np *networkPair) migrate(ctx context.Context, s *Supervisor, r *Report) error {
 	if np.srcDB == nil {
 		return nil
 	}
-	migrated, fuse, err := np.pair.Plan.MigrateDataFused(np.srcDB)
+	migrated, stats, err := np.pair.Plan.Migrate(ctx, np.srcDB, xform.MigrateOptions{Parallelism: s.MigrationParallelism})
 	if err != nil {
 		return err
 	}
 	np.targetDB = migrated
 	r.TargetDB = migrated
-	r.DataPlane.FusedSteps = int64(fuse.FusedSteps)
-	r.DataPlane.StepwiseSteps = int64(fuse.StepwiseSteps)
+	r.DataPlane.FusedSteps = int64(stats.FusedSteps)
+	r.DataPlane.StepwiseSteps = int64(stats.StepwiseSteps)
+	r.DataPlane.MigrationShards = int64(stats.Shards)
+	r.DataPlane.BulkLoadedRecords = int64(stats.BulkRecords)
 	np.srcProbes, np.srcScans = np.srcDB.IndexStatsOf().Snapshot()
 	np.tgtProbes, np.tgtScans = migrated.IndexStatsOf().Snapshot()
 	return nil
@@ -236,11 +239,11 @@ func (hp *hierPair) Description() string   { return hp.pair.Description }
 func (hp *hierPair) Invertible() bool      { return hp.pair.Invertible }
 func (hp *hierPair) attach(r *Report)      { r.TargetHierarchy = hp.pair.Target }
 
-func (hp *hierPair) migrate(r *Report) error {
+func (hp *hierPair) migrate(ctx context.Context, s *Supervisor, r *Report) error {
 	if hp.srcDB == nil {
 		return nil
 	}
-	migrated, warnings, err := hp.pair.Plan.MigrateData(hp.srcDB)
+	migrated, warnings, stats, err := hp.pair.Plan.Migrate(ctx, hp.srcDB, xform.MigrateOptions{Parallelism: s.MigrationParallelism})
 	if err != nil {
 		return err
 	}
@@ -248,6 +251,7 @@ func (hp *hierPair) migrate(r *Report) error {
 	r.TargetHierDB = migrated
 	r.MigrationWarnings = warnings
 	r.DataPlane.StepwiseSteps = int64(len(hp.pair.Plan.Steps))
+	r.DataPlane.MigrationShards = int64(stats.Shards)
 	return nil
 }
 

@@ -68,6 +68,14 @@ func (db *DB) Schema() *schema.Network { return db.schema }
 // Count returns the number of occurrences of the record type.
 func (db *DB) Count(recType string) int { return len(db.byType[recType]) }
 
+// Len returns the total number of record occurrences in the database.
+func (db *DB) Len() int { return len(db.recs) }
+
+// IDBound returns the exclusive upper bound of assigned record IDs:
+// every live occurrence's ID is in [1, IDBound). Dense per-source-ID
+// tables (the data translator's ID map) size themselves with it.
+func (db *DB) IDBound() RecordID { return db.nextID }
+
 // AllOf returns the occurrence IDs of a record type in insertion order.
 // The returned slice is a copy.
 func (db *DB) AllOf(recType string) []RecordID {
@@ -126,6 +134,20 @@ func (db *DB) StoredData(id RecordID) *value.Record {
 		return nil
 	}
 	return o.data.Clone()
+}
+
+// StoredDataInto copies the occurrence's stored fields into out
+// (resetting it first), the allocation-free counterpart of StoredData
+// for loops that reuse one staging buffer. It reports whether the
+// occurrence exists; out is left reset when it does not.
+func (db *DB) StoredDataInto(id RecordID, out *value.Record) bool {
+	o, ok := db.recs[id]
+	if !ok {
+		out.Reset()
+		return false
+	}
+	out.CopyFrom(o.data)
+	return true
 }
 
 // Data returns a copy of the occurrence's record with virtual fields

@@ -1,7 +1,9 @@
 package netstore
 
 import (
+	"fmt"
 	"sort"
+	"strings"
 	"sync/atomic"
 
 	"progconv/internal/schema"
@@ -197,6 +199,33 @@ func (db *DB) probeIndex(typ *schema.RecordType, match *value.Record) ([]RecordI
 
 // IndexStatsOf returns the database's shared probe/scan counters.
 func (db *DB) IndexStatsOf() *IndexStats { return db.stats }
+
+// IndexDump renders every index deterministically — record type, key
+// fields, then each bucket's key and ID list in sorted order — so
+// tests can compare index contents byte for byte across build paths
+// (incremental maintenance vs bulk load).
+func (db *DB) IndexDump() string {
+	var b strings.Builder
+	types := make([]string, 0, len(db.indexes))
+	for t := range db.indexes {
+		types = append(types, t)
+	}
+	sort.Strings(types)
+	for _, t := range types {
+		for _, ix := range db.indexes[t] {
+			fmt.Fprintf(&b, "index %s(%s)\n", t, strings.Join(ix.fields, ","))
+			keys := make([]string, 0, len(ix.buckets))
+			for k := range ix.buckets {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Fprintf(&b, "  %q -> %v\n", k, ix.buckets[k])
+			}
+		}
+	}
+	return b.String()
+}
 
 // SetIndexing enables or disables the keyed FIND fast path. Disabling
 // drops the indexes (every FIND scans, as before the fast path existed);

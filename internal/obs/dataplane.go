@@ -11,6 +11,11 @@ type DataPlane struct {
 	IndexScans    int64 `json:"index_scans"`
 	FusedSteps    int64 `json:"fused_steps"`
 	StepwiseSteps int64 `json:"stepwise_steps"`
+	// MigrationShards counts the shards the sharded rebuild passes
+	// fanned out into; BulkLoadedRecords counts records that went
+	// through the bulk-load merge phase.
+	MigrationShards   int64 `json:"migration_shards"`
+	BulkLoadedRecords int64 `json:"bulk_loaded_records"`
 }
 
 // Zero reports whether no data-plane activity was recorded.
@@ -19,10 +24,12 @@ func (d DataPlane) Zero() bool { return d == DataPlane{} }
 // Add returns the element-wise sum.
 func (d DataPlane) Add(o DataPlane) DataPlane {
 	return DataPlane{
-		IndexProbes:   d.IndexProbes + o.IndexProbes,
-		IndexScans:    d.IndexScans + o.IndexScans,
-		FusedSteps:    d.FusedSteps + o.FusedSteps,
-		StepwiseSteps: d.StepwiseSteps + o.StepwiseSteps,
+		IndexProbes:       d.IndexProbes + o.IndexProbes,
+		IndexScans:        d.IndexScans + o.IndexScans,
+		FusedSteps:        d.FusedSteps + o.FusedSteps,
+		StepwiseSteps:     d.StepwiseSteps + o.StepwiseSteps,
+		MigrationShards:   d.MigrationShards + o.MigrationShards,
+		BulkLoadedRecords: d.BulkLoadedRecords + o.BulkLoadedRecords,
 	}
 }
 

@@ -116,6 +116,8 @@ func (t *Tally) Snapshot() map[string]int64 {
 	out["dataplane/index_scans"] = t.dataplane.IndexScans
 	out["dataplane/migration_fused_steps"] = t.dataplane.FusedSteps
 	out["dataplane/migration_stepwise_steps"] = t.dataplane.StepwiseSteps
+	out["dataplane/migration_shards"] = t.dataplane.MigrationShards
+	out["dataplane/bulk_loaded_records"] = t.dataplane.BulkLoadedRecords
 	return out
 }
 
@@ -184,6 +186,8 @@ func (t *Tally) WritePrometheus(w io.Writer, m *Metrics) error {
 			{"progconv_index_scans_total", "FIND requests answered by a full occurrence scan.", dp.IndexScans},
 			{"progconv_migration_fused_steps_total", "Migration steps executed inside fused single-pass runs.", dp.FusedSteps},
 			{"progconv_migration_stepwise_steps_total", "Migration steps executed as their own full-database pass.", dp.StepwiseSteps},
+			{"progconv_migration_shards_total", "Shards the sharded migration rebuild passes fanned out into.", dp.MigrationShards},
+			{"progconv_bulk_loaded_records_total", "Records inserted through the bulk-load merge phase.", dp.BulkLoadedRecords},
 		} {
 			if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
 				c.name, c.help, c.name, c.name, c.v); err != nil {

@@ -35,6 +35,7 @@ func TestTallySnapshot(t *testing.T) {
 		// scraper must never see keys appear or vanish between samples.
 		"dataplane/index_probes": 0, "dataplane/index_scans": 0,
 		"dataplane/migration_fused_steps": 0, "dataplane/migration_stepwise_steps": 0,
+		"dataplane/migration_shards": 0, "dataplane/bulk_loaded_records": 0,
 	}
 	for k, n := range want {
 		if snap[k] != n {

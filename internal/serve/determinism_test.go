@@ -96,6 +96,96 @@ func TestServerReportMatchesCLI(t *testing.T) {
 	}
 }
 
+// TestServerMigrateParallelByteIdentical: the report, the event
+// stream, and the trace the daemon serves are byte-identical whether
+// the data migration runs serial or sharded eight ways — and whether
+// the shard count arrives per job or as the server default.
+func TestServerMigrateParallelByteIdentical(t *testing.T) {
+	run := func(migratePar, serverDefault int) (report, events, trace []byte) {
+		t.Helper()
+		_, ts := newTestServer(t, Config{DefaultMigrateParallel: serverDefault})
+		spec := testSpec()
+		spec.Options.MigrateParallel = migratePar
+		id := submitOK(t, ts.URL, spec)
+		if st := waitTerminal(t, ts.URL, id); st.State != "done" {
+			t.Fatalf("job ended %q: %s", st.State, st.Error)
+		}
+		code, report := getBody(t, ts.URL+"/v1/jobs/"+id+"/report")
+		if code != 200 {
+			t.Fatalf("report: HTTP %d", code)
+		}
+		code, events = getBody(t, ts.URL+"/v1/jobs/"+id+"/events?omit_timing=1")
+		if code != 200 {
+			t.Fatalf("events: HTTP %d", code)
+		}
+		code, trace = getBody(t, ts.URL+"/v1/jobs/"+id+"/trace?omit_timing=1")
+		if code != 200 {
+			t.Fatalf("trace: HTTP %d", code)
+		}
+		return report, events, trace
+	}
+
+	baseReport, baseEvents, baseTrace := run(1, 0)
+	for _, c := range []struct {
+		name               string
+		migratePar, server int
+	}{
+		{"job-option-2", 2, 0},
+		{"job-option-8", 8, 0},
+		{"server-default-8", 0, 8},
+		{"job-overrides-default", 8, 1},
+	} {
+		report, events, trace := run(c.migratePar, c.server)
+		if !bytes.Equal(report, baseReport) {
+			t.Errorf("%s: report diverges from serial bytes\nserial: %.200s\ngot:    %.200s",
+				c.name, baseReport, report)
+		}
+		if !bytes.Equal(events, baseEvents) {
+			t.Errorf("%s: event stream diverges from serial bytes\nserial: %.200s\ngot:    %.200s",
+				c.name, baseEvents, events)
+		}
+		if !bytes.Equal(trace, baseTrace) {
+			t.Errorf("%s: trace diverges from serial bytes\nserial: %.200s\ngot:    %.200s",
+				c.name, baseTrace, trace)
+		}
+	}
+}
+
+// TestServerHierMigrateParallelByteIdentical: the hierarchical (DL/I)
+// counterpart — per-root sharded reorder migration serves the same
+// report and event bytes as the serial path.
+func TestServerHierMigrateParallelByteIdentical(t *testing.T) {
+	run := func(migratePar int) (report, events []byte) {
+		t.Helper()
+		_, ts := newTestServer(t, Config{})
+		spec := hierSpec(t)
+		spec.Options.MigrateParallel = migratePar
+		id := submitOK(t, ts.URL, spec)
+		if st := waitTerminal(t, ts.URL, id); st.State != "done" {
+			t.Fatalf("job ended %q: %s", st.State, st.Error)
+		}
+		code, report := getBody(t, ts.URL+"/v1/jobs/"+id+"/report")
+		if code != 200 {
+			t.Fatalf("report: HTTP %d", code)
+		}
+		code, events = getBody(t, ts.URL+"/v1/jobs/"+id+"/events?omit_timing=1")
+		if code != 200 {
+			t.Fatalf("events: HTTP %d", code)
+		}
+		return report, events
+	}
+	baseReport, baseEvents := run(1)
+	for _, migratePar := range []int{2, 8} {
+		report, events := run(migratePar)
+		if !bytes.Equal(report, baseReport) {
+			t.Errorf("migrate_parallel %d: hier report diverges from serial bytes", migratePar)
+		}
+		if !bytes.Equal(events, baseEvents) {
+			t.Errorf("migrate_parallel %d: hier event stream diverges from serial bytes", migratePar)
+		}
+	}
+}
+
 // TestServerEventsMatchCLI checks the event stream against the CLI's
 // -events JSONL at parallelism 1, where the interleaving itself is
 // deterministic (timing fields omitted on both sides).

@@ -198,9 +198,14 @@ func (s *Server) options(j *job) []progconv.Option {
 	stageTimeout, _ := wire.Duration(o.StageTimeout)
 	analystTimeout, _ := wire.Duration(o.AnalystTimeout)
 	policy, _ := wire.ParseFailurePolicy(o.OnFailure)
+	migrateParallel := o.MigrateParallel
+	if migrateParallel == 0 {
+		migrateParallel = s.cfg.DefaultMigrateParallel
+	}
 	opts := []progconv.Option{
 		progconv.WithAnalyst(progconv.Policy{AcceptOrderChanges: o.AcceptOrder}),
 		progconv.WithParallelism(o.Parallelism),
+		progconv.WithMigrationParallelism(migrateParallel),
 		progconv.WithProgramTimeout(timeout),
 		progconv.WithStageTimeout(stageTimeout),
 		progconv.WithAnalystTimeout(analystTimeout),

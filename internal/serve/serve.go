@@ -57,6 +57,10 @@ type Config struct {
 	MaxDeadline time.Duration
 	// RetryAfter is the hint returned with 429 responses; 0 means 1s.
 	RetryAfter time.Duration
+	// DefaultMigrateParallel bounds the data-migration shard workers of
+	// jobs that leave migrate_parallel unset; 0 means GOMAXPROCS.
+	// Results are byte-identical at any setting.
+	DefaultMigrateParallel int
 	// Cache, when non-nil, is the shared conversion cache every job
 	// runs through, so repeated pairs and programs convert once.
 	Cache *progconv.Cache

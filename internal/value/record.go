@@ -20,6 +20,12 @@ func NewRecord() *Record {
 	return &Record{fields: make(map[string]Value)}
 }
 
+// NewRecordSize returns an empty record pre-sized for n fields, so hot
+// paths that know the destination field count allocate exactly once.
+func NewRecordSize(n int) *Record {
+	return &Record{names: make([]string, 0, n), fields: make(map[string]Value, n)}
+}
+
 // FromPairs builds a record from alternating name, value arguments,
 // which keeps test fixtures compact.
 func FromPairs(pairs ...any) *Record {
@@ -123,6 +129,17 @@ func (r *Record) Len() int { return len(r.names) }
 func (r *Record) Reset() {
 	r.names = r.names[:0]
 	clear(r.fields)
+}
+
+// CopyFrom resets r and refills it with o's fields in declared order,
+// reusing r's allocated capacity — the pooled-buffer counterpart of
+// Clone for loops that stage one record per iteration.
+func (r *Record) CopyFrom(o *Record) {
+	r.Reset()
+	for _, n := range o.names {
+		r.names = append(r.names, n)
+		r.fields[n] = o.fields[n]
+	}
 }
 
 // Clone returns a deep copy of the record.

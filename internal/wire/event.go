@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"bytes"
 	"encoding/json"
 	"io"
 	"sync"
@@ -41,15 +42,32 @@ func eventWire(ev obs.Event, omitTiming bool) eventJSON {
 	return j
 }
 
+// encodeBuf pairs a reusable buffer with an encoder bound to it, so
+// the per-event encode path of the daemon's streaming endpoints stops
+// allocating a fresh marshal buffer per line. json.Encoder.Encode
+// emits compact JSON plus a trailing newline with the same HTML
+// escaping as Marshal, so pooled output stays byte-identical.
+type encodeBuf struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var encodePool = sync.Pool{New: func() any {
+	b := &encodeBuf{}
+	b.enc = json.NewEncoder(&b.buf)
+	return b
+}}
+
 // EncodeEvent writes one event as a single JSON line. omitTiming drops
 // the wall-clock fields (t_ns, dur_ns) for byte-stable output.
 func EncodeEvent(w io.Writer, ev obs.Event, omitTiming bool) error {
-	b, err := json.Marshal(eventWire(ev, omitTiming))
-	if err != nil {
+	b := encodePool.Get().(*encodeBuf)
+	defer encodePool.Put(b)
+	b.buf.Reset()
+	if err := b.enc.Encode(eventWire(ev, omitTiming)); err != nil {
 		return err
 	}
-	b = append(b, '\n')
-	_, err = w.Write(b)
+	_, err := w.Write(b.buf.Bytes())
 	return err
 }
 

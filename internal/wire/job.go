@@ -40,6 +40,10 @@ type ProgramSpec struct {
 type JobOptions struct {
 	// Parallelism bounds the per-job worker pool (0 = GOMAXPROCS).
 	Parallelism int `json:"parallelism,omitempty"`
+	// MigrateParallel bounds the data-migration shard workers (0 = the
+	// server default, which itself defaults to GOMAXPROCS). Results are
+	// byte-identical at any setting.
+	MigrateParallel int `json:"migrate_parallel,omitempty"`
 	// AcceptOrder makes the policy analyst accept order changes.
 	AcceptOrder bool `json:"accept_order,omitempty"`
 	// Timeout, StageTimeout and AnalystTimeout are the PR-3 budgets
@@ -135,6 +139,9 @@ func (s *JobSpec) Validate() error {
 	}
 	if s.Options.Retries < 0 || s.Options.Parallelism < 0 {
 		return fmt.Errorf("retries and parallelism must be non-negative")
+	}
+	if s.Options.MigrateParallel < 0 {
+		return fmt.Errorf("migrate_parallel must be non-negative")
 	}
 	return nil
 }

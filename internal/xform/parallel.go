@@ -1,0 +1,468 @@
+package xform
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"progconv/internal/hierstore"
+	"progconv/internal/netstore"
+	"progconv/internal/schema"
+	"progconv/internal/value"
+)
+
+// MigrateOptions configures the parallel data-translation path.
+type MigrateOptions struct {
+	// Parallelism bounds the shard workers per rebuild pass; <= 0 means
+	// GOMAXPROCS. The output is byte-identical at every setting.
+	Parallelism int
+}
+
+// MigrateStats extends the fuse accounting with the sharded path's
+// counters: how many shards the passes fanned out into and how many
+// records went through the bulk-load merge phase.
+type MigrateStats struct {
+	FuseStats
+	Shards      int
+	BulkRecords int
+}
+
+// minShardRecords is the smallest extent worth a dedicated shard: below
+// this, goroutine handoff costs more than the transform it parallelizes.
+const minShardRecords = 64
+
+// ctxPollEvery is how many records the shard workers and the splice
+// loop process between context polls, mirroring equiv.Check's cadence.
+const ctxPollEvery = 256
+
+// shardCount partitions n records for the given parallelism bound.
+// It depends only on (n, parallelism), never on runtime load, so a
+// migration shards identically on every machine and every run.
+func shardCount(n, parallelism int) int {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	shards := parallelism
+	if max := (n + minShardRecords - 1) / minShardRecords; shards > max {
+		shards = max
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	return shards
+}
+
+// Migrate is the ctx-aware, sharded counterpart of MigrateDataFused:
+// same pass structure (maximal fusible runs compose into single passes,
+// remaining steps run their own pass), same results byte for byte —
+// record IDs, set orderings, index contents, error text and order —
+// with each rebuild pass fanned out over opts.Parallelism shard
+// workers and merged through the netstore bulk loader. Cancelling ctx
+// aborts mid-pass; the cause surfaces unwrapped inside the usual
+// per-step error wrapping, so errors.Is(err, context.DeadlineExceeded)
+// sees through it.
+func (p *Plan) Migrate(ctx context.Context, src *netstore.DB, opts MigrateOptions) (*netstore.DB, MigrateStats, error) {
+	var stats MigrateStats
+	cur := src
+	curSchema := src.Schema()
+	for i := 0; i < len(p.Steps); {
+		j := i
+		for j < len(p.Steps) {
+			if _, ok := p.Steps[j].(fusible); !ok {
+				break
+			}
+			j++
+		}
+		if j-i >= 2 {
+			finalSchema := curSchema
+			chain := make([]rebuildFns, 0, j-i)
+			for k := i; k < j; k++ {
+				next, err := p.Steps[k].ApplySchema(finalSchema)
+				if err != nil {
+					return nil, stats, fmt.Errorf("xform: %s: %w", p.Steps[k].Name(), err)
+				}
+				chain = append(chain, p.Steps[k].(fusible).fuseFns())
+				finalSchema = next
+			}
+			next, err := rebuildParallel(ctx, cur, finalSchema, composeFns(chain), opts.Parallelism, &stats)
+			if err != nil {
+				return nil, stats, fmt.Errorf("xform: fused steps %d..%d: %w", i+1, j, err)
+			}
+			stats.FusedSteps += j - i
+			stats.Passes++
+			cur, curSchema = next, finalSchema
+			i = j
+			continue
+		}
+		t := p.Steps[i]
+		nextSchema, err := t.ApplySchema(curSchema)
+		if err != nil {
+			return nil, stats, fmt.Errorf("xform: %s: %w", t.Name(), err)
+		}
+		var next *netstore.DB
+		if ft, ok := t.(fusible); ok {
+			// A lone fusible step still takes the sharded rebuild; only
+			// the fuse accounting differs from a composed run.
+			next, err = rebuildParallel(ctx, cur, nextSchema, ft.fuseFns(), opts.Parallelism, &stats)
+		} else {
+			// The structural steps (intermediate introduction/collapse)
+			// synthesize occurrences as they go; they keep their serial
+			// single pass.
+			next, err = t.MigrateData(cur, nextSchema)
+		}
+		if err != nil {
+			return nil, stats, fmt.Errorf("xform: %s: %w", t.Name(), err)
+		}
+		stats.StepwiseSteps++
+		stats.Passes++
+		cur, curSchema = next, nextSchema
+		i++
+	}
+	return cur, stats, nil
+}
+
+// stagedMember is one source set membership a shard worker collected:
+// the spliceSet index and the source owner occurrence, resolved to a
+// destination owner only at splice time (the owner's destination ID
+// does not exist until its own splice).
+type stagedMember struct {
+	si    int
+	owner netstore.RecordID
+}
+
+// stagedRec is one shard-prepared record awaiting its splice: the
+// destination data record (built off-thread, kind-checked), the
+// memberships to wire, and any error the preparation raised — held
+// back so errors surface in submission order, exactly as the serial
+// rebuild raises them.
+type stagedRec struct {
+	data    *value.Record
+	members []stagedMember
+	err     error
+}
+
+// spliceSet is one source member set of the type being rebuilt, with
+// its destination mapping pre-resolved once per pass instead of per
+// record.
+type spliceSet struct {
+	srcName string
+	dstName string
+	dst     *schema.SetType // nil when dstName is absent from dst (StoreWith's unknown-set case)
+	system  bool
+	drop    bool
+}
+
+// stagingRecPool recycles the per-worker scratch record that holds a
+// source occurrence's stored data during the transform. The staged
+// destination records are NOT pooled — they become the new database's
+// occurrence data.
+var stagingRecPool = sync.Pool{New: func() any { return value.NewRecord() }}
+
+// rebuildParallel is rebuild with the per-record transform fanned out
+// over shard workers. Each record type pass partitions the source
+// occurrences into contiguous ID-range shards, transforms each shard
+// into private staging, then splices the staged records into the
+// destination sequentially in source insertion order — so IDs, set
+// orderings, index contents, and error precedence match the serial
+// rebuild exactly. The merge phase goes through the bulk loader, which
+// defers member ordering and index maintenance to one batched
+// finalization per pass.
+func rebuildParallel(ctx context.Context, src *netstore.DB, dst *schema.Network, f rebuildFns, parallelism int, stats *MigrateStats) (*netstore.DB, error) {
+	out := netstore.NewDB(dst)
+	bl := out.NewBulkLoader(src.Len())
+	// idMap is dense: source IDs are bounded by IDBound and destination
+	// IDs start at 1, so 0 doubles as "not migrated".
+	idMap := make([]netstore.RecordID, src.IDBound())
+	srcSchema := src.Schema()
+
+	var staged []stagedRec
+	var memBuf []stagedMember
+	var targets []netstore.BulkMembership
+
+	for _, srcType := range topoRecordOrder(srcSchema) {
+		dstType := srcType
+		if f.mapType != nil {
+			dstType = f.mapType(srcType)
+		}
+		if dstType == "" {
+			continue
+		}
+		ids := src.AllOf(srcType)
+		n := len(ids)
+		if n == 0 {
+			// The serial rebuild never reaches StoreWith for an empty
+			// extent, so even an unmapped destination type is not an error.
+			continue
+		}
+		typ := dst.Record(dstType)
+		if typ == nil {
+			return nil, fmt.Errorf("netstore: unknown record type %s", dstType)
+		}
+
+		memberSets := srcSchema.SetsWithMember(srcType)
+		sets := make([]spliceSet, len(memberSets))
+		for si, set := range memberSets {
+			dstSet := set.Name
+			if f.mapSet != nil {
+				dstSet = f.mapSet(set.Name)
+			}
+			e := spliceSet{srcName: set.Name, dstName: dstSet, system: set.IsSystem(), drop: dstSet == ""}
+			if !e.drop {
+				e.dst = dst.Set(dstSet)
+			}
+			sets[si] = e
+		}
+		k := len(sets)
+
+		if cap(staged) < n {
+			staged = make([]stagedRec, n)
+		}
+		staged = staged[:n]
+		if k > 0 {
+			if cap(memBuf) < n*k {
+				memBuf = make([]stagedMember, n*k)
+			}
+		}
+
+		prepare := func(lo, hi int) {
+			tmp := stagingRecPool.Get().(*value.Record)
+			defer stagingRecPool.Put(tmp)
+			for i := lo; i < hi; i++ {
+				if i%ctxPollEvery == 0 && ctx.Err() != nil {
+					for ; i < hi; i++ {
+						staged[i] = stagedRec{err: ctx.Err()}
+					}
+					return
+				}
+				id := ids[i]
+				st := &staged[i]
+				st.err = nil
+				st.members = nil
+				src.StoredDataInto(id, tmp)
+				data := tmp
+				if f.mapData != nil {
+					data = f.mapData(srcType, data)
+				}
+				if k > 0 {
+					mem := memBuf[i*k : i*k : i*k+k]
+					for si := range sets {
+						if sets[si].drop {
+							continue
+						}
+						owner, connected := src.OwnerOf(sets[si].srcName, id)
+						if !connected {
+							continue
+						}
+						mem = append(mem, stagedMember{si: si, owner: owner})
+					}
+					st.members = mem
+				}
+				rec := value.NewRecordSize(len(typ.Fields))
+				for _, fld := range typ.Fields {
+					if fld.Virtual != nil {
+						continue
+					}
+					v, _ := data.Get(fld.Name)
+					if !v.IsNull() && v.Kind() != fld.Kind {
+						st.err = fmt.Errorf("netstore: %s.%s: value kind %v, field kind %v",
+							dstType, fld.Name, v.Kind(), fld.Kind)
+						rec = nil
+						break
+					}
+					rec.Set(fld.Name, v)
+				}
+				st.data = rec
+			}
+		}
+
+		shards := shardCount(n, parallelism)
+		stats.Shards += shards
+		if shards == 1 {
+			prepare(0, n)
+		} else {
+			var wg sync.WaitGroup
+			for s := 0; s < shards; s++ {
+				lo, hi := s*n/shards, (s+1)*n/shards
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					prepare(lo, hi)
+				}()
+			}
+			wg.Wait()
+		}
+
+		// Splice sequentially in source insertion order. Error precedence
+		// per record matches the serial rebuild: unmigrated owners (found
+		// while collecting memberships) before the staged kind error
+		// before StoreWith's membership validation.
+		if cap(targets) < k {
+			targets = make([]netstore.BulkMembership, 0, k)
+		}
+		for i := range staged {
+			if i%ctxPollEvery == 0 && ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			st := &staged[i]
+			for _, m := range st.members {
+				if sets[m.si].system {
+					continue
+				}
+				if idMap[m.owner] == 0 {
+					return nil, fmt.Errorf("xform: %s occurrence's owner in %s not yet migrated", srcType, sets[m.si].srcName)
+				}
+			}
+			if st.err != nil {
+				return nil, st.err
+			}
+			targets = targets[:0]
+			for _, m := range st.members {
+				e := &sets[m.si]
+				if e.dst == nil {
+					return nil, fmt.Errorf("netstore: unknown set %s", e.dstName)
+				}
+				owner := netstore.OwnerSystem
+				if !e.system {
+					owner = idMap[m.owner]
+				}
+				targets = append(targets, netstore.BulkMembership{Set: e.dst, Owner: owner})
+			}
+			nid, err := bl.StorePrepared(typ, st.data, targets)
+			if err != nil {
+				return nil, err
+			}
+			idMap[ids[i]] = nid
+		}
+	}
+	bl.Close(parallelism)
+	stats.BulkRecords += bl.Loaded()
+	return out, nil
+}
+
+// stagedRoot is one shard-prepared source root of a hierarchical
+// reorder: the parent's data and every promoted child's, read
+// off-thread so the sequential ISRT splice only replays inserts.
+type stagedRoot struct {
+	parentData *value.Record
+	childData  []*value.Record
+	canceled   bool
+}
+
+// Migrate is the ctx-aware, sharded counterpart of
+// HierPlan.MigrateData: identical databases, warnings (text and
+// order), and errors, with each step's per-root reads fanned out over
+// shard workers ahead of the sequential insert splice.
+func (p *HierPlan) Migrate(ctx context.Context, src *hierstore.DB, opts MigrateOptions) (*hierstore.DB, []string, MigrateStats, error) {
+	var stats MigrateStats
+	cur := src
+	curSchema := src.Schema()
+	var warnings []string
+	for _, t := range p.Steps {
+		nextSchema, err := t.ApplySchema(curSchema)
+		if err != nil {
+			return nil, warnings, stats, fmt.Errorf("xform: %s: %w", t.Name(), err)
+		}
+		next, warns, err := t.migrateDataParallel(ctx, cur, nextSchema, opts.Parallelism, &stats)
+		warnings = append(warnings, warns...)
+		if err != nil {
+			return nil, warnings, stats, fmt.Errorf("xform: %s: %w", t.Name(), err)
+		}
+		stats.StepwiseSteps++
+		stats.Passes++
+		cur, curSchema = next, nextSchema
+	}
+	if cur == src {
+		return src.Clone(), warnings, stats, nil
+	}
+	return cur, warnings, stats, nil
+}
+
+// migrateDataParallel is MigrateData with the per-root source reads
+// (parent data, promoted children, child data — all clone-returning
+// lookups on the unmutated source) sharded across workers; the ISRT
+// replay into the destination stays sequential in root order, so the
+// new database, the warning list, and any migration error come out
+// identical to the serial pass.
+func (t HierReorder) migrateDataParallel(ctx context.Context, src *hierstore.DB, dst *schema.Hierarchy, parallelism int, stats *MigrateStats) (*hierstore.DB, []string, error) {
+	roots := src.Roots()
+	n := len(roots)
+	promote := t.Promote
+
+	stagedRoots := make([]stagedRoot, n)
+	prepare := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if i%ctxPollEvery == 0 && ctx.Err() != nil {
+				for ; i < hi; i++ {
+					stagedRoots[i].canceled = true
+				}
+				return
+			}
+			st := &stagedRoots[i]
+			st.parentData = src.Data(roots[i])
+			children := src.ChildrenOf(roots[i], promote)
+			if len(children) > 0 {
+				st.childData = make([]*value.Record, len(children))
+				for ci, cid := range children {
+					st.childData[ci] = src.Data(cid)
+				}
+			}
+		}
+	}
+
+	shards := shardCount(n, parallelism)
+	stats.Shards += shards
+	if shards == 1 {
+		prepare(0, n)
+	} else {
+		var wg sync.WaitGroup
+		for s := 0; s < shards; s++ {
+			lo, hi := s*n/shards, (s+1)*n/shards
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				prepare(lo, hi)
+			}()
+		}
+		wg.Wait()
+	}
+
+	out := hierstore.NewDB(dst)
+	sess := hierstore.NewSession(out)
+	oldRootType := src.Schema().Root.Name
+	var warnings []string
+	newRootSeg := dst.Root
+	for i := range stagedRoots {
+		if i%ctxPollEvery == 0 && ctx.Err() != nil {
+			return nil, warnings, ctx.Err()
+		}
+		st := &stagedRoots[i]
+		if st.canceled {
+			return nil, warnings, ctx.Err()
+		}
+		if len(st.childData) == 0 {
+			warnings = append(warnings,
+				fmt.Sprintf("%s %s has no %s occurrences and is unreachable after reorder",
+					oldRootType, st.parentData.String(), promote))
+			continue
+		}
+		for _, cdata := range st.childData {
+			ist := sess.ISRT(cdata, hierstore.U(promote))
+			if ist == hierstore.II {
+				warnings = append(warnings,
+					fmt.Sprintf("%s %s promoted once; parents merge beneath it", promote, cdata.String()))
+			} else if ist != hierstore.OK {
+				return nil, warnings, fmt.Errorf("migrating %s: ISRT status %v", promote, ist)
+			}
+			seqField := newRootSeg.Seq
+			path := []hierstore.SSA{hierstore.U(promote)}
+			if seqField != "" {
+				path = []hierstore.SSA{hierstore.Q(promote, seqField, hierstore.EQ, cdata.MustGet(seqField))}
+			}
+			if ist := sess.ISRT(st.parentData, append(path, hierstore.U(oldRootType))...); ist != hierstore.OK {
+				return nil, warnings, fmt.Errorf("migrating %s under %s: ISRT status %v", oldRootType, promote, ist)
+			}
+		}
+	}
+	return out, warnings, nil
+}

@@ -1,0 +1,234 @@
+package xform
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"progconv/internal/netstore"
+	"progconv/internal/schema"
+	"progconv/internal/value"
+)
+
+// randomCompanyDB builds a seeded random CompanyV1 population with a
+// MANUAL/OPTIONAL DIV-EMP set, so a third of the employees float free
+// of any set occurrence — the memberships must map (or vanish)
+// identically across migration paths.
+func randomCompanyDB(t *testing.T, seed int64) *netstore.DB {
+	t.Helper()
+	base := schema.CompanyV1()
+	base.Set("DIV-EMP").Insertion = schema.Manual
+	base.Set("DIV-EMP").Retention = schema.Optional
+	rng := rand.New(rand.NewSource(seed))
+	db := netstore.NewDB(base.Clone())
+	s := netstore.NewSession(db)
+	nDiv := 3 + rng.Intn(4)
+	for d := 0; d < nDiv; d++ {
+		s.Store("DIV", value.FromPairs(
+			"DIV-NAME", fmt.Sprintf("DIV-%02d", d),
+			"DIV-LOC", fmt.Sprintf("L%d", rng.Intn(4))))
+	}
+	nEmp := 100 + rng.Intn(120)
+	for e := 0; e < nEmp; e++ {
+		s.Store("EMP", value.FromPairs(
+			"EMP-NAME", fmt.Sprintf("E-%04d", e),
+			"DEPT-NAME", fmt.Sprintf("D%d", rng.Intn(5)),
+			"AGE", 20+rng.Intn(45)))
+		if rng.Intn(3) > 0 {
+			s.FindAny("DIV", value.FromPairs("DIV-NAME", fmt.Sprintf("DIV-%02d", rng.Intn(nDiv))))
+			s.FindAny("EMP", value.FromPairs("EMP-NAME", fmt.Sprintf("E-%04d", e)))
+			s.Connect("DIV-EMP")
+		}
+	}
+	return db
+}
+
+// planTemplates is the randomized-plan pool: all-fusible runs, a mixed
+// plan around the paper's flagship structural step, and a lossy plan
+// with drops — every per-record shape the sharded rebuild must handle.
+func planTemplates() map[string]*Plan {
+	return map[string]*Plan{
+		"fused-run": fourStepFusiblePlan(),
+		"mixed-structural": {Steps: []Transformation{
+			RenameField{Record: "DIV", Old: "DIV-LOC", New: "LOCATION"},
+			AddField{Record: "DIV", Field: "REGION", Kind: value.String, Default: value.Str("NA")},
+			figure42to44(),
+			RenameRecord{Old: "EMP", New: "EMPLOYEE"},
+		}},
+		"lossy-drops": {Steps: []Transformation{
+			DropField{Record: "EMP", Field: "AGE"},
+			RenameSet{Old: "DIV-EMP", New: "STAFF"},
+			AddField{Record: "EMP", Field: "GRADE", Kind: value.Int, Default: value.Of(1)},
+		}},
+		"lone-step": {Steps: []Transformation{
+			RenameRecord{Old: "EMP", New: "WORKER"},
+		}},
+	}
+}
+
+// TestParallelMigrateByteIdentical is the property test: randomized
+// databases × randomized plans × shard counts {1, 2, 8}, with the
+// parallel migration compared byte for byte — record IDs, set
+// orderings, index buckets, index counters — against the serial
+// stepwise oracle.
+func TestParallelMigrateByteIdentical(t *testing.T) {
+	for name, p := range planTemplates() {
+		for _, seed := range []int64{41, 42, 43} {
+			src := randomCompanyDB(t, seed)
+			want, err := p.MigrateDataStepwise(src)
+			if err != nil {
+				t.Fatalf("%s seed %d stepwise: %v", name, seed, err)
+			}
+			wantDump, wantIdx := dumpDB(want), want.IndexDump()
+			wantProbes, wantScans := want.IndexStatsOf().Snapshot()
+			for _, par := range []int{1, 2, 8} {
+				got, stats, err := p.Migrate(context.Background(), src, MigrateOptions{Parallelism: par})
+				if err != nil {
+					t.Fatalf("%s seed %d par %d: %v", name, seed, par, err)
+				}
+				if d := dumpDB(got); d != wantDump {
+					t.Fatalf("%s seed %d par %d: database diverges from stepwise:\n--- parallel ---\n%s\n--- stepwise ---\n%s",
+						name, seed, par, d, wantDump)
+				}
+				if ix := got.IndexDump(); ix != wantIdx {
+					t.Fatalf("%s seed %d par %d: indexes diverge:\n--- parallel ---\n%s\n--- stepwise ---\n%s",
+						name, seed, par, ix, wantIdx)
+				}
+				if p, s := got.IndexStatsOf().Snapshot(); p != wantProbes || s != wantScans {
+					t.Errorf("%s seed %d par %d: index stats (%d, %d), want (%d, %d)",
+						name, seed, par, p, s, wantProbes, wantScans)
+				}
+				if stats.Shards < 1 {
+					t.Errorf("%s seed %d par %d: stats.Shards = %d", name, seed, par, stats.Shards)
+				}
+				if stats.BulkRecords < 1 {
+					t.Errorf("%s seed %d par %d: stats.BulkRecords = %d", name, seed, par, stats.BulkRecords)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelMigrateShardStats pins the shard accounting: a type with
+// over minShardRecords records fans out when parallelism allows, and
+// the bulk-record counter equals the records the rebuild passes stored.
+func TestParallelMigrateShardStats(t *testing.T) {
+	src := randomCompanyDB(t, 44) // >= 100 EMPs: enough for 2+ shards
+	p := fourStepFusiblePlan()
+
+	_, serialStats, err := p.Migrate(context.Background(), src, MigrateOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, parStats, err := p.Migrate(context.Background(), src, MigrateOptions{Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One pass, two types: serial runs one shard per type.
+	if serialStats.Shards != 2 {
+		t.Errorf("serial Shards = %d, want 2", serialStats.Shards)
+	}
+	if parStats.Shards <= serialStats.Shards {
+		t.Errorf("parallel Shards = %d, want > %d", parStats.Shards, serialStats.Shards)
+	}
+	if parStats.BulkRecords != out.Len() || parStats.BulkRecords != serialStats.BulkRecords {
+		t.Errorf("BulkRecords = %d (serial %d), want %d",
+			parStats.BulkRecords, serialStats.BulkRecords, out.Len())
+	}
+	if parStats.FusedSteps != 4 || parStats.Passes != 1 {
+		t.Errorf("fuse stats = %+v, want 4 fused steps in 1 pass", parStats.FuseStats)
+	}
+}
+
+// TestParallelMigrateErrorParity: a store-time failure (a default whose
+// kind contradicts the declared field kind) surfaces the identical
+// error string at every shard count, serial oracle included.
+func TestParallelMigrateErrorParity(t *testing.T) {
+	src := randomCompanyDB(t, 45)
+	p := &Plan{Steps: []Transformation{
+		RenameRecord{Old: "EMP", New: "EMPLOYEE"},
+		AddField{Record: "EMPLOYEE", Field: "BAD", Kind: value.Int, Default: value.Str("oops")},
+	}}
+	_, _, serr := p.MigrateDataFused(src)
+	if serr == nil {
+		t.Fatal("fused oracle did not fail")
+	}
+	for _, par := range []int{1, 2, 8} {
+		_, _, err := p.Migrate(context.Background(), src, MigrateOptions{Parallelism: par})
+		if err == nil {
+			t.Fatalf("par %d: migration did not fail", par)
+		}
+		if err.Error() != serr.Error() {
+			t.Errorf("par %d error diverges:\nparallel: %v\nserial:   %v", par, err, serr)
+		}
+	}
+}
+
+// TestParallelMigrateContextCanceled: shard workers poll the context;
+// a canceled context aborts the rebuild with the cause intact.
+func TestParallelMigrateContextCanceled(t *testing.T) {
+	src := randomCompanyDB(t, 46)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := fourStepFusiblePlan().Migrate(ctx, src, MigrateOptions{Parallelism: 4})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestParallelHierMigrate: the sharded hierarchical migration matches
+// the serial path byte for byte — hierarchic sequence and advisory
+// warnings — at every shard count, and the identity plan still clones.
+func TestParallelHierMigrate(t *testing.T) {
+	src := personnelHierDB(t)
+	plan := &HierPlan{Steps: []HierReorder{{Promote: "EMP"}}}
+
+	want, wantWarnings, err := plan.MigrateData(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{1, 2, 8} {
+		got, warnings, stats, err := plan.Migrate(context.Background(), src, MigrateOptions{Parallelism: par})
+		if err != nil {
+			t.Fatalf("par %d: %v", par, err)
+		}
+		if got.DumpSequence() != want.DumpSequence() {
+			t.Fatalf("par %d: sequence diverges:\n--- parallel ---\n%s\n--- serial ---\n%s",
+				par, got.DumpSequence(), want.DumpSequence())
+		}
+		if strings.Join(warnings, "|") != strings.Join(wantWarnings, "|") {
+			t.Errorf("par %d: warnings = %v, want %v", par, warnings, wantWarnings)
+		}
+		if stats.Shards < 1 {
+			t.Errorf("par %d: stats.Shards = %d", par, stats.Shards)
+		}
+	}
+
+	identity := &HierPlan{}
+	same, _, _, err := identity.Migrate(context.Background(), src, MigrateOptions{Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same == src {
+		t.Error("identity migration aliases the source database")
+	}
+	if same.DumpSequence() != src.DumpSequence() {
+		t.Error("identity migration altered the database")
+	}
+}
+
+// TestParallelHierMigrateContextCanceled mirrors the network test for
+// the hierarchical path.
+func TestParallelHierMigrateContextCanceled(t *testing.T) {
+	src := personnelHierDB(t)
+	plan := &HierPlan{Steps: []HierReorder{{Promote: "EMP"}}}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, _, err := plan.Migrate(ctx, src, MigrateOptions{Parallelism: 4})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -299,21 +299,22 @@ var (
 
 // options collects functional-option state for Convert.
 type options struct {
-	analyst        Analyst
-	parallelism    int
-	metrics        bool
-	verifyDB       *Database
-	verifyHierDB   *HierDatabase
-	recorder       *Recorder
-	sink           Sink
-	programTimeout time.Duration
-	stageTimeout   time.Duration
-	analystTimeout time.Duration
-	retries        int
-	retryBackoff   time.Duration
-	failurePolicy  FailurePolicy
-	cache          *Cache
-	trace          *TraceBuilder
+	analyst              Analyst
+	parallelism          int
+	migrationParallelism int
+	metrics              bool
+	verifyDB             *Database
+	verifyHierDB         *HierDatabase
+	recorder             *Recorder
+	sink                 Sink
+	programTimeout       time.Duration
+	stageTimeout         time.Duration
+	analystTimeout       time.Duration
+	retries              int
+	retryBackoff         time.Duration
+	failurePolicy        FailurePolicy
+	cache                *Cache
+	trace                *TraceBuilder
 }
 
 // Option configures one Convert run.
@@ -331,6 +332,15 @@ func WithAnalyst(a Analyst) Option {
 // forces a serial run. Reports are deterministic at any setting.
 func WithParallelism(n int) Option {
 	return func(o *options) { o.parallelism = n }
+}
+
+// WithMigrationParallelism bounds the shard workers of the data
+// migration pass. Zero or negative (and the default) means
+// runtime.GOMAXPROCS(0); 1 forces a serial migration. The migrated
+// database, reports, event streams, and traces are byte-identical at
+// any setting.
+func WithMigrationParallelism(n int) Option {
+	return func(o *options) { o.migrationParallelism = n }
 }
 
 // WithMetrics instruments the run: each program's analyze → convert →
@@ -525,6 +535,7 @@ func (o *options) supervisor() *core.Supervisor {
 		sup.Analyst = o.analyst
 	}
 	sup.Parallelism = o.parallelism
+	sup.MigrationParallelism = o.migrationParallelism
 	rec := o.recorder
 	if rec == nil && o.metrics {
 		rec = obs.NewRecorder()
